@@ -1,0 +1,319 @@
+package incognito
+
+import (
+	"fmt"
+	"strings"
+
+	"incognito/internal/baseline"
+	"incognito/internal/core"
+	"incognito/internal/metrics"
+	"incognito/internal/relation"
+)
+
+// QI names one quasi-identifier attribute: a table column and the
+// generalization hierarchy over it. The order of the QI slice passed to
+// Anonymize is the canonical attribute order of solutions.
+type QI struct {
+	Column    string
+	Hierarchy *Hierarchy
+}
+
+// Algorithm selects the search algorithm. All of them are exact; they
+// differ in cost and in whether they return the complete solution set.
+type Algorithm int
+
+const (
+	// BasicIncognito is the paper's core contribution (Fig. 8): a priori
+	// candidate pruning over quasi-identifier subsets plus frequency-set
+	// rollup. Returns the complete solution set.
+	BasicIncognito Algorithm = iota
+	// SuperRootsIncognito adds the §3.3.1 optimization: one table scan per
+	// candidate family instead of one per root. Complete.
+	SuperRootsIncognito
+	// CubeIncognito pre-computes all zero-generalization frequency sets
+	// bottom-up and never rescans the table during the search (§3.3.2).
+	// Complete.
+	CubeIncognito
+	// BottomUp is the exhaustive baseline of §2.2 without rollup: a
+	// breadth-first search of the full lattice, one scan per checked node.
+	// Complete.
+	BottomUp
+	// BottomUpRollup is BottomUp with the rollup optimization. Complete.
+	BottomUpRollup
+	// BinarySearch is Samarati's algorithm [14]: binary search on
+	// generalization height. Returns a single height-minimal solution, NOT
+	// the complete set.
+	BinarySearch
+	// MaterializedIncognito implements the paper's §7 future-work proposal:
+	// strategic partial-cube materialization under a memory budget
+	// (Config.MaterializeBudget, in frequency-set groups), selected with
+	// Harinarayan-style greedy view selection. Budget 0 behaves like
+	// BasicIncognito; a huge budget behaves like CubeIncognito. Complete.
+	MaterializedIncognito
+)
+
+// String names the algorithm as the paper's figures do.
+func (a Algorithm) String() string {
+	switch a {
+	case BasicIncognito:
+		return "Basic Incognito"
+	case SuperRootsIncognito:
+		return "Super-roots Incognito"
+	case CubeIncognito:
+		return "Cube Incognito"
+	case BottomUp:
+		return "Bottom-Up (w/o rollup)"
+	case BottomUpRollup:
+		return "Bottom-Up (w/ rollup)"
+	case BinarySearch:
+		return "Binary Search"
+	case MaterializedIncognito:
+		return "Materialized Incognito"
+	}
+	return "unknown"
+}
+
+// Config carries the anonymization parameters.
+type Config struct {
+	// K is the anonymity parameter: every released quasi-identifier value
+	// combination must be shared by at least K tuples. Required, ≥ 1.
+	K int
+	// MaxSuppressed is the tuple-suppression threshold of §2.1: up to this
+	// many outlier tuples may be removed instead of generalizing further.
+	MaxSuppressed int
+	// Algorithm defaults to BasicIncognito.
+	Algorithm Algorithm
+	// MaterializeBudget is the partial-cube size budget (in frequency-set
+	// groups) used by MaterializedIncognito and ignored otherwise.
+	MaterializeBudget int
+}
+
+// Stats reports how much work a run did, mirroring the measurements of §4.
+type Stats struct {
+	NodesChecked int // generalization nodes whose k-anonymity was tested explicitly
+	NodesMarked  int // nodes skipped via the generalization property
+	Candidates   int // candidate nodes across all iterations
+	TableScans   int // frequency sets built by scanning the table
+	Rollups      int // frequency sets derived from other frequency sets
+}
+
+// Result holds the outcome of Anonymize: the k-anonymous full-domain
+// generalizations found, in height order.
+type Result struct {
+	in        core.Input
+	qiNames   []string
+	heights   []int
+	solutions [][]int
+	stats     Stats
+	complete  bool
+}
+
+// Anonymize searches for k-anonymous full-domain generalizations of t with
+// respect to the given quasi-identifier. With any algorithm other than
+// BinarySearch the result contains every solution; BinarySearch yields a
+// single height-minimal one.
+func Anonymize(t *Table, qi []QI, cfg Config) (*Result, error) {
+	if t == nil {
+		return nil, fmt.Errorf("incognito: nil table")
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("incognito: empty quasi-identifier")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("incognito: K must be at least 1, got %d", cfg.K)
+	}
+	if cfg.MaxSuppressed < 0 {
+		return nil, fmt.Errorf("incognito: negative MaxSuppressed %d", cfg.MaxSuppressed)
+	}
+
+	in := core.Input{Table: t.rel, K: int64(cfg.K), MaxSuppress: int64(cfg.MaxSuppressed)}
+	names := make([]string, len(qi))
+	for i, q := range qi {
+		col := t.rel.ColumnIndex(q.Column)
+		if col < 0 {
+			return nil, fmt.Errorf("incognito: table has no column %q", q.Column)
+		}
+		if q.Hierarchy == nil {
+			return nil, fmt.Errorf("incognito: attribute %q has no hierarchy", q.Column)
+		}
+		if q.Hierarchy.err != nil {
+			return nil, fmt.Errorf("incognito: attribute %q: %w", q.Column, q.Hierarchy.err)
+		}
+		h, err := q.Hierarchy.build(q.Column).Bind(t.rel.Dict(col))
+		if err != nil {
+			return nil, fmt.Errorf("incognito: attribute %q: %w", q.Column, err)
+		}
+		in.QI = append(in.QI, core.QIAttr{Col: col, H: h})
+		names[i] = q.Column
+	}
+
+	res := &Result{in: in, qiNames: names, heights: in.Heights(), complete: true}
+	switch cfg.Algorithm {
+	case BasicIncognito, SuperRootsIncognito, CubeIncognito:
+		variant := map[Algorithm]core.Variant{
+			BasicIncognito:      core.Basic,
+			SuperRootsIncognito: core.SuperRoots,
+			CubeIncognito:       core.Cube,
+		}[cfg.Algorithm]
+		r, err := core.Run(in, variant)
+		if err != nil {
+			return nil, err
+		}
+		res.solutions = r.Solutions
+		res.stats = wrapStats(r.Stats)
+	case BottomUp, BottomUpRollup:
+		r, err := baseline.BottomUp(in, cfg.Algorithm == BottomUpRollup)
+		if err != nil {
+			return nil, err
+		}
+		res.solutions = r.Solutions
+		res.stats = wrapStats(r.Stats)
+	case BinarySearch:
+		r, err := baseline.BinarySearch(in)
+		if err != nil {
+			return nil, err
+		}
+		if r.Solution != nil {
+			res.solutions = [][]int{r.Solution}
+		}
+		res.stats = wrapStats(r.Stats)
+		res.complete = false
+	case MaterializedIncognito:
+		mat := core.MaterializeBudget(&in, int64(cfg.MaterializeBudget))
+		r, err := core.RunMaterialized(in, mat)
+		if err != nil {
+			return nil, err
+		}
+		res.solutions = r.Solutions
+		st := r.Stats
+		st.Add(mat.BuildStats)
+		res.stats = wrapStats(st)
+	default:
+		return nil, fmt.Errorf("incognito: unknown algorithm %d", cfg.Algorithm)
+	}
+	return res, nil
+}
+
+func wrapStats(s core.Stats) Stats {
+	return Stats{
+		NodesChecked: s.NodesChecked,
+		NodesMarked:  s.NodesMarked,
+		Candidates:   s.Candidates,
+		TableScans:   s.TableScans,
+		Rollups:      s.Rollups,
+	}
+}
+
+// Len returns the number of solutions found.
+func (r *Result) Len() int { return len(r.solutions) }
+
+// Complete reports whether the result holds every k-anonymous full-domain
+// generalization (false only for BinarySearch).
+func (r *Result) Complete() bool { return r.complete }
+
+// Stats returns the work counters of the run.
+func (r *Result) Stats() Stats { return r.stats }
+
+// Solutions returns all solutions in height order.
+func (r *Result) Solutions() []Solution {
+	out := make([]Solution, len(r.solutions))
+	for i, levels := range r.solutions {
+		out[i] = Solution{r: r, levels: levels}
+	}
+	return out
+}
+
+// Best returns the best solution under the given criterion, or false if
+// there are no solutions. Ties keep the earlier solution in canonical
+// (height, then lexicographic) order, so Best is deterministic.
+func (r *Result) Best(c Criterion) (Solution, bool) {
+	if len(r.solutions) == 0 {
+		return Solution{}, false
+	}
+	if c == nil {
+		c = MinHeight()
+	}
+	best := Solution{r: r, levels: r.solutions[0]}
+	for _, levels := range r.solutions[1:] {
+		s := Solution{r: r, levels: levels}
+		if c(s, best) {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// Solution is one k-anonymous full-domain generalization.
+type Solution struct {
+	r      *Result
+	levels []int
+}
+
+// Levels returns the per-attribute generalization levels, in QI order.
+func (s Solution) Levels() []int { return append([]int(nil), s.levels...) }
+
+// Height returns the generalization height (sum of levels).
+func (s Solution) Height() int { return metrics.Height(s.levels) }
+
+// Columns returns the quasi-identifier column names, in QI order.
+func (s Solution) Columns() []string { return append([]string(nil), s.r.qiNames...) }
+
+// LevelNames renders the solution with the paper's domain names, e.g.
+// "<Birthdate1, Sex0, Zipcode2>".
+func (s Solution) LevelNames() []string {
+	out := make([]string, len(s.levels))
+	for i, l := range s.levels {
+		out[i] = s.r.in.QI[i].H.LevelName(l)
+	}
+	return out
+}
+
+// String renders the solution like the paper's node notation.
+func (s Solution) String() string {
+	return "<" + strings.Join(s.LevelNames(), ", ") + ">"
+}
+
+// Precision is Sweeney's Prec metric for this solution: 1 means no
+// generalization, 0 means full suppression.
+func (s Solution) Precision() float64 {
+	p, err := metrics.Precision(s.levels, s.r.heights)
+	if err != nil {
+		panic(err) // unreachable: solutions are validated level vectors
+	}
+	return p
+}
+
+// Discernibility is the Bayardo–Agrawal DM of the released view (lower is
+// better).
+func (s Solution) Discernibility() int64 {
+	return metrics.Discernibility(s.freq(), s.r.in.K)
+}
+
+// AvgClassSize is the mean size of released equivalence classes.
+func (s Solution) AvgClassSize() float64 {
+	return metrics.AvgClassSize(s.freq(), s.r.in.K)
+}
+
+// Suppressed is the number of outlier tuples the release would drop.
+func (s Solution) Suppressed() int64 {
+	return metrics.SuppressedTuples(s.freq(), s.r.in.K)
+}
+
+func (s Solution) freq() *relation.FreqSet {
+	dims := make([]int, len(s.levels))
+	for i := range dims {
+		dims[i] = i
+	}
+	return s.r.in.ScanFreq(dims, s.levels)
+}
+
+// Apply materializes the released view: quasi-identifier values are
+// generalized to the solution's levels, other columns pass through, and
+// outlier tuples (at most MaxSuppressed) are suppressed.
+func (s Solution) Apply() (*Table, error) {
+	rel, err := s.r.in.Apply(s.levels)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}

@@ -1,0 +1,247 @@
+// Command bench regenerates the tables and figures of the paper's
+// evaluation (§4): Figure 10 (runtime vs. quasi-identifier size), Figure 11
+// (runtime vs. k), Figure 12 (Cube Incognito cost breakdown), the §4.2.1
+// nodes-searched table, and the Figure 9 dataset descriptions.
+//
+// Examples:
+//
+//	bench -experiment fig9
+//	bench -experiment fig10-adults -rows 45222
+//	bench -experiment fig10-landsend -rows 200000 -maxqi 6
+//	bench -experiment fig11-adults
+//	bench -experiment fig11-landsend
+//	bench -experiment fig12
+//	bench -experiment nodes-table
+//	bench -experiment all -rows 5000
+//
+// Absolute times depend on the machine; the claims under reproduction are
+// relative (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"incognito/internal/bench"
+	"incognito/internal/dataset"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, or all")
+		adultsRows = flag.Int("rows", dataset.AdultsDefaultRows, "row count for the Adults dataset")
+		leRows     = flag.Int("landsend-rows", 200000, "row count for the Lands End dataset (the original had 4,591,581)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		minQI      = flag.Int("minqi", 3, "smallest quasi-identifier size to sweep")
+		maxQI      = flag.Int("maxqi", 0, "largest quasi-identifier size to sweep (0 = dataset maximum)")
+		algosFlag  = flag.String("algos", "", "comma-separated algorithm subset (bottomup, bottomup-rollup, binary, basic, cube, superroots); empty = all six")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	algos := bench.AllAlgos
+	algosExplicit := *algosFlag != ""
+	if algosExplicit {
+		algos = nil
+		for _, name := range strings.Split(*algosFlag, ",") {
+			a, err := bench.ParseAlgo(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			algos = append(algos, a)
+		}
+	}
+	var progress bench.Progress
+	if !*quiet {
+		progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	r := runner{
+		adultsRows:    *adultsRows,
+		leRows:        *leRows,
+		seed:          *seed,
+		minQI:         *minQI,
+		maxQI:         *maxQI,
+		algos:         algos,
+		algosExplicit: algosExplicit,
+		csv:           *csv,
+		progress:      progress,
+	}
+
+	switch *experiment {
+	case "fig9":
+		r.fig9()
+	case "fig10-adults":
+		r.fig10(r.adults())
+	case "fig10-landsend":
+		r.fig10(r.landsEnd())
+	case "fig11-adults":
+		r.fig11Adults()
+	case "fig11-landsend":
+		r.fig11LandsEnd()
+	case "fig12":
+		r.fig12()
+	case "nodes-table":
+		r.nodesTable()
+	case "all":
+		r.fig9()
+		r.fig10(r.adults())
+		r.fig10(r.landsEnd())
+		r.fig11Adults()
+		r.fig11LandsEnd()
+		r.fig12()
+		r.nodesTable()
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+}
+
+type runner struct {
+	adultsRows, leRows int
+	seed               int64
+	minQI, maxQI       int
+	algos              []bench.Algo
+	algosExplicit      bool
+	csv                bool
+	progress           bench.Progress
+
+	adultsCache, leCache *dataset.Dataset
+}
+
+func (r *runner) adults() *dataset.Dataset {
+	if r.adultsCache == nil {
+		r.progress.Log("generating Adults dataset (%d rows)...", r.adultsRows)
+		r.adultsCache = dataset.Adults(r.adultsRows, r.seed)
+	}
+	return r.adultsCache
+}
+
+func (r *runner) landsEnd() *dataset.Dataset {
+	if r.leCache == nil {
+		r.progress.Log("generating Lands End dataset (%d rows)...", r.leRows)
+		r.leCache = dataset.LandsEnd(r.leRows, r.seed)
+	}
+	return r.leCache
+}
+
+func (r *runner) qiRange(d *dataset.Dataset) (int, int) {
+	max := r.maxQI
+	if max == 0 || max > len(d.QICols) {
+		max = len(d.QICols)
+	}
+	min := r.minQI
+	if min < 1 {
+		min = 1
+	}
+	if min > max {
+		min = max
+	}
+	return min, max
+}
+
+func (r *runner) emit(s *bench.Sweep, nodes bool) {
+	var err error
+	switch {
+	case r.csv:
+		fmt.Println(s.Title)
+		err = s.WriteCSV(os.Stdout)
+	case nodes:
+		err = s.WriteNodes(os.Stdout)
+	default:
+		err = s.WriteElapsed(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func (r *runner) fig9() {
+	fmt.Println("Figure 9: dataset descriptions")
+	if err := bench.Describe(r.adults(), os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := bench.Describe(r.landsEnd(), os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func (r *runner) fig10(d *dataset.Dataset) {
+	min, max := r.qiRange(d)
+	for _, k := range []int64{2, 10} {
+		s, err := bench.Fig10(d, k, min, max, r.algos, r.progress)
+		if err != nil {
+			fatal(err)
+		}
+		r.emit(s, false)
+	}
+}
+
+func (r *runner) fig11Adults() {
+	d := r.adults()
+	qi := 8
+	if qi > len(d.QICols) {
+		qi = len(d.QICols)
+	}
+	// Fig. 11's legend: binary search, bottom-up with rollup, Basic and
+	// Super-roots Incognito. An explicit -algos overrides the subset.
+	algos := []bench.Algo{bench.BinarySearch, bench.BottomUpRollup, bench.BasicIncognito, bench.SuperRootsIncognito}
+	if r.algosExplicit {
+		algos = r.algos
+	}
+	s, err := bench.Fig11(d, qi, []int64{2, 5, 10, 25, 50}, algos, nil, r.progress)
+	if err != nil {
+		fatal(err)
+	}
+	r.emit(s, false)
+}
+
+func (r *runner) fig11LandsEnd() {
+	d := r.landsEnd()
+	// The paper staggers the Lands End panel: Binary Search at QID 6,
+	// the Incognito variants at QID 8.
+	algos := []bench.Algo{bench.BinarySearch, bench.BasicIncognito, bench.SuperRootsIncognito}
+	s, err := bench.Fig11(d, 8, []int64{2, 5, 10, 25, 50}, algos,
+		map[bench.Algo]int{bench.BinarySearch: 6}, r.progress)
+	if err != nil {
+		fatal(err)
+	}
+	r.emit(s, false)
+}
+
+func (r *runner) fig12() {
+	for _, d := range []*dataset.Dataset{r.adults(), r.landsEnd()} {
+		min, max := r.qiRange(d)
+		s, err := bench.Fig12(d, 2, min, max, r.progress)
+		if err != nil {
+			fatal(err)
+		}
+		r.emit(s, false)
+	}
+}
+
+func (r *runner) nodesTable() {
+	d := r.adults()
+	min, max := r.qiRange(d)
+	s, err := bench.NodesTable(d, 2, min, max, r.progress)
+	if err != nil {
+		fatal(err)
+	}
+	r.emit(s, true)
+}
+
+func fatal(err error) {
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "bench:") {
+		msg = "bench: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}

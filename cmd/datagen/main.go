@@ -1,0 +1,101 @@
+// Command datagen emits the synthetic evaluation datasets (§4.1, Fig. 9) as
+// CSV: the Adults stand-in (US Census schema, 9 QI attributes) and the
+// Lands End stand-in (point-of-sale schema, 8 QI attributes). See DESIGN.md
+// for how the generators substitute for the original data.
+//
+// Examples:
+//
+//	datagen -dataset adults -rows 45222 -out adults.csv
+//	datagen -dataset landsend -rows 200000 -out landsend.csv
+//	datagen -describe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"incognito/internal/bench"
+	"incognito/internal/dataset"
+)
+
+func main() {
+	var (
+		name     = flag.String("dataset", "adults", "adults or landsend")
+		rows     = flag.Int("rows", 0, "row count (default: 45222 for adults, 200000 for landsend)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "output CSV path (default: stdout)")
+		hierDir  = flag.String("hierarchies", "", "also write each QI attribute's dimension-table CSV (the Fig. 6 format, loadable with cmd/incognito's csv:FILE hierarchies) into this directory")
+		describe = flag.Bool("describe", false, "print the Fig. 9 description of both datasets and exit")
+	)
+	flag.Parse()
+
+	if *describe {
+		if err := bench.Describe(dataset.Adults(0, *seed), os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := bench.Describe(dataset.LandsEnd(0, *seed), os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *rows < 0 {
+		fatal(fmt.Errorf("row count must be non-negative, got %d", *rows))
+	}
+	var d *dataset.Dataset
+	switch *name {
+	case "adults":
+		n := *rows
+		if n == 0 {
+			n = dataset.AdultsDefaultRows
+		}
+		d = dataset.Adults(n, *seed)
+	case "landsend":
+		n := *rows
+		if n == 0 {
+			n = 200000
+		}
+		d = dataset.LandsEnd(n, *seed)
+	default:
+		fatal(fmt.Errorf("unknown dataset %q (want adults or landsend)", *name))
+	}
+
+	if *hierDir != "" {
+		if err := os.MkdirAll(*hierDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, h := range d.Hierarchies {
+			col := d.Table.Columns()[d.QICols[i]]
+			path := filepath.Join(*hierDir, slug(col)+".csv")
+			if err := h.DimensionTable().WriteCSVFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote hierarchy for %q to %s\n", col, path)
+		}
+	}
+
+	if *out == "" {
+		if err := d.Table.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := d.Table.WriteCSVFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows of %s to %s\n", d.Table.NumRows(), d.Name, *out)
+}
+
+// slug makes an attribute name filesystem-friendly.
+func slug(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,282 @@
+// Command incognito anonymizes a CSV table: it computes k-anonymous
+// full-domain generalizations of the quasi-identifier and writes the
+// released view.
+//
+// The quasi-identifier is described with -qi as a semicolon-separated list
+// of column:hierarchy pairs. Hierarchies:
+//
+//	suppress              one level mapping every value to "*"
+//	round:N               N levels, each starring one more trailing character
+//	interval:ORIGIN:W1,W2 integer ranges of widths W1 < W2 < … then "*"
+//	date                  M/D/Y → M/Y → Y → "*"
+//	taxonomy:FILE.json    explicit parent maps (a JSON array of objects)
+//	csv:FILE.csv          dimension-table CSV: base value + one column per level
+//
+// Example:
+//
+//	incognito -input patients.csv -k 2 \
+//	  -qi 'Birthdate=suppress;Sex=taxonomy:sex.json;Zipcode=round:2' \
+//	  -output released.csv -list
+//
+// Run with -demo to see the paper's Patients example end to end without any
+// input files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	incognito "incognito"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "", "input CSV file (first record is the header)")
+		output   = flag.String("output", "", "write the released view to this CSV file (default: stdout)")
+		qiSpec   = flag.String("qi", "", "quasi-identifier spec: 'Col=hier;Col=hier;…'")
+		k        = flag.Int("k", 2, "anonymity parameter")
+		suppress = flag.Int("suppress", 0, "tuple-suppression threshold")
+		algoName = flag.String("algorithm", "basic", "basic, superroots, cube, materialized, bottomup, bottomup-rollup, or binary")
+		budget   = flag.Int("budget", 1<<20, "partial-cube size budget in groups (materialized algorithm only)")
+		criteria = flag.String("criterion", "height", "minimality criterion: height, precision, discernibility, or avgclass")
+		list     = flag.Bool("list", false, "print every k-anonymous generalization, not just the chosen one")
+		dotFile  = flag.String("dot", "", "write the generalization lattice as Graphviz DOT to this file")
+		demo     = flag.Bool("demo", false, "run the paper's Patients example instead of reading input")
+		stats    = flag.Bool("stats", false, "print search statistics")
+	)
+	flag.Parse()
+
+	if *demo {
+		runDemo(*k, *algoName, *stats)
+		return
+	}
+	if *input == "" || *qiSpec == "" {
+		fmt.Fprintln(os.Stderr, "incognito: -input and -qi are required (or use -demo); see -help")
+		os.Exit(2)
+	}
+
+	table, err := incognito.LoadCSV(*input)
+	fatalIf(err)
+	qi, err := parseQISpec(*qiSpec)
+	fatalIf(err)
+	algo, err := parseAlgorithm(*algoName)
+	fatalIf(err)
+
+	res, err := incognito.Anonymize(table, qi, incognito.Config{
+		K:                 *k,
+		MaxSuppressed:     *suppress,
+		Algorithm:         algo,
+		MaterializeBudget: *budget,
+	})
+	fatalIf(err)
+
+	if res.Len() == 0 {
+		fmt.Fprintf(os.Stderr, "incognito: no %d-anonymous full-domain generalization exists (table too small for k?)\n", *k)
+		os.Exit(1)
+	}
+	if *stats {
+		st := res.Stats()
+		fmt.Fprintf(os.Stderr, "searched: %d nodes checked, %d marked, %d candidates, %d table scans, %d rollups\n",
+			st.NodesChecked, st.NodesMarked, st.Candidates, st.TableScans, st.Rollups)
+	}
+	if *list {
+		fmt.Fprintf(os.Stderr, "%d k-anonymous full-domain generalizations:\n", res.Len())
+		for _, s := range res.Solutions() {
+			fmt.Fprintf(os.Stderr, "  %-40s height=%d precision=%.3f suppressed=%d\n",
+				s.String(), s.Height(), s.Precision(), s.Suppressed())
+		}
+	}
+
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		fatalIf(err)
+		fatalIf(res.WriteDOT(f))
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote lattice DOT to %s (render with: dot -Tsvg %s)\n", *dotFile, *dotFile)
+	}
+
+	crit, err := parseCriterion(*criteria)
+	fatalIf(err)
+	best, _ := res.Best(crit)
+	fmt.Fprintf(os.Stderr, "chosen generalization: %s (height %d, precision %.3f)\n",
+		best.String(), best.Height(), best.Precision())
+
+	view, err := best.Apply()
+	fatalIf(err)
+	if *output == "" {
+		fatalIf(view.WriteCSV(os.Stdout))
+	} else {
+		fatalIf(view.SaveCSV(*output))
+		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", view.NumRows(), *output)
+	}
+}
+
+// parseQISpec parses 'Col=hier;Col=hier;…'.
+func parseQISpec(spec string) ([]incognito.QI, error) {
+	var out []incognito.QI
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.Index(part, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("incognito: bad QI entry %q (want Col=hierarchy)", part)
+		}
+		col := strings.TrimSpace(part[:eq])
+		h, err := parseHierarchy(strings.TrimSpace(part[eq+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("incognito: column %q: %w", col, err)
+		}
+		out = append(out, incognito.QI{Column: col, Hierarchy: h})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("incognito: empty -qi spec")
+	}
+	return out, nil
+}
+
+func parseHierarchy(spec string) (*incognito.Hierarchy, error) {
+	kind, arg := spec, ""
+	if i := strings.Index(spec, ":"); i >= 0 {
+		kind, arg = spec[:i], spec[i+1:]
+	}
+	switch kind {
+	case "suppress":
+		return incognito.Suppression(), nil
+	case "round":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("round wants a level count, got %q", arg)
+		}
+		return incognito.RoundDigits(n), nil
+	case "date":
+		return incognito.Dates(), nil
+	case "interval":
+		parts := strings.SplitN(arg, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("interval wants origin:w1,w2,…, got %q", arg)
+		}
+		origin, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad interval origin %q", parts[0])
+		}
+		var widths []int
+		for _, w := range strings.Split(parts[1], ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil {
+				return nil, fmt.Errorf("bad interval width %q", w)
+			}
+			widths = append(widths, n)
+		}
+		return incognito.Intervals(origin, widths...), nil
+	case "csv":
+		// A dimension-table CSV: base value plus one column per level,
+		// header naming the levels (the Fig. 6 row format).
+		if arg == "" {
+			return nil, fmt.Errorf("csv wants a file path")
+		}
+		return incognito.DimensionCSV(arg), nil
+	case "taxonomy":
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		var parents []map[string]string
+		if err := json.Unmarshal(data, &parents); err != nil {
+			return nil, fmt.Errorf("taxonomy file %s: %w (want a JSON array of child→parent objects)", arg, err)
+		}
+		return incognito.Taxonomy(parents...), nil
+	}
+	return nil, fmt.Errorf("unknown hierarchy %q (want suppress, round:N, interval:O:W…, date, csv:FILE, or taxonomy:FILE)", spec)
+}
+
+func parseAlgorithm(name string) (incognito.Algorithm, error) {
+	switch name {
+	case "basic":
+		return incognito.BasicIncognito, nil
+	case "superroots":
+		return incognito.SuperRootsIncognito, nil
+	case "cube":
+		return incognito.CubeIncognito, nil
+	case "bottomup":
+		return incognito.BottomUp, nil
+	case "bottomup-rollup":
+		return incognito.BottomUpRollup, nil
+	case "binary":
+		return incognito.BinarySearch, nil
+	case "materialized":
+		return incognito.MaterializedIncognito, nil
+	}
+	return 0, fmt.Errorf("incognito: unknown algorithm %q", name)
+}
+
+func parseCriterion(name string) (incognito.Criterion, error) {
+	switch name {
+	case "height":
+		return incognito.MinHeight(), nil
+	case "precision":
+		return incognito.MaxPrecision(), nil
+	case "discernibility":
+		return incognito.MinDiscernibility(), nil
+	case "avgclass":
+		return incognito.MinAvgClassSize(), nil
+	}
+	return nil, fmt.Errorf("incognito: unknown criterion %q", name)
+}
+
+// runDemo reproduces the paper's running example (Fig. 1 and Fig. 2).
+func runDemo(k int, algoName string, stats bool) {
+	table, err := incognito.NewTable(
+		[]string{"Birthdate", "Sex", "Zipcode", "Disease"},
+		[][]string{
+			{"1/21/76", "Male", "53715", "Flu"},
+			{"4/13/86", "Female", "53715", "Hepatitis"},
+			{"2/28/76", "Male", "53703", "Brochitis"},
+			{"1/21/76", "Male", "53703", "Broken Arm"},
+			{"4/13/86", "Female", "53706", "Sprained Ankle"},
+			{"2/28/76", "Female", "53706", "Hang Nail"},
+		},
+	)
+	fatalIf(err)
+	algo, err := parseAlgorithm(algoName)
+	fatalIf(err)
+	qi := []incognito.QI{
+		{Column: "Birthdate", Hierarchy: incognito.Suppression()},
+		{Column: "Sex", Hierarchy: incognito.Taxonomy(map[string]string{"Male": "Person", "Female": "Person"})},
+		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(2)},
+	}
+	res, err := incognito.Anonymize(table, qi, incognito.Config{K: k, Algorithm: algo})
+	fatalIf(err)
+	fmt.Printf("Patients table (Fig. 1), k=%d, algorithm %v\n", k, algo)
+	fmt.Printf("%d k-anonymous full-domain generalizations:\n", res.Len())
+	for _, s := range res.Solutions() {
+		fmt.Printf("  %-34s height=%d precision=%.3f\n", s.String(), s.Height(), s.Precision())
+	}
+	if stats {
+		st := res.Stats()
+		fmt.Printf("searched: %d nodes checked, %d marked, %d candidates, %d table scans, %d rollups\n",
+			st.NodesChecked, st.NodesMarked, st.Candidates, st.TableScans, st.Rollups)
+	}
+	if best, ok := res.Best(incognito.MinHeight()); ok {
+		fmt.Printf("\nminimal generalization %s releases:\n", best.String())
+		view, err := best.Apply()
+		fatalIf(err)
+		fatalIf(view.WriteCSV(os.Stdout))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "incognito:") {
+			msg = "incognito: " + msg
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(1)
+	}
+}

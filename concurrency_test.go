@@ -1,0 +1,81 @@
+package incognito_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	incognito "incognito"
+)
+
+// TestConcurrentIndependentRuns checks the documented concurrency contract:
+// independent Anonymize runs over a shared, read-only table may proceed in
+// parallel. Run with -race to make this meaningful.
+func TestConcurrentIndependentRuns(t *testing.T) {
+	tab := patientsTable(t)
+	want, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		algo := []incognito.Algorithm{
+			incognito.BasicIncognito,
+			incognito.SuperRootsIncognito,
+			incognito.CubeIncognito,
+			incognito.BottomUpRollup,
+		}[i%4]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2, Algorithm: algo})
+			if err != nil {
+				errs <- err
+				return
+			}
+			var got, exp [][]int
+			for _, s := range res.Solutions() {
+				got = append(got, s.Levels())
+			}
+			for _, s := range want.Solutions() {
+				exp = append(exp, s.Levels())
+			}
+			if !reflect.DeepEqual(got, exp) {
+				errs <- &mismatchError{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent run produced different solutions" }
+
+// TestConcurrentApply exercises parallel view materialization from one
+// shared Result.
+func TestConcurrentApply(t *testing.T) {
+	tab := patientsTable(t)
+	res, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := res.Solutions()
+	var wg sync.WaitGroup
+	for _, s := range sols {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Apply(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

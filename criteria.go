@@ -1,0 +1,84 @@
+package incognito
+
+import "incognito/internal/metrics"
+
+// Criterion compares two solutions and reports whether a is strictly better
+// than b. Because Anonymize (with any Incognito or bottom-up algorithm)
+// returns the COMPLETE solution set, any criterion yields a true global
+// optimum over full-domain generalizations — the flexibility §2.1 of the
+// paper argues for and binary search cannot provide.
+type Criterion func(a, b Solution) bool
+
+// MinHeight prefers the smallest generalization height — Samarati's
+// original definition of minimality (§2.1).
+func MinHeight() Criterion {
+	return func(a, b Solution) bool { return a.Height() < b.Height() }
+}
+
+// MaxPrecision prefers the highest Prec value (least relative distortion
+// per attribute).
+func MaxPrecision() Criterion {
+	return func(a, b Solution) bool { return a.Precision() > b.Precision() }
+}
+
+// MinDiscernibility prefers the lowest discernibility metric — the finest
+// released partition.
+func MinDiscernibility() Criterion {
+	return func(a, b Solution) bool { return a.Discernibility() < b.Discernibility() }
+}
+
+// MinAvgClassSize prefers the smallest average equivalence-class size.
+func MinAvgClassSize() Criterion {
+	return func(a, b Solution) bool { return a.AvgClassSize() < b.AvgClassSize() }
+}
+
+// WeightedHeight prefers the smallest weighted height, with per-column
+// weights (columns absent from the map weigh 1). §2.1's example — "it might
+// be more important that the Sex attribute be released intact, even if this
+// means additional generalization of Zipcode" — is WeightedHeight with a
+// large weight on Sex.
+func WeightedHeight(weights map[string]float64) Criterion {
+	cost := func(s Solution) float64 {
+		w := make([]float64, len(s.levels))
+		for i, name := range s.r.qiNames {
+			if v, ok := weights[name]; ok {
+				w[i] = v
+			} else {
+				w[i] = 1
+			}
+		}
+		h, err := metrics.WeightedHeight(s.levels, w)
+		if err != nil {
+			panic(err) // unreachable: lengths match by construction
+		}
+		return h
+	}
+	return func(a, b Solution) bool { return cost(a) < cost(b) }
+}
+
+// PreserveColumns prefers solutions that keep the named columns at lower
+// generalization levels, breaking ties by overall height. It is the lexical
+// version of WeightedHeight: first minimize the summed levels of the named
+// columns, then total height.
+func PreserveColumns(columns ...string) Criterion {
+	keep := make(map[string]bool, len(columns))
+	for _, c := range columns {
+		keep[c] = true
+	}
+	protected := func(s Solution) int {
+		sum := 0
+		for i, name := range s.r.qiNames {
+			if keep[name] {
+				sum += s.levels[i]
+			}
+		}
+		return sum
+	}
+	return func(a, b Solution) bool {
+		pa, pb := protected(a), protected(b)
+		if pa != pb {
+			return pa < pb
+		}
+		return a.Height() < b.Height()
+	}
+}

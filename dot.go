@@ -1,0 +1,73 @@
+package incognito
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"incognito/internal/lattice"
+)
+
+// maxDOTNodes bounds lattice rendering: beyond this, a drawing is
+// unreadable anyway and the DOT file just burns disk.
+const maxDOTNodes = 4096
+
+// WriteDOT renders the complete generalization lattice of the result's
+// quasi-identifier in Graphviz DOT format, marking the k-anonymous
+// generalizations. Double circles mark height-minimal solutions, filled
+// nodes the rest of the solution set (which is always an upward-closed
+// region — the picture makes the generalization property visible). Fails
+// for lattices larger than 4096 nodes.
+//
+// Render with: dot -Tsvg lattice.dot -o lattice.svg
+func (r *Result) WriteDOT(w io.Writer) error {
+	full := lattice.NewFull(r.heights)
+	if full.Size() > maxDOTNodes {
+		return fmt.Errorf("incognito: lattice has %d nodes; DOT rendering is capped at %d", full.Size(), maxDOTNodes)
+	}
+	isSol := make(map[int]bool, len(r.solutions))
+	minHeight := -1
+	for _, s := range r.solutions {
+		isSol[full.ID(s)] = true
+		h := 0
+		for _, l := range s {
+			h += l
+		}
+		if minHeight < 0 || h < minHeight {
+			minHeight = h
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph generalization_lattice {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	levels := make([]int, len(r.heights))
+	for id := 0; id < full.Size(); id++ {
+		full.LevelsInto(id, levels)
+		label := make([]string, len(levels))
+		for i, l := range levels {
+			label[i] = r.in.QI[i].H.LevelName(l)
+		}
+		attrs := "color=gray, fontcolor=gray"
+		if isSol[id] {
+			attrs = "style=filled, fillcolor=palegreen"
+			if full.Height(id) == minHeight {
+				attrs += ", shape=doublecircle"
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"<%s>\", %s];\n", id, strings.Join(label, ", "), attrs)
+	}
+	for id := 0; id < full.Size(); id++ {
+		for _, up := range full.Up(id) {
+			style := ""
+			if isSol[id] && isSol[up] {
+				style = " [color=forestgreen]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", id, up, style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,75 @@
+package incognito_test
+
+import (
+	"strings"
+	"testing"
+
+	incognito "incognito"
+)
+
+func TestWriteDOT(t *testing.T) {
+	tab := patientsTable(t)
+	res, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	if !strings.HasPrefix(dot, "digraph generalization_lattice {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("DOT output not well formed")
+	}
+	// The Patients lattice has 2·2·3 = 12 nodes; every node is rendered.
+	if got := strings.Count(dot, "label=\"<"); got != 12 {
+		t.Fatalf("rendered %d nodes, want 12", got)
+	}
+	// 5 solutions are filled; exactly one is height-minimal (doublecircle).
+	if got := strings.Count(dot, "fillcolor=palegreen"); got != 5 {
+		t.Fatalf("%d solution nodes, want 5", got)
+	}
+	if got := strings.Count(dot, "doublecircle"); got != 1 {
+		t.Fatalf("%d minimal nodes, want 1", got)
+	}
+	// The minimal node is labeled with the paper's domain names.
+	if !strings.Contains(dot, "<Birthdate1, Sex1, Zipcode0>") {
+		t.Fatal("minimal solution label missing")
+	}
+	// Edge count of the 2×2×3 lattice: for each node, one edge per
+	// non-topped attribute = 1·2·3·... total = sum over nodes. Quick check:
+	// edges exist and green edges connect solutions.
+	if !strings.Contains(dot, "->") {
+		t.Fatal("no edges rendered")
+	}
+	if !strings.Contains(dot, "color=forestgreen") {
+		t.Fatal("no solution-to-solution edges highlighted")
+	}
+}
+
+func TestWriteDOTCapsLatticeSize(t *testing.T) {
+	// 31953 zip codes give a tiny lattice; build a wide one instead: many
+	// attributes of height 3 → 4^7 = 16384 > 4096.
+	cols := make([]string, 7)
+	row := make([]string, 7)
+	for i := range cols {
+		cols[i] = string(rune('a' + i))
+		row[i] = "12345"
+	}
+	tab, err := incognito.NewTable(cols, [][]string{row, row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qi []incognito.QI
+	for _, c := range cols {
+		qi = append(qi, incognito.QI{Column: c, Hierarchy: incognito.RoundDigits(3)})
+	}
+	res, err := incognito.Anonymize(tab, qi, incognito.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteDOT(&sb); err == nil {
+		t.Fatal("oversized lattice rendered")
+	}
+}

@@ -1,0 +1,85 @@
+package incognito_test
+
+import (
+	"fmt"
+
+	incognito "incognito"
+)
+
+// ExampleAnonymize reproduces the paper's running example: the Patients
+// table of Fig. 1 under the hierarchies of Fig. 2.
+func ExampleAnonymize() {
+	patients, _ := incognito.NewTable(
+		[]string{"Birthdate", "Sex", "Zipcode", "Disease"},
+		[][]string{
+			{"1/21/76", "Male", "53715", "Flu"},
+			{"4/13/86", "Female", "53715", "Hepatitis"},
+			{"2/28/76", "Male", "53703", "Brochitis"},
+			{"1/21/76", "Male", "53703", "Broken Arm"},
+			{"4/13/86", "Female", "53706", "Sprained Ankle"},
+			{"2/28/76", "Female", "53706", "Hang Nail"},
+		})
+	res, _ := incognito.Anonymize(patients, []incognito.QI{
+		{Column: "Birthdate", Hierarchy: incognito.Suppression()},
+		{Column: "Sex", Hierarchy: incognito.Taxonomy(map[string]string{"Male": "Person", "Female": "Person"})},
+		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(2)},
+	}, incognito.Config{K: 2})
+
+	fmt.Println("solutions:", res.Len())
+	best, _ := res.Best(incognito.MinHeight())
+	fmt.Println("minimal:", best)
+	// Output:
+	// solutions: 5
+	// minimal: <Birthdate1, Sex1, Zipcode0>
+}
+
+// ExampleSolution_Apply shows materializing the released view.
+func ExampleSolution_Apply() {
+	table, _ := incognito.NewTable(
+		[]string{"Zip", "Condition"},
+		[][]string{
+			{"53715", "Flu"}, {"53710", "Cold"},
+			{"53706", "Flu"}, {"53703", "Cold"},
+		})
+	res, _ := incognito.Anonymize(table, []incognito.QI{
+		{Column: "Zip", Hierarchy: incognito.RoundDigits(2)},
+	}, incognito.Config{K: 2})
+	best, _ := res.Best(incognito.MinHeight())
+	view, _ := best.Apply()
+	for i := 0; i < view.NumRows(); i++ {
+		fmt.Println(view.Row(i))
+	}
+	// Output:
+	// [5371* Flu]
+	// [5371* Cold]
+	// [5370* Flu]
+	// [5370* Cold]
+}
+
+// ExampleWeightedHeight shows §2.1's flexibility argument: the same solution
+// set yields different optima under different application priorities.
+func ExampleWeightedHeight() {
+	patients, _ := incognito.NewTable(
+		[]string{"Birthdate", "Sex", "Zipcode"},
+		[][]string{
+			{"1/21/76", "Male", "53715"},
+			{"4/13/86", "Female", "53715"},
+			{"2/28/76", "Male", "53703"},
+			{"1/21/76", "Male", "53703"},
+			{"4/13/86", "Female", "53706"},
+			{"2/28/76", "Female", "53706"},
+		})
+	res, _ := incognito.Anonymize(patients, []incognito.QI{
+		{Column: "Birthdate", Hierarchy: incognito.Suppression()},
+		{Column: "Sex", Hierarchy: incognito.Taxonomy(map[string]string{"Male": "Person", "Female": "Person"})},
+		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(2)},
+	}, incognito.Config{K: 2})
+
+	plain, _ := res.Best(incognito.MinHeight())
+	sexIntact, _ := res.Best(incognito.WeightedHeight(map[string]float64{"Sex": 100}))
+	fmt.Println("height-minimal:  ", plain)
+	fmt.Println("sex kept intact: ", sexIntact)
+	// Output:
+	// height-minimal:   <Birthdate1, Sex1, Zipcode0>
+	// sex kept intact:  <Birthdate1, Sex0, Zipcode2>
+}

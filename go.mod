@@ -1,0 +1,3 @@
+module incognito
+
+go 1.22

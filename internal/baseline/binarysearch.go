@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"incognito/internal/core"
+	"incognito/internal/lattice"
+)
+
+// SamaratiResult is the outcome of the binary search: a single minimal
+// k-anonymous full-domain generalization (minimal in the height sense of
+// §2.1), the height at which it was found, and run counters. Height is -1
+// and Solution nil when no generalization qualifies (k too large even for
+// the fully generalized table under the suppression threshold).
+type SamaratiResult struct {
+	Height   int
+	Solution []int
+	Stats    core.Stats
+}
+
+// BinarySearch implements Samarati's algorithm [14] as described in §2.2:
+// since a k-anonymous generalization at height h implies one at every
+// height above h, binary search on height finds the least height carrying a
+// k-anonymous node; each probe checks the nodes of one height stratum by a
+// group-by scan over the star schema. Unlike Incognito it returns a single
+// solution, minimal only under the specific height-based definition.
+func BinarySearch(in core.Input) (*SamaratiResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	full := lattice.NewFull(in.Heights())
+	dims := make([]int, full.NumAttrs())
+	for i := range dims {
+		dims[i] = i
+	}
+	res := &SamaratiResult{Height: -1}
+	res.Stats.Candidates = full.Size()
+
+	// existsAt scans the stratum at height h, returning the first
+	// k-anonymous node found (nil if none).
+	existsAt := func(h int) []int {
+		for _, id := range full.AtHeight(h) {
+			levels := full.Levels(id)
+			res.Stats.NodesChecked++
+			res.Stats.TableScans++
+			if in.CheckFreq(in.ScanFreq(dims, levels)) {
+				return levels
+			}
+		}
+		return nil
+	}
+
+	// The top of the lattice is the only candidate at MaxHeight; if even it
+	// fails there is no solution at any height.
+	best := existsAt(full.MaxHeight())
+	if best == nil {
+		return res, nil
+	}
+	bestHeight := full.MaxHeight()
+
+	lo, hi := 0, full.MaxHeight()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sol := existsAt(mid); sol != nil {
+			best, bestHeight = sol, mid
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	res.Height = bestHeight
+	res.Solution = best
+	return res, nil
+}

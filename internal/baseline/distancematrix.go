@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"fmt"
+
+	"incognito/internal/core"
+	"incognito/internal/lattice"
+	"incognito/internal/relation"
+)
+
+// This file implements the alternative k-anonymity check Samarati proposed
+// and the paper rejected (§4.1, footnote 2): instead of a group-by query
+// per lattice node, pre-compute a matrix of pairwise distance vectors
+// between the distinct quasi-identifier tuples; a generalization G then
+// satisfies k-anonymity iff every tuple's multiplicity plus the
+// multiplicities of tuples whose pairwise distance vector is dominated by
+// G's vector total at least k. The paper found "constructing this matrix
+// prohibitively expensive for large databases"; the implementation exists
+// here so that claim is measurable (see BenchmarkDistanceMatrix).
+
+// DistanceMatrix holds the pairwise distance vectors of the distinct
+// quasi-identifier tuples of a table.
+type DistanceMatrix struct {
+	in     *core.Input
+	tuples [][]int32 // distinct base-level QI tuples
+	counts []int64   // multiplicity of each tuple
+	// dist[i][j] for j < i: the componentwise minimal generalization levels
+	// at which tuples i and j collide.
+	dist [][][]int8
+}
+
+// NewDistanceMatrix builds the matrix: O(u²·n) time and space for u
+// distinct tuples — the cost the paper balked at.
+func NewDistanceMatrix(in *core.Input) (*DistanceMatrix, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.QI)
+	for _, q := range in.QI {
+		// Distances are stored as int8; the "never collides" sentinel is
+		// Height()+1 and must fit.
+		if q.H.Height() >= 127 {
+			return nil, fmt.Errorf("baseline: distance matrix supports hierarchy heights < 127, got %d for %s", q.H.Height(), q.H.Attr())
+		}
+	}
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = i
+	}
+	f := in.ScanFreq(dims, make([]int, n))
+	m := &DistanceMatrix{in: in}
+	f.EachSorted(func(codes []int32, count int64) {
+		m.tuples = append(m.tuples, append([]int32(nil), codes...))
+		m.counts = append(m.counts, count)
+	})
+	u := len(m.tuples)
+	m.dist = make([][][]int8, u)
+	for i := 1; i < u; i++ {
+		m.dist[i] = make([][]int8, i)
+		for j := 0; j < i; j++ {
+			dv := make([]int8, n)
+			for a := 0; a < n; a++ {
+				dv[a] = int8(collisionLevel(in, a, m.tuples[i][a], m.tuples[j][a]))
+			}
+			m.dist[i][j] = dv
+		}
+	}
+	return m, nil
+}
+
+// collisionLevel returns the smallest level at which two base codes of
+// attribute a generalize to the same value (the height+1 sentinel never
+// occurs: the top of a chain is reached by construction or the two values
+// never collide, which cannot happen in a chain topped by a single value —
+// for multi-valued tops the sentinel is Height()+1, meaning "never").
+func collisionLevel(in *core.Input, a int, x, y int32) int {
+	if x == y {
+		return 0
+	}
+	h := in.QI[a].H
+	for l := 1; l <= h.Height(); l++ {
+		m := h.MapTo(l)
+		if m[x] == m[y] {
+			return l
+		}
+	}
+	return h.Height() + 1
+}
+
+// IsKAnonymous checks the k-anonymity of a generalization (level vector)
+// straight off the matrix: tuple i's released group size is its own count
+// plus the counts of all tuples whose distance vector to i is dominated by
+// the levels.
+func (m *DistanceMatrix) IsKAnonymous(levels []int) bool {
+	u := len(m.tuples)
+	group := make([]int64, u)
+	copy(group, m.counts)
+	for i := 1; i < u; i++ {
+		for j := 0; j < i; j++ {
+			if dominated(m.dist[i][j], levels) {
+				group[i] += m.counts[j]
+				group[j] += m.counts[i]
+			}
+		}
+	}
+	// Tuples in undersized groups count against the suppression budget,
+	// exactly like FreqSet.TuplesBelow.
+	var suppressed int64
+	for i, g := range group {
+		if g < m.in.K {
+			suppressed += m.counts[i]
+		}
+	}
+	return suppressed <= m.in.MaxSuppress
+}
+
+func dominated(dv []int8, levels []int) bool {
+	for i, d := range dv {
+		if int(d) > levels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BinarySearchMatrix is Samarati's binary search driven by the
+// distance-matrix check instead of group-by scans. Results match
+// BinarySearch exactly; the construction and per-node O(u²) checks are the
+// cost being demonstrated.
+func BinarySearchMatrix(in core.Input) (*SamaratiResult, error) {
+	m, err := NewDistanceMatrix(&in)
+	if err != nil {
+		return nil, err
+	}
+	full := lattice.NewFull(in.Heights())
+	res := &SamaratiResult{Height: -1}
+	res.Stats.Candidates = full.Size()
+
+	existsAt := func(h int) []int {
+		for _, id := range full.AtHeight(h) {
+			levels := full.Levels(id)
+			res.Stats.NodesChecked++
+			if m.IsKAnonymous(levels) {
+				return levels
+			}
+		}
+		return nil
+	}
+	best := existsAt(full.MaxHeight())
+	if best == nil {
+		return res, nil
+	}
+	bestHeight := full.MaxHeight()
+	lo, hi := 0, full.MaxHeight()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sol := existsAt(mid); sol != nil {
+			best, bestHeight = sol, mid
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	res.Height = bestHeight
+	res.Solution = best
+	return res, nil
+}
+
+// NumTuples reports the number of distinct quasi-identifier tuples (the u
+// in the O(u²) matrix cost).
+func (m *DistanceMatrix) NumTuples() int { return len(m.tuples) }
+
+// freqFromLevels is kept for tests: the matrix check must agree with the
+// group-by check on every generalization.
+func (m *DistanceMatrix) freqFromLevels(levels []int) *relation.FreqSet {
+	dims := make([]int, len(levels))
+	for i := range dims {
+		dims[i] = i
+	}
+	return m.in.ScanFreq(dims, levels)
+}

@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"incognito/internal/lattice"
+)
+
+// TestMatrixCheckAgreesWithGroupBy: the distance-matrix k-anonymity check
+// must agree with the COUNT(*) group-by check at every node of the lattice.
+func TestMatrixCheckAgreesWithGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 1+rng.Intn(3), int64(1+rng.Intn(4)), int64(rng.Intn(3)))
+		m, err := NewDistanceMatrix(&in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := lattice.NewFull(in.Heights())
+		for id := 0; id < full.Size(); id++ {
+			levels := full.Levels(id)
+			want := in.CheckFreq(m.freqFromLevels(levels))
+			if got := m.IsKAnonymous(levels); got != want {
+				t.Fatalf("trial %d: node %v: matrix says %v, group-by says %v", trial, levels, got, want)
+			}
+		}
+	}
+}
+
+func TestBinarySearchMatrixMatchesBinarySearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(rng, 1+rng.Intn(3), int64(1+rng.Intn(4)), 0)
+		a, err := BinarySearch(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BinarySearchMatrix(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Height != b.Height {
+			t.Fatalf("trial %d: heights differ: %d vs %d", trial, a.Height, b.Height)
+		}
+		if a.Height >= 0 {
+			// Both must return a valid solution at that height (they may
+			// pick different nodes if several tie, but with identical
+			// deterministic stratum order they pick the same one).
+			if !reflect.DeepEqual(a.Solution, b.Solution) {
+				t.Fatalf("trial %d: solutions differ: %v vs %v", trial, a.Solution, b.Solution)
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixPatients(t *testing.T) {
+	in := patientsInput(2, 0)
+	m, err := NewDistanceMatrix(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patients has 6 distinct (Birthdate, Sex, Zipcode) tuples.
+	if m.NumTuples() != 6 {
+		t.Fatalf("distinct tuples = %d, want 6", m.NumTuples())
+	}
+	// <B1, S1, Z0> is 2-anonymous; the base vector is not.
+	if !m.IsKAnonymous([]int{1, 1, 0}) {
+		t.Fatal("<B1,S1,Z0> should be 2-anonymous")
+	}
+	if m.IsKAnonymous([]int{0, 0, 0}) {
+		t.Fatal("base levels should not be 2-anonymous")
+	}
+	res, err := BinarySearchMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Height != 2 {
+		t.Fatalf("matrix binary search height = %d, want 2", res.Height)
+	}
+}
+
+func TestDistanceMatrixValidates(t *testing.T) {
+	in := patientsInput(0, 0)
+	if _, err := NewDistanceMatrix(&in); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := BinarySearchMatrix(in); err == nil {
+		t.Fatal("k=0 accepted by BinarySearchMatrix")
+	}
+}
+
+func TestDistanceMatrixNoSolution(t *testing.T) {
+	in := patientsInput(100, 0)
+	res, err := BinarySearchMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Height != -1 || res.Solution != nil {
+		t.Fatalf("expected no solution, got %d %v", res.Height, res.Solution)
+	}
+}
+
+// TestCollisionLevelNeverSentinelWithSingletonTop: chains topped by a
+// single value always collide by the top.
+func TestCollisionLevel(t *testing.T) {
+	in := patientsInput(2, 0)
+	for a, q := range in.QI {
+		h := q.H
+		if h.LevelSize(h.Height()) != 1 {
+			continue
+		}
+		for x := int32(0); int(x) < h.LevelSize(0); x++ {
+			for y := int32(0); int(y) < h.LevelSize(0); y++ {
+				l := collisionLevel(&in, a, x, y)
+				if l > h.Height() {
+					t.Fatalf("attr %d: values %d,%d never collide despite a singleton top", a, x, y)
+				}
+				if x == y && l != 0 {
+					t.Fatalf("equal values collide at %d, want 0", l)
+				}
+			}
+		}
+	}
+}

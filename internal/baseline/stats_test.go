@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"testing"
+
+	"incognito/internal/core"
+	"incognito/internal/lattice"
+)
+
+func TestBinarySearchStats(t *testing.T) {
+	in := patientsInput(2, 0)
+	res, err := BinarySearch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := lattice.NewFull(in.Heights())
+	if res.Stats.Candidates != full.Size() {
+		t.Fatalf("candidates = %d, want lattice size %d", res.Stats.Candidates, full.Size())
+	}
+	// Binary search scans once per node it checks, never rolls up.
+	if res.Stats.TableScans != res.Stats.NodesChecked {
+		t.Fatalf("scans %d != nodes checked %d", res.Stats.TableScans, res.Stats.NodesChecked)
+	}
+	if res.Stats.Rollups != 0 {
+		t.Fatalf("binary search recorded %d rollups", res.Stats.Rollups)
+	}
+	// It probes O(maxHeight · log maxHeight) strata at most; on this tiny
+	// lattice it must check far fewer nodes than exhaustive search.
+	if res.Stats.NodesChecked >= full.Size() {
+		t.Fatalf("binary search checked %d of %d nodes", res.Stats.NodesChecked, full.Size())
+	}
+}
+
+func TestBottomUpCandidatesIsLatticeSize(t *testing.T) {
+	in := patientsInput(2, 0)
+	full := lattice.NewFull(in.Heights())
+	for _, rollup := range []bool{false, true} {
+		res, err := BottomUp(in, rollup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Candidates != full.Size() {
+			t.Fatalf("rollup=%v: candidates = %d, want %d", rollup, res.Stats.Candidates, full.Size())
+		}
+		// Every lattice node is either checked or skipped as marked.
+		if res.Stats.NodesChecked+res.Stats.NodesMarked != full.Size() {
+			t.Fatalf("rollup=%v: checked %d + marked %d != %d",
+				rollup, res.Stats.NodesChecked, res.Stats.NodesMarked, full.Size())
+		}
+	}
+}
+
+// TestBottomUpSolutionCountMatchesMarks: the solutions are exactly the
+// anonymous nodes, each visited once.
+func TestBottomUpSolutionCountMatchesMarks(t *testing.T) {
+	in := patientsInput(2, 0)
+	res, err := BottomUp(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every marked node is a solution; checked nodes that passed are too.
+	if len(res.Solutions) < res.Stats.NodesMarked {
+		t.Fatalf("%d solutions < %d marked nodes", len(res.Solutions), res.Stats.NodesMarked)
+	}
+}
+
+func TestBinarySearchSingleAttribute(t *testing.T) {
+	d := patientsInput(2, 0)
+	in := core.Input{Table: d.Table, QI: d.QI[2:3], K: 2}
+	res, err := BinarySearch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipcode base level is already 2-anonymous (2/2/2).
+	if res.Height != 0 {
+		t.Fatalf("height = %d, want 0", res.Height)
+	}
+}

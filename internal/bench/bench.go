@@ -1,0 +1,144 @@
+// Package bench is the experiment harness behind §4 of the paper: it runs
+// one (dataset, quasi-identifier size, k, algorithm) cell, measures elapsed
+// time and the work counters, and formats the sweeps that regenerate each
+// figure. cmd/bench drives it from the command line; the repository-root
+// benchmark suite drives it from testing.B.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"incognito/internal/baseline"
+	"incognito/internal/core"
+	"incognito/internal/dataset"
+)
+
+// Algo identifies one of the six algorithms compared in Fig. 10.
+type Algo int
+
+const (
+	BottomUpNoRollup Algo = iota
+	BottomUpRollup
+	BinarySearch
+	BasicIncognito
+	CubeIncognito
+	SuperRootsIncognito
+)
+
+// AllAlgos lists the algorithms in the legend order of Fig. 10.
+var AllAlgos = []Algo{
+	BottomUpNoRollup, BinarySearch, BottomUpRollup,
+	BasicIncognito, CubeIncognito, SuperRootsIncognito,
+}
+
+// String names the algorithm as the paper's figure legends do.
+func (a Algo) String() string {
+	switch a {
+	case BottomUpNoRollup:
+		return "Bottom-Up (w/o rollup)"
+	case BottomUpRollup:
+		return "Bottom-Up (w/ rollup)"
+	case BinarySearch:
+		return "Binary Search"
+	case BasicIncognito:
+		return "Basic Incognito"
+	case CubeIncognito:
+		return "Cube Incognito"
+	case SuperRootsIncognito:
+		return "Super-roots Incognito"
+	}
+	return "unknown"
+}
+
+// ParseAlgo resolves a short algorithm name used by command-line flags.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "bottomup":
+		return BottomUpNoRollup, nil
+	case "bottomup-rollup":
+		return BottomUpRollup, nil
+	case "binary":
+		return BinarySearch, nil
+	case "basic":
+		return BasicIncognito, nil
+	case "cube":
+		return CubeIncognito, nil
+	case "superroots":
+		return SuperRootsIncognito, nil
+	}
+	return 0, fmt.Errorf("bench: unknown algorithm %q (want bottomup, bottomup-rollup, binary, basic, cube, or superroots)", s)
+}
+
+// Measurement is one experiment cell.
+type Measurement struct {
+	Dataset   string
+	Algo      Algo
+	QISize    int
+	K         int64
+	Elapsed   time.Duration
+	BuildTime time.Duration // cube pre-computation, separated as in Fig. 12
+	AnonTime  time.Duration // anonymization excluding cube build
+	Stats     core.Stats
+	Solutions int
+	MinHeight int
+}
+
+// Run executes one cell: the given algorithm on the first qiSize attributes
+// of the dataset at anonymity parameter k.
+func Run(d *dataset.Dataset, qiSize int, k int64, algo Algo) (Measurement, error) {
+	cols, hs, err := d.QISubset(qiSize)
+	if err != nil {
+		return Measurement{}, err
+	}
+	in := core.NewInput(d.Table, cols, hs, k, 0)
+	m := Measurement{Dataset: d.Name, Algo: algo, QISize: qiSize, K: k}
+
+	start := time.Now()
+	switch algo {
+	case BottomUpNoRollup, BottomUpRollup:
+		res, err := baseline.BottomUp(in, algo == BottomUpRollup)
+		if err != nil {
+			return m, err
+		}
+		m.Stats, m.Solutions, m.MinHeight = res.Stats, len(res.Solutions), res.MinHeight()
+	case BinarySearch:
+		res, err := baseline.BinarySearch(in)
+		if err != nil {
+			return m, err
+		}
+		m.Stats, m.MinHeight = res.Stats, res.Height
+		if res.Solution != nil {
+			m.Solutions = 1
+		}
+	case BasicIncognito, SuperRootsIncognito:
+		v := core.Basic
+		if algo == SuperRootsIncognito {
+			v = core.SuperRoots
+		}
+		res, err := core.Run(in, v)
+		if err != nil {
+			return m, err
+		}
+		m.Stats, m.Solutions, m.MinHeight = res.Stats, len(res.Solutions), res.MinHeight()
+	case CubeIncognito:
+		buildStart := time.Now()
+		cube := core.BuildCube(&in)
+		m.BuildTime = time.Since(buildStart)
+		anonStart := time.Now()
+		res, err := core.RunWithCube(in, cube)
+		if err != nil {
+			return m, err
+		}
+		m.AnonTime = time.Since(anonStart)
+		m.Stats, m.Solutions, m.MinHeight = res.Stats, len(res.Solutions), res.MinHeight()
+		m.Stats.Add(cube.BuildStats)
+	default:
+		return m, fmt.Errorf("bench: unknown algorithm %d", algo)
+	}
+	m.Elapsed = time.Since(start)
+	if algo != CubeIncognito {
+		m.AnonTime = m.Elapsed
+	}
+	return m, nil
+}

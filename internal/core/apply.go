@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"incognito/internal/relation"
+)
+
+// Apply materializes the k-anonymization V of the input table for a
+// full-domain generalization given as a level vector over the
+// quasi-identifier: every QI value is replaced by its generalization at the
+// chosen level (the star-schema join-and-project of §3), non-QI columns are
+// carried through unchanged, and tuples in groups still smaller than k are
+// suppressed — which the solution's validity guarantees affects at most
+// MaxSuppress tuples.
+//
+// Apply verifies that the levels really are a valid solution and returns an
+// error otherwise, so callers cannot accidentally release a non-anonymous
+// view.
+func (in *Input) Apply(levels []int) (*relation.Table, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(levels) != len(in.QI) {
+		return nil, fmt.Errorf("core: %d levels for a %d-attribute quasi-identifier", len(levels), len(in.QI))
+	}
+	dims := make([]int, len(in.QI))
+	for i := range dims {
+		dims[i] = i
+		if levels[i] < 0 || levels[i] > in.QI[i].H.Height() {
+			return nil, fmt.Errorf("core: level %d out of range for attribute %s (height %d)",
+				levels[i], in.QI[i].H.Attr(), in.QI[i].H.Height())
+		}
+	}
+
+	freq := in.ScanFreq(dims, levels)
+	if below := freq.TuplesBelow(in.K); below > in.MaxSuppress {
+		return nil, fmt.Errorf("core: generalization %v is not %d-anonymous: %d tuples in undersized groups exceed the suppression threshold %d",
+			levels, in.K, below, in.MaxSuppress)
+	}
+
+	t := in.Table
+	out := relation.MustNewTable(t.Columns()...)
+	colLevel := make(map[int]int, len(in.QI)) // table column → QI position
+	for i, q := range in.QI {
+		colLevel[q.Col] = i
+	}
+	groupCodes := make([]int32, len(in.QI))
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for i, q := range in.QI {
+			c := t.Code(r, q.Col)
+			if m := q.H.MapTo(levels[i]); m != nil {
+				c = m[t.Code(r, q.Col)]
+			}
+			groupCodes[i] = c
+		}
+		if freq.Count(groupCodes) < in.K {
+			continue // suppressed outlier tuple
+		}
+		for c := 0; c < t.NumCols(); c++ {
+			if i, isQI := colLevel[c]; isQI {
+				rec[c] = in.QI[i].H.Value(levels[i], groupCodes[i])
+			} else {
+				rec[c] = t.Value(r, c)
+			}
+		}
+		if err := out.AppendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"incognito/internal/lattice"
+	"incognito/internal/relation"
+)
+
+// CubeIndex holds the zero-generalization frequency sets of every non-empty
+// subset of the quasi-identifier, built bottom-up like a data cube
+// (§3.3.2): the full-QI set comes from one scan of the table; every smaller
+// subset is a margin (DropColumn) of a one-larger superset, never a rescan.
+type CubeIndex struct {
+	sets map[string]*relation.FreqSet // keyed by the dims-subset encoding
+	// BuildStats records the pre-computation cost separately from the
+	// anonymization cost, as Fig. 12 does.
+	BuildStats Stats
+}
+
+func dimsKey(dims []int) string {
+	levels := make([]int, len(dims))
+	return lattice.EncodeKey(dims, levels)
+}
+
+// BuildCube materializes the cube for the input's quasi-identifier.
+func BuildCube(in *Input) *CubeIndex {
+	n := len(in.QI)
+	c := &CubeIndex{sets: make(map[string]*relation.FreqSet, (1<<n)-1)}
+
+	dimsOf := func(mask int) []int {
+		var dims []int
+		for d := 0; d < n; d++ {
+			if mask&(1<<d) != 0 {
+				dims = append(dims, d)
+			}
+		}
+		return dims
+	}
+
+	full := (1 << n) - 1
+	fullDims := dimsOf(full)
+	c.BuildStats.TableScans++
+	c.sets[dimsKey(fullDims)] = in.ScanFreq(fullDims, make([]int, n))
+	c.BuildStats.CubeFreqSets++
+
+	// Walk subsets in decreasing population count so every mask's chosen
+	// superset is already materialized.
+	masksBySize := make([][]int, n+1)
+	for mask := 1; mask < full; mask++ {
+		size := popcount(mask)
+		masksBySize[size] = append(masksBySize[size], mask)
+	}
+	for size := n - 1; size >= 1; size-- {
+		for _, mask := range masksBySize[size] {
+			// Add the lowest missing dimension to find a materialized parent.
+			extra := 0
+			for d := 0; d < n; d++ {
+				if mask&(1<<d) == 0 {
+					extra = d
+					break
+				}
+			}
+			parentMask := mask | (1 << extra)
+			parentDims := dimsOf(parentMask)
+			parent := c.sets[dimsKey(parentDims)]
+			// Position of the extra dimension within the parent's dims.
+			pos := 0
+			for i, d := range parentDims {
+				if d == extra {
+					pos = i
+				}
+			}
+			c.sets[dimsKey(dimsOf(mask))] = parent.DropColumn(pos)
+			c.BuildStats.CubeFreqSets++
+			c.BuildStats.Rollups++
+		}
+	}
+	return c
+}
+
+// Get returns the zero-generalization frequency set for a subset of QI
+// positions (which must be sorted ascending, as lattice nodes keep them).
+func (c *CubeIndex) Get(dims []int) *relation.FreqSet {
+	return c.sets[dimsKey(dims)]
+}
+
+// NumSets returns how many frequency sets the cube holds.
+func (c *CubeIndex) NumSets() int { return len(c.sets) }
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

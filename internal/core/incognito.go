@@ -1,0 +1,351 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"incognito/internal/lattice"
+	"incognito/internal/relation"
+)
+
+// Variant selects which member of the Incognito family to run (§3.1, §3.3).
+type Variant int
+
+const (
+	// Basic is the algorithm of Fig. 8: one base-table scan per root of each
+	// candidate graph, rollup everywhere else.
+	Basic Variant = iota
+	// SuperRoots groups each family's roots and performs a single scan at
+	// their meet (the "super-root"), deriving every root's frequency set by
+	// rollup (§3.3.1).
+	SuperRoots
+	// Cube pre-computes the zero-generalization frequency sets of every
+	// quasi-identifier subset bottom-up (data-cube style) and never scans
+	// the base table during the search (§3.3.2).
+	Cube
+)
+
+// String names the variant as in the paper's figures.
+func (v Variant) String() string {
+	switch v {
+	case Basic:
+		return "Basic Incognito"
+	case SuperRoots:
+		return "Super-roots Incognito"
+	case Cube:
+		return "Cube Incognito"
+	}
+	return "unknown"
+}
+
+// Result is the outcome of a run: the set of ALL k-anonymous full-domain
+// generalizations, each as a level vector over the quasi-identifier in
+// input order, sorted by height then lexicographically, plus run counters.
+type Result struct {
+	Solutions [][]int
+	Stats     Stats
+}
+
+// MinHeight returns the smallest solution height, or -1 if there are no
+// solutions (possible only when even the top of the lattice fails, e.g. k
+// larger than the table).
+func (r *Result) MinHeight() int {
+	if len(r.Solutions) == 0 {
+		return -1
+	}
+	return height(r.Solutions[0])
+}
+
+// MinimalSolutions returns the solutions of minimum height — the minimal
+// full-domain generalizations in the sense of Samarati (§2.1).
+func (r *Result) MinimalSolutions() [][]int {
+	var out [][]int
+	for _, s := range r.Solutions {
+		if height(s) == r.MinHeight() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func height(levels []int) int {
+	h := 0
+	for _, l := range levels {
+		h += l
+	}
+	return h
+}
+
+// Run executes the chosen Incognito variant and returns every k-anonymous
+// full-domain generalization of the input. It is sound and complete (§3.2).
+func Run(in Input, v Variant) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	var cube *CubeIndex
+	var stats Stats
+	if v == Cube {
+		cube = BuildCube(&in)
+		stats.Add(cube.BuildStats)
+	}
+	res := run(&in, v, cube)
+	stats.Add(res.Stats)
+	res.Stats = stats
+	return res, nil
+}
+
+// RunWithCube executes Cube Incognito against an already-built cube,
+// so callers (and the Fig. 12 experiment) can separate the pre-computation
+// cost from the marginal anonymization cost.
+func RunWithCube(in Input, cube *CubeIndex) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if cube == nil {
+		return nil, fmt.Errorf("core: RunWithCube needs a cube; call BuildCube first")
+	}
+	// A cube built for this quasi-identifier contains every non-empty
+	// subset; probing the full set catches cubes built for a different
+	// (smaller or reordered) Input before the search dereferences them.
+	fullDims := make([]int, len(in.QI))
+	for i := range fullDims {
+		fullDims[i] = i
+	}
+	if cube.Get(fullDims) == nil || cube.NumSets() != (1<<len(in.QI))-1 {
+		return nil, fmt.Errorf("core: cube was built for a different quasi-identifier (%d sets, want %d)",
+			cube.NumSets(), (1<<len(in.QI))-1)
+	}
+	return run(&in, Cube, cube), nil
+}
+
+// run is the outer loop of Fig. 8: iterate over subset sizes, search each
+// candidate graph breadth-first, then generate the next graph from the
+// survivors.
+func run(in *Input, v Variant, cube *CubeIndex) *Result {
+	var stats Stats
+	n := len(in.QI)
+	ids := lattice.NewIDGen()
+	graph := lattice.FirstIteration(in.Heights(), ids)
+	res := &Result{}
+	for i := 1; ; i++ {
+		stats.Candidates += graph.Len()
+		surv := searchGraph(in, graph, v, cube, &stats)
+		if i == n {
+			for _, node := range graph.Nodes() {
+				if surv[node.ID] {
+					res.Solutions = append(res.Solutions, append([]int(nil), node.Levels...))
+				}
+			}
+			break
+		}
+		graph = lattice.Generate(graph, surv, ids)
+	}
+	SortSolutions(res.Solutions)
+	res.Stats = stats
+	return res
+}
+
+// SortSolutions orders level vectors by height, then lexicographically —
+// the canonical solution order shared by every algorithm in this module.
+func SortSolutions(sols [][]int) {
+	sort.Slice(sols, func(i, j int) bool {
+		hi, hj := height(sols[i]), height(sols[j])
+		if hi != hj {
+			return hi < hj
+		}
+		for x := range sols[i] {
+			if sols[i][x] != sols[j][x] {
+				return sols[i][x] < sols[j][x]
+			}
+		}
+		return false
+	})
+}
+
+// nodeQueue is the height-ordered queue of Fig. 8, a container/heap
+// implementation ordered by (height, ID).
+type nodeQueue []*lattice.Node
+
+// Len implements heap.Interface.
+func (q nodeQueue) Len() int { return len(q) }
+
+// Less orders by height, breaking ties by ID for determinism.
+func (q nodeQueue) Less(i, j int) bool {
+	hi, hj := q[i].Height(), q[j].Height()
+	if hi != hj {
+		return hi < hj
+	}
+	return q[i].ID < q[j].ID
+}
+
+// Swap implements heap.Interface.
+func (q nodeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*lattice.Node)) }
+
+// Pop implements heap.Interface.
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// searchGraph is the modified breadth-first search of Fig. 8 over one
+// candidate graph. It returns, for every candidate ID, whether the table is
+// k-anonymous with respect to that node. Nodes never reached remain marked
+// anonymous: they are generalizations of anonymous nodes (soundness, §3.2).
+func searchGraph(in *Input, g *lattice.Graph, v Variant, cube *CubeIndex, stats *Stats) map[int]bool {
+	if g.Len() == 0 {
+		return map[int]bool{}
+	}
+	return searchGraphWith(in, g, makeRootFreqFn(in, g, v, cube, stats), stats)
+}
+
+// searchGraphWith is the Fig. 8 breadth-first search with a caller-chosen
+// root frequency-set provider; the Incognito variants differ only in that
+// provider.
+func searchGraphWith(in *Input, g *lattice.Graph, rootFreq func(*lattice.Node) *relation.FreqSet, stats *Stats) map[int]bool {
+	surv := make(map[int]bool, g.Len())
+	for _, n := range g.Nodes() {
+		surv[n.ID] = true
+	}
+	if g.Len() == 0 {
+		return surv
+	}
+
+	marked := make(map[int]bool)
+	processed := make(map[int]bool)
+	parentOf := make(map[int]int)            // node → the failed parent that enqueued it
+	freqs := make(map[int]*relation.FreqSet) // frequency sets of failed nodes, for rollup
+	// pendingUps[id] counts the unprocessed direct generalizations of a
+	// failed node; when it reaches zero that node's frequency set can never
+	// be needed again and is released, bounding memory on large graphs.
+	pendingUps := make(map[int]int)
+	pq := &nodeQueue{}
+	for _, r := range g.Roots() {
+		heap.Push(pq, r)
+	}
+	for pq.Len() > 0 {
+		node := heap.Pop(pq).(*lattice.Node)
+		if processed[node.ID] {
+			continue
+		}
+		processed[node.ID] = true
+		// Once this node is processed, its failed specializations have one
+		// fewer unprocessed generalization; release frequency sets nothing
+		// can need anymore. Runs after the node consumed its own parent's
+		// set, hence the closure called on every exit path below.
+		release := func() {
+			for _, down := range g.Down(node.ID) {
+				if _, failed := freqs[down]; failed {
+					pendingUps[down]--
+					if pendingUps[down] == 0 {
+						delete(freqs, down)
+						delete(pendingUps, down)
+					}
+				}
+			}
+		}
+		if marked[node.ID] {
+			// Generalization property: already known k-anonymous. Fig. 8
+			// deliberately does NOT propagate marks from marked nodes (its
+			// pseudocode only marks from checked nodes), so a generalization
+			// reachable solely through marked nodes may still be checked —
+			// a faithful, sound inefficiency; the bottom-up baseline differs
+			// here because it visits every lattice node anyway.
+			stats.NodesMarked++
+			release()
+			continue
+		}
+		var f *relation.FreqSet
+		if pid, ok := parentOf[node.ID]; ok {
+			parent := g.Node(pid)
+			f = in.RollupTo(freqs[pid], node.Dims, parent.Levels, node.Levels)
+			stats.Rollups++
+		} else {
+			f = rootFreq(node)
+		}
+		stats.NodesChecked++
+		if in.CheckFreq(f) {
+			// Mark all direct generalizations: they are k-anonymous by the
+			// generalization property and need not be checked.
+			for _, up := range g.Up(node.ID) {
+				marked[up] = true
+			}
+		} else {
+			surv[node.ID] = false
+			if ups := g.Up(node.ID); len(ups) > 0 {
+				freqs[node.ID] = f
+				pendingUps[node.ID] = len(ups)
+				for _, up := range ups {
+					if _, has := parentOf[up]; !has {
+						parentOf[up] = node.ID
+					}
+					if !processed[up] {
+						heap.Push(pq, g.Node(up))
+					}
+				}
+			}
+		}
+		release()
+	}
+	return surv
+}
+
+// makeRootFreqFn returns the per-variant provider of root frequency sets.
+func makeRootFreqFn(in *Input, g *lattice.Graph, v Variant, cube *CubeIndex, stats *Stats) func(*lattice.Node) *relation.FreqSet {
+	switch v {
+	case Basic:
+		return func(n *lattice.Node) *relation.FreqSet {
+			stats.TableScans++
+			return in.ScanFreq(n.Dims, n.Levels)
+		}
+	case Cube:
+		return func(n *lattice.Node) *relation.FreqSet {
+			zero := cube.Get(n.Dims)
+			zeros := make([]int, len(n.Dims))
+			if sameLevels(zeros, n.Levels) {
+				return zero
+			}
+			stats.Rollups++
+			return in.RollupTo(zero, n.Dims, zeros, n.Levels)
+		}
+	case SuperRoots:
+		// Pre-compute one scan per family at the meet of its roots, then
+		// derive every root's frequency set by rollup (§3.3.1).
+		rootSets := make(map[int]*relation.FreqSet)
+		rootsByFamily := make(map[string][]*lattice.Node)
+		for _, r := range g.Roots() {
+			k := r.DimsKey()
+			rootsByFamily[k] = append(rootsByFamily[k], r)
+		}
+		for _, roots := range rootsByFamily {
+			dims, meet := lattice.Meet(roots)
+			stats.TableScans++
+			base := in.ScanFreq(dims, meet)
+			for _, r := range roots {
+				if sameLevels(meet, r.Levels) {
+					rootSets[r.ID] = base
+					continue
+				}
+				stats.Rollups++
+				rootSets[r.ID] = in.RollupTo(base, dims, meet, r.Levels)
+			}
+		}
+		return func(n *lattice.Node) *relation.FreqSet { return rootSets[n.ID] }
+	}
+	panic("core: unknown variant")
+}
+
+func sameLevels(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

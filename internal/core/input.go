@@ -1,0 +1,158 @@
+// Package core implements the paper's primary contribution: the Incognito
+// algorithm (Fig. 8) and its Super-roots and Cube variants (§3.3), which
+// compute the set of ALL k-anonymous full-domain generalizations of a table
+// with respect to a quasi-identifier, optionally with a tuple-suppression
+// threshold (§2.1).
+package core
+
+import (
+	"fmt"
+
+	"incognito/internal/hierarchy"
+	"incognito/internal/relation"
+)
+
+// QIAttr binds one quasi-identifier attribute: a column of the table and the
+// generalization hierarchy over that column's base domain.
+type QIAttr struct {
+	Col int
+	H   *hierarchy.Hierarchy
+}
+
+// Input is a k-anonymization problem instance: the table, the ordered
+// quasi-identifier, the anonymity parameter k, and the maximum number of
+// outlier tuples that may be suppressed (0 disables suppression).
+type Input struct {
+	Table       *relation.Table
+	QI          []QIAttr
+	K           int64
+	MaxSuppress int64
+}
+
+// NewInput assembles an Input from parallel column/hierarchy slices, the
+// shape dataset providers hand out. It panics if the slices have different
+// lengths (a programming error); semantic validation is Validate's job.
+func NewInput(t *relation.Table, cols []int, hs []*hierarchy.Hierarchy, k, maxSuppress int64) Input {
+	if len(cols) != len(hs) {
+		panic(fmt.Sprintf("core: NewInput got %d columns but %d hierarchies", len(cols), len(hs)))
+	}
+	qi := make([]QIAttr, len(cols))
+	for i := range cols {
+		qi[i] = QIAttr{Col: cols[i], H: hs[i]}
+	}
+	return Input{Table: t, QI: qi, K: k, MaxSuppress: maxSuppress}
+}
+
+// Validate checks the instance is well formed: within-range columns,
+// hierarchies bound to the right dictionaries, sensible k and threshold.
+func (in *Input) Validate() error {
+	if in.Table == nil {
+		return fmt.Errorf("core: nil table")
+	}
+	if len(in.QI) == 0 {
+		return fmt.Errorf("core: empty quasi-identifier")
+	}
+	if in.K < 1 {
+		return fmt.Errorf("core: k must be at least 1, got %d", in.K)
+	}
+	if in.MaxSuppress < 0 {
+		return fmt.Errorf("core: negative suppression threshold %d", in.MaxSuppress)
+	}
+	seen := make(map[int]bool)
+	for i, q := range in.QI {
+		if q.Col < 0 || q.Col >= in.Table.NumCols() {
+			return fmt.Errorf("core: QI attribute %d references column %d of a %d-column table", i, q.Col, in.Table.NumCols())
+		}
+		if seen[q.Col] {
+			return fmt.Errorf("core: column %d appears twice in the quasi-identifier", q.Col)
+		}
+		seen[q.Col] = true
+		if q.H == nil {
+			return fmt.Errorf("core: QI attribute %d has no hierarchy", i)
+		}
+		if q.H.Dict(0) != in.Table.Dict(q.Col) {
+			return fmt.Errorf("core: hierarchy for QI attribute %d (%s) is not bound to the table column's dictionary", i, q.H.Attr())
+		}
+	}
+	return nil
+}
+
+// Heights returns the hierarchy height of each QI attribute in order — the
+// radix vector of the generalization lattice.
+func (in *Input) Heights() []int {
+	hs := make([]int, len(in.QI))
+	for i, q := range in.QI {
+		hs[i] = q.H.Height()
+	}
+	return hs
+}
+
+// cols maps QI positions (dims) to table column indexes.
+func (in *Input) cols(dims []int) []int {
+	out := make([]int, len(dims))
+	for i, d := range dims {
+		out[i] = in.QI[d].Col
+	}
+	return out
+}
+
+// recodeTables returns, for each dim, the base-code → level-code table at
+// the given level (nil for level 0).
+func (in *Input) recodeTables(dims, levels []int) [][]int32 {
+	out := make([][]int32, len(dims))
+	for i := range dims {
+		out[i] = in.QI[dims[i]].H.MapTo(levels[i])
+	}
+	return out
+}
+
+// ScanFreq computes the frequency set of the table with respect to the
+// given generalization by a full scan — the paper's COUNT(*) group-by over
+// the star schema.
+func (in *Input) ScanFreq(dims, levels []int) *relation.FreqSet {
+	return relation.GroupCount(in.Table, in.cols(dims), in.recodeTables(dims, levels))
+}
+
+// composeSteps builds the γ⁺ table from hierarchy level `from` to level
+// `to` of QI attribute dim (nil when from == to).
+func (in *Input) composeSteps(dim, from, to int) []int32 {
+	if from == to {
+		return nil
+	}
+	h := in.QI[dim].H
+	table := append([]int32(nil), h.Step(from)...)
+	for l := from + 1; l < to; l++ {
+		step := h.Step(l)
+		for i, c := range table {
+			table[i] = step[c]
+		}
+	}
+	return table
+}
+
+// RollupTo produces the frequency set at target levels from a finer
+// frequency set over the same dims (the rollup property, §3). fromLevels
+// must be componentwise ≤ levels.
+func (in *Input) RollupTo(f *relation.FreqSet, dims, fromLevels, levels []int) *relation.FreqSet {
+	maps := make([][]int32, len(dims))
+	changed := false
+	for i := range dims {
+		if fromLevels[i] > levels[i] {
+			panic(fmt.Sprintf("core: RollupTo from %v to %v is not a generalization", fromLevels, levels))
+		}
+		maps[i] = in.composeSteps(dims[i], fromLevels[i], levels[i])
+		if maps[i] != nil {
+			changed = true
+		}
+	}
+	if !changed {
+		return f
+	}
+	return f.Recode(maps)
+}
+
+// CheckFreq applies the instance's k-anonymity test (with suppression
+// threshold) to a frequency set.
+func (in *Input) CheckFreq(f *relation.FreqSet) bool {
+	return f.IsKAnonymous(in.K, in.MaxSuppress)
+}

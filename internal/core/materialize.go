@@ -1,0 +1,320 @@
+package core
+
+import (
+	"sort"
+
+	"incognito/internal/lattice"
+	"incognito/internal/relation"
+)
+
+// This file implements the paper's §7 future-work proposal: "the
+// performance of Incognito can be enhanced even more by strategically
+// materializing portions of the data cube", citing Harinarayan, Rajaraman
+// and Ullman's greedy view selection. A MaterializedSet is a partial cube:
+// zero-generalization frequency sets for a chosen family of QI subsets,
+// selected greedily under a total size budget (measured in groups, i.e.
+// frequency-set rows). Budget 0 degenerates to Basic Incognito (every root
+// scanned); an unbounded budget degenerates to Cube Incognito (§3.3.2).
+
+// matView is one materialized view: a QI subset (by position) and its
+// zero-generalization frequency set.
+type matView struct {
+	dims []int
+	f    *relation.FreqSet
+}
+
+// MaterializedSet holds the selected views and serves root frequency sets
+// either from a materialized margin or by telling the caller to scan.
+type MaterializedSet struct {
+	in    *Input
+	views []*matView
+	byKey map[string]*matView
+	// BuildStats records the selection and materialization cost.
+	BuildStats Stats
+}
+
+// MaterializeBudget selects and materializes views greedily under the
+// budget: repeatedly pick the view with the best benefit per unit size,
+// where a view's benefit is the scan work it saves for the subsets it can
+// answer by margining (Harinarayan-style, with |T| as the cost of an
+// unanswered subset). Sizes are estimated from a sample scan; the chosen
+// views are then materialized exactly, so correctness never depends on the
+// estimates.
+func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
+	m := &MaterializedSet{in: in, byKey: make(map[string]*matView)}
+	n := len(in.QI)
+	if budget <= 0 || n == 0 {
+		return m
+	}
+	full := (1 << n) - 1
+	rows := int64(in.Table.NumRows())
+
+	est := m.estimateSizes()
+
+	// Greedy selection. costOf[s] = cost of the cheapest way to answer s: a
+	// selected superset's size, or a scan. A scan is priced above reading
+	// an equal-sized aggregate because it re-encodes every base tuple
+	// through the dimension tables; the markup also makes an unbounded
+	// budget degenerate to the full cube (§3.3.2), as it should.
+	scanCost := rows + rows/4 + 1
+	costOf := make([]int64, full+1)
+	for s := 1; s <= full; s++ {
+		costOf[s] = scanCost
+	}
+	remaining := budget
+	selected := make(map[int]int64) // mask → estimated size
+	for {
+		bestMask, bestSize := 0, int64(0)
+		var bestScore float64
+		for s := 1; s <= full; s++ {
+			if _, done := selected[s]; done || est[s] > remaining {
+				continue
+			}
+			var benefit int64
+			for t := 1; t <= full; t++ {
+				if t&s == t && costOf[t] > est[s] { // t ⊆ s and s improves it
+					benefit += costOf[t] - est[s]
+				}
+			}
+			if benefit <= 0 {
+				continue
+			}
+			score := float64(benefit) / float64(est[s]+1)
+			if bestMask == 0 || score > bestScore {
+				bestMask, bestSize, bestScore = s, est[s], score
+			}
+		}
+		if bestMask == 0 {
+			break
+		}
+		selected[bestMask] = bestSize
+		remaining -= bestSize
+		for t := 1; t <= full; t++ {
+			if t&bestMask == t && costOf[t] > bestSize {
+				costOf[t] = bestSize
+			}
+		}
+	}
+
+	// Materialize the chosen views exactly, largest subset first so smaller
+	// chosen views can margin from larger ones instead of rescanning.
+	masks := make([]int, 0, len(selected))
+	for mask := range selected {
+		masks = append(masks, mask)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := popcount(masks[i]), popcount(masks[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return masks[i] < masks[j]
+	})
+	for _, mask := range masks {
+		dims := dimsOfMask(mask, n)
+		var f *relation.FreqSet
+		if super := m.lookupSuperset(dims); super != nil {
+			f = marginTo(super, dims)
+			m.BuildStats.Rollups++
+		} else {
+			f = in.ScanFreq(dims, make([]int, len(dims)))
+			m.BuildStats.TableScans++
+		}
+		v := &matView{dims: dims, f: f}
+		m.views = append(m.views, v)
+		m.byKey[dimsKey(dims)] = v
+		m.BuildStats.CubeFreqSets++
+	}
+	return m
+}
+
+// estimateSizes scans a bounded sample once and counts distinct groups per
+// subset. For the QI sizes this module targets (≤ ~10) the 2^n counters per
+// row are affordable; the sample keeps the row factor bounded.
+func (m *MaterializedSet) estimateSizes() []int64 {
+	in := m.in
+	n := len(in.QI)
+	full := (1 << n) - 1
+	rows := in.Table.NumRows()
+	const maxSample = 4096
+	stride := 1
+	if rows > maxSample {
+		stride = rows / maxSample
+	}
+	seen := make([]map[string]bool, full+1)
+	for s := 1; s <= full; s++ {
+		seen[s] = make(map[string]bool)
+	}
+	codes := make([]int32, n)
+	buf := make([]byte, 4*n)
+	sampled := 0
+	for r := 0; r < rows; r += stride {
+		sampled++
+		for i, q := range in.QI {
+			codes[i] = in.Table.Code(r, q.Col)
+		}
+		for s := 1; s <= full; s++ {
+			j := 0
+			for i := 0; i < n; i++ {
+				if s&(1<<i) != 0 {
+					put32(buf, j, codes[i])
+					j++
+				}
+			}
+			seen[s][string(buf[:4*j])] = true
+		}
+	}
+	est := make([]int64, full+1)
+	for s := 1; s <= full; s++ {
+		e := int64(len(seen[s]))
+		if sampled > 0 && stride > 1 {
+			// Linear scale-up, clamped to the table size: biased high for
+			// low-cardinality subsets, which only makes the greedy more
+			// conservative about the budget.
+			e = e * int64(rows) / int64(sampled)
+		}
+		if e < int64(len(seen[s])) {
+			e = int64(len(seen[s]))
+		}
+		if e > int64(rows) {
+			e = int64(rows)
+		}
+		est[s] = e
+	}
+	return est
+}
+
+func put32(buf []byte, j int, c int32) {
+	buf[4*j] = byte(c)
+	buf[4*j+1] = byte(c >> 8)
+	buf[4*j+2] = byte(c >> 16)
+	buf[4*j+3] = byte(c >> 24)
+}
+
+// Root serves the zero-generalization frequency set for a QI subset: the
+// exact view if materialized, an exact margin of a materialized superset,
+// or nil (meaning: scan).
+func (m *MaterializedSet) Root(dims []int) *relation.FreqSet {
+	if v, ok := m.byKey[dimsKey(dims)]; ok {
+		return v.f
+	}
+	if super := m.lookupSupersetView(dims); super != nil {
+		return marginTo(super, dims)
+	}
+	return nil
+}
+
+// lookupSuperset returns the frequency set of the smallest materialized
+// strict superset of dims, or nil.
+func (m *MaterializedSet) lookupSuperset(dims []int) *matView {
+	return m.lookupSupersetView(dims)
+}
+
+func (m *MaterializedSet) lookupSupersetView(dims []int) *matView {
+	var best *matView
+	for _, v := range m.views {
+		if len(v.dims) <= len(dims) {
+			continue
+		}
+		if isSubset(dims, v.dims) && (best == nil || v.f.Len() < best.f.Len()) {
+			best = v
+		}
+	}
+	return best
+}
+
+// marginTo margins a view's zero-generalization frequency set down to the
+// QI subset dims ⊆ view.dims by summing out the other positions.
+func marginTo(v *matView, dims []int) *relation.FreqSet {
+	outDims := append([]int(nil), v.dims...)
+	f := v.f
+	for i := len(outDims) - 1; i >= 0; i-- {
+		keep := false
+		for _, d := range dims {
+			if outDims[i] == d {
+				keep = true
+			}
+		}
+		if !keep {
+			f = f.DropColumn(i)
+			outDims = append(outDims[:i], outDims[i+1:]...)
+		}
+	}
+	return f
+}
+
+func dimsOfMask(mask, n int) []int {
+	var dims []int
+	for d := 0; d < n; d++ {
+		if mask&(1<<d) != 0 {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+func isSubset(sub, super []int) bool {
+	j := 0
+	for _, s := range sub {
+		for j < len(super) && super[j] < s {
+			j++
+		}
+		if j >= len(super) || super[j] != s {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// NumViews reports how many views were materialized.
+func (m *MaterializedSet) NumViews() int { return len(m.views) }
+
+// ViewDims lists the materialized subsets (QI positions), largest first.
+func (m *MaterializedSet) ViewDims() [][]int {
+	out := make([][]int, len(m.views))
+	for i, v := range m.views {
+		out[i] = append([]int(nil), v.dims...)
+	}
+	return out
+}
+
+// RunMaterialized executes Incognito against a strategically materialized
+// partial cube: roots whose subset is covered by a materialized view are
+// served by an exact margin plus rollup; everything else scans, exactly
+// like Basic. The solution set is identical to every other variant — only
+// the scan/rollup mix changes, which is the point of the optimization.
+func RunMaterialized(in Input, mat *MaterializedSet) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	var stats Stats
+	n := len(in.QI)
+	ids := lattice.NewIDGen()
+	graph := lattice.FirstIteration(in.Heights(), ids)
+	res := &Result{}
+	rootFreq := func(nd *lattice.Node) *relation.FreqSet {
+		if zero := mat.Root(nd.Dims); zero != nil {
+			stats.Rollups++
+			zeros := make([]int, len(nd.Dims))
+			return in.RollupTo(zero, nd.Dims, zeros, nd.Levels)
+		}
+		stats.TableScans++
+		return in.ScanFreq(nd.Dims, nd.Levels)
+	}
+	for i := 1; ; i++ {
+		stats.Candidates += graph.Len()
+		surv := searchGraphWith(&in, graph, rootFreq, &stats)
+		if i == n {
+			for _, node := range graph.Nodes() {
+				if surv[node.ID] {
+					res.Solutions = append(res.Solutions, append([]int(nil), node.Levels...))
+				}
+			}
+			break
+		}
+		graph = lattice.Generate(graph, surv, ids)
+	}
+	SortSolutions(res.Solutions)
+	res.Stats = stats
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMaterializedMatchesBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(rng, 1+rng.Intn(4), int64(1+rng.Intn(4)), 0)
+		want, err := Run(in, Basic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []int64{0, 10, 1000, 1 << 40} {
+			mat := MaterializeBudget(&in, budget)
+			got, err := RunMaterialized(in, mat)
+			if err != nil {
+				t.Fatalf("trial %d budget %d: %v", trial, budget, err)
+			}
+			if !reflect.DeepEqual(got.Solutions, want.Solutions) {
+				t.Fatalf("trial %d budget %d: solutions differ\ngot  %v\nwant %v",
+					trial, budget, got.Solutions, want.Solutions)
+			}
+		}
+	}
+}
+
+func TestMaterializeBudgetZeroDegeneratesToBasic(t *testing.T) {
+	in := patientsInput(2, 0)
+	mat := MaterializeBudget(&in, 0)
+	if mat.NumViews() != 0 {
+		t.Fatalf("budget 0 materialized %d views", mat.NumViews())
+	}
+	res, err := RunMaterialized(in, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := Run(in, Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With nothing materialized, every root scans — same as Basic.
+	if res.Stats.TableScans != basic.Stats.TableScans {
+		t.Fatalf("scans: materialized(0) %d, basic %d", res.Stats.TableScans, basic.Stats.TableScans)
+	}
+}
+
+func TestMaterializeUnboundedCoversAllRoots(t *testing.T) {
+	in := patientsInput(2, 0)
+	mat := MaterializeBudget(&in, 1<<40)
+	if mat.NumViews() == 0 {
+		t.Fatal("unbounded budget materialized nothing")
+	}
+	res, err := RunMaterialized(in, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full-QI view answers every subset by margining: no search scans.
+	if res.Stats.TableScans != 0 {
+		t.Fatalf("search still scanned %d times under an unbounded budget", res.Stats.TableScans)
+	}
+	if mat.BuildStats.TableScans == 0 {
+		t.Fatal("build phase must have scanned at least once")
+	}
+}
+
+func TestMaterializeScansMonotoneInBudget(t *testing.T) {
+	d := patientsInput(2, 0)
+	prevScans := -1
+	for _, budget := range []int64{0, 5, 50, 1 << 40} {
+		mat := MaterializeBudget(&d, budget)
+		res, err := RunMaterialized(d, mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevScans >= 0 && res.Stats.TableScans > prevScans {
+			t.Fatalf("budget %d increased search scans: %d > %d", budget, res.Stats.TableScans, prevScans)
+		}
+		prevScans = res.Stats.TableScans
+	}
+}
+
+func TestMaterializedRootMargins(t *testing.T) {
+	in := patientsInput(2, 0)
+	mat := MaterializeBudget(&in, 1<<40)
+	// Every subset's Root must equal a direct scan at zero generalization.
+	var rec func(dims []int, start int)
+	rec = func(dims []int, start int) {
+		if len(dims) > 0 {
+			got := mat.Root(dims)
+			if got == nil {
+				t.Fatalf("no materialized answer for %v under unbounded budget", dims)
+			}
+			want := in.ScanFreq(dims, make([]int, len(dims)))
+			if got.Len() != want.Len() || got.Total() != want.Total() {
+				t.Fatalf("margin for %v differs from scan: %d/%d groups, %d/%d total",
+					dims, got.Len(), want.Len(), got.Total(), want.Total())
+			}
+			want.Each(func(codes []int32, count int64) {
+				if got.Count(codes) != count {
+					t.Fatalf("margin for %v: group %v = %d, want %d", dims, codes, got.Count(codes), count)
+				}
+			})
+		}
+		for d := start; d < len(in.QI); d++ {
+			rec(append(dims, d), d+1)
+		}
+	}
+	rec(nil, 0)
+}
+
+func TestIsSubset(t *testing.T) {
+	cases := []struct {
+		sub, super []int
+		want       bool
+	}{
+		{[]int{}, []int{1, 2}, true},
+		{[]int{1}, []int{1, 2}, true},
+		{[]int{2}, []int{1, 2}, true},
+		{[]int{1, 2}, []int{1, 2}, true},
+		{[]int{3}, []int{1, 2}, false},
+		{[]int{1, 3}, []int{1, 2}, false},
+		{[]int{1, 1}, []int{1, 2}, false}, // repeated elements cannot both match
+	}
+	for _, c := range cases {
+		if got := isSubset(c.sub, c.super); got != c.want {
+			t.Fatalf("isSubset(%v, %v) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestViewDims(t *testing.T) {
+	in := patientsInput(2, 0)
+	mat := MaterializeBudget(&in, 1<<40)
+	dims := mat.ViewDims()
+	if len(dims) != mat.NumViews() {
+		t.Fatalf("ViewDims returned %d entries for %d views", len(dims), mat.NumViews())
+	}
+	for _, d := range dims {
+		for i := 1; i < len(d); i++ {
+			if d[i-1] >= d[i] {
+				t.Fatalf("view dims not sorted: %v", d)
+			}
+		}
+	}
+}

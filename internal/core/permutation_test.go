@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSolutionsInvariantUnderQIPermutation: reordering the quasi-identifier
+// attributes must permute each solution's level vector correspondingly and
+// change nothing else — full-domain generalization has no attribute-order
+// semantics, so any dependence would be a search bug (e.g. in the Apriori
+// dimension ordering, which exists only to avoid duplicate candidates).
+func TestSolutionsInvariantUnderQIPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(3)
+		in := randomInstance(rng, n, int64(1+rng.Intn(3)), int64(rng.Intn(3)))
+		base, err := Run(in, Basic)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		perm := rng.Perm(n)
+		permuted := in
+		permuted.QI = make([]QIAttr, n)
+		for i, p := range perm {
+			permuted.QI[i] = in.QI[p]
+		}
+		permRes, err := Run(permuted, Basic)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Map the permuted solutions back into the original attribute order.
+		back := make([][]int, len(permRes.Solutions))
+		for si, s := range permRes.Solutions {
+			orig := make([]int, n)
+			for i, p := range perm {
+				orig[p] = s[i]
+			}
+			back[si] = orig
+		}
+		SortSolutions(back)
+		if !reflect.DeepEqual(back, base.Solutions) {
+			t.Fatalf("trial %d: permutation %v changed the solution set\ngot  %v\nwant %v",
+				trial, perm, back, base.Solutions)
+		}
+	}
+}
+
+// TestComposeSteps: the composed γ⁺ table must agree with the hierarchy's
+// direct base-to-level maps on every value.
+func TestComposeSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	in := randomInstance(rng, 2, 2, 0)
+	for dim, q := range in.QI {
+		h := q.H
+		for from := 0; from < h.Height(); from++ {
+			for to := from + 1; to <= h.Height(); to++ {
+				composed := in.composeSteps(dim, from, to)
+				for b := 0; b < h.LevelSize(0); b++ {
+					var atFrom int32 = int32(b)
+					if m := h.MapTo(from); m != nil {
+						atFrom = m[b]
+					}
+					var atTo int32 = int32(b)
+					if m := h.MapTo(to); m != nil {
+						atTo = m[b]
+					}
+					if composed[atFrom] != atTo {
+						t.Fatalf("dim %d: composeSteps(%d→%d) maps %d to %d, want %d",
+							dim, from, to, atFrom, composed[atFrom], atTo)
+					}
+				}
+			}
+		}
+		if in.composeSteps(dim, 1, 1) != nil {
+			t.Fatal("composeSteps of an empty range should be nil (identity)")
+		}
+	}
+}
+
+// TestRollupToPanicsOnNonGeneralization documents the contract violation.
+func TestRollupToPanicsOnNonGeneralization(t *testing.T) {
+	in := patientsInput(2, 0)
+	f := in.ScanFreq([]int{2}, []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RollupTo from level 1 to level 0 did not panic")
+		}
+	}()
+	in.RollupTo(f, []int{2}, []int{1}, []int{0})
+}

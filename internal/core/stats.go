@@ -1,0 +1,35 @@
+package core
+
+// Stats instruments a run with the counters the paper reports: how many
+// generalization nodes had their k-anonymity checked explicitly (the
+// §4.2.1 "nodes searched" table), how often the base table was scanned
+// versus how often a frequency set was derived by rollup, and how much
+// candidate generation the a priori pruning left behind.
+type Stats struct {
+	// NodesChecked counts nodes whose frequency set was computed and whose
+	// k-anonymity was tested explicitly (roots and failure frontiers).
+	NodesChecked int
+	// NodesMarked counts nodes skipped because the generalization property
+	// had already marked them k-anonymous.
+	NodesMarked int
+	// Candidates counts candidate nodes across all iterations (|C1|+…+|Cn|).
+	Candidates int
+	// TableScans counts full scans of the base table (frequency sets built
+	// from T itself).
+	TableScans int
+	// Rollups counts frequency sets derived from another frequency set.
+	Rollups int
+	// CubeFreqSets counts zero-generalization frequency sets materialized by
+	// Cube Incognito's pre-computation phase.
+	CubeFreqSets int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.NodesChecked += other.NodesChecked
+	s.NodesMarked += other.NodesMarked
+	s.Candidates += other.Candidates
+	s.TableScans += other.TableScans
+	s.Rollups += other.Rollups
+	s.CubeFreqSets += other.CubeFreqSets
+}

@@ -1,0 +1,239 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"incognito/internal/hierarchy"
+	"incognito/internal/relation"
+)
+
+// AdultsDefaultRows is the size of the cleaned UCI Adults table the paper
+// used: 45,222 records after removing rows with unknown values (§4.1).
+const AdultsDefaultRows = 45222
+
+// AttrInfo describes one quasi-identifier attribute the way Fig. 9 does:
+// name, number of distinct values in the full domain, the kind of
+// generalization, and the hierarchy height.
+type AttrInfo struct {
+	Name           string
+	DistinctValues int
+	Generalization string
+	Height         int
+}
+
+// Adults builds a synthetic stand-in for the UCI Adults (US Census)
+// database with the exact schema of Fig. 9: nine quasi-identifier
+// attributes with the same distinct-value counts (74 ages, 2 genders,
+// 5 races, 7 marital statuses, 16 education levels, 41 native countries,
+// 7 work classes, 14 occupations, 2 salary classes) and the same hierarchy
+// heights (4, 1, 1, 2, 3, 2, 2, 2, 1). Value frequencies are skewed roughly
+// like the census source. The generator is deterministic in (rows, seed).
+func Adults(rows int, seed int64) *Dataset {
+	if rows < 0 {
+		panic("dataset: negative row count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	order := []string{
+		"Age", "Gender", "Race", "Marital Status", "Education",
+		"Native Country", "Work Class", "Occupation", "Salary Class",
+	}
+	t := relation.MustNewTable(order...)
+
+	// Age: the 74 integer ages 17..90, weighted toward working ages.
+	ages := make([]string, 74)
+	ageWeights := make([]float64, 74)
+	for i := range ages {
+		age := 17 + i
+		ages[i] = fmt.Sprintf("%d", age)
+		switch {
+		case age < 25:
+			ageWeights[i] = 3
+		case age < 50:
+			ageWeights[i] = 5
+		case age < 65:
+			ageWeights[i] = 3
+		default:
+			ageWeights[i] = 1
+		}
+	}
+
+	genders := []string{"Male", "Female"}
+	races := []string{"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"}
+	maritals := []string{
+		"Married-civ-spouse", "Never-married", "Divorced", "Separated",
+		"Widowed", "Married-spouse-absent", "Married-AF-spouse",
+	}
+	educations := []string{
+		"HS-grad", "Some-college", "Bachelors", "Masters", "Assoc-voc",
+		"11th", "Assoc-acdm", "10th", "7th-8th", "Prof-school", "9th",
+		"12th", "Doctorate", "5th-6th", "1st-4th", "Preschool",
+	}
+	countries := []string{
+		"United-States", "Mexico", "Philippines", "Germany", "Canada",
+		"Puerto-Rico", "El-Salvador", "India", "Cuba", "England", "Jamaica",
+		"South", "China", "Italy", "Dominican-Republic", "Vietnam",
+		"Guatemala", "Japan", "Poland", "Columbia", "Taiwan", "Haiti",
+		"Iran", "Portugal", "Nicaragua", "Peru", "Greece", "France",
+		"Ecuador", "Ireland", "Hong", "Cambodia", "Trinadad&Tobago", "Laos",
+		"Thailand", "Yugoslavia", "Outlying-US", "Hungary", "Honduras",
+		"Scotland", "Holand-Netherlands",
+	}
+	workclasses := []string{
+		"Private", "Self-emp-not-inc", "Local-gov", "State-gov",
+		"Self-emp-inc", "Federal-gov", "Without-pay",
+	}
+	occupations := []string{
+		"Prof-specialty", "Craft-repair", "Exec-managerial", "Adm-clerical",
+		"Sales", "Other-service", "Machine-op-inspct", "Transport-moving",
+		"Handlers-cleaners", "Farming-fishing", "Tech-support",
+		"Protective-serv", "Priv-house-serv", "Armed-Forces",
+	}
+	salaries := []string{"<=50K", ">50K"}
+
+	// Pre-register every pool value so the Fig. 9 cardinalities hold in the
+	// dictionaries regardless of sampling, and hierarchies bind over the
+	// full domains.
+	pools := [][]string{ages, genders, races, maritals, educations, countries, workclasses, occupations, salaries}
+	for col, pool := range pools {
+		for _, v := range pool {
+			t.Dict(col).Encode(v)
+		}
+	}
+
+	samplers := []*sampler{
+		newWeighted(ageWeights),
+		newWeighted([]float64{0.67, 0.33}),
+		newWeighted([]float64{0.855, 0.093, 0.031, 0.010, 0.011}),
+		newWeighted([]float64{0.46, 0.33, 0.14, 0.031, 0.031, 0.013, 0.001}),
+		newZipfish(len(educations), 1.5),
+		newZipfish(len(countries), 0.05),
+		newWeighted([]float64{0.74, 0.079, 0.064, 0.040, 0.034, 0.030, 0.001}),
+		newZipfish(len(occupations), 3),
+		newWeighted([]float64{0.75, 0.25}),
+	}
+	codes := make([]int32, len(order))
+	for r := 0; r < rows; r++ {
+		for c, s := range samplers {
+			codes[c] = int32(s.pick(rng))
+		}
+		if err := t.AppendCoded(codes); err != nil {
+			panic(err)
+		}
+	}
+
+	specs := map[string]*hierarchy.Spec{
+		// "5-, 10-, 20-year ranges (4)".
+		"Age": hierarchy.IntervalSpec("Age", 0, 5, 10, 20),
+		// "Suppression (1)".
+		"Gender": hierarchy.SuppressionSpec("Gender"),
+		"Race":   hierarchy.SuppressionSpec("Race"),
+		// "Taxonomy tree (2)".
+		"Marital Status": hierarchy.Taxonomy("Marital",
+			map[string]string{
+				"Married-civ-spouse": "Married", "Married-AF-spouse": "Married",
+				"Married-spouse-absent": "Married", "Divorced": "Was-married",
+				"Separated": "Was-married", "Widowed": "Was-married",
+				"Never-married": "Never-married",
+			},
+			suppressAll("Married", "Was-married", "Never-married"),
+		),
+		// "Taxonomy tree (3)".
+		"Education": hierarchy.Taxonomy("Edu",
+			map[string]string{
+				"Preschool": "Primary", "1st-4th": "Primary", "5th-6th": "Primary", "7th-8th": "Primary",
+				"9th": "Secondary", "10th": "Secondary", "11th": "Secondary", "12th": "Secondary", "HS-grad": "Secondary",
+				"Some-college": "Some-post-secondary", "Assoc-voc": "Some-post-secondary", "Assoc-acdm": "Some-post-secondary",
+				"Bachelors": "Undergraduate",
+				"Masters":   "Graduate", "Doctorate": "Graduate", "Prof-school": "Graduate",
+			},
+			map[string]string{
+				"Primary": "Without-post-secondary", "Secondary": "Without-post-secondary",
+				"Some-post-secondary": "Post-secondary", "Undergraduate": "Post-secondary", "Graduate": "Post-secondary",
+			},
+			suppressAll("Without-post-secondary", "Post-secondary"),
+		),
+		// "Taxonomy tree (2)".
+		"Native Country": hierarchy.Taxonomy("Country",
+			countryContinents(countries),
+			suppressAll("Americas", "Europe", "Asia"),
+		),
+		// "Taxonomy tree (2)".
+		"Work Class": hierarchy.Taxonomy("Work",
+			map[string]string{
+				"Private":          "Private",
+				"Self-emp-not-inc": "Self-employed", "Self-emp-inc": "Self-employed",
+				"Federal-gov": "Government", "Local-gov": "Government", "State-gov": "Government",
+				"Without-pay": "Unpaid",
+			},
+			suppressAll("Private", "Self-employed", "Government", "Unpaid"),
+		),
+		// "Taxonomy tree (2)".
+		"Occupation": hierarchy.Taxonomy("Occ",
+			map[string]string{
+				"Exec-managerial": "White-collar", "Prof-specialty": "White-collar",
+				"Sales": "White-collar", "Adm-clerical": "White-collar", "Tech-support": "White-collar",
+				"Craft-repair": "Blue-collar", "Handlers-cleaners": "Blue-collar",
+				"Machine-op-inspct": "Blue-collar", "Farming-fishing": "Blue-collar",
+				"Transport-moving": "Blue-collar",
+				"Other-service":    "Service", "Priv-house-serv": "Service", "Protective-serv": "Service",
+				"Armed-Forces": "Other-occupation",
+			},
+			suppressAll("White-collar", "Blue-collar", "Service", "Other-occupation"),
+		),
+		// "Suppression (1)".
+		"Salary Class": hierarchy.SuppressionSpec("Salary"),
+	}
+	cols, hs := bind(t, specs, order)
+	d := &Dataset{Name: "Adults", Table: t, QICols: cols, Hierarchies: hs}
+	d.Info = []AttrInfo{
+		{"Age", 74, "5-, 10-, 20-year ranges", 4},
+		{"Gender", 2, "Suppression", 1},
+		{"Race", 5, "Suppression", 1},
+		{"Marital Status", 7, "Taxonomy tree", 2},
+		{"Education", 16, "Taxonomy tree", 3},
+		{"Native Country", 41, "Taxonomy tree", 2},
+		{"Work Class", 7, "Taxonomy tree", 2},
+		{"Occupation", 14, "Taxonomy tree", 2},
+		{"Salary Class", 2, "Suppression", 1},
+	}
+	return d
+}
+
+// suppressAll maps every listed value to "*" — the top level of a taxonomy.
+func suppressAll(values ...string) map[string]string {
+	m := make(map[string]string, len(values))
+	for _, v := range values {
+		m[v] = hierarchy.SuppressionValue
+	}
+	return m
+}
+
+// countryContinents assigns each of the 41 countries to a continent group.
+func countryContinents(countries []string) map[string]string {
+	continent := map[string]string{
+		"United-States": "Americas", "Mexico": "Americas", "Canada": "Americas",
+		"Puerto-Rico": "Americas", "El-Salvador": "Americas", "Cuba": "Americas",
+		"Jamaica": "Americas", "Dominican-Republic": "Americas", "Guatemala": "Americas",
+		"Columbia": "Americas", "Haiti": "Americas", "Nicaragua": "Americas",
+		"Peru": "Americas", "Ecuador": "Americas", "Trinadad&Tobago": "Americas",
+		"Outlying-US": "Americas", "Honduras": "Americas",
+		"Germany": "Europe", "England": "Europe", "Italy": "Europe",
+		"Poland": "Europe", "Portugal": "Europe", "Greece": "Europe",
+		"France": "Europe", "Ireland": "Europe", "Yugoslavia": "Europe",
+		"Hungary": "Europe", "Scotland": "Europe", "Holand-Netherlands": "Europe",
+		"Philippines": "Asia", "India": "Asia", "South": "Asia", "China": "Asia",
+		"Vietnam": "Asia", "Japan": "Asia", "Taiwan": "Asia", "Iran": "Asia",
+		"Hong": "Asia", "Cambodia": "Asia", "Laos": "Asia", "Thailand": "Asia",
+	}
+	out := make(map[string]string, len(countries))
+	for _, c := range countries {
+		g, ok := continent[c]
+		if !ok {
+			panic("dataset: country without continent: " + c)
+		}
+		out[c] = g
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package dataset provides the data substrates of the paper's evaluation:
+// the Patients running example (Fig. 1) with its hierarchies (Fig. 2), and
+// deterministic synthetic generators for the Adults and Lands End databases
+// matching the schemas, cardinalities, and hierarchy heights of Fig. 9.
+// The real Adults file is a UCI download and the Lands End data was
+// proprietary; the generators reproduce every property the algorithms are
+// sensitive to (see DESIGN.md §3).
+package dataset
+
+import (
+	"fmt"
+
+	"incognito/internal/hierarchy"
+	"incognito/internal/relation"
+)
+
+// Dataset bundles a table with bound generalization hierarchies for its
+// quasi-identifier columns. QICols and Hierarchies are parallel; their
+// order is the canonical quasi-identifier order used by the experiments.
+type Dataset struct {
+	Name        string
+	Table       *relation.Table
+	QICols      []int
+	Hierarchies []*hierarchy.Hierarchy
+	// Info describes the quasi-identifier the way Fig. 9 does (full-domain
+	// distinct values, generalization kind, hierarchy height); nil for toy
+	// datasets.
+	Info []AttrInfo
+}
+
+// QISubset returns the first n quasi-identifier columns and hierarchies —
+// the experiments vary quasi-identifier size by taking prefixes of the
+// attribute lists of Fig. 9.
+func (d *Dataset) QISubset(n int) (cols []int, hs []*hierarchy.Hierarchy, err error) {
+	if n < 1 || n > len(d.QICols) {
+		return nil, nil, fmt.Errorf("dataset %s: QI size %d out of range [1, %d]", d.Name, n, len(d.QICols))
+	}
+	return d.QICols[:n], d.Hierarchies[:n], nil
+}
+
+// bind binds each spec to its table column and fails loudly: these are
+// statically known hierarchies, so an error is a programming bug.
+func bind(t *relation.Table, specs map[string]*hierarchy.Spec, order []string) ([]int, []*hierarchy.Hierarchy) {
+	cols := make([]int, len(order))
+	hs := make([]*hierarchy.Hierarchy, len(order))
+	for i, name := range order {
+		col := t.ColumnIndex(name)
+		if col < 0 {
+			panic(fmt.Sprintf("dataset: no column %q", name))
+		}
+		h, err := specs[name].Bind(t.Dict(col))
+		if err != nil {
+			panic(fmt.Sprintf("dataset: binding %s: %v", name, err))
+		}
+		cols[i] = col
+		hs[i] = h
+	}
+	return cols, hs
+}

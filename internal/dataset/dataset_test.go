@@ -1,0 +1,201 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPatientsShape(t *testing.T) {
+	d := Patients()
+	if d.Table.NumRows() != 6 || d.Table.NumCols() != 4 {
+		t.Fatalf("Patients is %dx%d, want 6x4", d.Table.NumRows(), d.Table.NumCols())
+	}
+	if len(d.QICols) != 3 || len(d.Hierarchies) != 3 {
+		t.Fatalf("Patients QI has %d attributes, want 3", len(d.QICols))
+	}
+	wantHeights := []int{1, 1, 2} // Birthdate, Sex, Zipcode (Fig. 2)
+	for i, h := range d.Hierarchies {
+		if h.Height() != wantHeights[i] {
+			t.Fatalf("hierarchy %d height = %d, want %d", i, h.Height(), wantHeights[i])
+		}
+	}
+	if g, _ := d.Hierarchies[2].GeneralizeValue(1, "53715"); g != "5371*" {
+		t.Fatalf("Zipcode generalization broken: %q", g)
+	}
+}
+
+func TestVoters(t *testing.T) {
+	v := Voters()
+	if v.NumRows() != 5 {
+		t.Fatalf("Voters has %d rows, want 5", v.NumRows())
+	}
+	if v.ColumnIndex("Name") < 0 {
+		t.Fatal("Voters missing Name column")
+	}
+}
+
+// TestAdultsMatchesFigure9 asserts the generator reproduces the published
+// schema exactly: distinct-value counts and hierarchy heights per attribute.
+func TestAdultsMatchesFigure9(t *testing.T) {
+	d := Adults(1000, 1)
+	wantDistinct := []int{74, 2, 5, 7, 16, 41, 7, 14, 2}
+	wantHeights := []int{4, 1, 1, 2, 3, 2, 2, 2, 1}
+	if len(d.QICols) != 9 {
+		t.Fatalf("Adults QI size = %d, want 9", len(d.QICols))
+	}
+	for i, col := range d.QICols {
+		if got := d.Table.Dict(col).Len(); got != wantDistinct[i] {
+			t.Fatalf("attribute %d (%s): %d distinct values, want %d",
+				i+1, d.Table.Columns()[col], got, wantDistinct[i])
+		}
+		if got := d.Hierarchies[i].Height(); got != wantHeights[i] {
+			t.Fatalf("attribute %d (%s): height %d, want %d",
+				i+1, d.Table.Columns()[col], got, wantHeights[i])
+		}
+	}
+	if d.Table.NumRows() != 1000 {
+		t.Fatalf("rows = %d, want 1000", d.Table.NumRows())
+	}
+	// The Info block must agree with the bound hierarchies.
+	for i, info := range d.Info {
+		if info.DistinctValues != wantDistinct[i] || info.Height != wantHeights[i] {
+			t.Fatalf("Info[%d] = %+v disagrees with Fig. 9", i, info)
+		}
+	}
+}
+
+func TestLandsEndMatchesFigure9(t *testing.T) {
+	d := LandsEnd(500, 1)
+	wantDistinct := []int{31953, 320, 2, 1509, 346, 1, 1412, 2}
+	wantHeights := []int{5, 3, 1, 1, 4, 1, 4, 1}
+	if len(d.QICols) != 8 {
+		t.Fatalf("Lands End QI size = %d, want 8", len(d.QICols))
+	}
+	for i, col := range d.QICols {
+		if got := d.Table.Dict(col).Len(); got != wantDistinct[i] {
+			t.Fatalf("attribute %d (%s): %d distinct values, want %d",
+				i+1, d.Table.Columns()[col], got, wantDistinct[i])
+		}
+		if got := d.Hierarchies[i].Height(); got != wantHeights[i] {
+			t.Fatalf("attribute %d (%s): height %d, want %d",
+				i+1, d.Table.Columns()[col], got, wantHeights[i])
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a1 := Adults(200, 42)
+	a2 := Adults(200, 42)
+	if !reflect.DeepEqual(a1.Table.Rows(), a2.Table.Rows()) {
+		t.Fatal("Adults not deterministic for equal seeds")
+	}
+	a3 := Adults(200, 43)
+	if reflect.DeepEqual(a1.Table.Rows(), a3.Table.Rows()) {
+		t.Fatal("Adults identical across different seeds")
+	}
+	l1 := LandsEnd(200, 7)
+	l2 := LandsEnd(200, 7)
+	if !reflect.DeepEqual(l1.Table.Rows(), l2.Table.Rows()) {
+		t.Fatal("LandsEnd not deterministic for equal seeds")
+	}
+}
+
+func TestQISubset(t *testing.T) {
+	d := Adults(50, 1)
+	cols, hs, err := d.QISubset(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 || len(hs) != 3 {
+		t.Fatalf("QISubset(3) returned %d cols, %d hierarchies", len(cols), len(hs))
+	}
+	// The prefix order matches Fig. 9: Age, Gender, Race.
+	if d.Table.Columns()[cols[0]] != "Age" || d.Table.Columns()[cols[2]] != "Race" {
+		t.Fatalf("QISubset order wrong: %v", cols)
+	}
+	if _, _, err := d.QISubset(0); err == nil {
+		t.Fatal("QISubset(0) accepted")
+	}
+	if _, _, err := d.QISubset(10); err == nil {
+		t.Fatal("QISubset(10) accepted")
+	}
+}
+
+func TestAdultsValuesWellFormed(t *testing.T) {
+	d := Adults(300, 5)
+	ageCol := d.Table.ColumnIndex("Age")
+	for r := 0; r < d.Table.NumRows(); r++ {
+		age := d.Table.Value(r, ageCol)
+		if len(age) != 2 {
+			t.Fatalf("age %q is not two digits", age)
+		}
+	}
+	// Every age generalizes cleanly through all four levels.
+	h := d.Hierarchies[0]
+	if g, err := h.GeneralizeValue(1, "23"); err != nil || g != "[20-25)" {
+		t.Fatalf("age level 1 of 23 = %q, %v", g, err)
+	}
+	if g, _ := h.GeneralizeValue(4, "23"); g != "*" {
+		t.Fatalf("age level 4 = %q, want *", g)
+	}
+}
+
+func TestLandsEndValuesWellFormed(t *testing.T) {
+	d := LandsEnd(300, 5)
+	zipCol := d.Table.ColumnIndex("Zipcode")
+	dateCol := d.Table.ColumnIndex("Order Date")
+	qtyCol := d.Table.ColumnIndex("Quantity")
+	for r := 0; r < d.Table.NumRows(); r++ {
+		if z := d.Table.Value(r, zipCol); len(z) != 5 {
+			t.Fatalf("zip %q is not five digits", z)
+		}
+		if q := d.Table.Value(r, qtyCol); q != "1" {
+			t.Fatalf("quantity %q, want 1", q)
+		}
+		_ = dateCol
+	}
+	// Zip rounds through all five levels.
+	h := d.Hierarchies[0]
+	if g, _ := h.GeneralizeValue(5, "00601"); g != "*****" {
+		t.Fatalf("fully rounded zip = %q", g)
+	}
+	// Dates roll to month and year.
+	dh := d.Hierarchies[1]
+	if g, _ := dh.GeneralizeValue(1, "1/1/01"); g != "1/01" {
+		t.Fatalf("month of 1/1/01 = %q", g)
+	}
+	if g, _ := dh.GeneralizeValue(2, "1/1/01"); g != "01" {
+		t.Fatalf("year of 1/1/01 = %q", g)
+	}
+}
+
+func TestZeroRowGenerators(t *testing.T) {
+	a := Adults(0, 1)
+	if a.Table.NumRows() != 0 {
+		t.Fatal("Adults(0) produced rows")
+	}
+	// Hierarchies still bind over the full pools.
+	if a.Table.Dict(a.QICols[5]).Len() != 41 {
+		t.Fatal("pools not registered without rows")
+	}
+	l := LandsEnd(0, 1)
+	if l.Table.NumRows() != 0 {
+		t.Fatal("LandsEnd(0) produced rows")
+	}
+}
+
+func TestSamplerSkew(t *testing.T) {
+	// A zipf-ish sampler must put more mass on early indexes.
+	d := Adults(5000, 9)
+	countryCol := d.Table.ColumnIndex("Native Country")
+	counts := make(map[string]int)
+	for r := 0; r < d.Table.NumRows(); r++ {
+		counts[d.Table.Value(r, countryCol)]++
+	}
+	if counts["United-States"] < counts["Holand-Netherlands"] {
+		t.Fatal("country skew inverted: US should dominate")
+	}
+	if counts["United-States"] < d.Table.NumRows()/2 {
+		t.Fatalf("US share too small: %d of %d", counts["United-States"], d.Table.NumRows())
+	}
+}

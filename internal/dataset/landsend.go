@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"incognito/internal/hierarchy"
+	"incognito/internal/relation"
+)
+
+// LandsEndFullRows is the size of the original point-of-sale table
+// (4,591,581 records, §4.1). The data was proprietary; the generator below
+// reproduces the Fig. 9 schema — eight quasi-identifier attributes with the
+// same full-domain cardinalities (31,953 zipcodes, 320 order dates, 1,509
+// styles, 346 prices, 1,412 costs, …) and the same hierarchy heights
+// (5, 3, 1, 1, 4, 1, 4, 1) — at any row count.
+const LandsEndFullRows = 4591581
+
+// Cardinalities of the Lands End attribute pools, from Fig. 9.
+const (
+	landsEndZipcodes = 31953
+	landsEndDates    = 320
+	landsEndStyles   = 1509
+	landsEndPrices   = 346
+	landsEndCosts    = 1412
+)
+
+// LandsEnd builds the synthetic Lands End point-of-sale table. Row counts
+// below the pool sizes naturally realize fewer distinct values per column,
+// exactly as a sample of the original table would; the dictionaries always
+// carry the full Fig. 9 domains. Deterministic in (rows, seed).
+func LandsEnd(rows int, seed int64) *Dataset {
+	if rows < 0 {
+		panic("dataset: negative row count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	order := []string{
+		"Zipcode", "Order Date", "Gender", "Style", "Price", "Quantity", "Cost", "Shipment",
+	}
+	t := relation.MustNewTable(order...)
+
+	// Zipcode: 31,953 distinct 5-digit codes. Stride 3 is coprime with
+	// 10^5, so the pool has no duplicates.
+	zips := make([]string, landsEndZipcodes)
+	for i := range zips {
+		zips[i] = fmt.Sprintf("%05d", (601+3*i)%100000)
+	}
+	// Order Date: 320 distinct M/D/01 dates (first 320 of a 12×28 grid).
+	dates := make([]string, landsEndDates)
+	for i := range dates {
+		dates[i] = fmt.Sprintf("%d/%d/01", i/28+1, i%28+1)
+	}
+	genders := []string{"F", "M"}
+	styles := make([]string, landsEndStyles)
+	for i := range styles {
+		styles[i] = fmt.Sprintf("ST%04d", i+1)
+	}
+	// Price: 346 distinct 4-digit cent amounts ($9.99 .. $99.69).
+	prices := make([]string, landsEndPrices)
+	for i := range prices {
+		prices[i] = fmt.Sprintf("%04d", 999+26*i)
+	}
+	quantities := []string{"1"} // Fig. 9: Quantity has a single distinct value.
+	// Cost: 1,412 distinct 5-digit cent amounts.
+	costs := make([]string, landsEndCosts)
+	for i := range costs {
+		costs[i] = fmt.Sprintf("%05d", 1000+7*i)
+	}
+	shipments := []string{"Standard", "Express"}
+
+	pools := [][]string{zips, dates, genders, styles, prices, quantities, costs, shipments}
+	for col, pool := range pools {
+		for _, v := range pool {
+			t.Dict(col).Encode(v)
+		}
+	}
+
+	samplers := []*sampler{
+		newZipfish(landsEndZipcodes, 200), // many zipcodes, mild head
+		newZipfish(landsEndDates, 40),     // seasonal skew
+		newWeighted([]float64{0.62, 0.38}),
+		newZipfish(landsEndStyles, 10), // best-sellers dominate
+		newZipfish(landsEndPrices, 20),
+		newWeighted([]float64{1}),
+		newZipfish(landsEndCosts, 30),
+		newWeighted([]float64{0.85, 0.15}),
+	}
+	codes := make([]int32, len(order))
+	for r := 0; r < rows; r++ {
+		for c, s := range samplers {
+			codes[c] = int32(s.pick(rng))
+		}
+		if err := t.AppendCoded(codes); err != nil {
+			panic(err)
+		}
+	}
+
+	specs := map[string]*hierarchy.Spec{
+		// "Round each digit (5)".
+		"Zipcode": hierarchy.RoundDigitsSpec("Zip", 5),
+		// "Taxonomy tree (3)": date → month → year → *.
+		"Order Date": hierarchy.DateSpec("Date"),
+		// "Suppression (1)".
+		"Gender": hierarchy.SuppressionSpec("Gender"),
+		"Style":  hierarchy.SuppressionSpec("Style"),
+		// "Round each digit (4)".
+		"Price": hierarchy.RoundDigitsSpec("Price", 4),
+		// "Suppression (1)".
+		"Quantity": hierarchy.SuppressionSpec("Qty"),
+		// "Round each digit (4)".
+		"Cost": hierarchy.RoundDigitsSpec("Cost", 4),
+		// "Suppression (1)".
+		"Shipment": hierarchy.SuppressionSpec("Ship"),
+	}
+	cols, hs := bind(t, specs, order)
+	d := &Dataset{Name: "Lands End", Table: t, QICols: cols, Hierarchies: hs}
+	d.Info = []AttrInfo{
+		{"Zipcode", landsEndZipcodes, "Round each digit", 5},
+		{"Order Date", landsEndDates, "Taxonomy tree", 3},
+		{"Gender", 2, "Suppression", 1},
+		{"Style", landsEndStyles, "Suppression", 1},
+		{"Price", landsEndPrices, "Round each digit", 4},
+		{"Quantity", 1, "Suppression", 1},
+		{"Cost", landsEndCosts, "Round each digit", 4},
+		{"Shipment", 2, "Suppression", 1},
+	}
+	return d
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"incognito/internal/hierarchy"
+	"incognito/internal/relation"
+)
+
+// Patients builds the running example of the paper: the Hospital Patient
+// Data table of Fig. 1 with the Birthdate, Sex, and Zipcode hierarchies of
+// Fig. 2. The quasi-identifier order is ⟨Birthdate, Sex, Zipcode⟩.
+func Patients() *Dataset {
+	t, err := relation.FromRows(
+		[]string{"Birthdate", "Sex", "Zipcode", "Disease"},
+		[][]string{
+			{"1/21/76", "Male", "53715", "Flu"},
+			{"4/13/86", "Female", "53715", "Hepatitis"},
+			{"2/28/76", "Male", "53703", "Brochitis"},
+			{"1/21/76", "Male", "53703", "Broken Arm"},
+			{"4/13/86", "Female", "53706", "Sprained Ankle"},
+			{"2/28/76", "Female", "53706", "Hang Nail"},
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+	specs := map[string]*hierarchy.Spec{
+		// Fig. 2(c,d): B0 = {1/21/76, 2/28/76, 4/13/86}, B1 = {*}.
+		"Birthdate": hierarchy.SuppressionSpec("B"),
+		// Fig. 2(e,f): S0 = {Male, Female}, S1 = {Person}.
+		"Sex": hierarchy.Taxonomy("S", map[string]string{"Male": "Person", "Female": "Person"}),
+		// Fig. 2(a,b): Z0 = zip5, Z1 = zip4*, Z2 = zip3**.
+		"Zipcode": hierarchy.RoundDigitsSpec("Z", 2),
+	}
+	cols, hs := bind(t, specs, []string{"Birthdate", "Sex", "Zipcode"})
+	return &Dataset{Name: "Patients", Table: t, QICols: cols, Hierarchies: hs}
+}
+
+// Voters builds the Voter Registration Data table of Fig. 1, used by
+// examples to demonstrate the joining attack k-anonymization defends
+// against.
+func Voters() *relation.Table {
+	t, err := relation.FromRows(
+		[]string{"Name", "Birthdate", "Sex", "Zipcode"},
+		[][]string{
+			{"Andre", "1/21/76", "Male", "53715"},
+			{"Beth", "1/10/81", "Female", "55410"},
+			{"Carol", "10/1/44", "Female", "90210"},
+			{"Dan", "2/21/84", "Male", "02174"},
+			{"Ellen", "4/19/72", "Female", "02237"},
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

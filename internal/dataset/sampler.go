@@ -1,0 +1,58 @@
+package dataset
+
+import "math/rand"
+
+// sampler draws indexes from a finite pool under a fixed discrete
+// distribution, deterministically given the caller's *rand.Rand. It is the
+// building block of the synthetic generators: the paper's algorithms are
+// sensitive to value cardinalities and skew, not to the identities of the
+// values, so every attribute is a pool plus a skew.
+type sampler struct {
+	cum []float64
+}
+
+// newWeighted builds a sampler over explicit weights.
+func newWeighted(weights []float64) *sampler {
+	s := &sampler{cum: make([]float64, len(weights))}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("dataset: negative weight")
+		}
+		total += w
+		s.cum[i] = total
+	}
+	if total <= 0 {
+		panic("dataset: zero total weight")
+	}
+	for i := range s.cum {
+		s.cum[i] /= total
+	}
+	return s
+}
+
+// newZipfish builds a sampler over pool items with weight 1/(rank+shift):
+// a heavy head and a long tail, the shape of zipcodes, product styles, and
+// similar retail attributes. Larger shift flattens the distribution.
+func newZipfish(pool int, shift float64) *sampler {
+	w := make([]float64, pool)
+	for i := range w {
+		w[i] = 1 / (float64(i) + shift)
+	}
+	return newWeighted(w)
+}
+
+// pick draws one index.
+func (s *sampler) pick(rng *rand.Rand) int {
+	x := rng.Float64()
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,85 @@
+package hierarchy
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"incognito/internal/relation"
+)
+
+// FromDimensionRows builds a Spec from an explicit, fully materialized
+// dimension table: each record lists a base value followed by its
+// generalization at every level, most specific first — exactly the row
+// format of the star-schema dimension tables of Fig. 4/Fig. 6 (and the
+// interchange format popularized by the ARX toolkit). names optionally
+// supplies the level names (len(names) == record length − 1); pass nil for
+// generated names.
+//
+// All records must have the same length (≥ 2) and distinct base values;
+// chain well-formedness (each induced γ many-to-one) is verified when the
+// spec is bound.
+func FromDimensionRows(attr string, records [][]string, names []string) (*Spec, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("hierarchy %s: empty dimension table", attr)
+	}
+	width := len(records[0])
+	if width < 2 {
+		return nil, fmt.Errorf("hierarchy %s: dimension rows need a base value and at least one level", attr)
+	}
+	if names != nil && len(names) != width-1 {
+		return nil, fmt.Errorf("hierarchy %s: %d level names for %d levels", attr, len(names), width-1)
+	}
+	perLevel := make([]map[string]string, width-1)
+	for l := range perLevel {
+		perLevel[l] = make(map[string]string, len(records))
+	}
+	seen := make(map[string]bool, len(records))
+	for i, rec := range records {
+		if len(rec) != width {
+			return nil, fmt.Errorf("hierarchy %s: record %d has %d values, want %d", attr, i, len(rec), width)
+		}
+		base := rec[0]
+		if seen[base] {
+			return nil, fmt.Errorf("hierarchy %s: duplicate base value %q", attr, base)
+		}
+		seen[base] = true
+		for l := 1; l < width; l++ {
+			perLevel[l-1][base] = rec[l]
+		}
+	}
+	levels := make([]Level, width-1)
+	for l := range levels {
+		name := fmt.Sprintf("%s%d", attr, l+1)
+		if names != nil {
+			name = names[l]
+		}
+		levels[l] = Mapped(name, perLevel[l])
+	}
+	return NewSpec(attr, levels...), nil
+}
+
+// ReadDimensionCSV reads a dimension table from CSV. With header true, the
+// first record's trailing columns name the levels.
+func ReadDimensionCSV(attr string, r io.Reader, header bool) (*Spec, error) {
+	t, err := relation.ReadCSV(r, header)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy %s: %w", attr, err)
+	}
+	var names []string
+	if header {
+		names = t.Columns()[1:]
+	}
+	return FromDimensionRows(attr, t.Rows(), names)
+}
+
+// LoadDimensionCSV reads a dimension table from the named CSV file, whose
+// first record is treated as a header naming the levels.
+func LoadDimensionCSV(attr, path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDimensionCSV(attr, f, true)
+}

@@ -1,0 +1,138 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+
+	"incognito/internal/relation"
+)
+
+func TestFromDimensionRows(t *testing.T) {
+	rows := [][]string{
+		{"53715", "5371*", "537**"},
+		{"53710", "5371*", "537**"},
+		{"53706", "5370*", "537**"},
+		{"53703", "5370*", "537**"},
+	}
+	spec, err := FromDimensionRows("Z", rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := spec.Bind(zipDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Height() != 2 || h.LevelSize(1) != 2 || h.LevelSize(2) != 1 {
+		t.Fatalf("wrong shape: height %d, |L1| %d, |L2| %d", h.Height(), h.LevelSize(1), h.LevelSize(2))
+	}
+	if g, _ := h.GeneralizeValue(1, "53706"); g != "5370*" {
+		t.Fatalf("γ(53706) = %q", g)
+	}
+}
+
+// TestDimensionTableRoundTrip: rendering a hierarchy as its dimension table
+// and rebuilding from those rows yields the same value mappings.
+func TestDimensionTableRoundTrip(t *testing.T) {
+	orig, err := RoundDigitsSpec("Z", 3).Bind(zipDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := FromDimensionRows("Z", orig.DimensionTable().Rows(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := spec.Bind(zipDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Height() != orig.Height() {
+		t.Fatalf("height changed: %d vs %d", back.Height(), orig.Height())
+	}
+	for l := 0; l <= orig.Height(); l++ {
+		for b := 0; b < orig.LevelSize(0); b++ {
+			base := orig.Value(0, int32(b))
+			g1, _ := orig.GeneralizeValue(l, base)
+			g2, _ := back.GeneralizeValue(l, base)
+			if g1 != g2 {
+				t.Fatalf("level %d of %q: %q vs %q", l, base, g1, g2)
+			}
+		}
+	}
+}
+
+func TestFromDimensionRowsErrors(t *testing.T) {
+	if _, err := FromDimensionRows("Z", nil, nil); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	if _, err := FromDimensionRows("Z", [][]string{{"only-base"}}, nil); err == nil {
+		t.Fatal("levelless rows accepted")
+	}
+	if _, err := FromDimensionRows("Z", [][]string{{"a", "x"}, {"a", "y"}}, nil); err == nil {
+		t.Fatal("duplicate base value accepted")
+	}
+	if _, err := FromDimensionRows("Z", [][]string{{"a", "x"}, {"b", "x", "y"}}, nil); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := FromDimensionRows("Z", [][]string{{"a", "x"}}, []string{"L1", "L2"}); err == nil {
+		t.Fatal("wrong name count accepted")
+	}
+}
+
+func TestFromDimensionRowsIllFormedChainRejectedAtBind(t *testing.T) {
+	// a and b share level 1 but split at level 2: not a DGH.
+	rows := [][]string{
+		{"a", "G", "P"},
+		{"b", "G", "Q"},
+	}
+	spec, err := FromDimensionRows("X", rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := relation.NewDict()
+	d.Encode("a")
+	d.Encode("b")
+	if _, err := spec.Bind(d); err == nil {
+		t.Fatal("ill-formed chain accepted at Bind")
+	}
+}
+
+func TestReadDimensionCSV(t *testing.T) {
+	csv := "base,Region,Country\nMadison,Midwest,USA\nAustin,South,USA\n"
+	spec, err := ReadDimensionCSV("City", strings.NewReader(csv), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := relation.NewDict()
+	d.Encode("Madison")
+	d.Encode("Austin")
+	h, err := spec.Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LevelName(1) != "Region" || h.LevelName(2) != "Country" {
+		t.Fatalf("level names = %q, %q", h.LevelName(1), h.LevelName(2))
+	}
+	if g, _ := h.GeneralizeValue(2, "Madison"); g != "USA" {
+		t.Fatalf("country of Madison = %q", g)
+	}
+	// Bind must reject tables with values outside the dimension rows.
+	d2 := relation.NewDict()
+	d2.Encode("Paris")
+	if _, err := spec.Bind(d2); err == nil {
+		t.Fatal("value outside the dimension table accepted")
+	}
+	// Headerless variant.
+	spec2, err := ReadDimensionCSV("City", strings.NewReader("Madison,Midwest\nAustin,South\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3 := relation.NewDict()
+	d3.Encode("Austin")
+	h2, err := spec2.Bind(d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := h2.GeneralizeValue(1, "Austin"); g != "South" {
+		t.Fatalf("region = %q", g)
+	}
+}

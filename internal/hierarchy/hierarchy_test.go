@@ -1,0 +1,335 @@
+package hierarchy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"incognito/internal/relation"
+)
+
+// zipDict returns a dictionary holding the Z0 domain of Fig. 2(a).
+func zipDict() *relation.Dict {
+	d := relation.NewDict()
+	for _, z := range []string{"53715", "53710", "53706", "53703"} {
+		d.Encode(z)
+	}
+	return d
+}
+
+func TestFigure2ZipcodeHierarchy(t *testing.T) {
+	h, err := RoundDigitsSpec("Z", 2).Bind(zipDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Height() != 2 || h.NumLevels() != 3 {
+		t.Fatalf("Height = %d, NumLevels = %d; want 2, 3", h.Height(), h.NumLevels())
+	}
+	// Z1 = {5371*, 5370*}; Z2 = {537**} — Fig. 2(a).
+	if h.LevelSize(1) != 2 {
+		t.Fatalf("|Z1| = %d, want 2", h.LevelSize(1))
+	}
+	if h.LevelSize(2) != 1 {
+		t.Fatalf("|Z2| = %d, want 1", h.LevelSize(2))
+	}
+	// Fig. 2(b): 5371* = γ(53715) and 537** ∈ γ+(53715).
+	if got, _ := h.GeneralizeValue(1, "53715"); got != "5371*" {
+		t.Fatalf("γ(53715) = %q, want 5371*", got)
+	}
+	if got, _ := h.GeneralizeValue(2, "53715"); got != "537**" {
+		t.Fatalf("γ+(53715) at Z2 = %q, want 537**", got)
+	}
+	if got, _ := h.GeneralizeValue(1, "53703"); got != "5370*" {
+		t.Fatalf("γ(53703) = %q, want 5370*", got)
+	}
+	if got, _ := h.GeneralizeValue(0, "53703"); got != "53703" {
+		t.Fatalf("level-0 generalization changed the value: %q", got)
+	}
+}
+
+func TestFigure2SexHierarchy(t *testing.T) {
+	d := relation.NewDict()
+	d.Encode("Male")
+	d.Encode("Female")
+	h, err := Taxonomy("S", map[string]string{"Male": "Person", "Female": "Person"}).Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Height() != 1 {
+		t.Fatalf("Height = %d, want 1", h.Height())
+	}
+	if got, _ := h.GeneralizeValue(1, "Female"); got != "Person" {
+		t.Fatalf("γ(Female) = %q, want Person", got)
+	}
+	if h.LevelSize(1) != 1 {
+		t.Fatalf("|S1| = %d, want 1", h.LevelSize(1))
+	}
+}
+
+func TestSuppressionSpec(t *testing.T) {
+	d := relation.NewDict()
+	for _, v := range []string{"1/21/76", "2/28/76", "4/13/86"} {
+		d.Encode(v)
+	}
+	h, err := SuppressionSpec("B").Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Height() != 1 || h.LevelSize(1) != 1 {
+		t.Fatalf("suppression hierarchy wrong shape: height %d, top size %d", h.Height(), h.LevelSize(1))
+	}
+	if got, _ := h.GeneralizeValue(1, "1/21/76"); got != SuppressionValue {
+		t.Fatalf("suppressed value = %q, want *", got)
+	}
+}
+
+func TestStepTablesComposeToMapTo(t *testing.T) {
+	h, err := RoundDigitsSpec("Z", 3).Bind(zipDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Composing step tables from the base must reproduce every mapTo table:
+	// γ+ is the composition of γ steps (§2).
+	for b := int32(0); int(b) < h.LevelSize(0); b++ {
+		c := b
+		for l := 0; l < h.Height(); l++ {
+			c = h.Step(l)[c]
+			if want := h.MapTo(l + 1)[b]; c != want {
+				t.Fatalf("step composition diverges at level %d for base %d: %d vs %d", l+1, b, c, want)
+			}
+		}
+	}
+}
+
+func TestBindRejectsNonTotalTaxonomy(t *testing.T) {
+	d := relation.NewDict()
+	d.Encode("Male")
+	d.Encode("Unknown") // not covered by the parent map
+	_, err := Taxonomy("S", map[string]string{"Male": "Person", "Female": "Person"}).Bind(d)
+	if err == nil {
+		t.Fatal("Bind accepted a taxonomy missing a base value")
+	}
+	if !strings.Contains(err.Error(), "Unknown") {
+		t.Fatalf("error does not name the offending value: %v", err)
+	}
+}
+
+func TestBindRejectsIllFormedGamma(t *testing.T) {
+	// Two base values share the level-1 value "G" but disagree at level 2 —
+	// the induced γ: D1 → D2 would be one-to-many, which is not a DGH.
+	d := relation.NewDict()
+	d.Encode("a")
+	d.Encode("b")
+	spec := NewSpec("X",
+		Mapped("X1", map[string]string{"a": "G", "b": "G"}),
+		Mapped("X2", map[string]string{"a": "P", "b": "Q"}),
+	)
+	if _, err := spec.Bind(d); err == nil {
+		t.Fatal("Bind accepted an ill-defined γ")
+	}
+}
+
+func TestBindRejectsBadSpecs(t *testing.T) {
+	d := relation.NewDict()
+	d.Encode("x")
+	if _, err := NewSpec("", Suppression("S1")).Bind(d); err == nil {
+		t.Fatal("empty attribute name accepted")
+	}
+	if _, err := NewSpec("A", Level{Name: "", FromBase: nil}).Bind(d); err == nil {
+		t.Fatal("empty level name accepted")
+	}
+	if _, err := NewSpec("A", Level{Name: "A1", FromBase: nil}).Bind(d); err == nil {
+		t.Fatal("nil level mapping accepted")
+	}
+}
+
+func TestIntervalLevels(t *testing.T) {
+	d := relation.NewDict()
+	for _, v := range []string{"17", "20", "23", "25", "39", "40"} {
+		d.Encode(v)
+	}
+	h, err := IntervalSpec("Age", 0, 5, 10, 20).Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Height() != 4 { // three range levels plus suppression
+		t.Fatalf("Height = %d, want 4", h.Height())
+	}
+	cases := []struct {
+		level int
+		base  string
+		want  string
+	}{
+		{1, "17", "[15-20)"},
+		{1, "20", "[20-25)"},
+		{1, "23", "[20-25)"},
+		{2, "23", "[20-30)"},
+		{2, "39", "[30-40)"},
+		{3, "39", "[20-40)"},
+		{3, "40", "[40-60)"},
+		{4, "17", "*"},
+	}
+	for _, c := range cases {
+		got, err := h.GeneralizeValue(c.level, c.base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("level %d of %s = %q, want %q", c.level, c.base, got, c.want)
+		}
+	}
+}
+
+func TestIntervalRejectsNonNumeric(t *testing.T) {
+	d := relation.NewDict()
+	d.Encode("young")
+	if _, err := IntervalSpec("Age", 0, 5).Bind(d); err == nil {
+		t.Fatal("Bind accepted a non-numeric value under an interval hierarchy")
+	}
+}
+
+func TestIntervalSpecRejectsNonNestedWidths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntervalSpec(5, 12) did not panic; 5 does not divide 12")
+		}
+	}()
+	IntervalSpec("Age", 0, 5, 12)
+}
+
+func TestIntervalNegativeValues(t *testing.T) {
+	d := relation.NewDict()
+	d.Encode("-3")
+	d.Encode("-7")
+	h, err := IntervalSpec("T", 0, 5).Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.GeneralizeValue(1, "-3"); got != "[-5-0)" {
+		t.Fatalf("interval of -3 = %q, want [-5-0)", got)
+	}
+	if got, _ := h.GeneralizeValue(1, "-7"); got != "[-10--5)" {
+		t.Fatalf("interval of -7 = %q, want [-10--5)", got)
+	}
+}
+
+func TestDateSpec(t *testing.T) {
+	d := relation.NewDict()
+	for _, v := range []string{"1/21/76", "1/10/76", "4/13/86"} {
+		d.Encode(v)
+	}
+	h, err := DateSpec("OD").Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Height() != 3 {
+		t.Fatalf("Height = %d, want 3", h.Height())
+	}
+	if got, _ := h.GeneralizeValue(1, "1/21/76"); got != "1/76" {
+		t.Fatalf("month of 1/21/76 = %q", got)
+	}
+	if got, _ := h.GeneralizeValue(2, "1/21/76"); got != "76" {
+		t.Fatalf("year of 1/21/76 = %q", got)
+	}
+	if h.LevelSize(1) != 2 { // 1/76 and 4/86
+		t.Fatalf("|OD1| = %d, want 2", h.LevelSize(1))
+	}
+	bad := relation.NewDict()
+	bad.Encode("nonsense")
+	if _, err := DateSpec("OD").Bind(bad); err == nil {
+		t.Fatal("Bind accepted a malformed date")
+	}
+}
+
+func TestRoundDigitsShortValues(t *testing.T) {
+	d := relation.NewDict()
+	d.Encode("12")
+	d.Encode("12345")
+	h, err := RoundDigitsSpec("P", 3).Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.GeneralizeValue(3, "12"); got != "**" {
+		t.Fatalf("over-rounded short value = %q, want **", got)
+	}
+	if got, _ := h.GeneralizeValue(3, "12345"); got != "12***" {
+		t.Fatalf("rounded value = %q, want 12***", got)
+	}
+}
+
+func TestDimensionTableMatchesFigure6Shape(t *testing.T) {
+	h, err := RoundDigitsSpec("Z", 2).Bind(zipDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := h.DimensionTable()
+	if !reflect.DeepEqual(dim.Columns(), []string{"Z0", "Z1", "Z2"}) {
+		t.Fatalf("dimension columns = %v", dim.Columns())
+	}
+	if dim.NumRows() != 4 {
+		t.Fatalf("dimension rows = %d, want 4 (one per base value)", dim.NumRows())
+	}
+	// Row for 53715 must read 53715, 5371*, 537** (Fig. 2(b) path).
+	found := false
+	for r := 0; r < dim.NumRows(); r++ {
+		if dim.Value(r, 0) == "53715" {
+			found = true
+			if dim.Value(r, 1) != "5371*" || dim.Value(r, 2) != "537**" {
+				t.Fatalf("row for 53715 = %v", dim.Row(r))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dimension table is missing base value 53715")
+	}
+}
+
+func TestLevelNamesAndAttr(t *testing.T) {
+	h, err := RoundDigitsSpec("Z", 2).Bind(zipDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Attr() != "Z" {
+		t.Fatalf("Attr = %q", h.Attr())
+	}
+	for l, want := range []string{"Z0", "Z1", "Z2"} {
+		if h.LevelName(l) != want {
+			t.Fatalf("LevelName(%d) = %q, want %q", l, h.LevelName(l), want)
+		}
+	}
+}
+
+func TestGeneralizeValueUnknownBase(t *testing.T) {
+	h, err := RoundDigitsSpec("Z", 1).Bind(zipDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.GeneralizeValue(1, "99999"); err == nil {
+		t.Fatal("GeneralizeValue accepted a value outside the base domain")
+	}
+}
+
+func TestMappedLevelDirect(t *testing.T) {
+	d := relation.NewDict()
+	d.Encode("Married")
+	d.Encode("Divorced")
+	d.Encode("Single")
+	spec := NewSpec("M",
+		Mapped("M1", map[string]string{"Married": "WasMarried", "Divorced": "WasMarried", "Single": "NeverMarried"}),
+		Suppression("M2"),
+	)
+	h, err := spec.Bind(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.GeneralizeValue(1, "Divorced"); got != "WasMarried" {
+		t.Fatalf("γ(Divorced) = %q", got)
+	}
+	if h.LevelSize(1) != 2 {
+		t.Fatalf("|M1| = %d, want 2", h.LevelSize(1))
+	}
+	// Step from M1 to M2 collapses both to "*".
+	if h.LevelSize(2) != 1 {
+		t.Fatalf("|M2| = %d, want 1", h.LevelSize(2))
+	}
+}

@@ -1,0 +1,115 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incognito/internal/relation"
+)
+
+// TestLevelSizesMonotone: every valid DGH chain has non-increasing domain
+// sizes going up, because each γ is many-to-one and total.
+func TestLevelSizesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := relation.NewDict()
+		domain := 1 + r.Intn(12)
+		for v := 0; v < domain; v++ {
+			d.Encode(fmt.Sprintf("v%02d", v))
+		}
+		// Random monotone chain built from successive random coarsenings.
+		height := 1 + r.Intn(4)
+		cur := make([]int, domain)
+		for i := range cur {
+			cur[i] = i
+		}
+		levels := make([]Level, height)
+		for l := 0; l < height; l++ {
+			groups := 1 + r.Intn(domain)
+			merge := make(map[int]int)
+			next := make([]int, domain)
+			for i := range cur {
+				g, ok := merge[cur[i]]
+				if !ok {
+					g = r.Intn(groups)
+					merge[cur[i]] = g
+				}
+				next[i] = g
+			}
+			cur = append([]int(nil), next...)
+			snapshot := append([]int(nil), next...)
+			name := fmt.Sprintf("L%d", l+1)
+			levels[l] = Level{Name: name, FromBase: func(v string) (string, error) {
+				var idx int
+				fmt.Sscanf(v, "v%02d", &idx)
+				return fmt.Sprintf("%s-g%d", name, snapshot[idx]), nil
+			}}
+		}
+		h, err := NewSpec("X", levels...).Bind(d)
+		if err != nil {
+			return false
+		}
+		for l := 0; l < h.Height(); l++ {
+			if h.LevelSize(l+1) > h.LevelSize(l) {
+				return false
+			}
+		}
+		// Step tables must be total over each level's domain.
+		for l := 0; l < h.Height(); l++ {
+			if len(h.Step(l)) != h.LevelSize(l) {
+				return false
+			}
+			for _, c := range h.Step(l) {
+				if int(c) >= h.LevelSize(l+1) || c < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPremadeSpecsMonotone runs the monotonicity check over the premade
+// builders on realistic domains.
+func TestPremadeSpecsMonotone(t *testing.T) {
+	zip := relation.NewDict()
+	for i := 0; i < 200; i++ {
+		zip.Encode(fmt.Sprintf("%05d", 53000+7*i))
+	}
+	age := relation.NewDict()
+	for i := 17; i <= 90; i++ {
+		age.Encode(fmt.Sprintf("%d", i))
+	}
+	date := relation.NewDict()
+	for m := 1; m <= 12; m++ {
+		for d := 1; d <= 7; d++ {
+			date.Encode(fmt.Sprintf("%d/%d/01", m, d))
+		}
+	}
+	cases := []struct {
+		spec *Spec
+		dict *relation.Dict
+	}{
+		{RoundDigitsSpec("Z", 5), zip},
+		{IntervalSpec("Age", 0, 5, 10, 20), age},
+		{DateSpec("OD"), date},
+		{SuppressionSpec("S"), zip},
+	}
+	for i, c := range cases {
+		h, err := c.spec.Bind(c.dict)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		for l := 0; l < h.Height(); l++ {
+			if h.LevelSize(l+1) > h.LevelSize(l) {
+				t.Fatalf("case %d: level %d grows: %d -> %d", i, l, h.LevelSize(l), h.LevelSize(l+1))
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package lattice
+
+// Full is the complete multi-attribute generalization lattice over the
+// whole quasi-identifier (Fig. 3): every vector of levels
+// ⟨l_1, …, l_n⟩ with 0 ≤ l_i ≤ heights[i]. Nodes are identified by their
+// mixed-radix index, so the lattice is never materialized; the baseline
+// algorithms (bottom-up breadth-first search and Samarati's binary search)
+// enumerate it on demand.
+type Full struct {
+	heights []int
+	radix   []int // heights[i] + 1
+	size    int
+	maxH    int
+}
+
+// NewFull builds the lattice descriptor for the given hierarchy heights.
+func NewFull(heights []int) *Full {
+	f := &Full{
+		heights: append([]int(nil), heights...),
+		radix:   make([]int, len(heights)),
+		size:    1,
+	}
+	for i, h := range heights {
+		if h < 0 {
+			panic("lattice: negative hierarchy height")
+		}
+		f.radix[i] = h + 1
+		if f.size > (1<<62)/(h+1) {
+			panic("lattice: generalization lattice size overflows; quasi-identifier is far beyond tractable")
+		}
+		f.size *= h + 1
+		f.maxH += h
+	}
+	return f
+}
+
+// NumAttrs returns the number of attributes.
+func (f *Full) NumAttrs() int { return len(f.heights) }
+
+// Size returns the number of nodes in the lattice, ∏(h_i + 1).
+func (f *Full) Size() int { return f.size }
+
+// MaxHeight returns the height of the top element, ∑ h_i.
+func (f *Full) MaxHeight() int { return f.maxH }
+
+// ID returns the mixed-radix index of a level vector.
+func (f *Full) ID(levels []int) int {
+	id := 0
+	for i, l := range levels {
+		if l < 0 || l > f.heights[i] {
+			panic("lattice: level out of range")
+		}
+		id = id*f.radix[i] + l
+	}
+	return id
+}
+
+// Levels decodes a node ID into its level vector.
+func (f *Full) Levels(id int) []int {
+	out := make([]int, len(f.radix))
+	f.LevelsInto(id, out)
+	return out
+}
+
+// LevelsInto decodes id into dst, which must have length NumAttrs().
+func (f *Full) LevelsInto(id int, dst []int) {
+	for i := len(f.radix) - 1; i >= 0; i-- {
+		dst[i] = id % f.radix[i]
+		id /= f.radix[i]
+	}
+}
+
+// Height returns the height (sum of levels) of node id.
+func (f *Full) Height(id int) int {
+	h := 0
+	for i := len(f.radix) - 1; i >= 0; i-- {
+		h += id % f.radix[i]
+		id /= f.radix[i]
+	}
+	return h
+}
+
+// Bottom returns the ID of the zero generalization ⟨0, …, 0⟩.
+func (f *Full) Bottom() int { return 0 }
+
+// Top returns the ID of the most general node ⟨h_1, …, h_n⟩.
+func (f *Full) Top() int { return f.size - 1 }
+
+// Up returns the IDs of the direct generalizations of id: one level bump in
+// exactly one attribute.
+func (f *Full) Up(id int) []int {
+	levels := f.Levels(id)
+	var out []int
+	stride := 1
+	for i := len(f.radix) - 1; i >= 0; i-- {
+		if levels[i] < f.heights[i] {
+			out = append(out, id+stride)
+		}
+		stride *= f.radix[i]
+	}
+	return out
+}
+
+// Down returns the IDs of the nodes that id directly generalizes.
+func (f *Full) Down(id int) []int {
+	levels := f.Levels(id)
+	var out []int
+	stride := 1
+	for i := len(f.radix) - 1; i >= 0; i-- {
+		if levels[i] > 0 {
+			out = append(out, id-stride)
+		}
+		stride *= f.radix[i]
+	}
+	return out
+}
+
+// AtHeight returns the IDs of every node at the given height, ascending.
+// Samarati's binary search probes the lattice one height stratum at a time.
+func (f *Full) AtHeight(h int) []int {
+	var out []int
+	levels := make([]int, len(f.heights))
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == len(f.heights) {
+			if remaining == 0 {
+				out = append(out, f.ID(levels))
+			}
+			return
+		}
+		max := f.heights[i]
+		if max > remaining {
+			max = remaining
+		}
+		// Upper bound check: the remaining attributes must be able to absorb
+		// what this one does not take.
+		rest := 0
+		for j := i + 1; j < len(f.heights); j++ {
+			rest += f.heights[j]
+		}
+		for l := 0; l <= max; l++ {
+			if remaining-l > rest {
+				continue
+			}
+			levels[i] = l
+			rec(i+1, remaining-l)
+		}
+		levels[i] = 0
+	}
+	rec(0, h)
+	return out
+}
+
+// GeneralizationOf reports whether node a generalizes node b (every level
+// of a ≥ the corresponding level of b).
+func (f *Full) GeneralizationOf(a, b int) bool {
+	la, lb := f.Levels(a), f.Levels(b)
+	for i := range la {
+		if la[i] < lb[i] {
+			return false
+		}
+	}
+	return true
+}

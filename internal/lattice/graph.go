@@ -1,0 +1,131 @@
+package lattice
+
+import "sort"
+
+// Graph is one iteration's candidate generalization graph: the candidate
+// node set Ci and the direct multi-attribute generalization edges Ei
+// (§3.1). Nodes over different attribute subsets are never connected, so a
+// Graph decomposes into one connected component per attribute subset
+// ("family").
+type Graph struct {
+	nodes []*Node
+	byID  map[int]*Node
+	byKey map[string]*Node
+	up    map[int][]int // edges out of a node: its direct generalizations
+	down  map[int][]int // edges into a node: the nodes it directly generalizes
+}
+
+// NewGraph assembles a graph from nodes and edges. Node IDs must be unique;
+// edges must reference present nodes. Adjacency lists are kept sorted for
+// deterministic traversal.
+func NewGraph(nodes []*Node, edges []Edge) *Graph {
+	g := &Graph{
+		nodes: append([]*Node(nil), nodes...),
+		byID:  make(map[int]*Node, len(nodes)),
+		byKey: make(map[string]*Node, len(nodes)),
+		up:    make(map[int][]int),
+		down:  make(map[int][]int),
+	}
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i].ID < g.nodes[j].ID })
+	for _, n := range g.nodes {
+		g.byID[n.ID] = n
+		g.byKey[n.Key()] = n
+	}
+	for _, e := range edges {
+		g.up[e.Start] = append(g.up[e.Start], e.End)
+		g.down[e.End] = append(g.down[e.End], e.Start)
+	}
+	for id := range g.up {
+		sort.Ints(g.up[id])
+	}
+	for id := range g.down {
+		sort.Ints(g.down[id])
+	}
+	return g
+}
+
+// Nodes returns all candidate nodes in ID order. The slice is shared.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Len returns the number of candidate nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id int) *Node { return g.byID[id] }
+
+// Lookup returns the node with the given (dims, levels), or nil.
+func (g *Graph) Lookup(dims, levels []int) *Node { return g.byKey[EncodeKey(dims, levels)] }
+
+// Up returns the IDs of the direct generalizations of node id.
+func (g *Graph) Up(id int) []int { return g.up[id] }
+
+// Down returns the IDs of the nodes that id directly generalizes.
+func (g *Graph) Down(id int) []int { return g.down[id] }
+
+// Edges returns every edge, in (Start, End) order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, n := range g.nodes {
+		for _, end := range g.up[n.ID] {
+			out = append(out, Edge{Start: n.ID, End: end})
+		}
+	}
+	return out
+}
+
+// Roots returns the nodes with no incoming edge, in ID order — the starting
+// points of the breadth-first search (Fig. 8).
+func (g *Graph) Roots() []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if len(g.down[n.ID]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Families partitions the nodes by attribute subset, returning the groups
+// in order of each family's first node ID. Used by the super-roots
+// optimization, which computes one base-table scan per family (§3.3.1).
+func (g *Graph) Families() [][]*Node {
+	order := make(map[string]int)
+	groups := make(map[string][]*Node)
+	for _, n := range g.nodes {
+		k := n.DimsKey()
+		if _, ok := order[k]; !ok {
+			order[k] = n.ID
+		}
+		groups[k] = append(groups[k], n)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return order[keys[i]] < order[keys[j]] })
+	out := make([][]*Node, len(keys))
+	for i, k := range keys {
+		out[i] = groups[k]
+	}
+	return out
+}
+
+// Meet returns the componentwise-minimum level vector over the given nodes,
+// which must share an attribute subset. This is the "super-root" of a
+// family: the most specific generalization from which every root's
+// frequency set can be produced by rollup.
+func Meet(nodes []*Node) (dims, levels []int) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	dims = append([]int(nil), nodes[0].Dims...)
+	levels = append([]int(nil), nodes[0].Levels...)
+	for _, n := range nodes[1:] {
+		for i, l := range n.Levels {
+			if l < levels[i] {
+				levels[i] = l
+			}
+		}
+	}
+	return dims, levels
+}

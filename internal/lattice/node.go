@@ -1,0 +1,138 @@
+// Package lattice implements the multi-attribute generalization lattices of
+// §2 of the paper and the candidate generalization graphs that Incognito
+// searches: a priori candidate generation (join + prune), edge generation
+// with implied-edge elimination (§3.1.2), and the complete lattice over the
+// full quasi-identifier used by the baseline algorithms and by Samarati's
+// binary search.
+package lattice
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a multi-attribute domain generalization: a sorted subset of
+// quasi-identifier attribute positions (Dims) and, for each, the index of a
+// domain in that attribute's generalization hierarchy (Levels). It
+// corresponds to one row of the paper's Nodes relation (Fig. 6).
+type Node struct {
+	ID     int
+	Dims   []int // strictly increasing QI attribute positions
+	Levels []int // Levels[j] is the hierarchy level of Dims[j]
+
+	// Parent1 and Parent2 are the IDs of the two (i-1)-attribute nodes the
+	// join phase combined to produce this node (§3.1.2); -1 when the node
+	// was not produced by a join (first iteration, or full-lattice nodes).
+	Parent1, Parent2 int
+
+	// Marked is set during the breadth-first search when the node is a
+	// direct generalization of a node already known to be k-anonymous, so
+	// it need not be checked (generalization property).
+	Marked bool
+}
+
+// Height returns the sum of the node's levels — the height of the
+// generalization in the lattice of distance vectors (§2).
+func (n *Node) Height() int {
+	h := 0
+	for _, l := range n.Levels {
+		h += l
+	}
+	return h
+}
+
+// Size returns the number of attributes the node generalizes.
+func (n *Node) Size() int { return len(n.Dims) }
+
+// Key returns a canonical encoding of (Dims, Levels), used for exact
+// membership tests (the prune phase) and deduplication.
+func (n *Node) Key() string { return EncodeKey(n.Dims, n.Levels) }
+
+// EncodeKey canonically encodes a (dims, levels) pair.
+func EncodeKey(dims, levels []int) string {
+	buf := make([]byte, 8*len(dims))
+	for i := range dims {
+		binary.LittleEndian.PutUint32(buf[8*i:], uint32(dims[i]))
+		binary.LittleEndian.PutUint32(buf[8*i+4:], uint32(levels[i]))
+	}
+	return string(buf)
+}
+
+// DimsKey canonically encodes an attribute subset, ignoring levels; nodes
+// with equal DimsKey belong to the same "family" in the super-roots
+// optimization (§3.3.1).
+func (n *Node) DimsKey() string {
+	buf := make([]byte, 4*len(n.Dims))
+	for i, d := range n.Dims {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(d))
+	}
+	return string(buf)
+}
+
+// GeneralizationOf reports whether n is a (direct or implied, possibly
+// trivial) multi-attribute generalization of m: same attribute set with
+// every level of n at or above the corresponding level of m.
+func (n *Node) GeneralizationOf(m *Node) bool {
+	if len(n.Dims) != len(m.Dims) {
+		return false
+	}
+	for i := range n.Dims {
+		if n.Dims[i] != m.Dims[i] || n.Levels[i] < m.Levels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistanceVector returns the per-attribute level distances from m to n
+// (§2's lattice of distance vectors), or an error if n does not generalize m.
+func (n *Node) DistanceVector(m *Node) ([]int, error) {
+	if !n.GeneralizationOf(m) {
+		return nil, fmt.Errorf("lattice: %v is not a generalization of %v", n, m)
+	}
+	dv := make([]int, len(n.Dims))
+	for i := range dv {
+		dv[i] = n.Levels[i] - m.Levels[i]
+	}
+	return dv, nil
+}
+
+// String renders the node like the paper, e.g. "<S1, Z0>".
+func (n *Node) String() string {
+	parts := make([]string, len(n.Dims))
+	for i := range n.Dims {
+		parts[i] = fmt.Sprintf("d%d@%d", n.Dims[i], n.Levels[i])
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// clone returns a copy of the node with independent slices.
+func (n *Node) clone() *Node {
+	return &Node{
+		ID:      n.ID,
+		Dims:    append([]int(nil), n.Dims...),
+		Levels:  append([]int(nil), n.Levels...),
+		Parent1: n.Parent1,
+		Parent2: n.Parent2,
+	}
+}
+
+// Edge is a direct multi-attribute generalization relationship between two
+// nodes, one row of the paper's Edges relation (Fig. 6).
+type Edge struct {
+	Start, End int
+}
+
+// SortNodes orders nodes by height, then ID, the order the breadth-first
+// search consumes them in.
+func SortNodes(nodes []*Node) {
+	sort.Slice(nodes, func(i, j int) bool {
+		hi, hj := nodes[i].Height(), nodes[j].Height()
+		if hi != hj {
+			return hi < hj
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+}

@@ -1,0 +1,70 @@
+package lattice
+
+import (
+	"fmt"
+
+	"incognito/internal/relation"
+)
+
+// This file renders candidate graphs in the paper's relational
+// representation (Fig. 6): a Nodes relation with one (dimN, indexN) column
+// pair per attribute plus the join parents, and an Edges relation of
+// (start, end) ID pairs. The original implementation stored graphs this way
+// in DB2; here the relations are derived views over the in-memory graph,
+// used for debugging, the CLI's -list output, and the Fig. 6 conformance
+// tests.
+
+// NodesRelation renders the candidate nodes of a graph as the paper's Nodes
+// table. attrNames maps QI positions to attribute names (the dim columns).
+// All nodes in the graph must have the same size.
+func NodesRelation(g *Graph, attrNames []string) (*relation.Table, error) {
+	if g.Len() == 0 {
+		return relation.NewTable("ID")
+	}
+	size := g.Nodes()[0].Size()
+	cols := []string{"ID"}
+	for i := 1; i <= size; i++ {
+		cols = append(cols, fmt.Sprintf("dim%d", i), fmt.Sprintf("index%d", i))
+	}
+	cols = append(cols, "parent1", "parent2")
+	t, err := relation.NewTable(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]string, len(cols))
+	for _, n := range g.Nodes() {
+		if n.Size() != size {
+			return nil, fmt.Errorf("lattice: mixed node sizes %d and %d in one graph", size, n.Size())
+		}
+		rec[0] = fmt.Sprintf("%d", n.ID)
+		for i := 0; i < size; i++ {
+			name := fmt.Sprintf("d%d", n.Dims[i])
+			if n.Dims[i] < len(attrNames) {
+				name = attrNames[n.Dims[i]]
+			}
+			rec[1+2*i] = name
+			rec[2+2*i] = fmt.Sprintf("%d", n.Levels[i])
+		}
+		rec[len(rec)-2] = fmt.Sprintf("%d", n.Parent1)
+		rec[len(rec)-1] = fmt.Sprintf("%d", n.Parent2)
+		if err := t.AppendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// EdgesRelation renders the graph's direct generalization edges as the
+// paper's Edges table of (start, end) node IDs.
+func EdgesRelation(g *Graph) (*relation.Table, error) {
+	t, err := relation.NewTable("start", "end")
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges() {
+		if err := t.AppendRow([]string{fmt.Sprintf("%d", e.Start), fmt.Sprintf("%d", e.End)}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,79 @@
+package lattice
+
+import (
+	"testing"
+)
+
+// TestFigure6Relations checks the relational rendering of the Sex × Zipcode
+// lattice against Fig. 6: six nodes with (dim, index) pairs over Sex and
+// Zipcode, and seven edges.
+func TestFigure6Relations(t *testing.T) {
+	_, c2 := sexZipGraph(t)
+	nodes, err := NodesRelation(c2, []string{"Sex", "Zipcode"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes.NumRows() != 6 {
+		t.Fatalf("Nodes relation has %d rows, want 6", nodes.NumRows())
+	}
+	wantCols := []string{"ID", "dim1", "index1", "dim2", "index2", "parent1", "parent2"}
+	for i, w := range wantCols {
+		if nodes.Columns()[i] != w {
+			t.Fatalf("Nodes columns = %v, want %v", nodes.Columns(), wantCols)
+		}
+	}
+	// Every row's dim1 is Sex (dims sorted ascending: Sex is QI position 0).
+	countByIndex := map[string]int{}
+	for r := 0; r < nodes.NumRows(); r++ {
+		if nodes.Value(r, 1) != "Sex" || nodes.Value(r, 3) != "Zipcode" {
+			t.Fatalf("row %d dims = %s, %s", r, nodes.Value(r, 1), nodes.Value(r, 3))
+		}
+		countByIndex[nodes.Value(r, 2)+nodes.Value(r, 4)]++
+	}
+	// The six (index1, index2) combinations of Fig. 6 appear exactly once.
+	for _, want := range []string{"00", "10", "01", "11", "02", "12"} {
+		if countByIndex[want] != 1 {
+			t.Fatalf("missing or duplicated node with indexes %q: %v", want, countByIndex)
+		}
+	}
+
+	edges, err := EdgesRelation(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges.NumRows() != 7 {
+		t.Fatalf("Edges relation has %d rows, want 7 (Fig. 6)", edges.NumRows())
+	}
+}
+
+func TestNodesRelationEmptyGraph(t *testing.T) {
+	g := NewGraph(nil, nil)
+	nodes, err := NodesRelation(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes.NumRows() != 0 {
+		t.Fatal("empty graph rendered rows")
+	}
+}
+
+func TestNodesRelationMixedSizesRejected(t *testing.T) {
+	g := NewGraph([]*Node{
+		{ID: 1, Dims: []int{0}, Levels: []int{0}},
+		{ID: 2, Dims: []int{0, 1}, Levels: []int{0, 0}},
+	}, nil)
+	if _, err := NodesRelation(g, nil); err == nil {
+		t.Fatal("mixed node sizes accepted")
+	}
+}
+
+func TestNodesRelationUnnamedDims(t *testing.T) {
+	g := NewGraph([]*Node{{ID: 1, Dims: []int{3}, Levels: []int{2}, Parent1: -1, Parent2: -1}}, nil)
+	nodes, err := NodesRelation(g, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes.Value(0, 1) != "d3" {
+		t.Fatalf("fallback dim name = %q, want d3", nodes.Value(0, 1))
+	}
+}

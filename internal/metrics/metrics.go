@@ -1,0 +1,113 @@
+// Package metrics implements the information-loss measures used to choose
+// among k-anonymous generalizations. §2.1 of the paper argues that because
+// Incognito returns the set of ALL k-anonymous full-domain generalizations,
+// any application-specific notion of minimality can be applied afterwards;
+// this package provides the standard candidates from the literature:
+// Samarati's generalization height, Sweeney's precision (Prec), the
+// Bayardo–Agrawal discernibility metric (DM), and average equivalence-class
+// size.
+package metrics
+
+import (
+	"fmt"
+
+	"incognito/internal/relation"
+)
+
+// Height returns the generalization height of a level vector — the sum of
+// per-attribute hierarchy levels (the distance-vector minimality of §2.1).
+func Height(levels []int) int {
+	h := 0
+	for _, l := range levels {
+		h += l
+	}
+	return h
+}
+
+// WeightedHeight generalizes Height with per-attribute weights, the
+// flexibility §2.1 motivates (e.g. weight Sex higher than Zipcode to keep
+// Sex intact at the cost of more Zipcode generalization).
+func WeightedHeight(levels []int, weights []float64) (float64, error) {
+	if len(levels) != len(weights) {
+		return 0, fmt.Errorf("metrics: %d levels but %d weights", len(levels), len(weights))
+	}
+	var h float64
+	for i, l := range levels {
+		if weights[i] < 0 {
+			return 0, fmt.Errorf("metrics: negative weight %f for attribute %d", weights[i], i)
+		}
+		h += float64(l) * weights[i]
+	}
+	return h, nil
+}
+
+// Precision is Sweeney's Prec metric specialized to full-domain
+// generalization: 1 − (1/n)·Σ level_i/height_i. A value of 1 means every
+// attribute is released at its base domain; 0 means everything is fully
+// suppressed. Attributes with height 0 (no generalization possible) do not
+// lose precision and contribute 0 distortion.
+func Precision(levels, heights []int) (float64, error) {
+	if len(levels) != len(heights) {
+		return 0, fmt.Errorf("metrics: %d levels but %d heights", len(levels), len(heights))
+	}
+	if len(levels) == 0 {
+		return 1, nil
+	}
+	var distortion float64
+	for i, l := range levels {
+		if heights[i] == 0 {
+			continue
+		}
+		if l < 0 || l > heights[i] {
+			return 0, fmt.Errorf("metrics: level %d out of range [0,%d]", l, heights[i])
+		}
+		distortion += float64(l) / float64(heights[i])
+	}
+	return 1 - distortion/float64(len(levels)), nil
+}
+
+// Discernibility computes the Bayardo–Agrawal DM over the frequency set of
+// a generalized view: each tuple in an equivalence class of size ≥ k costs
+// the class size (so a class contributes |E|²); each tuple in an undersized
+// class is treated as suppressed and costs the full table size.
+func Discernibility(f *relation.FreqSet, k int64) int64 {
+	total := f.Total()
+	var dm int64
+	f.Each(func(_ []int32, count int64) {
+		if count >= k {
+			dm += count * count
+		} else {
+			dm += count * total
+		}
+	})
+	return dm
+}
+
+// AvgClassSize returns the average size of the equivalence classes of size
+// ≥ k (the released groups), or 0 when none qualify.
+func AvgClassSize(f *relation.FreqSet, k int64) float64 {
+	var tuples, classes int64
+	f.Each(func(_ []int32, count int64) {
+		if count >= k {
+			tuples += count
+			classes++
+		}
+	})
+	if classes == 0 {
+		return 0
+	}
+	return float64(tuples) / float64(classes)
+}
+
+// NormalizedAvgClassSize is the C_avg metric of the multidimensional
+// k-anonymity literature: (released tuples / classes) / k. A value of 1 is
+// ideal (every class exactly size k); larger means coarser groups.
+func NormalizedAvgClassSize(f *relation.FreqSet, k int64) float64 {
+	return AvgClassSize(f, k) / float64(k)
+}
+
+// SuppressedTuples counts the tuples in classes smaller than k — the tuples
+// a suppression-threshold release would drop.
+func SuppressedTuples(f *relation.FreqSet, k int64) int64 {
+	return f.TuplesBelow(k)
+}

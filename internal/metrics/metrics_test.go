@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"incognito/internal/relation"
+)
+
+func freqOf(counts ...int64) *relation.FreqSet {
+	f := relation.NewFreqSet([]int{0})
+	for i, c := range counts {
+		f.Add([]int32{int32(i)}, c)
+	}
+	return f
+}
+
+func TestHeight(t *testing.T) {
+	if Height([]int{1, 0, 2}) != 3 {
+		t.Fatal("Height wrong")
+	}
+	if Height(nil) != 0 {
+		t.Fatal("Height of empty vector should be 0")
+	}
+}
+
+func TestWeightedHeight(t *testing.T) {
+	h, err := WeightedHeight([]int{1, 2}, []float64{10, 1})
+	if err != nil || h != 12 {
+		t.Fatalf("WeightedHeight = %f, %v", h, err)
+	}
+	if _, err := WeightedHeight([]int{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := WeightedHeight([]int{1}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	// Base release: full precision.
+	p, err := Precision([]int{0, 0}, []int{2, 3})
+	if err != nil || p != 1 {
+		t.Fatalf("Precision base = %f, %v", p, err)
+	}
+	// Full suppression: zero precision.
+	p, _ = Precision([]int{2, 3}, []int{2, 3})
+	if p != 0 {
+		t.Fatalf("Precision top = %f, want 0", p)
+	}
+	// Mixed: 1 - (1/2)(1/2 + 1/3) = 1 - 5/12.
+	p, _ = Precision([]int{1, 1}, []int{2, 3})
+	if math.Abs(p-(1-5.0/12)) > 1e-12 {
+		t.Fatalf("Precision mixed = %f", p)
+	}
+	// Height-0 attributes cost nothing.
+	p, _ = Precision([]int{0, 1}, []int{0, 1})
+	if p != 0.5 {
+		t.Fatalf("Precision with height-0 attr = %f, want 0.5", p)
+	}
+	if _, err := Precision([]int{5}, []int{2}); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+	if _, err := Precision([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if p, _ := Precision(nil, nil); p != 1 {
+		t.Fatal("empty QI should have precision 1")
+	}
+}
+
+func TestDiscernibility(t *testing.T) {
+	// Classes 3 and 3, k=2: DM = 9 + 9 = 18.
+	if dm := Discernibility(freqOf(3, 3), 2); dm != 18 {
+		t.Fatalf("DM = %d, want 18", dm)
+	}
+	// Classes 4 and 1, k=2, total 5: 16 + 1*5 = 21.
+	if dm := Discernibility(freqOf(4, 1), 2); dm != 21 {
+		t.Fatalf("DM with suppression = %d, want 21", dm)
+	}
+	// Finer partitions discern better: one class of 6 vs three of 2.
+	if Discernibility(freqOf(6), 2) <= Discernibility(freqOf(2, 2, 2), 2) {
+		t.Fatal("DM should penalize coarser partitions")
+	}
+}
+
+func TestAvgClassSize(t *testing.T) {
+	if got := AvgClassSize(freqOf(2, 4), 2); got != 3 {
+		t.Fatalf("AvgClassSize = %f, want 3", got)
+	}
+	// Undersized classes excluded.
+	if got := AvgClassSize(freqOf(1, 4), 2); got != 4 {
+		t.Fatalf("AvgClassSize excluding outliers = %f, want 4", got)
+	}
+	if got := AvgClassSize(freqOf(1, 1), 2); got != 0 {
+		t.Fatalf("AvgClassSize with no qualifying classes = %f, want 0", got)
+	}
+	if got := NormalizedAvgClassSize(freqOf(2, 4), 2); got != 1.5 {
+		t.Fatalf("C_avg = %f, want 1.5", got)
+	}
+}
+
+func TestSuppressedTuples(t *testing.T) {
+	if got := SuppressedTuples(freqOf(1, 1, 5), 2); got != 2 {
+		t.Fatalf("SuppressedTuples = %d, want 2", got)
+	}
+}

@@ -1,0 +1,63 @@
+package recoding
+
+import (
+	"fmt"
+
+	"incognito/internal/core"
+	"incognito/internal/hierarchy"
+	"incognito/internal/relation"
+)
+
+// AttrSuppressResult is the outcome of the attribute-suppression model: the
+// minimal set of quasi-identifier columns to blank entirely, and the view.
+type AttrSuppressResult struct {
+	// Suppressed[i] reports whether the i-th quasi-identifier column is
+	// fully suppressed in the view.
+	Suppressed []bool
+	View       *relation.Table
+}
+
+// AttributeSuppression solves the attribute-suppression special case of
+// full-domain generalization (§5.1.1): each attribute is either released
+// intact or replaced by "*" in every tuple. Running Incognito over
+// height-1 suppression hierarchies enumerates every k-anonymous choice
+// exactly, from which the result takes one suppressing the fewest
+// attributes (minimal attribute suppression is NP-hard in general [13], but
+// quasi-identifiers are small enough to search exactly — this is the same
+// exponential-in-|QI| regime Incognito already lives in).
+func AttributeSuppression(t *relation.Table, cols []int, k, maxSuppress int64) (*AttrSuppressResult, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("recoding: empty quasi-identifier")
+	}
+	hs := make([]*hierarchy.Hierarchy, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= t.NumCols() {
+			return nil, fmt.Errorf("recoding: column %d out of range", c)
+		}
+		h, err := hierarchy.SuppressionSpec(t.Columns()[c]).Bind(t.Dict(c))
+		if err != nil {
+			return nil, err
+		}
+		hs[i] = h
+	}
+	in := core.NewInput(t, cols, hs, k, maxSuppress)
+	res, err := core.Run(in, core.Basic)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Solutions) == 0 {
+		return nil, fmt.Errorf("recoding: no %d-anonymous attribute suppression exists", k)
+	}
+	// Solutions are sorted by height = number of suppressed attributes, so
+	// the first is minimal.
+	best := res.Solutions[0]
+	view, err := in.Apply(best)
+	if err != nil {
+		return nil, err
+	}
+	out := &AttrSuppressResult{Suppressed: make([]bool, len(cols)), View: view}
+	for i, l := range best {
+		out.Suppressed[i] = l == 1
+	}
+	return out, nil
+}

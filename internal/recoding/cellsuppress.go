@@ -1,0 +1,160 @@
+package recoding
+
+import (
+	"fmt"
+	"sort"
+
+	"incognito/internal/hierarchy"
+	"incognito/internal/relation"
+)
+
+// CellSuppressResult is the outcome of local recoding by cell suppression:
+// the released view (offending cells replaced by "*") and the number of
+// cells suppressed.
+type CellSuppressResult struct {
+	View            *relation.Table
+	SuppressedCells int
+}
+
+// CellSuppress performs local recoding by cell suppression (§5.2): instead
+// of recoding whole domains, it blanks individual quasi-identifier cells of
+// tuples until every released combination is shared by at least k tuples.
+//
+// The algorithm is a greedy group merge: while some released group has
+// fewer than k tuples, take the smallest such group and merge it with the
+// group reachable with the fewest suppressions — both groups suppress
+// exactly the positions on which they disagree, after which they share one
+// released key. Every merge strictly decreases the number of groups, so the
+// procedure converges (in the worst case to a single all-suppressed group,
+// which is k-anonymous whenever the table has at least k rows). Minimal
+// cell suppression is NP-hard [13]; a greedy heuristic is the standard
+// approach, and local recoding remains strictly more powerful than global
+// recoding (§5.2).
+func CellSuppress(t *relation.Table, cols []int, k int) (*CellSuppressResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("recoding: k must be at least 1, got %d", k)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("recoding: empty quasi-identifier")
+	}
+	for _, c := range cols {
+		if c < 0 || c >= t.NumCols() {
+			return nil, fmt.Errorf("recoding: column %d out of range", c)
+		}
+	}
+	if t.NumRows() < k {
+		return nil, fmt.Errorf("recoding: %d rows cannot be %d-anonymous", t.NumRows(), k)
+	}
+
+	nRows := t.NumRows()
+	nQI := len(cols)
+	// cells holds the released QI projection; "*" marks suppression.
+	cells := make([][]string, nRows)
+	for r := 0; r < nRows; r++ {
+		cells[r] = make([]string, nQI)
+		for i, c := range cols {
+			cells[r][i] = t.Value(r, c)
+		}
+	}
+	suppressed := 0
+
+	key := func(vals []string) string {
+		k := ""
+		for _, v := range vals {
+			k += "\x00" + v
+		}
+		return k
+	}
+
+	for {
+		groups := make(map[string][]int)
+		for r := 0; r < nRows; r++ {
+			groups[key(cells[r])] = append(groups[key(cells[r])], r)
+		}
+		if len(groups) == 1 {
+			break
+		}
+		// Deterministic group ordering.
+		keys := make([]string, 0, len(groups))
+		for gk := range groups {
+			keys = append(keys, gk)
+		}
+		sort.Strings(keys)
+
+		// The smallest violating group.
+		violKey := ""
+		for _, gk := range keys {
+			if len(groups[gk]) >= k {
+				continue
+			}
+			if violKey == "" || len(groups[gk]) < len(groups[violKey]) {
+				violKey = gk
+			}
+		}
+		if violKey == "" {
+			break // every group satisfies k
+		}
+		vio := groups[violKey]
+		vioCells := cells[vio[0]]
+
+		// Find the merge partner needing the fewest suppressions; break
+		// ties toward larger partners (fewer future merges), then lexical.
+		bestKey, bestDiff, bestSize := "", nQI+1, -1
+		for _, gk := range keys {
+			if gk == violKey {
+				continue
+			}
+			other := cells[groups[gk][0]]
+			diff := 0
+			for i := range vioCells {
+				if vioCells[i] != other[i] {
+					diff++
+				}
+			}
+			if diff < bestDiff || (diff == bestDiff && len(groups[gk]) > bestSize) {
+				bestKey, bestDiff, bestSize = gk, diff, len(groups[gk])
+			}
+		}
+		partner := groups[bestKey]
+		partnerCells := cells[partner[0]]
+		// Suppress the disagreeing positions in both groups.
+		for i := range vioCells {
+			if vioCells[i] == partnerCells[i] {
+				continue
+			}
+			for _, r := range vio {
+				if cells[r][i] != hierarchy.SuppressionValue {
+					cells[r][i] = hierarchy.SuppressionValue
+					suppressed++
+				}
+			}
+			for _, r := range partner {
+				if cells[r][i] != hierarchy.SuppressionValue {
+					cells[r][i] = hierarchy.SuppressionValue
+					suppressed++
+				}
+			}
+		}
+	}
+
+	// Materialize the view in original row order.
+	view := relation.MustNewTable(t.Columns()...)
+	qiPos := make(map[int]int, nQI)
+	for i, c := range cols {
+		qiPos[c] = i
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < nRows; r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			if i, isQI := qiPos[c]; isQI {
+				rec[c] = cells[r][i]
+			} else {
+				rec[c] = t.Value(r, c)
+			}
+		}
+		if err := view.AppendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+	return &CellSuppressResult{View: view, SuppressedCells: suppressed}, nil
+}

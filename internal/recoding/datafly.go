@@ -1,0 +1,74 @@
+package recoding
+
+import (
+	"fmt"
+
+	"incognito/internal/core"
+	"incognito/internal/relation"
+)
+
+// DataflyResult reports the generalization Datafly chose: the final level
+// vector, the number of generalization steps taken, and the released view.
+type DataflyResult struct {
+	Levels []int
+	Steps  int
+	View   *relation.Table
+}
+
+// Datafly runs Sweeney's greedy full-domain heuristic [17]: while the table
+// is not k-anonymous (beyond the suppression threshold), generalize the
+// quasi-identifier attribute whose current projection has the most distinct
+// values, one hierarchy level at a time. The result is k-anonymous but, in
+// contrast with Incognito's complete search, carries no minimality
+// guarantee — the greedy choice can overshoot (a fact §6 notes).
+func Datafly(in core.Input) (*DataflyResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.QI)
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = i
+	}
+	levels := make([]int, n)
+	freq := in.ScanFreq(dims, levels)
+	steps := 0
+	for !in.CheckFreq(freq) {
+		// Pick the non-topped attribute with the most distinct values in
+		// the current (generalized) projection of the table — Datafly's
+		// original heuristic.
+		distinct := make([]map[int32]bool, n)
+		for i := range distinct {
+			distinct[i] = make(map[int32]bool)
+		}
+		freq.Each(func(codes []int32, _ int64) {
+			for i, c := range codes {
+				distinct[i][c] = true
+			}
+		})
+		best, bestDistinct := -1, -1
+		for i, q := range in.QI {
+			if levels[i] >= q.H.Height() {
+				continue
+			}
+			if d := len(distinct[i]); d > bestDistinct {
+				best, bestDistinct = i, d
+			}
+		}
+		if best < 0 {
+			// Everything fully generalized and still failing: only possible
+			// when the table itself is smaller than k beyond the threshold.
+			return nil, fmt.Errorf("recoding: datafly cannot reach %d-anonymity even at full generalization", in.K)
+		}
+		next := append([]int(nil), levels...)
+		next[best]++
+		freq = in.RollupTo(freq, dims, levels, next)
+		levels = next
+		steps++
+	}
+	view, err := in.Apply(levels)
+	if err != nil {
+		return nil, err
+	}
+	return &DataflyResult{Levels: levels, Steps: steps, View: view}, nil
+}

@@ -1,0 +1,42 @@
+// Package recoding implements the §5 taxonomy of k-anonymization models as
+// working algorithms. The paper's second contribution is a categorization
+// of anonymization models along three axes — generalization vs. suppression,
+// global vs. local recoding, hierarchy- vs. partition-based — and the
+// observation that Incognito's full-domain model is one point in that
+// space. This package covers the other points:
+//
+//   - AttributeSuppression — global, hierarchy-based, the special case of
+//     full-domain generalization where each hierarchy is base → "*"
+//     (Samarati's attribute suppression model [13]).
+//   - Datafly — Sweeney's greedy full-domain heuristic [17]: repeatedly
+//     generalize the attribute with the most distinct values. Fast, but no
+//     minimality guarantee (contrast with Incognito, which is complete).
+//   - Subtree — single-dimension full-subtree recoding, searched by
+//     top-down specialization in the style of Fung et al. [7]: start from
+//     the fully generalized cut of each taxonomy and greedily specialize
+//     while k-anonymity holds.
+//   - GreedyIntervals / OptimalIntervals — single-dimension ordered-set
+//     partitioning [3, 11]: treat a numeric domain as a totally ordered set
+//     and cover it with disjoint intervals; the optimal variant is an
+//     O(m²) dynamic program minimizing the discernibility metric, the
+//     greedy variant a single pass.
+//   - Unrestricted — unrestricted single-dimension recoding (§5.1.1): each
+//     domain value independently maps to itself or any ancestor, searched
+//     by a greedy bottom-up repair. (The paper notes the model's inference
+//     caveat — e.g. "Male" → "Person" with "Female" left intact — and
+//     includes it anyway.)
+//   - Subgraph — multi-dimension full-subgraph recoding (§5.1.3), one of
+//     the paper's "promising new alternatives": φ recodes whole value
+//     vectors over the multi-attribute value generalization lattice
+//     (Fig. 13), searched by top-down region splitting; the full-subgraph
+//     condition holds by construction.
+//   - Mondrian — multi-dimension ordered-set partitioning in the style of
+//     LeFevre et al. [12]: recursive median splits of the multi-attribute
+//     domain while every region keeps at least k tuples.
+//   - CellSuppress — local recoding by cell suppression [1, 13, 20]: blank
+//     individual cells of outlier tuples until every remaining
+//     quasi-identifier combination is shared by at least k tuples.
+//
+// Every algorithm returns a released view whose quasi-identifier columns are
+// verifiably k-anonymous; the tests enforce this invariant for all of them.
+package recoding

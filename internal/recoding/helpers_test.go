@@ -1,0 +1,85 @@
+package recoding
+
+import (
+	"math/rand"
+
+	"incognito/internal/core"
+	"incognito/internal/hierarchy"
+	"incognito/internal/relation"
+)
+
+// suppressionInput builds a core.Input whose every QI attribute has the
+// height-1 suppression hierarchy.
+func suppressionInput(tab *relation.Table, cols []int, k, sup int64) core.Input {
+	hs := make([]*hierarchy.Hierarchy, len(cols))
+	for i, c := range cols {
+		h, err := hierarchy.SuppressionSpec(tab.Columns()[c]).Bind(tab.Dict(c))
+		if err != nil {
+			panic(err)
+		}
+		hs[i] = h
+	}
+	return core.NewInput(tab, cols, hs, k, sup)
+}
+
+// twoColInput builds an input over two columns with two-level hierarchies
+// (identity-ish grouping then suppression), used by the subtree tests.
+func twoColInput(tab *relation.Table, k, sup int64) core.Input {
+	cols := []int{0, 1}
+	hs := make([]*hierarchy.Hierarchy, 2)
+	for i, c := range cols {
+		h, err := hierarchy.SuppressionSpec(tab.Columns()[c]).Bind(tab.Dict(c))
+		if err != nil {
+			panic(err)
+		}
+		hs[i] = h
+	}
+	return core.NewInput(tab, cols, hs, k, sup)
+}
+
+// randomInput builds a random instance over nAttrs categorical columns with
+// two-level hierarchies: a random coarsening, then suppression.
+func randomInput(rng *rand.Rand, nAttrs int, k int64) core.Input {
+	names := make([]string, nAttrs)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	tab := relation.MustNewTable(names...)
+	domains := make([]int, nAttrs)
+	for i := range domains {
+		domains[i] = 2 + rng.Intn(4)
+		for v := 0; v < domains[i]; v++ {
+			tab.Dict(i).Encode(string(rune('a' + v)))
+		}
+	}
+	n := 6 + rng.Intn(30)
+	codes := make([]int32, nAttrs)
+	for r := 0; r < n; r++ {
+		for i := range codes {
+			codes[i] = int32(rng.Intn(domains[i]))
+		}
+		if err := tab.AppendCoded(codes); err != nil {
+			panic(err)
+		}
+	}
+	cols := make([]int, nAttrs)
+	hs := make([]*hierarchy.Hierarchy, nAttrs)
+	for i := range cols {
+		cols[i] = i
+		groups := 1 + rng.Intn(domains[i])
+		m := make(map[string]string, domains[i])
+		for v := 0; v < domains[i]; v++ {
+			m[string(rune('a'+v))] = "g" + string(rune('a'+rng.Intn(groups)))
+		}
+		spec := hierarchy.NewSpec(names[i],
+			hierarchy.Mapped(names[i]+"1", m),
+			hierarchy.Suppression(names[i]+"2"),
+		)
+		h, err := spec.Bind(tab.Dict(i))
+		if err != nil {
+			panic(err)
+		}
+		hs[i] = h
+	}
+	return core.NewInput(tab, cols, hs, k, 0)
+}

@@ -1,0 +1,141 @@
+package recoding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a closed range [Lo, Hi] of a totally ordered integer domain,
+// carrying the number of tuples it covers.
+type Interval struct {
+	Lo, Hi int
+	Count  int
+}
+
+// String renders the interval the way partition-based views release values.
+func (iv Interval) String() string {
+	if iv.Lo == iv.Hi {
+		return fmt.Sprintf("%d", iv.Lo)
+	}
+	return fmt.Sprintf("[%d-%d]", iv.Lo, iv.Hi)
+}
+
+// GreedyIntervals performs single-dimension ordered-set partitioning
+// (§5.1.2) with a single left-to-right pass: accumulate sorted values until
+// a bucket reaches k, then cut. The trailing bucket, if undersized, merges
+// into its predecessor. The result is k-anonymous but not necessarily
+// optimal.
+func GreedyIntervals(values []int, k int) ([]Interval, error) {
+	vs, counts, err := tally(values, k)
+	if err != nil {
+		return nil, err
+	}
+	var out []Interval
+	cur := Interval{Lo: vs[0], Hi: vs[0]}
+	for i, v := range vs {
+		cur.Hi = v
+		cur.Count += counts[i]
+		if cur.Count >= k {
+			out = append(out, cur)
+			if i+1 < len(vs) {
+				cur = Interval{Lo: vs[i+1], Hi: vs[i+1]}
+			} else {
+				cur = Interval{}
+			}
+		}
+	}
+	if cur.Count > 0 {
+		// Undersized tail: merge into the last emitted interval.
+		last := &out[len(out)-1]
+		last.Hi = cur.Hi
+		last.Count += cur.Count
+	}
+	return out, nil
+}
+
+// OptimalIntervals performs single-dimension ordered-set partitioning that
+// provably minimizes the discernibility metric (Σ over intervals of
+// count²) subject to every interval covering at least k tuples — the
+// 1-D special case of the optimization Bayardo and Agrawal attack with
+// set-enumeration search [3], solvable exactly by an O(m²) dynamic program
+// over the m distinct values.
+func OptimalIntervals(values []int, k int) ([]Interval, error) {
+	vs, counts, err := tally(values, k)
+	if err != nil {
+		return nil, err
+	}
+	m := len(vs)
+	prefix := make([]int, m+1)
+	for i, c := range counts {
+		prefix[i+1] = prefix[i] + c
+	}
+	const inf = int64(1) << 62
+	// dp[j] = min cost of partitioning the first j distinct values; cut[j]
+	// remembers the start of the last interval.
+	dp := make([]int64, m+1)
+	cut := make([]int, m+1)
+	for j := 1; j <= m; j++ {
+		dp[j] = inf
+		for i := 1; i <= j; i++ {
+			size := prefix[j] - prefix[i-1]
+			if size < k {
+				break // intervals only shrink as i grows; nothing smaller works
+			}
+			if dp[i-1] >= inf {
+				continue
+			}
+			if cost := dp[i-1] + int64(size)*int64(size); cost < dp[j] {
+				dp[j] = cost
+				cut[j] = i
+			}
+		}
+	}
+	if dp[m] >= inf {
+		return nil, fmt.Errorf("recoding: no k-anonymous interval partition exists for k=%d over %d tuples", k, prefix[m])
+	}
+	var out []Interval
+	for j := m; j > 0; {
+		i := cut[j]
+		out = append(out, Interval{Lo: vs[i-1], Hi: vs[j-1], Count: prefix[j] - prefix[i-1]})
+		j = i - 1
+	}
+	// Reverse into ascending order.
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out, nil
+}
+
+// tally validates inputs and returns the sorted distinct values with their
+// multiplicities.
+func tally(values []int, k int) ([]int, []int, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("recoding: k must be at least 1, got %d", k)
+	}
+	if len(values) < k {
+		return nil, nil, fmt.Errorf("recoding: %d values cannot be %d-anonymous", len(values), k)
+	}
+	freq := make(map[int]int)
+	for _, v := range values {
+		freq[v]++
+	}
+	vs := make([]int, 0, len(freq))
+	for v := range freq {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	counts := make([]int, len(vs))
+	for i, v := range vs {
+		counts[i] = freq[v]
+	}
+	return vs, counts, nil
+}
+
+// Cost returns the discernibility metric of a partition: Σ count².
+func Cost(intervals []Interval) int64 {
+	var c int64
+	for _, iv := range intervals {
+		c += int64(iv.Count) * int64(iv.Count)
+	}
+	return c
+}

@@ -1,0 +1,202 @@
+package recoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"incognito/internal/core"
+	"incognito/internal/dataset"
+	"incognito/internal/metrics"
+	"incognito/internal/relation"
+)
+
+func TestSubgraphPatients(t *testing.T) {
+	in := patientsInput(2, 0)
+	res, err := Subgraph(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertViewKAnonymous(t, res.View, []int{0, 1, 2}, 2)
+	if res.View.NumRows() != in.Table.NumRows() {
+		t.Fatalf("dropped tuples without a threshold: %d of %d rows", res.View.NumRows(), in.Table.NumRows())
+	}
+	if res.Regions < 1 {
+		t.Fatal("no regions")
+	}
+}
+
+// TestSubgraphReleasesHierarchyValues: every released cell must be a value
+// from some domain of that attribute's chain (the model releases lattice
+// vectors, not ad-hoc ranges).
+func TestSubgraphReleasesHierarchyValues(t *testing.T) {
+	d := dataset.Patients()
+	in := core.NewInput(d.Table, d.QICols, d.Hierarchies, 2, 0)
+	res, err := Subgraph(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qiPos, col := range d.QICols {
+		h := d.Hierarchies[qiPos]
+		valid := make(map[string]bool)
+		for l := 0; l <= h.Height(); l++ {
+			for c := 0; c < h.LevelSize(l); c++ {
+				valid[h.Value(l, int32(c))] = true
+			}
+		}
+		for r := 0; r < res.View.NumRows(); r++ {
+			if !valid[res.View.Value(r, col)] {
+				t.Fatalf("released %q is not in attribute %d's hierarchy", res.View.Value(r, col), qiPos)
+			}
+		}
+	}
+}
+
+// TestSubgraphFullSubgraphCondition: tuples with equal released vectors and
+// equal base vectors behave identically, and every tuple whose base vector
+// generalizes to a released vector g is released at g or something finer —
+// checked indirectly: no two rows with the same base vector get different
+// released vectors.
+func TestSubgraphFullSubgraphCondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		in := randomInput(rng, 2+rng.Intn(2), 2)
+		res, err := Subgraph(in)
+		if err != nil {
+			continue
+		}
+		assertViewKAnonymous(t, res.View, qiCols(in), in.K)
+		baseToReleased := make(map[string]string)
+		for r := 0; r < res.View.NumRows(); r++ {
+			baseKey, relKey := "", ""
+			for _, c := range qiCols(in) {
+				baseKey += "\x00" + in.Table.Value(r, c)
+				relKey += "\x00" + res.View.Value(r, c)
+			}
+			if prev, ok := baseToReleased[baseKey]; ok && prev != relKey {
+				t.Fatalf("trial %d: equal base vectors released differently: %q vs %q", trial, prev, relKey)
+			}
+			baseToReleased[baseKey] = relKey
+		}
+	}
+}
+
+// Subgraph recoding is at least as flexible as full-domain generalization,
+// so its released partition should generally be finer; assert it is never
+// *worse* than the height-minimal full-domain solution on Patients.
+func TestSubgraphAtLeastAsFineAsFullDomainOnPatients(t *testing.T) {
+	in := patientsInput(2, 0)
+	sub, err := Subgraph(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := core.Run(in, core.Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestDM := int64(1) << 62
+	dims := []int{0, 1, 2}
+	for _, s := range inc.Solutions {
+		if dm := metrics.Discernibility(in.ScanFreq(dims, s), 2); dm < bestDM {
+			bestDM = dm
+		}
+	}
+	f := relation.GroupCount(sub.View, []int{0, 1, 2}, nil)
+	if got := metrics.Discernibility(f, 2); got > bestDM {
+		t.Fatalf("subgraph DM %d worse than best full-domain %d", got, bestDM)
+	}
+}
+
+func TestSubgraphImpossibleAndThreshold(t *testing.T) {
+	tab := relation.MustNewTable("x")
+	_ = tab.AppendRow([]string{"a"})
+	in := suppressionInput(tab, []int{0}, 2, 0)
+	if _, err := Subgraph(in); err == nil {
+		t.Fatal("1 row at k=2 accepted")
+	}
+	// With a threshold covering the row, the lone tuple is suppressed.
+	in = suppressionInput(tab, []int{0}, 2, 1)
+	res, err := Subgraph(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.View.NumRows() != 0 {
+		t.Fatalf("expected full suppression, got %d rows", res.View.NumRows())
+	}
+}
+
+func TestUnrestrictedPatients(t *testing.T) {
+	in := patientsInput(2, 0)
+	res, err := Unrestricted(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertViewKAnonymous(t, res.View, []int{0, 1, 2}, 2)
+	if res.View.NumRows() != in.Table.NumRows() {
+		t.Fatal("dropped tuples without a threshold")
+	}
+	// Released values stay on each base value's ancestor chain.
+	d := dataset.Patients()
+	for i, m := range res.ValueLevels {
+		h := d.Hierarchies[i]
+		for base, lvl := range m {
+			if lvl < 0 || lvl > h.Height() {
+				t.Fatalf("attribute %d: value %q at invalid level %d", i, base, lvl)
+			}
+		}
+	}
+}
+
+func TestUnrestrictedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		in := randomInput(rng, 2+rng.Intn(2), 2+int64(rng.Intn(2)))
+		res, err := Unrestricted(in)
+		if err != nil {
+			continue
+		}
+		assertViewKAnonymous(t, res.View, qiCols(in), in.K)
+	}
+}
+
+func TestUnrestrictedImpossible(t *testing.T) {
+	tab := relation.MustNewTable("x")
+	_ = tab.AppendRow([]string{"a"})
+	in := suppressionInput(tab, []int{0}, 2, 0)
+	if _, err := Unrestricted(in); err == nil {
+		t.Fatal("1 row at k=2 accepted")
+	}
+}
+
+// TestUnrestrictedFinerThanFullDomainSometimes: on the paper's own example
+// of the model's flexibility — mapping one value up while leaving siblings
+// intact — the unrestricted greedy must not generalize values that never
+// participate in a violation.
+func TestUnrestrictedLeavesInnocentValuesIntact(t *testing.T) {
+	// Ten "a" rows (already a big group) and two singletons "b", "c".
+	tab := relation.MustNewTable("x")
+	for i := 0; i < 10; i++ {
+		_ = tab.AppendRow([]string{"a"})
+	}
+	_ = tab.AppendRow([]string{"b"})
+	_ = tab.AppendRow([]string{"c"})
+	in := suppressionInput(tab, []int{0}, 2, 0)
+	res, err := Unrestricted(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertViewKAnonymous(t, res.View, []int{0}, 2)
+	if res.ValueLevels[0]["a"] != 0 {
+		t.Fatalf("value a was generalized to level %d despite its group of 10", res.ValueLevels[0]["a"])
+	}
+	if res.ValueLevels[0]["b"] != 1 || res.ValueLevels[0]["c"] != 1 {
+		t.Fatalf("singletons not suppressed: %v", res.ValueLevels[0])
+	}
+}
+
+func qiCols(in core.Input) []int {
+	cols := make([]int, len(in.QI))
+	for i, q := range in.QI {
+		cols[i] = q.Col
+	}
+	return cols
+}

@@ -1,0 +1,239 @@
+package recoding
+
+import (
+	"fmt"
+	"sort"
+
+	"incognito/internal/core"
+	"incognito/internal/relation"
+)
+
+// cutRef addresses one node of a value generalization tree: a hierarchy
+// level and a value code at that level.
+type cutRef struct {
+	Level int
+	Code  int32
+}
+
+// SubtreeResult is the outcome of the top-down specialization search: for
+// each quasi-identifier attribute, the mapping from base values to the
+// chosen cut ancestor, plus the released view.
+type SubtreeResult struct {
+	// CutValues[i] maps each base value of attribute i to the generalized
+	// value it is released as. Full-subtree consistency holds: two base
+	// values sharing the released value g always map identically.
+	CutValues []map[string]string
+	// Specializations counts how many cut refinements the search performed.
+	Specializations int
+	View            *relation.Table
+}
+
+// Subtree performs single-dimension full-subtree recoding (§5.1.1) searched
+// by top-down specialization in the style of Fung et al. [7]: each
+// attribute starts at the fully generalized cut (the top of its hierarchy);
+// at every round the algorithm tries replacing one cut node with its
+// children and keeps the specialization that most increases the number of
+// released distinct values while preserving k-anonymity, stopping when no
+// specialization is valid. The result is more flexible than full-domain
+// generalization: different subtrees of one hierarchy may sit at different
+// levels.
+func Subtree(in core.Input) (*SubtreeResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.QI)
+	nRows := in.Table.NumRows()
+	if err := checkFoldableDomains(in); err != nil {
+		return nil, err
+	}
+
+	// baseToCut[i][baseCode] = current cut node for attribute i.
+	baseToCut := make([][]cutRef, n)
+	// children[i] maps a cut node to the nodes one level below it.
+	for i, q := range in.QI {
+		h := q.H
+		top := h.Height()
+		baseToCut[i] = make([]cutRef, h.LevelSize(0))
+		for b := range baseToCut[i] {
+			code := int32(b)
+			if m := h.MapTo(top); m != nil {
+				code = m[b]
+			}
+			baseToCut[i][b] = cutRef{Level: top, Code: code}
+		}
+	}
+
+	// groupKey computes the current released key of a row.
+	colCodes := make([][]int32, n)
+	for i, q := range in.QI {
+		colCodes[i] = in.Table.Codes(q.Col)
+	}
+	currentFreq := func() *relation.FreqSet {
+		f := relation.NewFreqSet(make([]int, n))
+		codes := make([]int32, n)
+		for r := 0; r < nRows; r++ {
+			for i := range codes {
+				cut := baseToCut[i][colCodes[i][r]]
+				// Disambiguate codes across levels of one hierarchy by
+				// folding the level into the code space.
+				codes[i] = int32(cut.Level)<<24 | cut.Code
+			}
+			f.Add(codes, 1)
+		}
+		return f
+	}
+
+	if !in.CheckFreq(currentFreq()) {
+		return nil, fmt.Errorf("recoding: subtree search cannot reach %d-anonymity even at full generalization", in.K)
+	}
+
+	specs := 0
+	for {
+		// Enumerate candidate specializations: distinct cut nodes with
+		// level > 0, per attribute.
+		var cands []candidate
+		for i := range baseToCut {
+			seen := make(map[cutRef]int) // cut node → number of child nodes it would expand into
+			for b, cut := range baseToCut[i] {
+				if cut.Level == 0 {
+					continue
+				}
+				if _, ok := seen[cut]; !ok {
+					// Count the distinct children of this node.
+					children := make(map[int32]bool)
+					h := in.QI[i].H
+					for bb := range baseToCut[i] {
+						if baseToCut[i][bb] == cut {
+							child := int32(bb)
+							if m := h.MapTo(cut.Level - 1); m != nil {
+								child = m[bb]
+							}
+							children[child] = true
+						}
+					}
+					seen[cut] = len(children)
+					_ = b
+				}
+			}
+			for node, kids := range seen {
+				cands = append(cands, candidate{attr: i, node: node, gain: kids - 1})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+
+		// Try candidates in decreasing gain; apply the first valid one.
+		// (Deterministic order: sort by gain, then attr, then node.)
+		sortCandidates(cands)
+		applied := false
+		for _, c := range cands {
+			h := in.QI[c.attr].H
+			saved := append([]cutRef(nil), baseToCut[c.attr]...)
+			for b := range baseToCut[c.attr] {
+				if baseToCut[c.attr][b] == c.node {
+					child := int32(b)
+					if m := h.MapTo(c.node.Level - 1); m != nil {
+						child = m[b]
+					}
+					baseToCut[c.attr][b] = cutRef{Level: c.node.Level - 1, Code: child}
+				}
+			}
+			if in.CheckFreq(currentFreq()) {
+				specs++
+				applied = true
+				break
+			}
+			baseToCut[c.attr] = saved
+		}
+		if !applied {
+			break
+		}
+	}
+
+	// Materialize the result.
+	res := &SubtreeResult{Specializations: specs}
+	res.CutValues = make([]map[string]string, n)
+	for i, q := range in.QI {
+		h := q.H
+		m := make(map[string]string, h.LevelSize(0))
+		for b := 0; b < h.LevelSize(0); b++ {
+			cut := baseToCut[i][b]
+			m[h.Value(0, int32(b))] = h.Value(cut.Level, cut.Code)
+		}
+		res.CutValues[i] = m
+	}
+	view := relation.MustNewTable(in.Table.Columns()...)
+	qiPos := make(map[int]int, n)
+	for i, q := range in.QI {
+		qiPos[q.Col] = i
+	}
+	// Identify suppressed outlier tuples under the final cut.
+	finalFreq := currentFreq()
+	rec := make([]string, in.Table.NumCols())
+	codes := make([]int32, n)
+	for r := 0; r < nRows; r++ {
+		for i := range codes {
+			cut := baseToCut[i][colCodes[i][r]]
+			codes[i] = int32(cut.Level)<<24 | cut.Code
+		}
+		if finalFreq.Count(codes) < in.K {
+			continue // suppressed under the threshold
+		}
+		for c := 0; c < in.Table.NumCols(); c++ {
+			if i, isQI := qiPos[c]; isQI {
+				cut := baseToCut[i][colCodes[i][r]]
+				rec[c] = in.QI[i].H.Value(cut.Level, cut.Code)
+			} else {
+				rec[c] = in.Table.Value(r, c)
+			}
+		}
+		if err := view.AppendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+	res.View = view
+	return res, nil
+}
+
+// candidate is one possible cut refinement: expand node of attribute attr
+// into its children, gaining gain distinct released values.
+type candidate struct {
+	attr int
+	node cutRef
+	gain int
+}
+
+// checkFoldableDomains rejects attributes whose domains are too large for
+// the (level<<24 | code) key folding used by the per-value recoding models:
+// codes at or above 2^24 would collide with higher-level cut nodes and
+// corrupt the k-anonymity check.
+func checkFoldableDomains(in core.Input) error {
+	for _, q := range in.QI {
+		for l := 0; l <= q.H.Height(); l++ {
+			if q.H.LevelSize(l) >= 1<<24 {
+				return fmt.Errorf("recoding: attribute %s has %d values at level %d; per-value recoding supports at most %d",
+					q.H.Attr(), q.H.LevelSize(l), l, 1<<24-1)
+			}
+		}
+	}
+	return nil
+}
+
+// sortCandidates orders candidates by decreasing gain, breaking ties by
+// attribute then node for determinism.
+func sortCandidates(cands []candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.gain != b.gain {
+			return a.gain > b.gain
+		}
+		if a.attr != b.attr {
+			return a.attr < b.attr
+		}
+		if a.node.Level != b.node.Level {
+			return a.node.Level < b.node.Level
+		}
+		return a.node.Code < b.node.Code
+	})
+}

@@ -1,0 +1,232 @@
+package recoding
+
+import (
+	"fmt"
+
+	"incognito/internal/core"
+	"incognito/internal/relation"
+)
+
+// UnrestrictedResult is the outcome of unrestricted single-dimension
+// recoding: per attribute, the level each base value is released at, plus
+// the view.
+type UnrestrictedResult struct {
+	// ValueLevels[i] maps attribute i's base values to the hierarchy level
+	// they are released at (0 = intact).
+	ValueLevels []map[string]int
+	View        *relation.Table
+	// Generalizations counts the per-value level bumps performed.
+	Generalizations int
+}
+
+// Unrestricted implements the Unrestricted Single-Dimension Recoding model
+// of §5.1.1: each recoding function φ_i may map each VALUE of the domain
+// independently to itself or any of its ancestors — no full-domain
+// uniformity and no full-subtree condition. (The paper notes this model can
+// enable inference, e.g. mapping "Male" to "Person" while leaving "Female"
+// intact; it includes it in the taxonomy regardless, and so do we.)
+//
+// The search is a greedy bottom-up repair: while some released group is
+// undersized (beyond the suppression threshold), take the tuples of the
+// smallest such group and bump, for the attribute with the most distinct
+// released values overall (Datafly's heuristic applied per-value), the
+// released level of exactly the base values occurring in that group.
+// Termination: every bump strictly raises some value's level, and at the
+// all-top assignment every φ_i is constant per top value, which is the
+// full-domain top (anonymous whenever the table admits any solution).
+func Unrestricted(in core.Input) (*UnrestrictedResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.QI)
+	nRows := in.Table.NumRows()
+	if err := checkFoldableDomains(in); err != nil {
+		return nil, err
+	}
+
+	colCodes := make([][]int32, n)
+	for i, q := range in.QI {
+		colCodes[i] = in.Table.Codes(q.Col)
+	}
+	// level[i][baseCode] = current released level of that value.
+	level := make([][]int, n)
+	for i, q := range in.QI {
+		level[i] = make([]int, q.H.LevelSize(0))
+	}
+
+	released := func(i int, base int32) int32 {
+		l := level[i][base]
+		c := base
+		if m := in.QI[i].H.MapTo(l); m != nil {
+			c = m[base]
+		}
+		// Fold the level into the code so values from different domains of
+		// one chain never collide.
+		return int32(l)<<24 | c
+	}
+	currentFreq := func() *relation.FreqSet {
+		f := relation.NewFreqSet(make([]int, n))
+		codes := make([]int32, n)
+		for r := 0; r < nRows; r++ {
+			for i := range codes {
+				codes[i] = released(i, colCodes[i][r])
+			}
+			f.Add(codes, 1)
+		}
+		return f
+	}
+
+	bumps := 0
+	for {
+		f := currentFreq()
+		if in.CheckFreq(f) {
+			break
+		}
+		// Locate the smallest undersized group's rows.
+		var minCount int64 = -1
+		var minKey []int32
+		f.Each(func(codes []int32, count int64) {
+			if count >= in.K {
+				return
+			}
+			if minCount < 0 || count < minCount || (count == minCount && lessVec(codes, minKey)) {
+				minCount = count
+				minKey = append([]int32(nil), codes...)
+			}
+		})
+		var rows []int
+		codes := make([]int32, n)
+		for r := 0; r < nRows; r++ {
+			match := true
+			for i := range codes {
+				if released(i, colCodes[i][r]) != minKey[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				rows = append(rows, r)
+			}
+		}
+		// Choose the attribute to bump: most distinct released values,
+		// among attributes where this group's values can still go up.
+		distinct := make([]map[int32]bool, n)
+		for i := range distinct {
+			distinct[i] = make(map[int32]bool)
+		}
+		for r := 0; r < nRows; r++ {
+			for i := range distinct {
+				distinct[i][released(i, colCodes[i][r])] = true
+			}
+		}
+		bestAttr, bestDistinct := -1, -1
+		for i, q := range in.QI {
+			canBump := false
+			for _, r := range rows {
+				if level[i][colCodes[i][r]] < q.H.Height() {
+					canBump = true
+					break
+				}
+			}
+			if !canBump {
+				continue
+			}
+			if d := len(distinct[i]); d > bestDistinct {
+				bestAttr, bestDistinct = i, d
+			}
+		}
+		if bestAttr >= 0 {
+			seen := make(map[int32]bool)
+			for _, r := range rows {
+				b := colCodes[bestAttr][r]
+				if !seen[b] && level[bestAttr][b] < in.QI[bestAttr].H.Height() {
+					level[bestAttr][b]++
+					bumps++
+					seen[b] = true
+				}
+			}
+			continue
+		}
+		// The violating group is already fully generalized; it can only be
+		// rescued by other tuples joining it. Fall back to a global
+		// Datafly-style step: bump every below-top value of the attribute
+		// with the most distinct released values.
+		globalAttr, globalDistinct := -1, -1
+		for i, q := range in.QI {
+			canBump := false
+			for b := 0; b < q.H.LevelSize(0); b++ {
+				if level[i][b] < q.H.Height() {
+					canBump = true
+					break
+				}
+			}
+			if !canBump {
+				continue
+			}
+			if d := len(distinct[i]); d > globalDistinct {
+				globalAttr, globalDistinct = i, d
+			}
+		}
+		if globalAttr < 0 {
+			return nil, fmt.Errorf("recoding: unrestricted recoding cannot reach %d-anonymity even at full generalization", in.K)
+		}
+		h := in.QI[globalAttr].H
+		for b := 0; b < h.LevelSize(0); b++ {
+			if level[globalAttr][b] < h.Height() {
+				level[globalAttr][b]++
+				bumps++
+			}
+		}
+	}
+
+	// Materialize the mapping and the view.
+	res := &UnrestrictedResult{Generalizations: bumps}
+	res.ValueLevels = make([]map[string]int, n)
+	for i, q := range in.QI {
+		m := make(map[string]int, q.H.LevelSize(0))
+		for b := 0; b < q.H.LevelSize(0); b++ {
+			m[q.H.Value(0, int32(b))] = level[i][b]
+		}
+		res.ValueLevels[i] = m
+	}
+	finalFreq := currentFreq()
+	view := relation.MustNewTable(in.Table.Columns()...)
+	qiPos := make(map[int]int, n)
+	for i, q := range in.QI {
+		qiPos[q.Col] = i
+	}
+	rec := make([]string, in.Table.NumCols())
+	codes := make([]int32, n)
+	for r := 0; r < nRows; r++ {
+		for i := range codes {
+			codes[i] = released(i, colCodes[i][r])
+		}
+		if finalFreq.Count(codes) < in.K {
+			continue // suppressed under the threshold
+		}
+		for c := 0; c < in.Table.NumCols(); c++ {
+			if i, isQI := qiPos[c]; isQI {
+				b := colCodes[i][r]
+				rec[c] = in.QI[i].H.Value(level[i][b], stripLevel(released(i, b)))
+			} else {
+				rec[c] = in.Table.Value(r, c)
+			}
+		}
+		if err := view.AppendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+	res.View = view
+	return res, nil
+}
+
+func stripLevel(folded int32) int32 { return folded & 0xFFFFFF }
+
+func lessVec(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

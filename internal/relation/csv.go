@@ -1,0 +1,108 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV reads a table from CSV. When header is true the first record
+// supplies the column names; otherwise columns are named col0, col1, ….
+func ReadCSV(r io.Reader, header bool) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("relation: empty CSV input")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	var t *Table
+	if header {
+		t, err = NewTable(append([]string(nil), first...)...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		names := make([]string, len(first))
+		for i := range names {
+			names[i] = fmt.Sprintf("col%d", i)
+		}
+		t, err = NewTable(names...)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AppendRow(first); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV: %w", err)
+		}
+		if err := t.AppendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ReadCSVFile reads a table from the named CSV file (with header).
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, true)
+}
+
+// WriteCSV writes the table as CSV with a header record. A single-column
+// record holding the empty string is written as `""` explicitly:
+// encoding/csv would emit a blank line, which its reader silently skips, so
+// the table would not round-trip.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.names); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.names))
+	for r := 0; r < t.rows; r++ {
+		for c := range t.names {
+			rec[c] = t.Value(r, c)
+		}
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the named file, creating or truncating it.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,88 @@
+package relation
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	p := patients()
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Columns(), q.Columns()) {
+		t.Fatalf("schema changed: %v vs %v", p.Columns(), q.Columns())
+	}
+	if !reflect.DeepEqual(p.Rows(), q.Rows()) {
+		t.Fatal("rows changed across CSV round trip")
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	in := "1,2\n3,4\n"
+	tab, err := ReadCSV(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tab.NumRows())
+	}
+	if tab.Columns()[0] != "col0" || tab.Columns()[1] != "col1" {
+		t.Fatalf("columns = %v", tab.Columns())
+	}
+	if tab.Value(0, 1) != "2" || tab.Value(1, 0) != "3" {
+		t.Fatalf("data mangled: %v", tab.Rows())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), true); err == nil {
+		t.Fatal("empty input should error")
+	}
+	// Ragged record: header has 2 columns, row has 3.
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2,3\n"), true); err == nil {
+		t.Fatal("ragged CSV should error")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	p := patients()
+	path := filepath.Join(t.TempDir(), "patients.csv")
+	if err := p.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Rows(), q.Rows()) {
+		t.Fatal("file round trip changed rows")
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("reading a missing file should error")
+	}
+}
+
+func TestCSVQuotedValues(t *testing.T) {
+	p := MustNewTable("name", "note")
+	_ = p.AppendRow([]string{"a,b", "line\nbreak"})
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Value(0, 0) != "a,b" || q.Value(0, 1) != "line\nbreak" {
+		t.Fatalf("quoting broken: %v", q.Row(0))
+	}
+}

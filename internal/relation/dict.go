@@ -1,0 +1,74 @@
+// Package relation implements the in-memory relational substrate that the
+// Incognito algorithms run on. It plays the role that IBM DB2 played in the
+// original paper: tables are dictionary-encoded column stores, frequency
+// sets are the result of GROUP BY ... COUNT(*) queries, and coarser
+// frequency sets are produced by SUM(count) rollups rather than re-scanning
+// the base table.
+//
+// The package is deliberately small and purpose-built: it supports exactly
+// the operations the paper issues as SQL — group-by counting, rollup along
+// dimension hierarchies, projection through dimension tables, and selection
+// (used to drop suppressed outlier tuples) — plus CSV import/export.
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dict is an order-of-first-appearance dictionary mapping attribute values
+// (strings) to dense int32 codes. Dictionary encoding makes group-by keys
+// compact and makes "join with a dimension table" an array lookup.
+type Dict struct {
+	codes  map[string]int32
+	values []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int32)}
+}
+
+// Encode returns the code for v, assigning the next free code if v has not
+// been seen before.
+func (d *Dict) Encode(v string) int32 {
+	if c, ok := d.codes[v]; ok {
+		return c
+	}
+	c := int32(len(d.values))
+	d.codes[v] = c
+	d.values = append(d.values, v)
+	return c
+}
+
+// Code returns the code for v and whether v is present. It never assigns.
+func (d *Dict) Code(v string) (int32, bool) {
+	c, ok := d.codes[v]
+	return c, ok
+}
+
+// Value returns the string for code c. It panics if c is out of range,
+// because an out-of-range code always indicates a bug in the caller rather
+// than bad input data.
+func (d *Dict) Value(c int32) string {
+	if c < 0 || int(c) >= len(d.values) {
+		panic(fmt.Sprintf("relation: dictionary code %d out of range [0,%d)", c, len(d.values)))
+	}
+	return d.values[c]
+}
+
+// Len returns the number of distinct values in the dictionary.
+func (d *Dict) Len() int { return len(d.values) }
+
+// Values returns the dictionary's values in code order. The returned slice
+// is shared; callers must not modify it.
+func (d *Dict) Values() []string { return d.values }
+
+// SortedValues returns a new slice of the dictionary's values in lexical
+// order. Useful for deterministic iteration in reports and tests.
+func (d *Dict) SortedValues() []string {
+	out := make([]string, len(d.values))
+	copy(out, d.values)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,81 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDictEncodeAssignsDenseCodes(t *testing.T) {
+	d := NewDict()
+	if got := d.Encode("a"); got != 0 {
+		t.Fatalf("first code = %d, want 0", got)
+	}
+	if got := d.Encode("b"); got != 1 {
+		t.Fatalf("second code = %d, want 1", got)
+	}
+	if got := d.Encode("a"); got != 0 {
+		t.Fatalf("repeat code = %d, want 0", got)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	f := func(vals []string) bool {
+		for _, v := range vals {
+			c := d.Encode(v)
+			if d.Value(c) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDictCodeDoesNotAssign(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Code("missing"); ok {
+		t.Fatal("Code reported a value that was never encoded")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Code mutated the dictionary: Len = %d", d.Len())
+	}
+	d.Encode("x")
+	if c, ok := d.Code("x"); !ok || c != 0 {
+		t.Fatalf("Code(x) = %d, %v; want 0, true", c, ok)
+	}
+}
+
+func TestDictValueOutOfRangePanics(t *testing.T) {
+	d := NewDict()
+	d.Encode("only")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value(5) did not panic on an out-of-range code")
+		}
+	}()
+	d.Value(5)
+}
+
+func TestDictSortedValues(t *testing.T) {
+	d := NewDict()
+	for _, v := range []string{"pear", "apple", "mango"} {
+		d.Encode(v)
+	}
+	got := d.SortedValues()
+	want := []string{"apple", "mango", "pear"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedValues = %v, want %v", got, want)
+		}
+	}
+	// Code order must be preserved in Values.
+	if d.Values()[0] != "pear" {
+		t.Fatalf("Values()[0] = %q, want pear", d.Values()[0])
+	}
+}

@@ -1,0 +1,41 @@
+package relation
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n bytes, for error-path injection.
+type failWriter struct {
+	remaining int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errDiskFull
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	p := patients()
+	// Fail at several truncation points: during the header, mid-row, etc.
+	for _, budget := range []int{0, 3, 25, 60} {
+		err := p.WriteCSV(&failWriter{remaining: budget})
+		if err == nil {
+			t.Fatalf("budget %d: WriteCSV succeeded against a failing writer", budget)
+		}
+	}
+}
+
+func TestWriteCSVFileErrors(t *testing.T) {
+	p := patients()
+	if err := p.WriteCSVFile("/nonexistent-dir/patients.csv"); err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+}

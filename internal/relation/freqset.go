@@ -1,0 +1,207 @@
+package relation
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// FreqSet is the frequency set of a table with respect to a set of columns
+// (§1.1): a mapping from each distinct value group to the number of tuples
+// carrying it. Group keys are the group's codes packed 4 bytes per column,
+// which keeps the map allocation-free on lookups and lets rollups re-key in
+// place.
+//
+// A FreqSet is created in exactly two ways, mirroring the paper:
+//
+//   - GroupCount — one scan of the base table (the SQL COUNT(*) group-by);
+//   - Recode / DropColumn on an existing FreqSet — a SUM(count) rollup.
+type FreqSet struct {
+	// Cols are the source-table column positions the groups range over.
+	Cols   []int
+	groups map[string]int64
+}
+
+// NewFreqSet returns an empty frequency set over the given columns.
+func NewFreqSet(cols []int) *FreqSet {
+	return &FreqSet{Cols: append([]int(nil), cols...), groups: make(map[string]int64)}
+}
+
+// packKey encodes a code vector into a map key.
+func packKey(buf []byte, codes []int32) string {
+	for i, c := range codes {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(c))
+	}
+	return string(buf[:4*len(codes)])
+}
+
+// unpackKey decodes a map key back into codes.
+func unpackKey(key string, codes []int32) {
+	for i := range codes {
+		codes[i] = int32(binary.LittleEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+}
+
+// Add increments the count of the group with the given codes by n.
+func (f *FreqSet) Add(codes []int32, n int64) {
+	buf := make([]byte, 4*len(codes))
+	f.groups[packKey(buf, codes)] += n
+}
+
+// Count returns the count of the group with the given codes (0 if absent).
+func (f *FreqSet) Count(codes []int32) int64 {
+	buf := make([]byte, 4*len(codes))
+	return f.groups[packKey(buf, codes)]
+}
+
+// Len returns the number of distinct value groups.
+func (f *FreqSet) Len() int { return len(f.groups) }
+
+// Total returns the sum of all counts, i.e. the number of tuples in the
+// underlying (projected) relation.
+func (f *FreqSet) Total() int64 {
+	var t int64
+	for _, c := range f.groups {
+		t += c
+	}
+	return t
+}
+
+// MinCount returns the smallest group count, or 0 for an empty set.
+func (f *FreqSet) MinCount() int64 {
+	var min int64
+	first := true
+	for _, c := range f.groups {
+		if first || c < min {
+			min, first = c, false
+		}
+	}
+	return min
+}
+
+// TuplesBelow returns the total number of tuples that belong to groups with
+// count < k. These are exactly the tuples that would need to be suppressed
+// for the relation to become k-anonymous (§2.1's suppression threshold).
+func (f *FreqSet) TuplesBelow(k int64) int64 {
+	var s int64
+	for _, c := range f.groups {
+		if c < k {
+			s += c
+		}
+	}
+	return s
+}
+
+// IsKAnonymous reports whether every group count is ≥ k, allowing up to
+// maxSuppress tuples in undersized groups to be suppressed. With
+// maxSuppress == 0 this is the plain k-anonymity property of §1.1.
+func (f *FreqSet) IsKAnonymous(k int64, maxSuppress int64) bool {
+	return f.TuplesBelow(k) <= maxSuppress
+}
+
+// Each calls fn for every group in unspecified order. The codes slice is
+// reused across calls; fn must not retain it.
+func (f *FreqSet) Each(fn func(codes []int32, count int64)) {
+	codes := make([]int32, len(f.Cols))
+	for key, count := range f.groups {
+		unpackKey(key, codes)
+		fn(codes, count)
+	}
+}
+
+// EachSorted calls fn for every group in lexicographic code order, for
+// deterministic output.
+func (f *FreqSet) EachSorted(fn func(codes []int32, count int64)) {
+	keys := make([]string, 0, len(f.groups))
+	for key := range f.groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	codes := make([]int32, len(f.Cols))
+	for _, key := range keys {
+		unpackKey(key, codes)
+		fn(codes, f.groups[key])
+	}
+}
+
+// GroupCount computes the frequency set of t with respect to cols after
+// recoding each column's codes through the corresponding lookup table
+// (recode[i][baseCode] = generalized code; a nil entry means identity, i.e.
+// the column is grouped at its base domain). This is the paper's
+// "SELECT COUNT(*) ... GROUP BY ..." over the star schema: the recode arrays
+// are the materialized dimension tables.
+func GroupCount(t *Table, cols []int, recode [][]int32) *FreqSet {
+	f := NewFreqSet(cols)
+	n := t.NumRows()
+	codes := make([]int32, len(cols))
+	buf := make([]byte, 4*len(cols))
+	columns := make([][]int32, len(cols))
+	for i, c := range cols {
+		columns[i] = t.Codes(c)
+	}
+	for r := 0; r < n; r++ {
+		for i := range cols {
+			c := columns[i][r]
+			if recode != nil && recode[i] != nil {
+				c = recode[i][c]
+			}
+			codes[i] = c
+		}
+		f.groups[packKey(buf, codes)]++
+	}
+	return f
+}
+
+// Recode produces a new frequency set by mapping each column position i of
+// every group through maps[i] (nil = identity) and summing counts — the
+// paper's rollup property: a SUM(count) group-by over the dimension join.
+func (f *FreqSet) Recode(maps [][]int32) *FreqSet {
+	out := NewFreqSet(f.Cols)
+	codes := make([]int32, len(f.Cols))
+	buf := make([]byte, 4*len(f.Cols))
+	for key, count := range f.groups {
+		unpackKey(key, codes)
+		for i := range codes {
+			if maps[i] != nil {
+				codes[i] = maps[i][codes[i]]
+			}
+		}
+		out.groups[packKey(buf, codes)] += count
+	}
+	return out
+}
+
+// DropColumn produces the frequency set over the remaining columns by
+// summing over column position pos — the data-cube margin used by Cube
+// Incognito's bottom-up pre-computation and by subset-property reasoning.
+func (f *FreqSet) DropColumn(pos int) *FreqSet {
+	rest := make([]int, 0, len(f.Cols)-1)
+	for i, c := range f.Cols {
+		if i != pos {
+			rest = append(rest, c)
+		}
+	}
+	out := NewFreqSet(rest)
+	codes := make([]int32, len(f.Cols))
+	kept := make([]int32, len(rest))
+	buf := make([]byte, 4*len(rest))
+	for key, count := range f.groups {
+		unpackKey(key, codes)
+		kept = kept[:0]
+		for i, c := range codes {
+			if i != pos {
+				kept = append(kept, c)
+			}
+		}
+		out.groups[packKey(buf, kept)] += count
+	}
+	return out
+}
+
+// Clone returns a deep copy of the frequency set.
+func (f *FreqSet) Clone() *FreqSet {
+	out := NewFreqSet(f.Cols)
+	for k, v := range f.groups {
+		out.groups[k] = v
+	}
+	return out
+}

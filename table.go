@@ -1,0 +1,98 @@
+// Package incognito is a from-scratch implementation of "Incognito:
+// Efficient Full-Domain K-Anonymity" (LeFevre, DeWitt, Ramakrishnan,
+// SIGMOD 2005). It computes the set of ALL k-anonymous full-domain
+// generalizations of a table with respect to a quasi-identifier, using the
+// paper's a priori candidate pruning and frequency-set rollup, and lets the
+// caller choose the "minimal" generalization under any criterion.
+//
+// A minimal end-to-end use:
+//
+//	t, _ := incognito.NewTable(
+//		[]string{"Zip", "Sex", "Disease"},
+//		[][]string{{"53715", "M", "Flu"}, {"53715", "F", "Cold"}, ...})
+//	res, _ := incognito.Anonymize(t, []incognito.QI{
+//		{Column: "Zip", Hierarchy: incognito.RoundDigits(2)},
+//		{Column: "Sex", Hierarchy: incognito.Suppression()},
+//	}, incognito.Config{K: 2})
+//	best, _ := res.Best(incognito.MinHeight())
+//	view, _ := best.Apply()
+//
+// The packages under internal/ hold the substrates: the relational engine,
+// hierarchy machinery, generalization lattices, the Incognito core, the
+// baseline algorithms of §2.2, the §5 recoding models, and the synthetic
+// evaluation datasets.
+package incognito
+
+import (
+	"io"
+
+	"incognito/internal/relation"
+)
+
+// Table is an immutable-by-convention relation of string-valued tuples.
+// Tuples form a multiset: duplicates are meaningful for k-anonymity.
+type Table struct {
+	rel *relation.Table
+}
+
+// NewTable builds a table from column names and rows; every row must have
+// one value per column.
+func NewTable(columns []string, rows [][]string) (*Table, error) {
+	rel, err := relation.FromRows(columns, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}
+
+// LoadCSV reads a table from a CSV file whose first record is the header.
+func LoadCSV(path string) (*Table, error) {
+	rel, err := relation.ReadCSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}
+
+// ReadCSV reads a table from CSV data whose first record is the header.
+func ReadCSV(r io.Reader) (*Table, error) {
+	rel, err := relation.ReadCSV(r, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}
+
+// Columns returns the column names in schema order.
+func (t *Table) Columns() []string {
+	return append([]string(nil), t.rel.Columns()...)
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return t.rel.NumRows() }
+
+// Row materializes row i as strings.
+func (t *Table) Row(i int) []string { return t.rel.Row(i) }
+
+// Rows materializes the whole table.
+func (t *Table) Rows() [][]string { return t.rel.Rows() }
+
+// Value returns the value at (row, column index).
+func (t *Table) Value(row, col int) string { return t.rel.Value(row, col) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int { return t.rel.ColumnIndex(name) }
+
+// WriteCSV writes the table as CSV with a header record.
+func (t *Table) WriteCSV(w io.Writer) error { return t.rel.WriteCSV(w) }
+
+// SaveCSV writes the table to the named file.
+func (t *Table) SaveCSV(path string) error { return t.rel.WriteCSVFile(path) }
+
+// WrapTable adopts an internal relation as a public Table. It is exported
+// for the tools and examples inside this module; external callers will not
+// be able to construct the argument.
+func WrapTable(rel *relation.Table) *Table { return &Table{rel: rel} }
+
+// Relation exposes the underlying internal relation, for in-module tools.
+func (t *Table) Relation() *relation.Table { return t.rel }
