@@ -86,6 +86,13 @@ type Config struct {
 	// MaterializeBudget is the partial-cube size budget (in frequency-set
 	// groups) used by MaterializedIncognito and ignored otherwise.
 	MaterializeBudget int
+	// Parallelism bounds intra-run concurrency: 0 (the default) uses every
+	// core (GOMAXPROCS), 1 runs strictly sequentially, and n > 1 uses at
+	// most n workers. Base-table scans are sharded into row ranges and the
+	// independent per-attribute-subset candidate graphs of each search
+	// iteration run concurrently; Solutions and Stats are identical at
+	// every setting. Negative values are rejected.
+	Parallelism int
 }
 
 // Stats reports how much work a run did, mirroring the measurements of §4.
@@ -125,8 +132,11 @@ func Anonymize(t *Table, qi []QI, cfg Config) (*Result, error) {
 	if cfg.MaxSuppressed < 0 {
 		return nil, fmt.Errorf("incognito: negative MaxSuppressed %d", cfg.MaxSuppressed)
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("incognito: negative Parallelism %d (0 = all cores, 1 = sequential)", cfg.Parallelism)
+	}
 
-	in := core.Input{Table: t.rel, K: int64(cfg.K), MaxSuppress: int64(cfg.MaxSuppressed)}
+	in := core.Input{Table: t.rel, K: int64(cfg.K), MaxSuppress: int64(cfg.MaxSuppressed), Parallelism: cfg.Parallelism}
 	names := make([]string, len(qi))
 	for i, q := range qi {
 		col := t.rel.ColumnIndex(q.Column)

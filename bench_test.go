@@ -13,6 +13,7 @@ package incognito_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -333,6 +334,79 @@ func BenchmarkMaterializeBudget(b *testing.B) {
 			b.ReportMetric(float64(scans), "scans/op")
 			b.ReportMetric(float64(views), "views")
 		})
+	}
+}
+
+// parallelLevels enumerates the worker bounds the BenchmarkParallel*
+// suites compare: the sequential reference, then every power of two up to
+// GOMAXPROCS. On a single-core machine only the serial/1-worker pair runs.
+func parallelLevels() []int {
+	levels := []int{1}
+	for p := 2; p <= runtime.GOMAXPROCS(0); p *= 2 {
+		levels = append(levels, p)
+	}
+	if max := runtime.GOMAXPROCS(0); levels[len(levels)-1] != max {
+		levels = append(levels, max)
+	}
+	return levels
+}
+
+// runParallelCell is runCell with an explicit intra-run worker bound. The
+// identical metric must be 1 at every level: parallel runs reproduce the
+// sequential reference's solutions and counters bit for bit.
+func runParallelCell(b *testing.B, d *dataset.Dataset, qi int, k int64, algo bench.Algo, parallelism int) {
+	b.Helper()
+	ref, err := bench.Run(d, qi, k, algo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last bench.Measurement
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := bench.RunParallel(d, qi, k, algo, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	identical := last.Solutions == ref.Solutions && last.MinHeight == ref.MinHeight && last.Stats == ref.Stats
+	if !identical {
+		b.Fatalf("parallelism=%d diverged from sequential reference: got %d solutions %+v, want %d solutions %+v",
+			parallelism, last.Solutions, last.Stats, ref.Solutions, ref.Stats)
+	}
+	b.ReportMetric(float64(last.Solutions), "solutions")
+	b.ReportMetric(1, "identical")
+}
+
+// BenchmarkParallelAdults9QI is the tentpole's headline workload: the
+// Incognito variants on the full 9-attribute Adults quasi-identifier at
+// k=2, swept across intra-run worker bounds. Compare ns/op between the
+// p=1 and p=GOMAXPROCS sub-benchmarks for the speedup; the identical
+// metric certifies the runs agree with the sequential reference.
+func BenchmarkParallelAdults9QI(b *testing.B) {
+	d := adults()
+	qi := len(d.QICols)
+	for _, algo := range []bench.Algo{bench.BasicIncognito, bench.SuperRootsIncognito, bench.CubeIncognito} {
+		for _, p := range parallelLevels() {
+			b.Run(fmt.Sprintf("%s/p=%d", algo, p), func(b *testing.B) {
+				runParallelCell(b, d, qi, 2, algo, p)
+			})
+		}
+	}
+}
+
+// BenchmarkParallelLandsEnd is the same sweep on the Lands End database at
+// QID 6 — fewer, larger frequency sets, so the sharded GroupCount scan
+// dominates rather than the per-family graph search.
+func BenchmarkParallelLandsEnd(b *testing.B) {
+	d := landsEnd()
+	for _, algo := range []bench.Algo{bench.BasicIncognito, bench.SuperRootsIncognito, bench.CubeIncognito} {
+		for _, p := range parallelLevels() {
+			b.Run(fmt.Sprintf("%s/p=%d", algo, p), func(b *testing.B) {
+				runParallelCell(b, d, 6, 2, algo, p)
+			})
+		}
 	}
 }
 

@@ -39,6 +39,8 @@ func main() {
 		algosFlag  = flag.String("algos", "", "comma-separated algorithm subset (bottomup, bottomup-rollup, binary, basic, cube, superroots); empty = all six")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		parallel   = flag.Int("parallelism", 0, "worker bound for the parallel experiment: 0 = all cores, n = at most n workers")
+		jsonOut    = flag.Bool("json", false, "emit the parallel experiment as JSON (for BENCH_parallel.json)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,8 @@ func main() {
 		algos:         algos,
 		algosExplicit: algosExplicit,
 		csv:           *csv,
+		parallelism:   *parallel,
+		jsonOut:       *jsonOut,
 		progress:      progress,
 	}
 
@@ -88,6 +92,8 @@ func main() {
 		r.fig12()
 	case "nodes-table":
 		r.nodesTable()
+	case "parallel":
+		r.parallel()
 	case "all":
 		r.fig9()
 		r.fig10(r.adults())
@@ -108,6 +114,8 @@ type runner struct {
 	algos              []bench.Algo
 	algosExplicit      bool
 	csv                bool
+	parallelism        int
+	jsonOut            bool
 	progress           bench.Progress
 
 	adultsCache, leCache *dataset.Dataset
@@ -224,6 +232,40 @@ func (r *runner) fig12() {
 			fatal(err)
 		}
 		r.emit(s, false)
+	}
+}
+
+// parallel compares the sequential reference against the intra-run
+// parallel path on the headline workloads: the Incognito variants on the
+// full 9-attribute Adults quasi-identifier and on Lands End at QID 6,
+// k=2. With -json the report is machine-readable (BENCH_parallel.json).
+func (r *runner) parallel() {
+	algos := []bench.Algo{bench.BasicIncognito, bench.SuperRootsIncognito, bench.CubeIncognito}
+	if r.algosExplicit {
+		algos = r.algos
+	}
+	report := bench.NewParallelReport(r.parallelism)
+	for _, w := range []struct {
+		d  *dataset.Dataset
+		qi int
+	}{
+		{r.adults(), len(r.adults().QICols)},
+		{r.landsEnd(), 6},
+	} {
+		cells, err := bench.Parallel(w.d, w.qi, 2, algos, r.parallelism, r.progress)
+		if err != nil {
+			fatal(err)
+		}
+		report.Cells = append(report.Cells, cells...)
+	}
+	var err error
+	if r.jsonOut {
+		err = report.WriteJSON(os.Stdout)
+	} else {
+		err = report.WriteTable(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 		suppress = flag.Int("suppress", 0, "tuple-suppression threshold")
 		algoName = flag.String("algorithm", "basic", "basic, superroots, cube, materialized, bottomup, bottomup-rollup, or binary")
 		budget   = flag.Int("budget", 1<<20, "partial-cube size budget in groups (materialized algorithm only)")
+		parallel = flag.Int("parallelism", 0, "intra-run worker bound: 0 = all cores, 1 = sequential, n = at most n workers")
 		criteria = flag.String("criterion", "height", "minimality criterion: height, precision, discernibility, or avgclass")
 		list     = flag.Bool("list", false, "print every k-anonymous generalization, not just the chosen one")
 		dotFile  = flag.String("dot", "", "write the generalization lattice as Graphviz DOT to this file")
@@ -51,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *demo {
-		runDemo(*k, *algoName, *stats)
+		runDemo(*k, *algoName, *stats, *parallel)
 		return
 	}
 	if *input == "" || *qiSpec == "" {
@@ -71,6 +72,7 @@ func main() {
 		MaxSuppressed:     *suppress,
 		Algorithm:         algo,
 		MaterializeBudget: *budget,
+		Parallelism:       *parallel,
 	})
 	fatalIf(err)
 
@@ -230,7 +232,7 @@ func parseCriterion(name string) (incognito.Criterion, error) {
 }
 
 // runDemo reproduces the paper's running example (Fig. 1 and Fig. 2).
-func runDemo(k int, algoName string, stats bool) {
+func runDemo(k int, algoName string, stats bool, parallelism int) {
 	table, err := incognito.NewTable(
 		[]string{"Birthdate", "Sex", "Zipcode", "Disease"},
 		[][]string{
@@ -250,7 +252,7 @@ func runDemo(k int, algoName string, stats bool) {
 		{Column: "Sex", Hierarchy: incognito.Taxonomy(map[string]string{"Male": "Person", "Female": "Person"})},
 		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(2)},
 	}
-	res, err := incognito.Anonymize(table, qi, incognito.Config{K: k, Algorithm: algo})
+	res, err := incognito.Anonymize(table, qi, incognito.Config{K: k, Algorithm: algo, Parallelism: parallelism})
 	fatalIf(err)
 	fmt.Printf("Patients table (Fig. 1), k=%d, algorithm %v\n", k, algo)
 	fmt.Printf("%d k-anonymous full-domain generalizations:\n", res.Len())

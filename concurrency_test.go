@@ -57,6 +57,80 @@ type mismatchError struct{}
 
 func (*mismatchError) Error() string { return "concurrent run produced different solutions" }
 
+// TestConcurrentParallelRuns layers the two concurrency levels: several
+// goroutines each run Anonymize with internal parallelism enabled
+// (family-parallel search plus sharded scans) against one shared table.
+// Under -race this exercises the intra-run worker pools; the assertions
+// check the determinism guarantee — identical Solutions and Stats at every
+// Parallelism setting, for every algorithm in the Incognito family.
+func TestConcurrentParallelRuns(t *testing.T) {
+	tab := patientsTable(t)
+	algos := []incognito.Algorithm{
+		incognito.BasicIncognito,
+		incognito.SuperRootsIncognito,
+		incognito.CubeIncognito,
+		incognito.MaterializedIncognito,
+	}
+	want := make(map[incognito.Algorithm]*incognito.Result)
+	for _, algo := range algos {
+		res, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{
+			K: 2, Algorithm: algo, MaterializeBudget: 1 << 12, Parallelism: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[algo] = res
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		algo := algos[i%len(algos)]
+		parallelism := []int{0, 2, 4}[(i/len(algos))%3]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{
+				K: 2, Algorithm: algo, MaterializeBudget: 1 << 12, Parallelism: parallelism,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			var got, exp [][]int
+			for _, s := range res.Solutions() {
+				got = append(got, s.Levels())
+			}
+			for _, s := range want[algo].Solutions() {
+				exp = append(exp, s.Levels())
+			}
+			if !reflect.DeepEqual(got, exp) {
+				errs <- &mismatchError{}
+				return
+			}
+			if res.Stats() != want[algo].Stats() {
+				errs <- &statsMismatchError{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeParallelismRejected pins the Config validation.
+func TestNegativeParallelismRejected(t *testing.T) {
+	tab := patientsTable(t)
+	if _, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2, Parallelism: -1}); err == nil {
+		t.Fatal("Anonymize accepted a negative Parallelism")
+	}
+}
+
+type statsMismatchError struct{}
+
+func (*statsMismatchError) Error() string { return "parallel run produced different stats" }
+
 // TestConcurrentApply exercises parallel view materialization from one
 // shared Result.
 func TestConcurrentApply(t *testing.T) {

@@ -72,27 +72,37 @@ func ParseAlgo(s string) (Algo, error) {
 
 // Measurement is one experiment cell.
 type Measurement struct {
-	Dataset   string
-	Algo      Algo
-	QISize    int
-	K         int64
-	Elapsed   time.Duration
-	BuildTime time.Duration // cube pre-computation, separated as in Fig. 12
-	AnonTime  time.Duration // anonymization excluding cube build
-	Stats     core.Stats
-	Solutions int
-	MinHeight int
+	Dataset     string
+	Algo        Algo
+	QISize      int
+	K           int64
+	Parallelism int // the Input.Parallelism knob the cell ran with
+	Elapsed     time.Duration
+	BuildTime   time.Duration // cube pre-computation, separated as in Fig. 12
+	AnonTime    time.Duration // anonymization excluding cube build
+	Stats       core.Stats
+	Solutions   int
+	MinHeight   int
 }
 
 // Run executes one cell: the given algorithm on the first qiSize attributes
-// of the dataset at anonymity parameter k.
+// of the dataset at anonymity parameter k, strictly sequentially — the
+// reference configuration every paper figure is regenerated with.
 func Run(d *dataset.Dataset, qiSize int, k int64, algo Algo) (Measurement, error) {
+	return RunParallel(d, qiSize, k, algo, 1)
+}
+
+// RunParallel is Run with an explicit intra-run parallelism bound
+// (0 = GOMAXPROCS, 1 = sequential, n = at most n workers). Solutions and
+// Stats are identical at every setting; only Elapsed changes.
+func RunParallel(d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism int) (Measurement, error) {
 	cols, hs, err := d.QISubset(qiSize)
 	if err != nil {
 		return Measurement{}, err
 	}
 	in := core.NewInput(d.Table, cols, hs, k, 0)
-	m := Measurement{Dataset: d.Name, Algo: algo, QISize: qiSize, K: k}
+	in.Parallelism = parallelism
+	m := Measurement{Dataset: d.Name, Algo: algo, QISize: qiSize, K: k, Parallelism: parallelism}
 
 	start := time.Now()
 	switch algo {

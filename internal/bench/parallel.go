@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"incognito/internal/dataset"
+)
+
+// ParallelCell is one serial-vs-parallel comparison: the same (dataset,
+// QI size, k, algorithm) cell timed at parallelism 1 and at the requested
+// worker bound, with a determinism cross-check on solutions and counters.
+type ParallelCell struct {
+	Dataset    string  `json:"dataset"`
+	Rows       int     `json:"rows"`
+	QISize     int     `json:"qi_size"`
+	K          int64   `json:"k"`
+	Algo       string  `json:"algo"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	Solutions  int     `json:"solutions"`
+	// Identical reports whether the parallel run reproduced the serial
+	// run's solution count, minimum height, and every Stats counter — the
+	// tentpole's bit-identical-results guarantee.
+	Identical bool `json:"identical"`
+}
+
+// ParallelReport is the JSON document cmd/bench -experiment parallel
+// emits (recorded at the repo root as BENCH_parallel.json).
+type ParallelReport struct {
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Parallelism int            `json:"parallelism"` // the knob value; 0 means GOMAXPROCS
+	Cells       []ParallelCell `json:"cells"`
+}
+
+// Parallel runs the serial-vs-parallel comparison for each algorithm on
+// one (dataset, QI size, k) workload. Serial and parallel cells alternate
+// per algorithm so the comparison is as back-to-back as the harness can
+// make it.
+func Parallel(d *dataset.Dataset, qiSize int, k int64, algos []Algo, parallelism int, progress Progress) ([]ParallelCell, error) {
+	var cells []ParallelCell
+	for _, a := range algos {
+		serial, err := Run(d, qiSize, k, a)
+		if err != nil {
+			return nil, err
+		}
+		par, err := RunParallel(d, qiSize, k, a, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		cell := ParallelCell{
+			Dataset:    d.Name,
+			Rows:       d.Table.NumRows(),
+			QISize:     qiSize,
+			K:          k,
+			Algo:       a.String(),
+			SerialMS:   float64(serial.Elapsed.Microseconds()) / 1000,
+			ParallelMS: float64(par.Elapsed.Microseconds()) / 1000,
+			Solutions:  serial.Solutions,
+			Identical: serial.Solutions == par.Solutions &&
+				serial.MinHeight == par.MinHeight &&
+				serial.Stats == par.Stats,
+		}
+		if par.Elapsed > 0 {
+			cell.Speedup = float64(serial.Elapsed) / float64(par.Elapsed)
+		}
+		progress.Log("%s | QID=%d k=%d | %-22s | serial %v, parallel %v (%.2fx, identical=%v)",
+			d.Name, qiSize, k, a, serial.Elapsed.Round(time.Millisecond),
+			par.Elapsed.Round(time.Millisecond), cell.Speedup, cell.Identical)
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *ParallelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the report as an aligned text table.
+func (r *ParallelReport) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Serial vs parallel (GOMAXPROCS=%d, parallelism=%d)\n", r.GOMAXPROCS, r.Parallelism); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprintf(w, "%s QID=%d k=%d %-24s serial %.1fms parallel %.1fms speedup %.2fx identical=%v\n",
+			c.Dataset, c.QISize, c.K, c.Algo, c.SerialMS, c.ParallelMS, c.Speedup, c.Identical); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewParallelReport assembles a report header for the current process.
+func NewParallelReport(parallelism int) *ParallelReport {
+	return &ParallelReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallelism: parallelism}
+}

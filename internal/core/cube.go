@@ -43,14 +43,21 @@ func BuildCube(in *Input) *CubeIndex {
 	c.BuildStats.CubeFreqSets++
 
 	// Walk subsets in decreasing population count so every mask's chosen
-	// superset is already materialized.
+	// superset is already materialized. All margins of one size depend only
+	// on the size above, so each wave is computed in parallel (workers
+	// read the already-built sets of earlier waves; only the coordinating
+	// goroutine writes the map, after the wave completes).
 	masksBySize := make([][]int, n+1)
 	for mask := 1; mask < full; mask++ {
 		size := popcount(mask)
 		masksBySize[size] = append(masksBySize[size], mask)
 	}
+	workers := in.Workers()
 	for size := n - 1; size >= 1; size-- {
-		for _, mask := range masksBySize[size] {
+		masks := masksBySize[size]
+		margins := make([]*relation.FreqSet, len(masks))
+		runIndexed(workers, len(masks), func(i int) {
+			mask := masks[i]
 			// Add the lowest missing dimension to find a materialized parent.
 			extra := 0
 			for d := 0; d < n; d++ {
@@ -64,15 +71,18 @@ func BuildCube(in *Input) *CubeIndex {
 			parent := c.sets[dimsKey(parentDims)]
 			// Position of the extra dimension within the parent's dims.
 			pos := 0
-			for i, d := range parentDims {
+			for j, d := range parentDims {
 				if d == extra {
-					pos = i
+					pos = j
 				}
 			}
-			c.sets[dimsKey(dimsOf(mask))] = parent.DropColumn(pos)
-			c.BuildStats.CubeFreqSets++
-			c.BuildStats.Rollups++
+			margins[i] = parent.DropColumn(pos)
+		})
+		for i, mask := range masks {
+			c.sets[dimsKey(dimsOf(mask))] = margins[i]
 		}
+		c.BuildStats.CubeFreqSets += len(masks)
+		c.BuildStats.Rollups += len(masks)
 	}
 	return c
 }

@@ -185,11 +185,13 @@ func (q nodeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 // Push implements heap.Interface.
 func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*lattice.Node)) }
 
-// Pop implements heap.Interface.
+// Pop implements heap.Interface. The popped slot is nilled out so the
+// backing array does not pin *lattice.Node values past their lifetime.
 func (q *nodeQueue) Pop() interface{} {
 	old := *q
 	n := len(old)
 	x := old[n-1]
+	old[n-1] = nil
 	*q = old[:n-1]
 	return x
 }
@@ -198,22 +200,26 @@ func (q *nodeQueue) Pop() interface{} {
 // candidate graph. It returns, for every candidate ID, whether the table is
 // k-anonymous with respect to that node. Nodes never reached remain marked
 // anonymous: they are generalizations of anonymous nodes (soundness, §3.2).
+// At Input.Workers() > 1 the graph's independent families are searched
+// concurrently (see parallel.go); the survivors and Stats are identical
+// either way.
 func searchGraph(in *Input, g *lattice.Graph, v Variant, cube *CubeIndex, stats *Stats) map[int]bool {
-	if g.Len() == 0 {
-		return map[int]bool{}
-	}
-	return searchGraphWith(in, g, makeRootFreqFn(in, g, v, cube, stats), stats)
+	return searchGraphFamilies(in, g, variantRootFreqMaker(in, v, cube), stats)
 }
 
-// searchGraphWith is the Fig. 8 breadth-first search with a caller-chosen
-// root frequency-set provider; the Incognito variants differ only in that
-// provider.
-func searchGraphWith(in *Input, g *lattice.Graph, rootFreq func(*lattice.Node) *relation.FreqSet, stats *Stats) map[int]bool {
-	surv := make(map[int]bool, g.Len())
-	for _, n := range g.Nodes() {
+// searchComponent is the Fig. 8 breadth-first search over one self-contained
+// component of a candidate graph — the whole graph on the sequential path,
+// or a single family on the parallel path — with a caller-chosen root
+// frequency-set provider; the Incognito variants differ only in that
+// provider. nodes must be closed under g's edges (no edge may leave the
+// set) and roots must be exactly the members of nodes with no incoming
+// edge.
+func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, rootFreq func(*lattice.Node) *relation.FreqSet, stats *Stats) map[int]bool {
+	surv := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
 		surv[n.ID] = true
 	}
-	if g.Len() == 0 {
+	if len(nodes) == 0 {
 		return surv
 	}
 
@@ -226,7 +232,7 @@ func searchGraphWith(in *Input, g *lattice.Graph, rootFreq func(*lattice.Node) *
 	// be needed again and is released, bounding memory on large graphs.
 	pendingUps := make(map[int]int)
 	pq := &nodeQueue{}
-	for _, r := range g.Roots() {
+	for _, r := range roots {
 		heap.Push(pq, r)
 	}
 	for pq.Len() > 0 {
@@ -296,47 +302,51 @@ func searchGraphWith(in *Input, g *lattice.Graph, rootFreq func(*lattice.Node) *
 	return surv
 }
 
-// makeRootFreqFn returns the per-variant provider of root frequency sets.
-func makeRootFreqFn(in *Input, g *lattice.Graph, v Variant, cube *CubeIndex, stats *Stats) func(*lattice.Node) *relation.FreqSet {
+// variantRootFreqMaker returns the per-variant rootFreqMaker: handed a
+// component's roots and a Stats sink, it builds that component's root
+// frequency-set provider. The same maker serves the sequential search
+// (handed the whole graph's roots) and the per-family parallel search.
+func variantRootFreqMaker(in *Input, v Variant, cube *CubeIndex) rootFreqMaker {
 	switch v {
 	case Basic:
-		return func(n *lattice.Node) *relation.FreqSet {
-			stats.TableScans++
-			return in.ScanFreq(n.Dims, n.Levels)
+		return func(_ []*lattice.Node, stats *Stats) func(*lattice.Node) *relation.FreqSet {
+			return func(n *lattice.Node) *relation.FreqSet {
+				stats.TableScans++
+				return in.ScanFreq(n.Dims, n.Levels)
+			}
 		}
 	case Cube:
-		return func(n *lattice.Node) *relation.FreqSet {
-			zero := cube.Get(n.Dims)
-			zeros := make([]int, len(n.Dims))
-			if sameLevels(zeros, n.Levels) {
-				return zero
+		return func(_ []*lattice.Node, stats *Stats) func(*lattice.Node) *relation.FreqSet {
+			return func(n *lattice.Node) *relation.FreqSet {
+				zero := cube.Get(n.Dims)
+				zeros := make([]int, len(n.Dims))
+				if sameLevels(zeros, n.Levels) {
+					return zero
+				}
+				stats.Rollups++
+				return in.RollupTo(zero, n.Dims, zeros, n.Levels)
 			}
-			stats.Rollups++
-			return in.RollupTo(zero, n.Dims, zeros, n.Levels)
 		}
 	case SuperRoots:
 		// Pre-compute one scan per family at the meet of its roots, then
 		// derive every root's frequency set by rollup (§3.3.1).
-		rootSets := make(map[int]*relation.FreqSet)
-		rootsByFamily := make(map[string][]*lattice.Node)
-		for _, r := range g.Roots() {
-			k := r.DimsKey()
-			rootsByFamily[k] = append(rootsByFamily[k], r)
-		}
-		for _, roots := range rootsByFamily {
-			dims, meet := lattice.Meet(roots)
-			stats.TableScans++
-			base := in.ScanFreq(dims, meet)
-			for _, r := range roots {
-				if sameLevels(meet, r.Levels) {
-					rootSets[r.ID] = base
-					continue
+		return func(roots []*lattice.Node, stats *Stats) func(*lattice.Node) *relation.FreqSet {
+			rootSets := make(map[int]*relation.FreqSet)
+			for _, fam := range groupRootsByFamily(roots) {
+				dims, meet := lattice.Meet(fam)
+				stats.TableScans++
+				base := in.ScanFreq(dims, meet)
+				for _, r := range fam {
+					if sameLevels(meet, r.Levels) {
+						rootSets[r.ID] = base
+						continue
+					}
+					stats.Rollups++
+					rootSets[r.ID] = in.RollupTo(base, dims, meet, r.Levels)
 				}
-				stats.Rollups++
-				rootSets[r.ID] = in.RollupTo(base, dims, meet, r.Levels)
 			}
+			return func(n *lattice.Node) *relation.FreqSet { return rootSets[n.ID] }
 		}
-		return func(n *lattice.Node) *relation.FreqSet { return rootSets[n.ID] }
 	}
 	panic("core: unknown variant")
 }

@@ -27,6 +27,11 @@ type Input struct {
 	QI          []QIAttr
 	K           int64
 	MaxSuppress int64
+	// Parallelism bounds intra-run concurrency: 0 uses every core
+	// (GOMAXPROCS), 1 runs strictly sequentially (the reference path), and
+	// n > 1 uses at most n workers. Solutions and Stats are identical at
+	// every setting; see parallel.go.
+	Parallelism int
 }
 
 // NewInput assembles an Input from parallel column/hierarchy slices, the
@@ -108,9 +113,10 @@ func (in *Input) recodeTables(dims, levels []int) [][]int32 {
 
 // ScanFreq computes the frequency set of the table with respect to the
 // given generalization by a full scan — the paper's COUNT(*) group-by over
-// the star schema.
+// the star schema. At Workers() > 1 the scan is sharded into row ranges
+// counted concurrently and merged; the result is identical either way.
 func (in *Input) ScanFreq(dims, levels []int) *relation.FreqSet {
-	return relation.GroupCount(in.Table, in.cols(dims), in.recodeTables(dims, levels))
+	return relation.GroupCountParallel(in.Table, in.cols(dims), in.recodeTables(dims, levels), in.Workers())
 }
 
 // composeSteps builds the γ⁺ table from hierarchy level `from` to level

@@ -109,20 +109,40 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 		}
 		return masks[i] < masks[j]
 	})
-	for _, mask := range masks {
-		dims := dimsOfMask(mask, n)
-		var f *relation.FreqSet
-		if super := m.lookupSuperset(dims); super != nil {
-			f = marginTo(super, dims)
-			m.BuildStats.Rollups++
-		} else {
-			f = in.ScanFreq(dims, make([]int, len(dims)))
-			m.BuildStats.TableScans++
+	// Views of equal subset size can never be strict supersets of each
+	// other, so every view's margin source lives in an earlier (larger)
+	// size wave. Each wave is therefore materialized in parallel without
+	// changing which source any view margins from — the scan/rollup mix in
+	// BuildStats is identical at every worker count.
+	workers := in.Workers()
+	for lo := 0; lo < len(masks); {
+		hi := lo
+		for hi < len(masks) && popcount(masks[hi]) == popcount(masks[lo]) {
+			hi++
 		}
-		v := &matView{dims: dims, f: f}
-		m.views = append(m.views, v)
-		m.byKey[dimsKey(dims)] = v
-		m.BuildStats.CubeFreqSets++
+		wave := masks[lo:hi]
+		built := make([]*matView, len(wave))
+		scanned := make([]bool, len(wave))
+		runIndexed(workers, len(wave), func(i int) {
+			dims := dimsOfMask(wave[i], n)
+			if super := m.lookupSuperset(dims); super != nil {
+				built[i] = &matView{dims: dims, f: marginTo(super, dims)}
+			} else {
+				built[i] = &matView{dims: dims, f: in.ScanFreq(dims, make([]int, len(dims)))}
+				scanned[i] = true
+			}
+		})
+		for i, v := range built {
+			m.views = append(m.views, v)
+			m.byKey[dimsKey(v.dims)] = v
+			if scanned[i] {
+				m.BuildStats.TableScans++
+			} else {
+				m.BuildStats.Rollups++
+			}
+			m.BuildStats.CubeFreqSets++
+		}
+		lo = hi
 	}
 	return m
 }
@@ -197,19 +217,15 @@ func (m *MaterializedSet) Root(dims []int) *relation.FreqSet {
 	if v, ok := m.byKey[dimsKey(dims)]; ok {
 		return v.f
 	}
-	if super := m.lookupSupersetView(dims); super != nil {
+	if super := m.lookupSuperset(dims); super != nil {
 		return marginTo(super, dims)
 	}
 	return nil
 }
 
-// lookupSuperset returns the frequency set of the smallest materialized
-// strict superset of dims, or nil.
+// lookupSuperset returns the materialized view over the smallest strict
+// superset of dims (smallest by frequency-set size), or nil.
 func (m *MaterializedSet) lookupSuperset(dims []int) *matView {
-	return m.lookupSupersetView(dims)
-}
-
-func (m *MaterializedSet) lookupSupersetView(dims []int) *matView {
 	var best *matView
 	for _, v := range m.views {
 		if len(v.dims) <= len(dims) {
@@ -292,18 +308,23 @@ func RunMaterialized(in Input, mat *MaterializedSet) (*Result, error) {
 	ids := lattice.NewIDGen()
 	graph := lattice.FirstIteration(in.Heights(), ids)
 	res := &Result{}
-	rootFreq := func(nd *lattice.Node) *relation.FreqSet {
-		if zero := mat.Root(nd.Dims); zero != nil {
-			stats.Rollups++
-			zeros := make([]int, len(nd.Dims))
-			return in.RollupTo(zero, nd.Dims, zeros, nd.Levels)
+	// The maker serves roots from the (read-only) materialized set; each
+	// search component writes its counters to its own Stats, so the family
+	// searches can run in parallel.
+	maker := func(_ []*lattice.Node, stats *Stats) func(*lattice.Node) *relation.FreqSet {
+		return func(nd *lattice.Node) *relation.FreqSet {
+			if zero := mat.Root(nd.Dims); zero != nil {
+				stats.Rollups++
+				zeros := make([]int, len(nd.Dims))
+				return in.RollupTo(zero, nd.Dims, zeros, nd.Levels)
+			}
+			stats.TableScans++
+			return in.ScanFreq(nd.Dims, nd.Levels)
 		}
-		stats.TableScans++
-		return in.ScanFreq(nd.Dims, nd.Levels)
 	}
 	for i := 1; ; i++ {
 		stats.Candidates += graph.Len()
-		surv := searchGraphWith(&in, graph, rootFreq, &stats)
+		surv := searchGraphFamilies(&in, graph, maker, &stats)
 		if i == n {
 			for _, node := range graph.Nodes() {
 				if surv[node.ID] {

@@ -1,0 +1,134 @@
+package core
+
+// This file implements intra-run parallelism. Iteration i of Fig. 8
+// decomposes into one independent candidate graph per i-attribute subset
+// ("family"): families share no nodes and no edges, and the breadth-first
+// search of one family never reads another's state. The parallel driver
+// therefore runs each family's search on its own worker with its own
+// Stats, then merges survivors and counters in family order. Because the
+// per-family search is byte-for-byte the sequential search, the survivor
+// sets — and hence the solutions — are identical at every worker count;
+// the Stats counters are per-family sums, so they are identical too.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"incognito/internal/lattice"
+	"incognito/internal/relation"
+)
+
+// Workers resolves the Input's Parallelism knob to a concrete worker
+// count: 0 means GOMAXPROCS, 1 (or less) means strictly sequential, and
+// anything larger is used as given.
+func (in *Input) Workers() int {
+	switch {
+	case in.Parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	case in.Parallelism < 1:
+		return 1
+	}
+	return in.Parallelism
+}
+
+// runIndexed executes fn(0), …, fn(n-1), on up to `workers` goroutines
+// pulling indices from a shared atomic counter. workers ≤ 1 degenerates to
+// a plain loop on the calling goroutine.
+func runIndexed(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// rootFreqMaker builds the root frequency-set provider for one search
+// component, given the component's roots; all the counter writes of the
+// provider must go to stats, so the parallel driver can hand every family
+// its own Stats and merge them deterministically.
+type rootFreqMaker func(roots []*lattice.Node, stats *Stats) func(*lattice.Node) *relation.FreqSet
+
+// searchGraphFamilies runs the Fig. 8 breadth-first search over a whole
+// candidate graph. At Workers() ≤ 1 it takes the sequential reference path
+// — one height-ordered queue over the full graph. Otherwise it searches
+// the graph's families concurrently and merges the per-family survivor
+// maps and Stats in family order. Both paths return identical survivors
+// and identical counters (see the package comment above).
+func searchGraphFamilies(in *Input, g *lattice.Graph, maker rootFreqMaker, stats *Stats) map[int]bool {
+	if g.Len() == 0 {
+		return map[int]bool{}
+	}
+	workers := in.Workers()
+	fams := g.Families()
+	if workers <= 1 || len(fams) == 1 {
+		return searchComponent(in, g, g.Nodes(), g.Roots(), maker(g.Roots(), stats), stats)
+	}
+	results := make([]map[int]bool, len(fams))
+	famStats := make([]Stats, len(fams))
+	runIndexed(workers, len(fams), func(i int) {
+		nodes := fams[i]
+		roots := familyRoots(g, nodes)
+		st := &famStats[i]
+		results[i] = searchComponent(in, g, nodes, roots, maker(roots, st), st)
+	})
+	surv := make(map[int]bool, g.Len())
+	for i := range results {
+		for id, ok := range results[i] {
+			surv[id] = ok
+		}
+		stats.Add(famStats[i])
+	}
+	return surv
+}
+
+// familyRoots returns the roots (no incoming edge) among one family's
+// nodes, in ID order — the same relative order g.Roots() yields them in.
+func familyRoots(g *lattice.Graph, nodes []*lattice.Node) []*lattice.Node {
+	var out []*lattice.Node
+	for _, n := range nodes {
+		if len(g.Down(n.ID)) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// groupRootsByFamily partitions roots by attribute subset, preserving
+// first-seen order, so the super-roots provider scans families in the same
+// deterministic order whether it is handed one family or the whole graph.
+func groupRootsByFamily(roots []*lattice.Node) [][]*lattice.Node {
+	idx := make(map[string]int)
+	var out [][]*lattice.Node
+	for _, r := range roots {
+		k := r.DimsKey()
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, nil)
+		}
+		out[i] = append(out[i], r)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"incognito/internal/dataset"
+)
+
+// parallelismLevels are the worker counts every determinism test sweeps:
+// the sequential reference, a fixed small parallel setting, and whatever
+// the machine offers.
+func parallelismLevels() []int {
+	levels := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 {
+		levels = append(levels, p)
+	}
+	return levels
+}
+
+// determinismInputs are the (dataset, k) workloads of the determinism
+// suite: the paper's running example and a sampled Adults instance big
+// enough to shard scans and to populate multi-family candidate graphs.
+func determinismInputs(tb testing.TB) []Input {
+	tb.Helper()
+	var ins []Input
+	p := dataset.Patients()
+	ins = append(ins, NewInput(p.Table, p.QICols, p.Hierarchies, 2, 0))
+	a := dataset.Adults(900, 1)
+	cols, hs, err := a.QISubset(5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ins = append(ins, NewInput(a.Table, cols, hs, 5, 0))
+	return ins
+}
+
+// TestDeterminismAcrossParallelism is the tentpole's contract: every
+// algorithm variant must produce byte-identical Solutions AND Stats at
+// parallelism 1 (the sequential reference), 2, and GOMAXPROCS. Run under
+// -race this also proves the family decomposition and sharded scans are
+// data-race free.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	variants := []Variant{Basic, SuperRoots, Cube}
+	for di, ref := range determinismInputs(t) {
+		for _, v := range variants {
+			v := v
+			in := ref
+			t.Run(fmt.Sprintf("input=%d/%v", di, v), func(t *testing.T) {
+				in.Parallelism = 1
+				want, err := Run(in, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range parallelismLevels()[1:] {
+					in.Parallelism = p
+					got, err := Run(in, v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got.Solutions, want.Solutions) {
+						t.Fatalf("parallelism %d changed solutions:\ngot  %v\nwant %v", p, got.Solutions, want.Solutions)
+					}
+					if got.Stats != want.Stats {
+						t.Fatalf("parallelism %d changed stats:\ngot  %+v\nwant %+v", p, got.Stats, want.Stats)
+					}
+				}
+			})
+		}
+		// Materialized Incognito: the partial cube build and the search must
+		// both be deterministic, including the scan/rollup mix in BuildStats.
+		in := ref
+		t.Run(fmt.Sprintf("input=%d/Materialized", di), func(t *testing.T) {
+			const budget = 1 << 14
+			in.Parallelism = 1
+			refMat := MaterializeBudget(&in, budget)
+			want, err := RunMaterialized(in, refMat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range parallelismLevels()[1:] {
+				in.Parallelism = p
+				mat := MaterializeBudget(&in, budget)
+				if mat.BuildStats != refMat.BuildStats {
+					t.Fatalf("parallelism %d changed materialization stats:\ngot  %+v\nwant %+v", p, mat.BuildStats, refMat.BuildStats)
+				}
+				if !reflect.DeepEqual(mat.ViewDims(), refMat.ViewDims()) {
+					t.Fatalf("parallelism %d changed the selected views:\ngot  %v\nwant %v", p, mat.ViewDims(), refMat.ViewDims())
+				}
+				got, err := RunMaterialized(in, mat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Solutions, want.Solutions) {
+					t.Fatalf("parallelism %d changed solutions:\ngot  %v\nwant %v", p, got.Solutions, want.Solutions)
+				}
+				if got.Stats != want.Stats {
+					t.Fatalf("parallelism %d changed stats:\ngot  %+v\nwant %+v", p, got.Stats, want.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestCubeBuildDeterministicAcrossParallelism checks the wave-parallel
+// cube pre-computation in isolation: identical BuildStats and identical
+// margins at every worker count.
+func TestCubeBuildDeterministicAcrossParallelism(t *testing.T) {
+	for _, in := range determinismInputs(t) {
+		in.Parallelism = 1
+		want := BuildCube(&in)
+		fullDims := make([]int, len(in.QI))
+		for i := range fullDims {
+			fullDims[i] = i
+		}
+		for _, p := range parallelismLevels()[1:] {
+			in.Parallelism = p
+			got := BuildCube(&in)
+			if got.BuildStats != want.BuildStats {
+				t.Fatalf("parallelism %d changed cube build stats: %+v vs %+v", p, got.BuildStats, want.BuildStats)
+			}
+			if got.NumSets() != want.NumSets() {
+				t.Fatalf("parallelism %d changed cube set count: %d vs %d", p, got.NumSets(), want.NumSets())
+			}
+			// Spot-check that each subset's margin has the same shape.
+			for d := 0; d < len(in.QI); d++ {
+				g, w := got.Get([]int{d}), want.Get([]int{d})
+				if g.Len() != w.Len() || g.Total() != w.Total() {
+					t.Fatalf("parallelism %d changed the margin for dim %d", p, d)
+				}
+			}
+			if got.Get(fullDims).Len() != want.Get(fullDims).Len() {
+				t.Fatalf("parallelism %d changed the full-QI frequency set", p)
+			}
+		}
+	}
+}
+
+// TestWorkersKnob pins the Parallelism → worker-count mapping.
+func TestWorkersKnob(t *testing.T) {
+	for _, tc := range []struct{ parallelism, want int }{
+		{0, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{-3, 1},
+		{5, 5},
+	} {
+		in := Input{Parallelism: tc.parallelism}
+		if got := in.Workers(); got != tc.want {
+			t.Errorf("Workers() with Parallelism=%d = %d, want %d", tc.parallelism, got, tc.want)
+		}
+	}
+}
+
+// TestRunIndexedCoversAllIndices checks the worker-pool primitive visits
+// every index exactly once at any worker count.
+func TestRunIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		const n = 57
+		counts := make([]int32, n)
+		runIndexed(workers, n, func(i int) { counts[i]++ })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}

@@ -2,55 +2,93 @@ package relation
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
+	"sync"
 )
 
 // FreqSet is the frequency set of a table with respect to a set of columns
 // (§1.1): a mapping from each distinct value group to the number of tuples
 // carrying it. Group keys are the group's codes packed 4 bytes per column,
 // which keeps the map allocation-free on lookups and lets rollups re-key in
-// place.
+// place. Counts are stored behind pointers so that incrementing an existing
+// group — the overwhelmingly common case in a scan — never re-allocates the
+// string key.
 //
 // A FreqSet is created in exactly two ways, mirroring the paper:
 //
 //   - GroupCount — one scan of the base table (the SQL COUNT(*) group-by);
 //   - Recode / DropColumn on an existing FreqSet — a SUM(count) rollup.
+//
+// A FreqSet is not safe for concurrent mutation; the parallel scan path
+// builds one private FreqSet per worker and merges them with AddFrom.
 type FreqSet struct {
 	// Cols are the source-table column positions the groups range over.
 	Cols   []int
-	groups map[string]int64
+	groups map[string]*int64
 }
+
+// maxStackKeyCols is the quasi-identifier width (in columns) up to which
+// Add and Count pack group keys into a stack buffer instead of allocating.
+const maxStackKeyCols = 16
 
 // NewFreqSet returns an empty frequency set over the given columns.
 func NewFreqSet(cols []int) *FreqSet {
-	return &FreqSet{Cols: append([]int(nil), cols...), groups: make(map[string]int64)}
+	return &FreqSet{Cols: append([]int(nil), cols...), groups: make(map[string]*int64)}
 }
 
-// packKey encodes a code vector into a map key.
-func packKey(buf []byte, codes []int32) string {
+// packKey encodes a code vector into a map key held in buf, which must have
+// room for 4 bytes per code.
+func packKey(buf []byte, codes []int32) []byte {
 	for i, c := range codes {
 		binary.LittleEndian.PutUint32(buf[4*i:], uint32(c))
 	}
-	return string(buf[:4*len(codes)])
+	return buf[:4*len(codes)]
 }
 
-// unpackKey decodes a map key back into codes.
+// unpackKey decodes a map key back into codes. It indexes the string
+// directly instead of converting sub-slices to []byte, so it never
+// allocates.
 func unpackKey(key string, codes []int32) {
 	for i := range codes {
-		codes[i] = int32(binary.LittleEndian.Uint32([]byte(key[4*i : 4*i+4])))
+		j := 4 * i
+		codes[i] = int32(uint32(key[j]) | uint32(key[j+1])<<8 | uint32(key[j+2])<<16 | uint32(key[j+3])<<24)
 	}
+}
+
+// bump adds n to the group keyed by key. The map read converts key without
+// allocating; only the first sighting of a group copies the key into the
+// map.
+func (f *FreqSet) bump(key []byte, n int64) {
+	if p, ok := f.groups[string(key)]; ok {
+		*p += n
+		return
+	}
+	c := n
+	f.groups[string(key)] = &c
 }
 
 // Add increments the count of the group with the given codes by n.
 func (f *FreqSet) Add(codes []int32, n int64) {
-	buf := make([]byte, 4*len(codes))
-	f.groups[packKey(buf, codes)] += n
+	var scratch [4 * maxStackKeyCols]byte
+	buf := scratch[:]
+	if 4*len(codes) > len(buf) {
+		buf = make([]byte, 4*len(codes))
+	}
+	f.bump(packKey(buf, codes), n)
 }
 
 // Count returns the count of the group with the given codes (0 if absent).
 func (f *FreqSet) Count(codes []int32) int64 {
-	buf := make([]byte, 4*len(codes))
-	return f.groups[packKey(buf, codes)]
+	var scratch [4 * maxStackKeyCols]byte
+	buf := scratch[:]
+	if 4*len(codes) > len(buf) {
+		buf = make([]byte, 4*len(codes))
+	}
+	if p, ok := f.groups[string(packKey(buf, codes))]; ok {
+		return *p
+	}
+	return 0
 }
 
 // Len returns the number of distinct value groups.
@@ -61,7 +99,7 @@ func (f *FreqSet) Len() int { return len(f.groups) }
 func (f *FreqSet) Total() int64 {
 	var t int64
 	for _, c := range f.groups {
-		t += c
+		t += *c
 	}
 	return t
 }
@@ -71,8 +109,8 @@ func (f *FreqSet) MinCount() int64 {
 	var min int64
 	first := true
 	for _, c := range f.groups {
-		if first || c < min {
-			min, first = c, false
+		if first || *c < min {
+			min, first = *c, false
 		}
 	}
 	return min
@@ -84,8 +122,8 @@ func (f *FreqSet) MinCount() int64 {
 func (f *FreqSet) TuplesBelow(k int64) int64 {
 	var s int64
 	for _, c := range f.groups {
-		if c < k {
-			s += c
+		if *c < k {
+			s += *c
 		}
 	}
 	return s
@@ -104,7 +142,7 @@ func (f *FreqSet) Each(fn func(codes []int32, count int64)) {
 	codes := make([]int32, len(f.Cols))
 	for key, count := range f.groups {
 		unpackKey(key, codes)
-		fn(codes, count)
+		fn(codes, *count)
 	}
 }
 
@@ -119,7 +157,35 @@ func (f *FreqSet) EachSorted(fn func(codes []int32, count int64)) {
 	codes := make([]int32, len(f.Cols))
 	for _, key := range keys {
 		unpackKey(key, codes)
-		fn(codes, f.groups[key])
+		fn(codes, *f.groups[key])
+	}
+}
+
+// AddFrom adds every group count of other into f — the merge step of a
+// sharded scan. Both sets must range over the same columns.
+func (f *FreqSet) AddFrom(other *FreqSet) {
+	if len(f.Cols) != len(other.Cols) {
+		panic(fmt.Sprintf("relation: AddFrom over mismatched columns %v and %v", f.Cols, other.Cols))
+	}
+	for i, c := range f.Cols {
+		if other.Cols[i] != c {
+			panic(fmt.Sprintf("relation: AddFrom over mismatched columns %v and %v", f.Cols, other.Cols))
+		}
+	}
+	for key, c := range other.groups {
+		if p, ok := f.groups[key]; ok {
+			*p += *c
+		} else {
+			n := *c
+			f.groups[key] = &n
+		}
+	}
+}
+
+// Merge folds every part into f with AddFrom.
+func (f *FreqSet) Merge(parts ...*FreqSet) {
+	for _, p := range parts {
+		f.AddFrom(p)
 	}
 }
 
@@ -130,15 +196,20 @@ func (f *FreqSet) EachSorted(fn func(codes []int32, count int64)) {
 // "SELECT COUNT(*) ... GROUP BY ..." over the star schema: the recode arrays
 // are the materialized dimension tables.
 func GroupCount(t *Table, cols []int, recode [][]int32) *FreqSet {
+	return groupCountRange(t, cols, recode, 0, t.NumRows())
+}
+
+// groupCountRange is GroupCount restricted to the row range [lo, hi) — one
+// shard of a parallel scan.
+func groupCountRange(t *Table, cols []int, recode [][]int32, lo, hi int) *FreqSet {
 	f := NewFreqSet(cols)
-	n := t.NumRows()
 	codes := make([]int32, len(cols))
 	buf := make([]byte, 4*len(cols))
 	columns := make([][]int32, len(cols))
 	for i, c := range cols {
 		columns[i] = t.Codes(c)
 	}
-	for r := 0; r < n; r++ {
+	for r := lo; r < hi; r++ {
 		for i := range cols {
 			c := columns[i][r]
 			if recode != nil && recode[i] != nil {
@@ -146,9 +217,43 @@ func GroupCount(t *Table, cols []int, recode [][]int32) *FreqSet {
 			}
 			codes[i] = c
 		}
-		f.groups[packKey(buf, codes)]++
+		f.bump(packKey(buf, codes), 1)
 	}
 	return f
+}
+
+// minShardRows is the smallest row range worth handing to a scan worker;
+// below it, goroutine and merge overhead dominates the counting itself.
+const minShardRows = 2048
+
+// GroupCountParallel is GroupCount with the base-table scan sharded across
+// up to `workers` goroutines: each worker counts a contiguous row range
+// into a private FreqSet and the partials are merged with AddFrom. Counts
+// are additive, so the result is identical to the sequential scan at every
+// worker count. workers ≤ 1 (or a table too small to shard) runs the plain
+// sequential GroupCount.
+func GroupCountParallel(t *Table, cols []int, recode [][]int32, workers int) *FreqSet {
+	n := t.NumRows()
+	if max := n / minShardRows; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return GroupCount(t, cols, recode)
+	}
+	parts := make([]*FreqSet, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = groupCountRange(t, cols, recode, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := parts[0]
+	out.Merge(parts[1:]...)
+	return out
 }
 
 // Recode produces a new frequency set by mapping each column position i of
@@ -165,7 +270,7 @@ func (f *FreqSet) Recode(maps [][]int32) *FreqSet {
 				codes[i] = maps[i][codes[i]]
 			}
 		}
-		out.groups[packKey(buf, codes)] += count
+		out.bump(packKey(buf, codes), *count)
 	}
 	return out
 }
@@ -192,7 +297,7 @@ func (f *FreqSet) DropColumn(pos int) *FreqSet {
 				kept = append(kept, c)
 			}
 		}
-		out.groups[packKey(buf, kept)] += count
+		out.bump(packKey(buf, kept), *count)
 	}
 	return out
 }
@@ -201,7 +306,8 @@ func (f *FreqSet) DropColumn(pos int) *FreqSet {
 func (f *FreqSet) Clone() *FreqSet {
 	out := NewFreqSet(f.Cols)
 	for k, v := range f.groups {
-		out.groups[k] = v
+		c := *v
+		out.groups[k] = &c
 	}
 	return out
 }
