@@ -1,6 +1,7 @@
 package incognito
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,7 +9,19 @@ import (
 	"incognito/internal/core"
 	"incognito/internal/metrics"
 	"incognito/internal/relation"
+	"incognito/internal/trace"
 )
+
+// Tracer records a span per pipeline phase — candidate generation per
+// subset size, each breadth-first family search, table-scan-vs-rollup
+// decisions, cube pre-computation waves, and the baselines — with
+// monotonic wall times and work counters, exported as a JSON span tree
+// (WriteJSON). A nil *Tracer disables tracing at zero cost; Solutions and
+// Stats are bit-identical with tracing on or off. See internal/trace.
+type Tracer = trace.Tracer
+
+// NewTracer returns an enabled tracer to pass in Config.Tracer.
+func NewTracer() *Tracer { return trace.New() }
 
 // QI names one quasi-identifier attribute: a table column and the
 // generalization hierarchy over it. The order of the QI slice passed to
@@ -93,6 +106,10 @@ type Config struct {
 	// iteration run concurrently; Solutions and Stats are identical at
 	// every setting. Negative values are rejected.
 	Parallelism int
+	// Tracer, when non-nil, records the run's span tree (per-phase wall
+	// times and work counters). nil — the default — disables tracing with
+	// zero overhead on the hot paths.
+	Tracer *Tracer
 }
 
 // Stats reports how much work a run did, mirroring the measurements of §4.
@@ -120,6 +137,15 @@ type Result struct {
 // BinarySearch the result contains every solution; BinarySearch yields a
 // single height-minimal one.
 func Anonymize(t *Table, qi []QI, cfg Config) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, qi, cfg)
+}
+
+// AnonymizeContext is Anonymize with a cancellation context: the search
+// checks ctx at phase boundaries (search iterations, queue pops, cube
+// waves, lattice strata, binary-search probes) and inside the parallel
+// worker loops, returning promptly with an error wrapping ctx.Err() once
+// it is done. A nil ctx means context.Background.
+func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Result, error) {
 	if t == nil {
 		return nil, fmt.Errorf("incognito: nil table")
 	}
@@ -136,7 +162,20 @@ func Anonymize(t *Table, qi []QI, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("incognito: negative Parallelism %d (0 = all cores, 1 = sequential)", cfg.Parallelism)
 	}
 
-	in := core.Input{Table: t.rel, K: int64(cfg.K), MaxSuppress: int64(cfg.MaxSuppressed), Parallelism: cfg.Parallelism}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	in := core.Input{
+		Table:       t.rel,
+		K:           int64(cfg.K),
+		MaxSuppress: int64(cfg.MaxSuppressed),
+		Parallelism: cfg.Parallelism,
+		Ctx:         ctx,
+		Trace:       cfg.Tracer,
+	}
+	cfg.Tracer.SetAttr("algorithm", cfg.Algorithm.String())
+	cfg.Tracer.SetAttr("k", cfg.K)
+	cfg.Tracer.SetAttr("parallelism", cfg.Parallelism)
 	names := make([]string, len(qi))
 	for i, q := range qi {
 		col := t.rel.ColumnIndex(q.Column)

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binPath is the bench binary built once in TestMain for the CLI tests.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "bench-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "bench")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		os.Stderr.WriteString("building bench CLI: " + err.Error() + "\n" + string(out))
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runCLI executes the built binary and returns (stdout, stderr, exit code).
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return stdout.String(), stderr.String(), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return stdout.String(), stderr.String(), ee.ExitCode()
+}
+
+// Flag misuse must exit with status 2 and point at usage — never status 0.
+func TestBenchUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-experiment", "fig9", "stray-positional-arg"},
+		{"-rows", "0"},
+		{"-landsend-rows", "-5"},
+		{"-minqi", "0"},
+		{"-maxqi", "-1"},
+		{"-parallelism", "-1"},
+		{"-algos", "quantum"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		_, stderr, code := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2\n%s", args, code, stderr)
+		}
+		if !strings.Contains(strings.ToLower(stderr), "usage") {
+			t.Errorf("args %v: error output does not mention usage:\n%s", args, stderr)
+		}
+	}
+}
+
+func TestBenchUnknownExperimentFails(t *testing.T) {
+	_, stderr, code := runCLI(t, "-experiment", "fig99")
+	if code == 0 {
+		t.Fatalf("unknown experiment exited 0:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "unknown experiment") {
+		t.Fatalf("error output missing explanation:\n%s", stderr)
+	}
+}
+
+func TestBenchParallelJSONAndTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	stdout, stderr, code := runCLI(t,
+		"-experiment", "parallel", "-rows", "200", "-landsend-rows", "300",
+		"-seed", "1", "-algos", "basic", "-parallelism", "2",
+		"-quiet", "-json", "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, stderr)
+	}
+
+	var report struct {
+		Cells []struct {
+			Algo      string `json:"algo"`
+			Solutions int    `json:"solutions"`
+			Identical bool   `json:"identical"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(report.Cells) == 0 {
+		t.Fatal("report has no cells")
+	}
+	for _, c := range report.Cells {
+		if !c.Identical {
+			t.Errorf("cell %s: parallel run not identical to serial", c.Algo)
+		}
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	cells := 0
+	for _, sp := range doc.Spans {
+		if sp.Name == "cell" {
+			cells++
+		}
+	}
+	// Two workloads × one algorithm × (serial + parallel) = 4 cells.
+	if cells != 4 {
+		t.Fatalf("trace has %d cell spans, want 4", cells)
+	}
+}

@@ -14,23 +14,32 @@
 //	bench -experiment nodes-table
 //	bench -experiment all -rows 5000
 //
-// Absolute times depend on the machine; the claims under reproduction are
-// relative (see EXPERIMENTS.md).
+// Observability: -trace FILE writes a JSON execution trace (one span per
+// cell with the run's phase spans nested under it), -cpuprofile/-memprofile
+// write pprof profiles, and an interrupt (Ctrl-C) cancels the sweep at the
+// next phase boundary with a non-zero exit. Absolute times depend on the
+// machine; the claims under reproduction are relative (see EXPERIMENTS.md).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"incognito/internal/bench"
 	"incognito/internal/dataset"
+	"incognito/internal/profiling"
+	"incognito/internal/trace"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, or all")
+		experiment = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, parallel, or all")
 		adultsRows = flag.Int("rows", dataset.AdultsDefaultRows, "row count for the Adults dataset")
 		leRows     = flag.Int("landsend-rows", 200000, "row count for the Lands End dataset (the original had 4,591,581)")
 		seed       = flag.Int64("seed", 1, "generator seed")
@@ -41,8 +50,26 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 		parallel   = flag.Int("parallelism", 0, "worker bound for the parallel experiment: 0 = all cores, n = at most n workers")
 		jsonOut    = flag.Bool("json", false, "emit the parallel experiment as JSON (for BENCH_parallel.json)")
+		traceOut   = flag.String("trace", "", "write a JSON execution trace (span tree + per-phase counters) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageError(fmt.Errorf("unexpected positional arguments %q (all inputs are flags)", flag.Args()))
+	}
+	switch {
+	case *adultsRows < 1:
+		usageError(fmt.Errorf("-rows must be >= 1, got %d", *adultsRows))
+	case *leRows < 1:
+		usageError(fmt.Errorf("-landsend-rows must be >= 1, got %d", *leRows))
+	case *minQI < 1:
+		usageError(fmt.Errorf("-minqi must be >= 1, got %d", *minQI))
+	case *maxQI < 0:
+		usageError(fmt.Errorf("-maxqi must be >= 0 (0 = dataset maximum), got %d", *maxQI))
+	case *parallel < 0:
+		usageError(fmt.Errorf("-parallelism must be >= 0 (0 = all cores), got %d", *parallel))
+	}
 
 	algos := bench.AllAlgos
 	algosExplicit := *algosFlag != ""
@@ -51,7 +78,7 @@ func main() {
 		for _, name := range strings.Split(*algosFlag, ",") {
 			a, err := bench.ParseAlgo(strings.TrimSpace(name))
 			if err != nil {
-				fatal(err)
+				usageError(err)
 			}
 			algos = append(algos, a)
 		}
@@ -63,7 +90,9 @@ func main() {
 		}
 	}
 
-	r := runner{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	r := &runner{
+		ctx:           ctx,
 		adultsRows:    *adultsRows,
 		leRows:        *leRows,
 		seed:          *seed,
@@ -76,38 +105,75 @@ func main() {
 		jsonOut:       *jsonOut,
 		progress:      progress,
 	}
-
-	switch *experiment {
-	case "fig9":
-		r.fig9()
-	case "fig10-adults":
-		r.fig10(r.adults())
-	case "fig10-landsend":
-		r.fig10(r.landsEnd())
-	case "fig11-adults":
-		r.fig11Adults()
-	case "fig11-landsend":
-		r.fig11LandsEnd()
-	case "fig12":
-		r.fig12()
-	case "nodes-table":
-		r.nodesTable()
-	case "parallel":
-		r.parallel()
-	case "all":
-		r.fig9()
-		r.fig10(r.adults())
-		r.fig10(r.landsEnd())
-		r.fig11Adults()
-		r.fig11LandsEnd()
-		r.fig12()
-		r.nodesTable()
-	default:
-		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	if *traceOut != "" {
+		r.tracer = trace.New()
+		r.tracer.SetAttr("command", "bench")
+		r.tracer.SetAttr("experiment", *experiment)
 	}
+	code := run(r, *experiment, *traceOut, *cpuProfile, *memProfile)
+	stop()
+	os.Exit(code)
+}
+
+// run executes the selected experiment with profiling and tracing wired up,
+// and converts the outcome to a process exit code. It must not os.Exit
+// itself so the profile stop and trace write always happen.
+func run(r *runner, experiment, traceOut, cpuProfile, memProfile string) int {
+	stopProfiles, err := profiling.Start(cpuProfile, memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: "+err.Error())
+		return 1
+	}
+	err = r.dispatch(experiment)
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
+	}
+	if traceOut != "" {
+		if terr := writeTrace(r.tracer, traceOut); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	if err != nil {
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "bench:") {
+			msg = "bench: " + msg
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		if errors.Is(err, context.Canceled) {
+			return 130 // interrupted, by shell convention
+		}
+		return 1
+	}
+	return 0
+}
+
+// usageError reports a command-line mistake and exits with status 2 —
+// flag misuse must never look like a successful run.
+func usageError(err error) {
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "bench:") {
+		msg = "bench: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	fmt.Fprintln(os.Stderr, "run 'bench -help' for usage")
+	os.Exit(2)
+}
+
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type runner struct {
+	ctx                context.Context
+	tracer             *trace.Tracer
 	adultsRows, leRows int
 	seed               int64
 	minQI, maxQI       int
@@ -119,6 +185,43 @@ type runner struct {
 	progress           bench.Progress
 
 	adultsCache, leCache *dataset.Dataset
+}
+
+func (r *runner) dispatch(experiment string) error {
+	switch experiment {
+	case "fig9":
+		return r.fig9()
+	case "fig10-adults":
+		return r.fig10(r.adults())
+	case "fig10-landsend":
+		return r.fig10(r.landsEnd())
+	case "fig11-adults":
+		return r.fig11Adults()
+	case "fig11-landsend":
+		return r.fig11LandsEnd()
+	case "fig12":
+		return r.fig12()
+	case "nodes-table":
+		return r.nodesTable()
+	case "parallel":
+		return r.parallel()
+	case "all":
+		for _, f := range []func() error{
+			r.fig9,
+			func() error { return r.fig10(r.adults()) },
+			func() error { return r.fig10(r.landsEnd()) },
+			r.fig11Adults,
+			r.fig11LandsEnd,
+			r.fig12,
+			r.nodesTable,
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("bench: unknown experiment %q (run 'bench -help' for the list)", experiment)
 }
 
 func (r *runner) adults() *dataset.Dataset {
@@ -152,7 +255,7 @@ func (r *runner) qiRange(d *dataset.Dataset) (int, int) {
 	return min, max
 }
 
-func (r *runner) emit(s *bench.Sweep, nodes bool) {
+func (r *runner) emit(s *bench.Sweep, nodes bool) error {
 	var err error
 	switch {
 	case r.csv:
@@ -164,35 +267,40 @@ func (r *runner) emit(s *bench.Sweep, nodes bool) {
 		err = s.WriteElapsed(os.Stdout)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println()
+	return nil
 }
 
-func (r *runner) fig9() {
+func (r *runner) fig9() error {
 	fmt.Println("Figure 9: dataset descriptions")
 	if err := bench.Describe(r.adults(), os.Stdout); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println()
 	if err := bench.Describe(r.landsEnd(), os.Stdout); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println()
+	return nil
 }
 
-func (r *runner) fig10(d *dataset.Dataset) {
+func (r *runner) fig10(d *dataset.Dataset) error {
 	min, max := r.qiRange(d)
 	for _, k := range []int64{2, 10} {
-		s, err := bench.Fig10(d, k, min, max, r.algos, r.progress)
+		s, err := bench.Fig10(r.ctx, r.tracer, d, k, min, max, r.algos, r.progress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		r.emit(s, false)
+		if err := r.emit(s, false); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (r *runner) fig11Adults() {
+func (r *runner) fig11Adults() error {
 	d := r.adults()
 	qi := 8
 	if qi > len(d.QICols) {
@@ -204,42 +312,45 @@ func (r *runner) fig11Adults() {
 	if r.algosExplicit {
 		algos = r.algos
 	}
-	s, err := bench.Fig11(d, qi, []int64{2, 5, 10, 25, 50}, algos, nil, r.progress)
+	s, err := bench.Fig11(r.ctx, r.tracer, d, qi, []int64{2, 5, 10, 25, 50}, algos, nil, r.progress)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	r.emit(s, false)
+	return r.emit(s, false)
 }
 
-func (r *runner) fig11LandsEnd() {
+func (r *runner) fig11LandsEnd() error {
 	d := r.landsEnd()
 	// The paper staggers the Lands End panel: Binary Search at QID 6,
 	// the Incognito variants at QID 8.
 	algos := []bench.Algo{bench.BinarySearch, bench.BasicIncognito, bench.SuperRootsIncognito}
-	s, err := bench.Fig11(d, 8, []int64{2, 5, 10, 25, 50}, algos,
+	s, err := bench.Fig11(r.ctx, r.tracer, d, 8, []int64{2, 5, 10, 25, 50}, algos,
 		map[bench.Algo]int{bench.BinarySearch: 6}, r.progress)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	r.emit(s, false)
+	return r.emit(s, false)
 }
 
-func (r *runner) fig12() {
+func (r *runner) fig12() error {
 	for _, d := range []*dataset.Dataset{r.adults(), r.landsEnd()} {
 		min, max := r.qiRange(d)
-		s, err := bench.Fig12(d, 2, min, max, r.progress)
+		s, err := bench.Fig12(r.ctx, r.tracer, d, 2, min, max, r.progress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		r.emit(s, false)
+		if err := r.emit(s, false); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // parallel compares the sequential reference against the intra-run
 // parallel path on the headline workloads: the Incognito variants on the
 // full 9-attribute Adults quasi-identifier and on Lands End at QID 6,
 // k=2. With -json the report is machine-readable (BENCH_parallel.json).
-func (r *runner) parallel() {
+func (r *runner) parallel() error {
 	algos := []bench.Algo{bench.BasicIncognito, bench.SuperRootsIncognito, bench.CubeIncognito}
 	if r.algosExplicit {
 		algos = r.algos
@@ -252,38 +363,24 @@ func (r *runner) parallel() {
 		{r.adults(), len(r.adults().QICols)},
 		{r.landsEnd(), 6},
 	} {
-		cells, err := bench.Parallel(w.d, w.qi, 2, algos, r.parallelism, r.progress)
+		cells, err := bench.Parallel(r.ctx, r.tracer, w.d, w.qi, 2, algos, r.parallelism, r.progress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		report.Cells = append(report.Cells, cells...)
 	}
-	var err error
 	if r.jsonOut {
-		err = report.WriteJSON(os.Stdout)
-	} else {
-		err = report.WriteTable(os.Stdout)
+		return report.WriteJSON(os.Stdout)
 	}
-	if err != nil {
-		fatal(err)
-	}
+	return report.WriteTable(os.Stdout)
 }
 
-func (r *runner) nodesTable() {
+func (r *runner) nodesTable() error {
 	d := r.adults()
 	min, max := r.qiRange(d)
-	s, err := bench.NodesTable(d, 2, min, max, r.progress)
+	s, err := bench.NodesTable(r.ctx, r.tracer, d, 2, min, max, r.progress)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	r.emit(s, true)
-}
-
-func fatal(err error) {
-	msg := err.Error()
-	if !strings.HasPrefix(msg, "bench:") {
-		msg = "bench: " + msg
-	}
-	fmt.Fprintln(os.Stderr, msg)
-	os.Exit(1)
+	return r.emit(s, true)
 }

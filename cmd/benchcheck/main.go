@@ -1,0 +1,112 @@
+// Command benchcheck is the CI bench-regression gate: it compares a fresh
+// `bench -experiment parallel -json` report against the golden report
+// checked in under results/, field by field — but only the fields that are
+// deterministic for a fixed (dataset, rows, seed, QI size, k, algorithm):
+// solution counts, minimal height, and the work counters (nodes checked,
+// nodes marked, candidates, table scans, rollups). Timings are never
+// compared, so the gate is immune to runner speed while still catching any
+// change to how much work the algorithms do.
+//
+// Usage:
+//
+//	bench -experiment parallel -rows 800 -landsend-rows 2000 -seed 1 \
+//	  -parallelism 2 -quiet -json > got.json
+//	benchcheck -golden results/bench-regression-golden.json -got got.json
+//
+// Exit status: 0 when every cell matches, 1 on any drift (each difference
+// is reported), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"incognito/internal/bench"
+)
+
+func main() {
+	golden := flag.String("golden", "", "path to the golden report (required)")
+	got := flag.String("got", "", "path to the freshly generated report (required)")
+	flag.Parse()
+	if *golden == "" || *got == "" || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: -golden and -got are both required, and take no positional arguments")
+		fmt.Fprintln(os.Stderr, "run 'benchcheck -help' for usage")
+		os.Exit(2)
+	}
+	want, err := load(*golden)
+	if err != nil {
+		fatal(err)
+	}
+	have, err := load(*got)
+	if err != nil {
+		fatal(err)
+	}
+	diffs := compare(want, have)
+	if len(diffs) > 0 {
+		for _, d := range diffs {
+			fmt.Fprintln(os.Stderr, "benchcheck: "+d)
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: %d difference(s) against %s\n", len(diffs), *golden)
+		fmt.Fprintln(os.Stderr, "benchcheck: if the change is intentional, regenerate the golden file (see results/README.md)")
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d cells match the golden counters\n", len(want.Cells))
+}
+
+func load(path string) (*bench.ParallelReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.ParallelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Cells) == 0 {
+		return nil, fmt.Errorf("%s: report has no cells", path)
+	}
+	return &r, nil
+}
+
+// compare returns one message per drifted deterministic field. Cells are
+// matched positionally: the experiment emits them in a fixed order.
+func compare(want, got *bench.ParallelReport) []string {
+	if len(want.Cells) != len(got.Cells) {
+		return []string{fmt.Sprintf("cell count: got %d, want %d", len(got.Cells), len(want.Cells))}
+	}
+	var diffs []string
+	for i := range want.Cells {
+		w, g := want.Cells[i], got.Cells[i]
+		key := fmt.Sprintf("cell %d (%s rows=%d qi=%d k=%d %s)", i, w.Dataset, w.Rows, w.QISize, w.K, w.Algo)
+		for _, f := range []struct {
+			name       string
+			want, have any
+		}{
+			{"dataset", w.Dataset, g.Dataset},
+			{"rows", w.Rows, g.Rows},
+			{"qi_size", w.QISize, g.QISize},
+			{"k", w.K, g.K},
+			{"algo", w.Algo, g.Algo},
+			{"solutions", w.Solutions, g.Solutions},
+			{"min_height", w.MinHeight, g.MinHeight},
+			{"nodes_checked", w.NodesChecked, g.NodesChecked},
+			{"nodes_marked", w.NodesMarked, g.NodesMarked},
+			{"candidates", w.Candidates, g.Candidates},
+			{"table_scans", w.TableScans, g.TableScans},
+			{"rollups", w.Rollups, g.Rollups},
+			{"identical", w.Identical, g.Identical},
+		} {
+			if f.want != f.have {
+				diffs = append(diffs, fmt.Sprintf("%s: %s = %v, want %v", key, f.name, f.have, f.want))
+			}
+		}
+	}
+	return diffs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck: "+err.Error())
+	os.Exit(1)
+}

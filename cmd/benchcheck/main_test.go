@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"incognito/internal/bench"
+)
+
+func goldenReport() *bench.ParallelReport {
+	return &bench.ParallelReport{
+		GOMAXPROCS:  4,
+		Parallelism: 2,
+		Cells: []bench.ParallelCell{
+			{
+				Dataset: "Adults", Rows: 800, QISize: 9, K: 2, Algo: "Basic Incognito",
+				SerialMS: 12.5, ParallelMS: 7.1, Speedup: 1.76,
+				Solutions: 116, MinHeight: 7,
+				NodesChecked: 1500, NodesMarked: 300, Candidates: 2000,
+				TableScans: 120, Rollups: 1380, Identical: true,
+			},
+		},
+	}
+}
+
+func TestCompareIgnoresTimings(t *testing.T) {
+	got := goldenReport()
+	got.Cells[0].SerialMS = 999
+	got.Cells[0].ParallelMS = 0.001
+	got.Cells[0].Speedup = 42
+	got.GOMAXPROCS = 1
+	if diffs := compare(goldenReport(), got); len(diffs) != 0 {
+		t.Fatalf("timing-only changes flagged: %v", diffs)
+	}
+}
+
+func TestCompareFlagsCounterDrift(t *testing.T) {
+	got := goldenReport()
+	got.Cells[0].TableScans++
+	got.Cells[0].Solutions--
+	diffs := compare(goldenReport(), got)
+	if len(diffs) != 2 {
+		t.Fatalf("got %d diffs, want 2: %v", len(diffs), diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"table_scans", "solutions"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareFlagsCellCountMismatch(t *testing.T) {
+	got := goldenReport()
+	got.Cells = append(got.Cells, got.Cells[0])
+	diffs := compare(goldenReport(), got)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "cell count") {
+		t.Fatalf("cell count mismatch not flagged: %v", diffs)
+	}
+}
+
+func TestCompareFlagsIdenticalRegression(t *testing.T) {
+	got := goldenReport()
+	got.Cells[0].Identical = false
+	diffs := compare(goldenReport(), got)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "identical") {
+		t.Fatalf("identical=false not flagged: %v", diffs)
+	}
+}

@@ -20,72 +20,200 @@
 //
 // Run with -demo to see the paper's Patients example end to end without any
 // input files.
+//
+// Observability: -trace FILE writes a JSON execution trace (the span tree
+// of every search phase, with per-phase wall time and work counters),
+// -cpuprofile/-memprofile write pprof profiles, and an interrupt (Ctrl-C)
+// cancels the search at the next phase boundary with a non-zero exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	incognito "incognito"
+	"incognito/internal/profiling"
 )
 
+// options holds the parsed command line; one struct so the run path can be
+// a plain function that returns errors instead of exiting mid-stream.
+type options struct {
+	input, output, qiSpec  string
+	k, suppress            int
+	algoName               string
+	budget, parallel       int
+	criteria               string
+	list, demo, stats      bool
+	dotFile                string
+	traceOut               string
+	cpuProfile, memProfile string
+}
+
 func main() {
-	var (
-		input    = flag.String("input", "", "input CSV file (first record is the header)")
-		output   = flag.String("output", "", "write the released view to this CSV file (default: stdout)")
-		qiSpec   = flag.String("qi", "", "quasi-identifier spec: 'Col=hier;Col=hier;…'")
-		k        = flag.Int("k", 2, "anonymity parameter")
-		suppress = flag.Int("suppress", 0, "tuple-suppression threshold")
-		algoName = flag.String("algorithm", "basic", "basic, superroots, cube, materialized, bottomup, bottomup-rollup, or binary")
-		budget   = flag.Int("budget", 1<<20, "partial-cube size budget in groups (materialized algorithm only)")
-		parallel = flag.Int("parallelism", 0, "intra-run worker bound: 0 = all cores, 1 = sequential, n = at most n workers")
-		criteria = flag.String("criterion", "height", "minimality criterion: height, precision, discernibility, or avgclass")
-		list     = flag.Bool("list", false, "print every k-anonymous generalization, not just the chosen one")
-		dotFile  = flag.String("dot", "", "write the generalization lattice as Graphviz DOT to this file")
-		demo     = flag.Bool("demo", false, "run the paper's Patients example instead of reading input")
-		stats    = flag.Bool("stats", false, "print search statistics")
-	)
+	var o options
+	flag.StringVar(&o.input, "input", "", "input CSV file (first record is the header)")
+	flag.StringVar(&o.output, "output", "", "write the released view to this CSV file (default: stdout)")
+	flag.StringVar(&o.qiSpec, "qi", "", "quasi-identifier spec: 'Col=hier;Col=hier;…'")
+	flag.IntVar(&o.k, "k", 2, "anonymity parameter")
+	flag.IntVar(&o.suppress, "suppress", 0, "tuple-suppression threshold")
+	flag.StringVar(&o.algoName, "algorithm", "basic", "basic, superroots, cube, materialized, bottomup, bottomup-rollup, or binary")
+	flag.IntVar(&o.budget, "budget", 1<<20, "partial-cube size budget in groups (materialized algorithm only)")
+	flag.IntVar(&o.parallel, "parallelism", 0, "intra-run worker bound: 0 = all cores, 1 = sequential, n = at most n workers")
+	flag.StringVar(&o.criteria, "criterion", "height", "minimality criterion: height, precision, discernibility, or avgclass")
+	flag.BoolVar(&o.list, "list", false, "print every k-anonymous generalization, not just the chosen one")
+	flag.StringVar(&o.dotFile, "dot", "", "write the generalization lattice as Graphviz DOT to this file")
+	flag.BoolVar(&o.demo, "demo", false, "run the paper's Patients example instead of reading input")
+	flag.BoolVar(&o.stats, "stats", false, "print search statistics")
+	flag.StringVar(&o.traceOut, "trace", "", "write a JSON execution trace (span tree + per-phase counters) to this file")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
-	if *demo {
-		runDemo(*k, *algoName, *stats, *parallel)
-		return
+	if err := o.validate(); err != nil {
+		usageError(err)
 	}
-	if *input == "" || *qiSpec == "" {
-		fmt.Fprintln(os.Stderr, "incognito: -input and -qi are required (or use -demo); see -help")
-		os.Exit(2)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, &o)
+	stop()
+	os.Exit(code)
+}
+
+// validate rejects flag combinations that cannot run; these are usage
+// errors (exit 2), distinct from runtime failures (exit 1).
+func (o *options) validate() error {
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected positional arguments %q (all inputs are flags)", flag.Args())
+	}
+	if o.k < 1 {
+		return fmt.Errorf("-k must be >= 1, got %d", o.k)
+	}
+	if o.suppress < 0 {
+		return fmt.Errorf("-suppress must be >= 0, got %d", o.suppress)
+	}
+	if o.parallel < 0 {
+		return fmt.Errorf("-parallelism must be >= 0 (0 = all cores), got %d", o.parallel)
+	}
+	if o.budget < 1 {
+		return fmt.Errorf("-budget must be >= 1, got %d", o.budget)
+	}
+	if !o.demo && (o.input == "" || o.qiSpec == "") {
+		return fmt.Errorf("-input and -qi are required (or use -demo)")
+	}
+	return nil
+}
+
+// usageError reports a command-line mistake and exits with status 2 —
+// flag misuse must never look like a successful run.
+func usageError(err error) {
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "incognito:") {
+		msg = "incognito: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	fmt.Fprintln(os.Stderr, "run 'incognito -help' for usage")
+	os.Exit(2)
+}
+
+// run executes the anonymization with profiling and tracing wired up and
+// converts the outcome to a process exit code. It must not os.Exit itself
+// so the profile stop and trace write always happen.
+func run(ctx context.Context, o *options) int {
+	stopProfiles, err := profiling.Start(o.cpuProfile, o.memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incognito: "+err.Error())
+		return 1
+	}
+	var tracer *incognito.Tracer
+	if o.traceOut != "" {
+		tracer = incognito.NewTracer()
+	}
+	if o.demo {
+		err = runDemo(ctx, o, tracer)
+	} else {
+		err = anonymizeFile(ctx, o, tracer)
+	}
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
+	}
+	if o.traceOut != "" {
+		if terr := writeTrace(tracer, o.traceOut); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	if err != nil {
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "incognito:") {
+			msg = "incognito: " + msg
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		if errors.Is(err, context.Canceled) {
+			return 130 // interrupted, by shell convention
+		}
+		return 1
+	}
+	return 0
+}
+
+func writeTrace(tracer *incognito.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// anonymizeFile is the main CSV-in, CSV-out path.
+func anonymizeFile(ctx context.Context, o *options, tracer *incognito.Tracer) error {
+	table, err := incognito.LoadCSV(o.input)
+	if err != nil {
+		return err
+	}
+	qi, err := parseQISpec(o.qiSpec)
+	if err != nil {
+		return err
+	}
+	algo, err := parseAlgorithm(o.algoName)
+	if err != nil {
+		return err
+	}
+	crit, err := parseCriterion(o.criteria)
+	if err != nil {
+		return err
 	}
 
-	table, err := incognito.LoadCSV(*input)
-	fatalIf(err)
-	qi, err := parseQISpec(*qiSpec)
-	fatalIf(err)
-	algo, err := parseAlgorithm(*algoName)
-	fatalIf(err)
-
-	res, err := incognito.Anonymize(table, qi, incognito.Config{
-		K:                 *k,
-		MaxSuppressed:     *suppress,
+	res, err := incognito.AnonymizeContext(ctx, table, qi, incognito.Config{
+		K:                 o.k,
+		MaxSuppressed:     o.suppress,
 		Algorithm:         algo,
-		MaterializeBudget: *budget,
-		Parallelism:       *parallel,
+		MaterializeBudget: o.budget,
+		Parallelism:       o.parallel,
+		Tracer:            tracer,
 	})
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
 
 	if res.Len() == 0 {
-		fmt.Fprintf(os.Stderr, "incognito: no %d-anonymous full-domain generalization exists (table too small for k?)\n", *k)
-		os.Exit(1)
+		return fmt.Errorf("incognito: no %d-anonymous full-domain generalization exists (table too small for k?)", o.k)
 	}
-	if *stats {
+	if o.stats {
 		st := res.Stats()
 		fmt.Fprintf(os.Stderr, "searched: %d nodes checked, %d marked, %d candidates, %d table scans, %d rollups\n",
 			st.NodesChecked, st.NodesMarked, st.Candidates, st.TableScans, st.Rollups)
 	}
-	if *list {
+	if o.list {
 		fmt.Fprintf(os.Stderr, "%d k-anonymous full-domain generalizations:\n", res.Len())
 		for _, s := range res.Solutions() {
 			fmt.Fprintf(os.Stderr, "  %-40s height=%d precision=%.3f suppressed=%d\n",
@@ -93,28 +221,37 @@ func main() {
 		}
 	}
 
-	if *dotFile != "" {
-		f, err := os.Create(*dotFile)
-		fatalIf(err)
-		fatalIf(res.WriteDOT(f))
-		fatalIf(f.Close())
-		fmt.Fprintf(os.Stderr, "wrote lattice DOT to %s (render with: dot -Tsvg %s)\n", *dotFile, *dotFile)
+	if o.dotFile != "" {
+		f, err := os.Create(o.dotFile)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote lattice DOT to %s (render with: dot -Tsvg %s)\n", o.dotFile, o.dotFile)
 	}
 
-	crit, err := parseCriterion(*criteria)
-	fatalIf(err)
 	best, _ := res.Best(crit)
 	fmt.Fprintf(os.Stderr, "chosen generalization: %s (height %d, precision %.3f)\n",
 		best.String(), best.Height(), best.Precision())
 
 	view, err := best.Apply()
-	fatalIf(err)
-	if *output == "" {
-		fatalIf(view.WriteCSV(os.Stdout))
-	} else {
-		fatalIf(view.SaveCSV(*output))
-		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", view.NumRows(), *output)
+	if err != nil {
+		return err
 	}
+	if o.output == "" {
+		return view.WriteCSV(os.Stdout)
+	}
+	if err := view.SaveCSV(o.output); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", view.NumRows(), o.output)
+	return nil
 }
 
 // parseQISpec parses 'Col=hier;Col=hier;…'.
@@ -232,7 +369,7 @@ func parseCriterion(name string) (incognito.Criterion, error) {
 }
 
 // runDemo reproduces the paper's running example (Fig. 1 and Fig. 2).
-func runDemo(k int, algoName string, stats bool, parallelism int) {
+func runDemo(ctx context.Context, o *options, tracer *incognito.Tracer) error {
 	table, err := incognito.NewTable(
 		[]string{"Birthdate", "Sex", "Zipcode", "Disease"},
 		[][]string{
@@ -244,22 +381,30 @@ func runDemo(k int, algoName string, stats bool, parallelism int) {
 			{"2/28/76", "Female", "53706", "Hang Nail"},
 		},
 	)
-	fatalIf(err)
-	algo, err := parseAlgorithm(algoName)
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
+	algo, err := parseAlgorithm(o.algoName)
+	if err != nil {
+		return err
+	}
 	qi := []incognito.QI{
 		{Column: "Birthdate", Hierarchy: incognito.Suppression()},
 		{Column: "Sex", Hierarchy: incognito.Taxonomy(map[string]string{"Male": "Person", "Female": "Person"})},
 		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(2)},
 	}
-	res, err := incognito.Anonymize(table, qi, incognito.Config{K: k, Algorithm: algo, Parallelism: parallelism})
-	fatalIf(err)
-	fmt.Printf("Patients table (Fig. 1), k=%d, algorithm %v\n", k, algo)
+	res, err := incognito.AnonymizeContext(ctx, table, qi, incognito.Config{
+		K: o.k, Algorithm: algo, Parallelism: o.parallel, Tracer: tracer,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Patients table (Fig. 1), k=%d, algorithm %v\n", o.k, algo)
 	fmt.Printf("%d k-anonymous full-domain generalizations:\n", res.Len())
 	for _, s := range res.Solutions() {
 		fmt.Printf("  %-34s height=%d precision=%.3f\n", s.String(), s.Height(), s.Precision())
 	}
-	if stats {
+	if o.stats {
 		st := res.Stats()
 		fmt.Printf("searched: %d nodes checked, %d marked, %d candidates, %d table scans, %d rollups\n",
 			st.NodesChecked, st.NodesMarked, st.Candidates, st.TableScans, st.Rollups)
@@ -267,18 +412,10 @@ func runDemo(k int, algoName string, stats bool, parallelism int) {
 	if best, ok := res.Best(incognito.MinHeight()); ok {
 		fmt.Printf("\nminimal generalization %s releases:\n", best.String())
 		view, err := best.Apply()
-		fatalIf(err)
-		fatalIf(view.WriteCSV(os.Stdout))
-	}
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		msg := err.Error()
-		if !strings.HasPrefix(msg, "incognito:") {
-			msg = "incognito: " + msg
+		if err != nil {
+			return err
 		}
-		fmt.Fprintln(os.Stderr, msg)
-		os.Exit(1)
+		return view.WriteCSV(os.Stdout)
 	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"incognito/internal/core"
 	"incognito/internal/lattice"
 )
@@ -26,6 +28,8 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	sp := in.StartSpan("binary_search")
+	defer sp.End()
 	full := lattice.NewFull(in.Heights())
 	dims := make([]int, full.NumAttrs())
 	for i := range dims {
@@ -33,11 +37,23 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 	}
 	res := &SamaratiResult{Height: -1}
 	res.Stats.Candidates = full.Size()
+	sp.Add(core.CounterCandidates, int64(full.Size()))
 
 	// existsAt scans the stratum at height h, returning the first
-	// k-anonymous node found (nil if none).
+	// k-anonymous node found (nil if none). Each probe is one trace span
+	// and one cancellation checkpoint.
 	existsAt := func(h int) []int {
+		probe := sp.Start("probe")
+		probe.SetAttr("height", h)
+		before := res.Stats
+		defer func() {
+			core.RecordStatsDelta(probe, before, res.Stats)
+			probe.End()
+		}()
 		for _, id := range full.AtHeight(h) {
+			if in.Err() != nil {
+				return nil
+			}
 			levels := full.Levels(id)
 			res.Stats.NodesChecked++
 			res.Stats.TableScans++
@@ -47,10 +63,20 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 		}
 		return nil
 	}
+	// cancelledErr wraps the context error once a probe bailed out.
+	cancelledErr := func() error {
+		if err := in.Err(); err != nil {
+			return fmt.Errorf("baseline: binary search cancelled: %w", err)
+		}
+		return nil
+	}
 
 	// The top of the lattice is the only candidate at MaxHeight; if even it
 	// fails there is no solution at any height.
 	best := existsAt(full.MaxHeight())
+	if err := cancelledErr(); err != nil {
+		return nil, err
+	}
 	if best == nil {
 		return res, nil
 	}
@@ -64,6 +90,9 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 			hi = mid
 		} else {
 			lo = mid + 1
+		}
+		if err := cancelledErr(); err != nil {
+			return nil, err
 		}
 	}
 	res.Height = bestHeight

@@ -6,6 +6,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"incognito/internal/core"
 	"incognito/internal/lattice"
 	"incognito/internal/relation"
@@ -23,6 +25,9 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	sp := in.StartSpan("bottomup")
+	sp.SetAttr("rollup", useRollup)
+	defer sp.End()
 	full := lattice.NewFull(in.Heights())
 	n := full.NumAttrs()
 	dims := make([]int, n)
@@ -32,6 +37,7 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 
 	res := &core.Result{}
 	res.Stats.Candidates = full.Size()
+	sp.Add(core.CounterCandidates, int64(full.Size()))
 
 	anonymous := make(map[int]bool) // marked or checked-and-passed
 	// Frequency sets of checked-failed nodes in the previous stratum, for
@@ -41,8 +47,17 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 	parentLevels := make([]int, n)
 
 	for h := 0; h <= full.MaxHeight(); h++ {
+		if err := in.Err(); err != nil {
+			return nil, fmt.Errorf("baseline: bottom-up cancelled at height %d: %w", h, err)
+		}
+		stratum := sp.Start("stratum")
+		stratum.SetAttr("height", h)
+		before := res.Stats
 		failed := make(map[int]*relation.FreqSet)
 		for _, id := range full.AtHeight(h) {
+			if err := in.Err(); err != nil {
+				return nil, fmt.Errorf("baseline: bottom-up cancelled at height %d: %w", h, err)
+			}
 			if anonymous[id] {
 				// Propagate the marking: generalizations of an anonymous
 				// node are anonymous.
@@ -84,6 +99,8 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 			}
 		}
 		prevFailed = failed
+		core.RecordStatsDelta(stratum, before, res.Stats)
+		stratum.End()
 	}
 	core.SortSolutions(res.Solutions)
 	return res, nil

@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"incognito/internal/core"
+	"incognito/internal/dataset"
+	"incognito/internal/trace"
+)
+
+// countdownCtx cancels itself after a fixed number of Err calls — a
+// deterministic mid-run interrupt (see the core package's counterpart).
+type countdownCtx struct {
+	context.Context
+	mu sync.Mutex
+	n  int
+}
+
+func newCountdown(n int) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), n: n}
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n <= 0 {
+		return context.Canceled
+	}
+	c.n--
+	return nil
+}
+
+func adultsInput(tb testing.TB) core.Input {
+	tb.Helper()
+	d := dataset.Adults(500, 1)
+	cols, hs, err := d.QISubset(3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return core.NewInput(d.Table, cols, hs, 2, 0)
+}
+
+// TestBaselineTracingDoesNotPerturbResults: the baselines honor the same
+// contract as the Incognito variants — identical results tracer on or off.
+func TestBaselineTracingDoesNotPerturbResults(t *testing.T) {
+	in := adultsInput(t)
+	for _, rollup := range []bool{false, true} {
+		want, err := BottomUp(in, rollup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced := in
+		traced.Trace = trace.New()
+		got, err := BottomUp(traced, rollup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Solutions, got.Solutions) || want.Stats != got.Stats {
+			t.Fatalf("rollup=%v: results differ with tracing on", rollup)
+		}
+	}
+
+	want, err := BinarySearch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := in
+	traced.Trace = trace.New()
+	got, err := BinarySearch(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Height != got.Height || !reflect.DeepEqual(want.Solution, got.Solution) || want.Stats != got.Stats {
+		t.Fatal("binary search results differ with tracing on")
+	}
+}
+
+// TestBaselineTraceCountersSumToStats: counters summed over the baseline
+// span trees reproduce the Stats totals (the recorded-exactly-once rule).
+func TestBaselineTraceCountersSumToStats(t *testing.T) {
+	check := func(name string, tr *trace.Tracer, s core.Stats) {
+		t.Helper()
+		doc := tr.Export()
+		want := map[string]int64{
+			core.CounterNodesChecked: int64(s.NodesChecked),
+			core.CounterNodesMarked:  int64(s.NodesMarked),
+			core.CounterCandidates:   int64(s.Candidates),
+			core.CounterTableScans:   int64(s.TableScans),
+			core.CounterRollups:      int64(s.Rollups),
+			core.CounterCubeFreqSets: int64(s.CubeFreqSets),
+		}
+		for counter, w := range want {
+			if got := doc.SumCounter(counter); got != w {
+				t.Errorf("%s: trace sum of %q = %d, stats say %d", name, counter, got, w)
+			}
+		}
+	}
+
+	for _, rollup := range []bool{false, true} {
+		in := adultsInput(t)
+		in.Trace = trace.New()
+		res, err := BottomUp(in, rollup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("bottomup", in.Trace, res.Stats)
+	}
+
+	in := adultsInput(t)
+	in.Trace = trace.New()
+	res, err := BinarySearch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("binary_search", in.Trace, res.Stats)
+}
+
+// TestBaselineCancellation sweeps the countdown through both baselines'
+// phases; every interrupted run must wrap context.Canceled.
+func TestBaselineCancellation(t *testing.T) {
+	base := adultsInput(t)
+	for _, rollup := range []bool{false, true} {
+		for n := 0; n < 30; n += 3 {
+			in := base
+			in.Ctx = newCountdown(n)
+			res, err := BottomUp(in, rollup)
+			if err == nil {
+				if res == nil || len(res.Solutions) == 0 {
+					t.Fatalf("bottomup rollup=%v n=%d: nil error but incomplete result", rollup, n)
+				}
+				continue
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("bottomup rollup=%v n=%d: error %v does not wrap context.Canceled", rollup, n, err)
+			}
+		}
+	}
+	for n := 0; n < 30; n += 3 {
+		in := base
+		in.Ctx = newCountdown(n)
+		res, err := BinarySearch(in)
+		if err == nil {
+			if res == nil || res.Height < 0 {
+				t.Fatalf("binary n=%d: nil error but no solution", n)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("binary n=%d: error %v does not wrap context.Canceled", n, err)
+		}
+	}
+}

@@ -6,12 +6,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"incognito/internal/baseline"
 	"incognito/internal/core"
 	"incognito/internal/dataset"
+	"incognito/internal/trace"
 )
 
 // Algo identifies one of the six algorithms compared in Fig. 10.
@@ -96,13 +98,31 @@ func Run(d *dataset.Dataset, qiSize int, k int64, algo Algo) (Measurement, error
 // (0 = GOMAXPROCS, 1 = sequential, n = at most n workers). Solutions and
 // Stats are identical at every setting; only Elapsed changes.
 func RunParallel(d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism int) (Measurement, error) {
+	return RunCell(context.Background(), nil, d, qiSize, k, algo, parallelism)
+}
+
+// RunCell is the fully instrumented cell runner: RunParallel with a
+// cancellation context and an optional tracer that records the cell's span
+// tree (nil disables tracing). Cancelling ctx mid-cell returns an error
+// wrapping ctx.Err().
+func RunCell(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism int) (Measurement, error) {
 	cols, hs, err := d.QISubset(qiSize)
 	if err != nil {
 		return Measurement{}, err
 	}
 	in := core.NewInput(d.Table, cols, hs, k, 0)
 	in.Parallelism = parallelism
+	in.Ctx = ctx
+	in.Trace = tr
 	m := Measurement{Dataset: d.Name, Algo: algo, QISize: qiSize, K: k, Parallelism: parallelism}
+
+	cell := tr.Start("cell")
+	cell.SetAttr("dataset", d.Name)
+	cell.SetAttr("qi_size", qiSize)
+	cell.SetAttr("k", k)
+	cell.SetAttr("algorithm", algo.String())
+	in.Span = cell // nest the run's phase spans under this cell
+	defer cell.End()
 
 	start := time.Now()
 	switch algo {
@@ -135,6 +155,9 @@ func RunParallel(d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism
 		buildStart := time.Now()
 		cube := core.BuildCube(&in)
 		m.BuildTime = time.Since(buildStart)
+		if err := in.Err(); err != nil {
+			return m, fmt.Errorf("bench: cube build cancelled: %w", err)
+		}
 		anonStart := time.Now()
 		res, err := core.RunWithCube(in, cube)
 		if err != nil {

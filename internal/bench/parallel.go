@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"incognito/internal/dataset"
+	"incognito/internal/trace"
 )
 
 // ParallelCell is one serial-vs-parallel comparison: the same (dataset,
@@ -23,6 +25,15 @@ type ParallelCell struct {
 	ParallelMS float64 `json:"parallel_ms"`
 	Speedup    float64 `json:"speedup"`
 	Solutions  int     `json:"solutions"`
+	MinHeight  int     `json:"min_height"`
+	// The serial run's work counters — deterministic for a given (dataset,
+	// rows, seed, qi, k, algorithm), which is what the CI bench-regression
+	// gate pins against golden values under results/.
+	NodesChecked int `json:"nodes_checked"`
+	NodesMarked  int `json:"nodes_marked"`
+	Candidates   int `json:"candidates"`
+	TableScans   int `json:"table_scans"`
+	Rollups      int `json:"rollups"`
 	// Identical reports whether the parallel run reproduced the serial
 	// run's solution count, minimum height, and every Stats counter — the
 	// tentpole's bit-identical-results guarantee.
@@ -40,27 +51,34 @@ type ParallelReport struct {
 // Parallel runs the serial-vs-parallel comparison for each algorithm on
 // one (dataset, QI size, k) workload. Serial and parallel cells alternate
 // per algorithm so the comparison is as back-to-back as the harness can
-// make it.
-func Parallel(d *dataset.Dataset, qiSize int, k int64, algos []Algo, parallelism int, progress Progress) ([]ParallelCell, error) {
+// make it. ctx cancels the sweep between and inside cells; tr (optional)
+// records every cell's span tree.
+func Parallel(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, qiSize int, k int64, algos []Algo, parallelism int, progress Progress) ([]ParallelCell, error) {
 	var cells []ParallelCell
 	for _, a := range algos {
-		serial, err := Run(d, qiSize, k, a)
+		serial, err := RunCell(ctx, tr, d, qiSize, k, a, 1)
 		if err != nil {
 			return nil, err
 		}
-		par, err := RunParallel(d, qiSize, k, a, parallelism)
+		par, err := RunCell(ctx, tr, d, qiSize, k, a, parallelism)
 		if err != nil {
 			return nil, err
 		}
 		cell := ParallelCell{
-			Dataset:    d.Name,
-			Rows:       d.Table.NumRows(),
-			QISize:     qiSize,
-			K:          k,
-			Algo:       a.String(),
-			SerialMS:   float64(serial.Elapsed.Microseconds()) / 1000,
-			ParallelMS: float64(par.Elapsed.Microseconds()) / 1000,
-			Solutions:  serial.Solutions,
+			Dataset:      d.Name,
+			Rows:         d.Table.NumRows(),
+			QISize:       qiSize,
+			K:            k,
+			Algo:         a.String(),
+			SerialMS:     float64(serial.Elapsed.Microseconds()) / 1000,
+			ParallelMS:   float64(par.Elapsed.Microseconds()) / 1000,
+			Solutions:    serial.Solutions,
+			MinHeight:    serial.MinHeight,
+			NodesChecked: serial.Stats.NodesChecked,
+			NodesMarked:  serial.Stats.NodesMarked,
+			Candidates:   serial.Stats.Candidates,
+			TableScans:   serial.Stats.TableScans,
+			Rollups:      serial.Stats.Rollups,
 			Identical: serial.Solutions == par.Solutions &&
 				serial.MinHeight == par.MinHeight &&
 				serial.Stats == par.Stats,

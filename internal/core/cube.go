@@ -21,8 +21,12 @@ func dimsKey(dims []int) string {
 	return lattice.EncodeKey(dims, levels)
 }
 
-// BuildCube materializes the cube for the input's quasi-identifier.
+// BuildCube materializes the cube for the input's quasi-identifier. If the
+// input's context is cancelled mid-build the partially built cube is
+// returned immediately; callers must check Input.Err before using it.
 func BuildCube(in *Input) *CubeIndex {
+	sp := in.StartSpan("cube_build")
+	defer sp.End()
 	n := len(in.QI)
 	c := &CubeIndex{sets: make(map[string]*relation.FreqSet, (1<<n)-1)}
 
@@ -38,9 +42,13 @@ func BuildCube(in *Input) *CubeIndex {
 
 	full := (1 << n) - 1
 	fullDims := dimsOf(full)
+	scan := sp.Start("full_scan")
 	c.BuildStats.TableScans++
 	c.sets[dimsKey(fullDims)] = in.ScanFreq(fullDims, make([]int, n))
 	c.BuildStats.CubeFreqSets++
+	scan.Add(CounterTableScans, 1)
+	scan.Add(CounterCubeFreqSets, 1)
+	scan.End()
 
 	// Walk subsets in decreasing population count so every mask's chosen
 	// superset is already materialized. All margins of one size depend only
@@ -54,9 +62,18 @@ func BuildCube(in *Input) *CubeIndex {
 	}
 	workers := in.Workers()
 	for size := n - 1; size >= 1; size-- {
+		if in.Err() != nil {
+			return c
+		}
 		masks := masksBySize[size]
+		wave := sp.Start("wave")
+		wave.SetAttr("subset_size", size)
+		wave.SetAttr("subsets", len(masks))
 		margins := make([]*relation.FreqSet, len(masks))
 		runIndexed(workers, len(masks), func(i int) {
+			if in.Err() != nil {
+				return
+			}
 			mask := masks[i]
 			// Add the lowest missing dimension to find a materialized parent.
 			extra := 0
@@ -78,11 +95,20 @@ func BuildCube(in *Input) *CubeIndex {
 			}
 			margins[i] = parent.DropColumn(pos)
 		})
+		if in.Err() != nil {
+			// Cancelled mid-wave: some margins are missing. Drop the whole
+			// wave so the cube never holds nil frequency sets.
+			wave.End()
+			return c
+		}
 		for i, mask := range masks {
 			c.sets[dimsKey(dimsOf(mask))] = margins[i]
 		}
 		c.BuildStats.CubeFreqSets += len(masks)
 		c.BuildStats.Rollups += len(masks)
+		wave.Add(CounterCubeFreqSets, int64(len(masks)))
+		wave.Add(CounterRollups, int64(len(masks)))
+		wave.End()
 	}
 	return c
 }

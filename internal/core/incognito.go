@@ -79,6 +79,7 @@ func height(levels []int) int {
 
 // Run executes the chosen Incognito variant and returns every k-anonymous
 // full-domain generalization of the input. It is sound and complete (§3.2).
+// If Input.Ctx is cancelled mid-run, the error wraps the context's error.
 func Run(in Input, v Variant) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -87,9 +88,15 @@ func Run(in Input, v Variant) (*Result, error) {
 	var stats Stats
 	if v == Cube {
 		cube = BuildCube(&in)
+		if err := in.Err(); err != nil {
+			return nil, cancelled(err)
+		}
 		stats.Add(cube.BuildStats)
 	}
-	res := run(&in, v, cube)
+	res, err := run(&in, v, cube)
+	if err != nil {
+		return nil, err
+	}
 	stats.Add(res.Stats)
 	res.Stats = stats
 	return res, nil
@@ -116,21 +123,42 @@ func RunWithCube(in Input, cube *CubeIndex) (*Result, error) {
 		return nil, fmt.Errorf("core: cube was built for a different quasi-identifier (%d sets, want %d)",
 			cube.NumSets(), (1<<len(in.QI))-1)
 	}
-	return run(&in, Cube, cube), nil
+	return run(&in, Cube, cube)
 }
 
-// run is the outer loop of Fig. 8: iterate over subset sizes, search each
-// candidate graph breadth-first, then generate the next graph from the
-// survivors.
-func run(in *Input, v Variant, cube *CubeIndex) *Result {
+// run dispatches the variant's root frequency-set provider into the shared
+// outer loop.
+func run(in *Input, v Variant, cube *CubeIndex) (*Result, error) {
+	return runSearch(in, variantRootFreqMaker(in, v, cube), v.String())
+}
+
+// runSearch is the outer loop of Fig. 8: iterate over subset sizes, search
+// each candidate graph breadth-first, then generate the next graph from
+// the survivors. Each iteration records a trace span (candidate count plus
+// per-component search counters) and checks the input's context, so runs
+// are observable and cancellable at every subset size.
+func runSearch(in *Input, maker rootFreqMaker, label string) (*Result, error) {
+	sp := in.StartSpan("search")
+	sp.SetAttr("algorithm", label)
+	defer sp.End()
 	var stats Stats
 	n := len(in.QI)
 	ids := lattice.NewIDGen()
 	graph := lattice.FirstIteration(in.Heights(), ids)
 	res := &Result{}
 	for i := 1; ; i++ {
+		if err := in.Err(); err != nil {
+			return nil, cancelled(err)
+		}
+		it := sp.Start("iteration")
+		it.SetAttr("subset_size", i)
+		it.Add(CounterCandidates, int64(graph.Len()))
 		stats.Candidates += graph.Len()
-		surv := searchGraph(in, graph, v, cube, &stats)
+		surv := searchGraphFamilies(in, graph, maker, &stats, it)
+		it.End()
+		if err := in.Err(); err != nil {
+			return nil, cancelled(err)
+		}
 		if i == n {
 			for _, node := range graph.Nodes() {
 				if surv[node.ID] {
@@ -143,7 +171,7 @@ func run(in *Input, v Variant, cube *CubeIndex) *Result {
 	}
 	SortSolutions(res.Solutions)
 	res.Stats = stats
-	return res
+	return res, nil
 }
 
 // SortSolutions orders level vectors by height, then lexicographically —
@@ -196,17 +224,6 @@ func (q *nodeQueue) Pop() interface{} {
 	return x
 }
 
-// searchGraph is the modified breadth-first search of Fig. 8 over one
-// candidate graph. It returns, for every candidate ID, whether the table is
-// k-anonymous with respect to that node. Nodes never reached remain marked
-// anonymous: they are generalizations of anonymous nodes (soundness, §3.2).
-// At Input.Workers() > 1 the graph's independent families are searched
-// concurrently (see parallel.go); the survivors and Stats are identical
-// either way.
-func searchGraph(in *Input, g *lattice.Graph, v Variant, cube *CubeIndex, stats *Stats) map[int]bool {
-	return searchGraphFamilies(in, g, variantRootFreqMaker(in, v, cube), stats)
-}
-
 // searchComponent is the Fig. 8 breadth-first search over one self-contained
 // component of a candidate graph — the whole graph on the sequential path,
 // or a single family on the parallel path — with a caller-chosen root
@@ -236,6 +253,12 @@ func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, 
 		heap.Push(pq, r)
 	}
 	for pq.Len() > 0 {
+		if in.Err() != nil {
+			// Cancelled: bail out promptly with whatever survived so far.
+			// The driver re-checks the context and discards the partial
+			// result, so correctness never depends on this map.
+			return surv
+		}
 		node := heap.Pop(pq).(*lattice.Node)
 		if processed[node.ID] {
 			continue

@@ -6,10 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"incognito/internal/hierarchy"
 	"incognito/internal/relation"
+	"incognito/internal/trace"
 )
 
 // QIAttr binds one quasi-identifier attribute: a column of the table and the
@@ -32,6 +34,47 @@ type Input struct {
 	// n > 1 uses at most n workers. Solutions and Stats are identical at
 	// every setting; see parallel.go.
 	Parallelism int
+	// Ctx, when non-nil, makes the run cancellable: it is checked at phase
+	// boundaries (search iterations, BFS queue pops, cube waves, lattice
+	// strata, binary-search probes) and inside the worker loops of the
+	// parallel paths. Once it is done the algorithms return promptly with
+	// an error wrapping the context's error. nil means context.Background.
+	Ctx context.Context
+	// Trace, when non-nil, records a span per pipeline phase with wall
+	// times and work counters (see internal/trace). A nil tracer is fully
+	// disabled and allocation-free; Solutions and Stats are bit-identical
+	// with tracing on or off.
+	Trace *trace.Tracer
+	// Span optionally nests the run's spans under an existing parent span
+	// of the same tracer (the bench harness groups each experiment cell
+	// this way). When nil, runs start top-level spans on Trace.
+	Span *trace.Span
+}
+
+// StartSpan opens a phase span for this run: a child of Input.Span when one
+// is set, a top-level span of Input.Trace otherwise. Nil-safe throughout —
+// with tracing disabled it returns a nil span whose methods no-op.
+func (in *Input) StartSpan(name string) *trace.Span {
+	if in.Span != nil {
+		return in.Span.Start(name)
+	}
+	return in.Trace.Start(name)
+}
+
+// Err reports the run's cancellation state: nil while the context (if any)
+// is live, the context's error once it is done. It is cheap enough to call
+// on every queue pop.
+func (in *Input) Err() error {
+	if in.Ctx == nil {
+		return nil
+	}
+	return in.Ctx.Err()
+}
+
+// cancelled wraps a context error so callers can test it with errors.Is
+// against context.Canceled or context.DeadlineExceeded.
+func cancelled(err error) error {
+	return fmt.Errorf("core: anonymization cancelled: %w", err)
 }
 
 // NewInput assembles an Input from parallel column/hierarchy slices, the

@@ -46,10 +46,16 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 	if budget <= 0 || n == 0 {
 		return m
 	}
+	sp := in.StartSpan("materialize")
+	sp.SetAttr("budget", budget)
+	defer sp.End()
 	full := (1 << n) - 1
 	rows := int64(in.Table.NumRows())
 
+	estSpan := sp.Start("estimate_sizes")
 	est := m.estimateSizes()
+	estSpan.End()
+	selSpan := sp.Start("select_views")
 
 	// Greedy selection. costOf[s] = cost of the cheapest way to answer s: a
 	// selected superset's size, or a scan. A scan is priced above reading
@@ -96,6 +102,9 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 		}
 	}
 
+	selSpan.SetAttr("views", len(selected))
+	selSpan.End()
+
 	// Materialize the chosen views exactly, largest subset first so smaller
 	// chosen views can margin from larger ones instead of rescanning.
 	masks := make([]int, 0, len(selected))
@@ -116,14 +125,25 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 	// BuildStats is identical at every worker count.
 	workers := in.Workers()
 	for lo := 0; lo < len(masks); {
+		if in.Err() != nil {
+			// Cancelled: whatever was materialized so far is still a valid
+			// (smaller) partial cube, so just stop selecting more.
+			return m
+		}
 		hi := lo
 		for hi < len(masks) && popcount(masks[hi]) == popcount(masks[lo]) {
 			hi++
 		}
 		wave := masks[lo:hi]
+		waveSpan := sp.Start("wave")
+		waveSpan.SetAttr("subset_size", popcount(masks[lo]))
+		waveSpan.SetAttr("views", len(wave))
 		built := make([]*matView, len(wave))
 		scanned := make([]bool, len(wave))
 		runIndexed(workers, len(wave), func(i int) {
+			if in.Err() != nil {
+				return
+			}
 			dims := dimsOfMask(wave[i], n)
 			if super := m.lookupSuperset(dims); super != nil {
 				built[i] = &matView{dims: dims, f: marginTo(super, dims)}
@@ -132,16 +152,26 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 				scanned[i] = true
 			}
 		})
+		if in.Err() != nil {
+			// Cancelled mid-wave: drop the incomplete wave so the set never
+			// holds nil views.
+			waveSpan.End()
+			return m
+		}
 		for i, v := range built {
 			m.views = append(m.views, v)
 			m.byKey[dimsKey(v.dims)] = v
 			if scanned[i] {
 				m.BuildStats.TableScans++
+				waveSpan.Add(CounterTableScans, 1)
 			} else {
 				m.BuildStats.Rollups++
+				waveSpan.Add(CounterRollups, 1)
 			}
 			m.BuildStats.CubeFreqSets++
+			waveSpan.Add(CounterCubeFreqSets, 1)
 		}
+		waveSpan.End()
 		lo = hi
 	}
 	return m
@@ -303,11 +333,6 @@ func RunMaterialized(in Input, mat *MaterializedSet) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	var stats Stats
-	n := len(in.QI)
-	ids := lattice.NewIDGen()
-	graph := lattice.FirstIteration(in.Heights(), ids)
-	res := &Result{}
 	// The maker serves roots from the (read-only) materialized set; each
 	// search component writes its counters to its own Stats, so the family
 	// searches can run in parallel.
@@ -322,20 +347,5 @@ func RunMaterialized(in Input, mat *MaterializedSet) (*Result, error) {
 			return in.ScanFreq(nd.Dims, nd.Levels)
 		}
 	}
-	for i := 1; ; i++ {
-		stats.Candidates += graph.Len()
-		surv := searchGraphFamilies(&in, graph, maker, &stats)
-		if i == n {
-			for _, node := range graph.Nodes() {
-				if surv[node.ID] {
-					res.Solutions = append(res.Solutions, append([]int(nil), node.Levels...))
-				}
-			}
-			break
-		}
-		graph = lattice.Generate(graph, surv, ids)
-	}
-	SortSolutions(res.Solutions)
-	res.Stats = stats
-	return res, nil
+	return runSearch(&in, maker, "Materialized Incognito")
 }

@@ -17,6 +17,7 @@ import (
 
 	"incognito/internal/lattice"
 	"incognito/internal/relation"
+	"incognito/internal/trace"
 )
 
 // Workers resolves the Input's Parallelism knob to a concrete worker
@@ -74,23 +75,43 @@ type rootFreqMaker func(roots []*lattice.Node, stats *Stats) func(*lattice.Node)
 // — one height-ordered queue over the full graph. Otherwise it searches
 // the graph's families concurrently and merges the per-family survivor
 // maps and Stats in family order. Both paths return identical survivors
-// and identical counters (see the package comment above).
-func searchGraphFamilies(in *Input, g *lattice.Graph, maker rootFreqMaker, stats *Stats) map[int]bool {
+// and identical counters (see the package comment above). Each component
+// search records a child span of parent — one "component" span covering
+// the whole graph on the sequential path, one "family" span per attribute
+// subset on the parallel path — carrying that component's work counters,
+// and the worker loop checks the input's context before starting a family.
+func searchGraphFamilies(in *Input, g *lattice.Graph, maker rootFreqMaker, stats *Stats, parent *trace.Span) map[int]bool {
 	if g.Len() == 0 {
 		return map[int]bool{}
 	}
 	workers := in.Workers()
 	fams := g.Families()
 	if workers <= 1 || len(fams) == 1 {
-		return searchComponent(in, g, g.Nodes(), g.Roots(), maker(g.Roots(), stats), stats)
+		sp := parent.Start("component")
+		sp.SetAttr("families", len(fams))
+		sp.SetAttr("nodes", g.Len())
+		before := *stats
+		roots := g.Roots()
+		surv := searchComponent(in, g, g.Nodes(), roots, maker(roots, stats), stats)
+		stats.Sub(before).recordOn(sp)
+		sp.End()
+		return surv
 	}
 	results := make([]map[int]bool, len(fams))
 	famStats := make([]Stats, len(fams))
 	runIndexed(workers, len(fams), func(i int) {
+		if in.Err() != nil {
+			return // cancelled: the driver discards everything anyway
+		}
 		nodes := fams[i]
+		sp := parent.Start("family")
+		sp.SetAttr("dims", nodes[0].DimsKey())
+		sp.SetAttr("nodes", len(nodes))
 		roots := familyRoots(g, nodes)
 		st := &famStats[i]
 		results[i] = searchComponent(in, g, nodes, roots, maker(roots, st), st)
+		st.recordOn(sp)
+		sp.End()
 	})
 	surv := make(map[int]bool, g.Len())
 	for i := range results {

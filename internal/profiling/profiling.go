@@ -1,0 +1,61 @@
+// Package profiling wires the standard runtime/pprof profilers into the
+// CLIs (-cpuprofile / -memprofile) with one call, so every command exposes
+// the same observability knobs.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile at cpuPath and/or arranges a heap profile
+// write to memPath; either path may be empty to skip that profiler. The
+// returned stop function must be called exactly once on every exit path
+// (including errors) — it stops the CPU profile and writes the heap
+// profile. On error nothing is started and stop is a no-op.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return func() error { return nil }, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() error { return nil }, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC() // materialize up-to-date heap statistics
+				if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := New()
+	tr.SetAttr("dataset", "Adults")
+	root := tr.Start("search")
+	root.SetAttr("variant", "Basic Incognito")
+	it := root.Start("iteration")
+	it.SetAttr("subset_size", 1)
+	it.Add("candidates", 9)
+	fam := it.Start("family")
+	fam.Add("table_scans", 1)
+	fam.Add("rollups", 3)
+	fam.End()
+	it.End()
+	root.End()
+
+	doc := tr.Export()
+	if doc.Version != 1 {
+		t.Fatalf("version = %d", doc.Version)
+	}
+	if doc.Attrs["dataset"] != "Adults" {
+		t.Fatalf("attrs = %v", doc.Attrs)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "search" {
+		t.Fatalf("top-level spans = %+v", doc.Spans)
+	}
+	if got := doc.SumCounter("rollups"); got != 3 {
+		t.Fatalf("SumCounter(rollups) = %d, want 3", got)
+	}
+	if got := doc.SumCounter("table_scans"); got != 1 {
+		t.Fatalf("SumCounter(table_scans) = %d, want 1", got)
+	}
+	if fams := doc.Find("family"); len(fams) != 1 || fams[0].Counters["table_scans"] != 1 {
+		t.Fatalf("Find(family) = %+v", fams)
+	}
+	if agg := tr.Counters(); agg["candidates"] != 9 || agg["rollups"] != 3 {
+		t.Fatalf("Counters() = %v", agg)
+	}
+	names := doc.CounterNames()
+	if len(names) != 3 || names[0] != "candidates" || names[1] != "rollups" || names[2] != "table_scans" {
+		t.Fatalf("CounterNames() = %v", names)
+	}
+
+	// Span durations are monotonic and nested inside the parent's window.
+	itDoc := doc.Spans[0].Children[0]
+	famDoc := itDoc.Children[0]
+	if famDoc.StartUS < itDoc.StartUS {
+		t.Fatalf("child starts (%d) before parent (%d)", famDoc.StartUS, itDoc.StartUS)
+	}
+	if itDoc.DurUS < 0 || famDoc.DurUS < 0 {
+		t.Fatalf("negative durations: %d, %d", itDoc.DurUS, famDoc.DurUS)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	tr := New()
+	s := tr.Start("run")
+	s.Add("nodes_checked", 5)
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.SumCounter("nodes_checked") != 5 {
+		t.Fatalf("round-tripped counters = %+v", doc.Spans)
+	}
+}
+
+func TestNilTracerIsSafeAndWritesEmptyDocument(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.SetAttr("k", 2)
+	s := tr.Start("search")
+	if s != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	c := s.Start("child")
+	c.SetAttr("x", 1)
+	c.Add("table_scans", 1)
+	c.End()
+	s.End()
+	if tr.Counters() != nil {
+		t.Fatal("nil tracer has counters")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer JSON does not parse: %v", err)
+	}
+	if len(doc.Spans) != 0 {
+		t.Fatalf("nil-tracer document has spans: %+v", doc.Spans)
+	}
+}
+
+// TestDisabledTracerIsAllocationFree is the observability twin of the
+// FreqSet allocation tests: the disabled (nil) tracer must add zero
+// allocations on instrumented hot paths.
+func TestDisabledTracerIsAllocationFree(t *testing.T) {
+	var tr *Tracer
+	if n := testing.AllocsPerRun(200, func() {
+		s := tr.Start("search")
+		c := s.Start("family")
+		c.SetAttr("dims", "0,1")
+		c.Add("table_scans", 1)
+		c.Add("rollups", 2)
+		c.End()
+		s.End()
+	}); n != 0 {
+		t.Fatalf("disabled tracer allocates %.1f objects per span cycle, want 0", n)
+	}
+}
+
+func TestConcurrentChildrenAndCounters(t *testing.T) {
+	tr := New()
+	root := tr.Start("iteration")
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				fam := root.Start("family")
+				fam.Add("nodes_checked", 1)
+				fam.End()
+				root.Add("candidates", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	doc := tr.Export()
+	if got := len(doc.Spans[0].Children); got != workers*perWorker {
+		t.Fatalf("children = %d, want %d", got, workers*perWorker)
+	}
+	if got := doc.SumCounter("nodes_checked"); got != workers*perWorker {
+		t.Fatalf("nodes_checked = %d, want %d", got, workers*perWorker)
+	}
+	if got := doc.SumCounter("candidates"); got != workers*perWorker {
+		t.Fatalf("candidates = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestUnendedSpanGetsCurrentTime(t *testing.T) {
+	tr := New()
+	tr.Start("open")
+	doc := tr.Export()
+	if doc.Spans[0].DurUS < 0 {
+		t.Fatalf("unended span has negative duration %d", doc.Spans[0].DurUS)
+	}
+	// Double End keeps the first end time.
+	s := tr.Start("twice")
+	s.End()
+	first := tr.Export().Spans[1].DurUS
+	s.End()
+	if again := tr.Export().Spans[1].DurUS; again != first {
+		t.Fatalf("second End moved the end time: %d != %d", again, first)
+	}
+}

@@ -1,0 +1,98 @@
+package incognito_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	incognito "incognito"
+)
+
+var allAlgorithms = []incognito.Algorithm{
+	incognito.BasicIncognito,
+	incognito.SuperRootsIncognito,
+	incognito.CubeIncognito,
+	incognito.MaterializedIncognito,
+	incognito.BottomUp,
+	incognito.BottomUpRollup,
+	incognito.BinarySearch,
+}
+
+// TestAnonymizeContextCancelled: every algorithm fails fast on an
+// already-cancelled context with an error wrapping context.Canceled.
+func TestAnonymizeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tab := patientsTable(t)
+	for _, algo := range allAlgorithms {
+		_, err := incognito.AnonymizeContext(ctx, tab, patientsQI(), incognito.Config{K: 2, Algorithm: algo})
+		if err == nil {
+			t.Fatalf("%v: cancelled context accepted", algo)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: error %v does not wrap context.Canceled", algo, err)
+		}
+	}
+}
+
+// TestAnonymizeTracerTransparent: enabling the tracer changes neither
+// solutions nor statistics, and the tracer serializes to a valid JSON
+// document with at least one span per run.
+func TestAnonymizeTracerTransparent(t *testing.T) {
+	tab := patientsTable(t)
+	for _, algo := range allAlgorithms {
+		want, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		tracer := incognito.NewTracer()
+		got, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2, Algorithm: algo, Tracer: tracer})
+		if err != nil {
+			t.Fatalf("%v traced: %v", algo, err)
+		}
+		if want.Len() != got.Len() || !reflect.DeepEqual(want.Stats(), got.Stats()) {
+			t.Fatalf("%v: result differs with tracing on", algo)
+		}
+		for i, s := range want.Solutions() {
+			if !reflect.DeepEqual(s.Levels(), got.Solutions()[i].Levels()) {
+				t.Fatalf("%v: solution %d differs with tracing on", algo, i)
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := tracer.WriteJSON(&buf); err != nil {
+			t.Fatalf("%v: writing trace: %v", algo, err)
+		}
+		var doc struct {
+			Version  int              `json:"version"`
+			Attrs    map[string]any   `json:"attrs"`
+			Counters map[string]int64 `json:"counters"`
+			Spans    []map[string]any `json:"spans"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("%v: trace is not valid JSON: %v", algo, err)
+		}
+		if len(doc.Spans) == 0 {
+			t.Fatalf("%v: trace has no spans", algo)
+		}
+		if doc.Attrs["algorithm"] != algo.String() {
+			t.Fatalf("%v: trace algorithm attr = %v", algo, doc.Attrs["algorithm"])
+		}
+		// The document's aggregate counters mirror the public Stats.
+		st := got.Stats()
+		for counter, want := range map[string]int64{
+			"nodes_checked": int64(st.NodesChecked),
+			"nodes_marked":  int64(st.NodesMarked),
+			"candidates":    int64(st.Candidates),
+			"table_scans":   int64(st.TableScans),
+			"rollups":       int64(st.Rollups),
+		} {
+			if got := doc.Counters[counter]; got != want {
+				t.Errorf("%v: counter %q = %d in trace, %d in stats", algo, counter, got, want)
+			}
+		}
+	}
+}

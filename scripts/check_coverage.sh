@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# check_coverage.sh COVERPROFILE
+#
+# CI coverage gate: fails when total statement coverage drops below the
+# checked-in baseline (scripts/coverage_baseline.txt, a bare percentage).
+# The baseline is a floor, not a target — raise it when coverage improves,
+# never lower it to make a red build green.
+#
+# Regenerate the number behind the baseline with:
+#   go test -coverprofile=coverage.out ./...
+#   go tool cover -func=coverage.out | tail -1
+set -eu
+
+profile=${1:?usage: check_coverage.sh coverage.out}
+baseline_file=$(dirname "$0")/coverage_baseline.txt
+baseline=$(cat "$baseline_file")
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+if [ -z "$total" ]; then
+    echo "check_coverage: no total line in $profile" >&2
+    exit 1
+fi
+
+echo "total statement coverage: ${total}% (baseline: ${baseline}%)"
+if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t+0 < b+0) }'; then
+    echo "check_coverage: coverage ${total}% fell below the ${baseline}% baseline" >&2
+    exit 1
+fi
