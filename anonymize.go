@@ -9,6 +9,7 @@ import (
 	"incognito/internal/core"
 	"incognito/internal/metrics"
 	"incognito/internal/relation"
+	"incognito/internal/telemetry"
 	"incognito/internal/trace"
 )
 
@@ -22,6 +23,25 @@ type Tracer = trace.Tracer
 
 // NewTracer returns an enabled tracer to pass in Config.Tracer.
 func NewTracer() *Tracer { return trace.New() }
+
+// Progress is a live, concurrency-safe view of how far a run has got:
+// atomic counters (nodes visited, candidate total, tuples scanned, table
+// scans, rollups) bumped from the hot paths and readable at any time via
+// Snapshot, from any goroutine — the hook for progress bars, periodic log
+// lines, and the telemetry endpoint. A nil *Progress (the default)
+// disables reporting at zero cost; Solutions and Stats are bit-identical
+// either way. See internal/telemetry.
+type Progress = telemetry.Progress
+
+// NewProgress returns an enabled progress handle to pass in
+// Config.Progress.
+func NewProgress() *Progress { return telemetry.NewProgress() }
+
+// RunMetrics feeds runtime-telemetry histograms (frequency-set sizes,
+// rollup fan-in) from a run's hot paths. Obtain one from a telemetry
+// registry; nil disables the observations. Not to be confused with the
+// data-quality metrics on Solution (Precision, Discernibility, ...).
+type RunMetrics = telemetry.RunMetrics
 
 // QI names one quasi-identifier attribute: a table column and the
 // generalization hierarchy over it. The order of the QI slice passed to
@@ -110,6 +130,14 @@ type Config struct {
 	// times and work counters). nil — the default — disables tracing with
 	// zero overhead on the hot paths.
 	Tracer *Tracer
+	// Progress, when non-nil, receives live progress updates (current
+	// phase, nodes visited/total, tuples scanned, rollups) as the search
+	// runs. nil disables progress reporting with zero overhead.
+	Progress *Progress
+	// Metrics, when non-nil, receives runtime-telemetry distribution
+	// observations (frequency-set sizes, rollup fan-in). nil disables them
+	// with zero overhead.
+	Metrics *RunMetrics
 }
 
 // Stats reports how much work a run did, mirroring the measurements of §4.
@@ -172,6 +200,8 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		Parallelism: cfg.Parallelism,
 		Ctx:         ctx,
 		Trace:       cfg.Tracer,
+		Progress:    cfg.Progress,
+		Metrics:     cfg.Metrics,
 	}
 	cfg.Tracer.SetAttr("algorithm", cfg.Algorithm.String())
 	cfg.Tracer.SetAttr("k", cfg.K)

@@ -131,3 +131,74 @@ func TestBenchParallelJSONAndTrace(t *testing.T) {
 		t.Fatalf("trace has %d cell spans, want 4", cells)
 	}
 }
+
+func TestBenchVersion(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-version")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, stderr)
+	}
+	fields := strings.Fields(stdout)
+	if len(fields) < 3 || fields[0] != "bench" {
+		t.Fatalf("version banner = %q, want 'bench VERSION ... goX.Y'", stdout)
+	}
+	if !strings.HasPrefix(fields[len(fields)-1], "go1") {
+		t.Fatalf("version banner does not end with the Go toolchain: %q", stdout)
+	}
+}
+
+func TestBenchBadLogFormatExitsTwo(t *testing.T) {
+	_, stderr, code := runCLI(t, "-experiment", "fig9", "-log-format", "xml")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2:\n%s", code, stderr)
+	}
+	if !strings.Contains(strings.ToLower(stderr), "usage") {
+		t.Fatalf("error output does not mention usage:\n%s", stderr)
+	}
+}
+
+// TestBenchTelemetryOutputs runs a small sweep with the full telemetry
+// surface on: Prometheus snapshot, Chrome trace, and JSON progress events.
+func TestBenchTelemetryOutputs(t *testing.T) {
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "metrics.prom")
+	chromePath := filepath.Join(dir, "trace-chrome.json")
+	_, stderr, code := runCLI(t,
+		"-experiment", "parallel", "-rows", "200", "-landsend-rows", "300",
+		"-seed", "1", "-algos", "basic", "-parallelism", "2", "-quiet", "-json",
+		"-metrics-out", promPath, "-trace-chrome", chromePath,
+		"-v", "-log-format", "json")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, stderr)
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE incognito_phase_seconds histogram",
+		"incognito_freqset_groups",
+		"incognito_progress_nodes_visited",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, prom)
+		}
+	}
+
+	chrome, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	if !strings.Contains(stderr, `"msg":"done"`) {
+		t.Fatalf("verbose JSON run emitted no done event:\n%s", stderr)
+	}
+}

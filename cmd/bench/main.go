@@ -15,10 +15,14 @@
 //	bench -experiment all -rows 5000
 //
 // Observability: -trace FILE writes a JSON execution trace (one span per
-// cell with the run's phase spans nested under it), -cpuprofile/-memprofile
-// write pprof profiles, and an interrupt (Ctrl-C) cancels the sweep at the
-// next phase boundary with a non-zero exit. Absolute times depend on the
-// machine; the claims under reproduction are relative (see EXPERIMENTS.md).
+// cell with the run's phase spans nested under it), -trace-chrome FILE the
+// same trace as Chrome trace-event JSON for Perfetto, -metrics-addr serves
+// live Prometheus metrics plus pprof over HTTP, -metrics-out writes the
+// final metrics snapshot, -v emits periodic structured progress events
+// (-log-format text|json), -cpuprofile/-memprofile write pprof profiles,
+// and an interrupt (Ctrl-C) cancels the sweep at the next phase boundary
+// with a non-zero exit. Absolute times depend on the machine; the claims
+// under reproduction are relative (see EXPERIMENTS.md).
 package main
 
 import (
@@ -26,35 +30,50 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"incognito/internal/bench"
 	"incognito/internal/dataset"
 	"incognito/internal/profiling"
+	"incognito/internal/telemetry"
 	"incognito/internal/trace"
+	"incognito/internal/version"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, parallel, or all")
-		adultsRows = flag.Int("rows", dataset.AdultsDefaultRows, "row count for the Adults dataset")
-		leRows     = flag.Int("landsend-rows", 200000, "row count for the Lands End dataset (the original had 4,591,581)")
-		seed       = flag.Int64("seed", 1, "generator seed")
-		minQI      = flag.Int("minqi", 3, "smallest quasi-identifier size to sweep")
-		maxQI      = flag.Int("maxqi", 0, "largest quasi-identifier size to sweep (0 = dataset maximum)")
-		algosFlag  = flag.String("algos", "", "comma-separated algorithm subset (bottomup, bottomup-rollup, binary, basic, cube, superroots); empty = all six")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
-		parallel   = flag.Int("parallelism", 0, "worker bound for the parallel experiment: 0 = all cores, n = at most n workers")
-		jsonOut    = flag.Bool("json", false, "emit the parallel experiment as JSON (for BENCH_parallel.json)")
-		traceOut   = flag.String("trace", "", "write a JSON execution trace (span tree + per-phase counters) to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		experiment  = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, parallel, or all")
+		adultsRows  = flag.Int("rows", dataset.AdultsDefaultRows, "row count for the Adults dataset")
+		leRows      = flag.Int("landsend-rows", 200000, "row count for the Lands End dataset (the original had 4,591,581)")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		minQI       = flag.Int("minqi", 3, "smallest quasi-identifier size to sweep")
+		maxQI       = flag.Int("maxqi", 0, "largest quasi-identifier size to sweep (0 = dataset maximum)")
+		algosFlag   = flag.String("algos", "", "comma-separated algorithm subset (bottomup, bottomup-rollup, binary, basic, cube, superroots); empty = all six")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet       = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		parallel    = flag.Int("parallelism", 0, "worker bound for the parallel experiment: 0 = all cores, n = at most n workers")
+		jsonOut     = flag.Bool("json", false, "emit the parallel experiment as JSON (for BENCH_parallel.json)")
+		traceOut    = flag.String("trace", "", "write a JSON execution trace (span tree + per-phase counters) to this file")
+		chromeOut   = flag.String("trace-chrome", "", "write the execution trace as Chrome trace-event JSON (open in Perfetto) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve live Prometheus metrics and pprof on this address (e.g. localhost:9090); empty disables")
+		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus text-format metrics snapshot to this file")
+		logFormat   = flag.String("log-format", "text", "structured log format for progress events: text or json")
+		verbose     = flag.Bool("v", false, "emit periodic structured progress events to stderr")
+		showVersion = flag.Bool("version", false, "print version information and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("bench"))
+		os.Exit(0)
+	}
 	if flag.NArg() > 0 {
 		usageError(fmt.Errorf("unexpected positional arguments %q (all inputs are flags)", flag.Args()))
 	}
@@ -90,6 +109,11 @@ func main() {
 		}
 	}
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		usageError(err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	r := &runner{
 		ctx:           ctx,
@@ -105,32 +129,101 @@ func main() {
 		jsonOut:       *jsonOut,
 		progress:      progress,
 	}
-	if *traceOut != "" {
-		r.tracer = trace.New()
-		r.tracer.SetAttr("command", "bench")
-		r.tracer.SetAttr("experiment", *experiment)
+	cfg := obsConfig{
+		traceOut:    *traceOut,
+		chromeOut:   *chromeOut,
+		metricsAddr: *metricsAddr,
+		metricsOut:  *metricsOut,
+		cpuProfile:  *cpuProfile,
+		memProfile:  *memProfile,
+		logger:      logger,
+		verbose:     *verbose,
 	}
-	code := run(r, *experiment, *traceOut, *cpuProfile, *memProfile)
+	if cfg.metricsAddr != "" || cfg.metricsOut != "" {
+		cfg.reg = telemetry.NewRegistry()
+	}
+	if cfg.traceOut != "" || cfg.chromeOut != "" || cfg.reg.Enabled() {
+		r.obs.Tracer = trace.New()
+		r.obs.Tracer.SetAttr("command", "bench")
+		r.obs.Tracer.SetAttr("experiment", *experiment)
+	}
+	if *verbose || cfg.reg.Enabled() {
+		r.obs.Progress = telemetry.NewProgress()
+	}
+	r.obs.Metrics = cfg.reg.NewRunMetrics()
+	telemetry.RegisterProgress(cfg.reg, r.obs.Progress)
+	code := run(r, *experiment, cfg)
 	stop()
 	os.Exit(code)
 }
 
-// run executes the selected experiment with profiling and tracing wired up,
-// and converts the outcome to a process exit code. It must not os.Exit
-// itself so the profile stop and trace write always happen.
-func run(r *runner, experiment, traceOut, cpuProfile, memProfile string) int {
-	stopProfiles, err := profiling.Start(cpuProfile, memProfile)
+// obsConfig carries the observability outputs run() must produce and the
+// instruments it must start and stop around the experiment.
+type obsConfig struct {
+	traceOut, chromeOut     string
+	metricsAddr, metricsOut string
+	cpuProfile, memProfile  string
+	reg                     *telemetry.Registry
+	logger                  *slog.Logger
+	verbose                 bool
+}
+
+// run executes the selected experiment with profiling, tracing, and
+// telemetry wired up, and converts the outcome to a process exit code. It
+// must not os.Exit itself so the profile stop and the observability writes
+// always happen.
+func run(r *runner, experiment string, cfg obsConfig) int {
+	stopProfiles, err := profiling.Start(cfg.cpuProfile, cfg.memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench: "+err.Error())
 		return 1
 	}
+	var srv *telemetry.Server
+	if cfg.metricsAddr != "" {
+		srv, err = telemetry.Serve(cfg.metricsAddr, cfg.reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: "+err.Error())
+			return 1
+		}
+		// Printed to stderr so scripts (and the CLI tests) can discover the
+		// bound port when -metrics-addr ends in :0.
+		fmt.Fprintf(os.Stderr, "bench: metrics listening on http://%s/metrics\n", srv.Addr())
+	}
+	stopSampler := telemetry.StartSampler(cfg.reg, time.Second)
+	var stopReporter func()
+	if cfg.verbose {
+		stopReporter = telemetry.StartReporter(cfg.logger, r.obs.Progress, time.Second)
+	}
 	err = r.dispatch(experiment)
+	if stopReporter != nil {
+		stopReporter()
+	}
+	stopSampler()
 	if perr := stopProfiles(); perr != nil && err == nil {
 		err = perr
 	}
-	if traceOut != "" {
-		if terr := writeTrace(r.tracer, traceOut); terr != nil && err == nil {
+	doc := r.obs.Tracer.Export()
+	telemetry.RecordTrace(cfg.reg, doc)
+	if cfg.traceOut != "" {
+		if terr := writeTrace(r.obs.Tracer, cfg.traceOut); terr != nil && err == nil {
 			err = terr
+		}
+	}
+	if cfg.chromeOut != "" {
+		if cerr := writeFile(cfg.chromeOut, func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(doc, w)
+		}); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if cfg.metricsOut != "" {
+		if merr := writeFile(cfg.metricsOut, cfg.reg.WritePrometheus); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	if srv != nil {
+		if serr := srv.Close(); serr != nil && err == nil {
+			err = serr
 		}
 	}
 	if err != nil {
@@ -160,11 +253,17 @@ func usageError(err error) {
 }
 
 func writeTrace(tr *trace.Tracer, path string) error {
+	return writeFile(path, tr.WriteJSON)
+}
+
+// writeFile creates path and streams write into it, surfacing both write
+// and close errors.
+func writeFile(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -173,7 +272,7 @@ func writeTrace(tr *trace.Tracer, path string) error {
 
 type runner struct {
 	ctx                context.Context
-	tracer             *trace.Tracer
+	obs                bench.Obs
 	adultsRows, leRows int
 	seed               int64
 	minQI, maxQI       int
@@ -289,7 +388,7 @@ func (r *runner) fig9() error {
 func (r *runner) fig10(d *dataset.Dataset) error {
 	min, max := r.qiRange(d)
 	for _, k := range []int64{2, 10} {
-		s, err := bench.Fig10(r.ctx, r.tracer, d, k, min, max, r.algos, r.progress)
+		s, err := bench.Fig10(r.ctx, r.obs, d, k, min, max, r.algos, r.progress)
 		if err != nil {
 			return err
 		}
@@ -312,7 +411,7 @@ func (r *runner) fig11Adults() error {
 	if r.algosExplicit {
 		algos = r.algos
 	}
-	s, err := bench.Fig11(r.ctx, r.tracer, d, qi, []int64{2, 5, 10, 25, 50}, algos, nil, r.progress)
+	s, err := bench.Fig11(r.ctx, r.obs, d, qi, []int64{2, 5, 10, 25, 50}, algos, nil, r.progress)
 	if err != nil {
 		return err
 	}
@@ -324,7 +423,7 @@ func (r *runner) fig11LandsEnd() error {
 	// The paper staggers the Lands End panel: Binary Search at QID 6,
 	// the Incognito variants at QID 8.
 	algos := []bench.Algo{bench.BinarySearch, bench.BasicIncognito, bench.SuperRootsIncognito}
-	s, err := bench.Fig11(r.ctx, r.tracer, d, 8, []int64{2, 5, 10, 25, 50}, algos,
+	s, err := bench.Fig11(r.ctx, r.obs, d, 8, []int64{2, 5, 10, 25, 50}, algos,
 		map[bench.Algo]int{bench.BinarySearch: 6}, r.progress)
 	if err != nil {
 		return err
@@ -335,7 +434,7 @@ func (r *runner) fig11LandsEnd() error {
 func (r *runner) fig12() error {
 	for _, d := range []*dataset.Dataset{r.adults(), r.landsEnd()} {
 		min, max := r.qiRange(d)
-		s, err := bench.Fig12(r.ctx, r.tracer, d, 2, min, max, r.progress)
+		s, err := bench.Fig12(r.ctx, r.obs, d, 2, min, max, r.progress)
 		if err != nil {
 			return err
 		}
@@ -363,7 +462,7 @@ func (r *runner) parallel() error {
 		{r.adults(), len(r.adults().QICols)},
 		{r.landsEnd(), 6},
 	} {
-		cells, err := bench.Parallel(r.ctx, r.tracer, w.d, w.qi, 2, algos, r.parallelism, r.progress)
+		cells, err := bench.Parallel(r.ctx, r.obs, w.d, w.qi, 2, algos, r.parallelism, r.progress)
 		if err != nil {
 			return err
 		}
@@ -378,7 +477,7 @@ func (r *runner) parallel() error {
 func (r *runner) nodesTable() error {
 	d := r.adults()
 	min, max := r.qiRange(d)
-	s, err := bench.NodesTable(r.ctx, r.tracer, d, 2, min, max, r.progress)
+	s, err := bench.NodesTable(r.ctx, r.obs, d, 2, min, max, r.progress)
 	if err != nil {
 		return err
 	}

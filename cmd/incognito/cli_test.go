@@ -122,3 +122,87 @@ func TestCLITraceAndProfiles(t *testing.T) {
 		}
 	}
 }
+
+func TestCLIVersion(t *testing.T) {
+	out, code := runCLI(t, "-version")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	fields := strings.Fields(out)
+	if len(fields) < 3 || fields[0] != "incognito" {
+		t.Fatalf("version banner = %q, want 'incognito VERSION ... goX.Y'", out)
+	}
+	if !strings.HasPrefix(fields[len(fields)-1], "go1") {
+		t.Fatalf("version banner does not end with the Go toolchain: %q", out)
+	}
+}
+
+func TestCLIBadLogFormatExitsTwo(t *testing.T) {
+	out, code := runCLI(t, "-demo", "-log-format", "xml")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(strings.ToLower(out), "usage") {
+		t.Fatalf("error output does not mention usage:\n%s", out)
+	}
+}
+
+// TestCLITelemetryOutputs runs the demo with the full telemetry surface on:
+// a Prometheus snapshot, a Chrome trace, and JSON progress events.
+func TestCLITelemetryOutputs(t *testing.T) {
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "metrics.prom")
+	chromePath := filepath.Join(dir, "trace-chrome.json")
+	out, code := runCLI(t, "-demo", "-k", "2",
+		"-metrics-out", promPath, "-trace-chrome", chromePath,
+		"-v", "-log-format", "json")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE incognito_phase_seconds histogram",
+		"incognito_nodes_checked_total",
+		"incognito_progress_nodes_visited",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, prom)
+		}
+	}
+
+	chrome, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	// -v -log-format json ends the run with a structured "done" event.
+	if !strings.Contains(out, `"msg":"done"`) {
+		t.Fatalf("verbose JSON run emitted no done event:\n%s", out)
+	}
+}
+
+// TestCLIMetricsAddr binds the live metrics endpoint on an ephemeral port
+// and checks the discovery banner is printed (the scrape-during-run
+// behavior itself is covered in internal/telemetry's server tests).
+func TestCLIMetricsAddr(t *testing.T) {
+	out, code := runCLI(t, "-demo", "-k", "2", "-metrics-addr", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "incognito: metrics listening on http://127.0.0.1:") {
+		t.Fatalf("no listening banner on stderr:\n%s", out)
+	}
+}

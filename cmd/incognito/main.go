@@ -23,6 +23,10 @@
 //
 // Observability: -trace FILE writes a JSON execution trace (the span tree
 // of every search phase, with per-phase wall time and work counters),
+// -trace-chrome FILE the same trace as Chrome trace-event JSON for
+// Perfetto, -metrics-addr serves live Prometheus metrics plus pprof over
+// HTTP, -metrics-out writes the final metrics snapshot, -v emits periodic
+// structured progress events (-log-format text|json),
 // -cpuprofile/-memprofile write pprof profiles, and an interrupt (Ctrl-C)
 // cancels the search at the next phase boundary with a non-zero exit.
 package main
@@ -33,14 +37,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	incognito "incognito"
 	"incognito/internal/profiling"
+	"incognito/internal/telemetry"
+	"incognito/internal/version"
 )
 
 // options holds the parsed command line; one struct so the run path can be
@@ -53,7 +61,12 @@ type options struct {
 	criteria               string
 	list, demo, stats      bool
 	dotFile                string
-	traceOut               string
+	traceOut, chromeOut    string
+	metricsAddr            string
+	metricsOut             string
+	logFormat              string
+	verbose                bool
+	showVersion            bool
 	cpuProfile, memProfile string
 }
 
@@ -73,10 +86,20 @@ func main() {
 	flag.BoolVar(&o.demo, "demo", false, "run the paper's Patients example instead of reading input")
 	flag.BoolVar(&o.stats, "stats", false, "print search statistics")
 	flag.StringVar(&o.traceOut, "trace", "", "write a JSON execution trace (span tree + per-phase counters) to this file")
+	flag.StringVar(&o.chromeOut, "trace-chrome", "", "write the execution trace as Chrome trace-event JSON (open in Perfetto) to this file")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live Prometheus metrics and pprof on this address (e.g. localhost:9090); empty disables")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the final Prometheus text-format metrics snapshot to this file")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format for progress events: text or json")
+	flag.BoolVar(&o.verbose, "v", false, "emit periodic structured progress events to stderr")
+	flag.BoolVar(&o.showVersion, "version", false, "print version information and exit")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
+	if o.showVersion {
+		fmt.Println(version.String("incognito"))
+		os.Exit(0)
+	}
 	if err := o.validate(); err != nil {
 		usageError(err)
 	}
@@ -104,6 +127,9 @@ func (o *options) validate() error {
 	if o.budget < 1 {
 		return fmt.Errorf("-budget must be >= 1, got %d", o.budget)
 	}
+	if o.logFormat != "" && o.logFormat != "text" && o.logFormat != "json" {
+		return fmt.Errorf("-log-format must be text or json, got %q", o.logFormat)
+	}
 	if !o.demo && (o.input == "" || o.qiSpec == "") {
 		return fmt.Errorf("-input and -qi are required (or use -demo)")
 	}
@@ -122,30 +148,95 @@ func usageError(err error) {
 	os.Exit(2)
 }
 
-// run executes the anonymization with profiling and tracing wired up and
-// converts the outcome to a process exit code. It must not os.Exit itself
-// so the profile stop and trace write always happen.
+// instruments bundles the observability handles threaded into the search:
+// each is independently nil (disabled).
+type instruments struct {
+	tracer   *incognito.Tracer
+	progress *incognito.Progress
+	metrics  *incognito.RunMetrics
+}
+
+// run executes the anonymization with profiling, tracing, and telemetry
+// wired up and converts the outcome to a process exit code. It must not
+// os.Exit itself so the profile stop and the observability writes always
+// happen.
 func run(ctx context.Context, o *options) int {
 	stopProfiles, err := profiling.Start(o.cpuProfile, o.memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "incognito: "+err.Error())
 		return 1
 	}
-	var tracer *incognito.Tracer
-	if o.traceOut != "" {
-		tracer = incognito.NewTracer()
+	logger, err := telemetry.NewLogger(os.Stderr, o.logFormat, o.verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incognito: "+err.Error())
+		return 1
 	}
+	var reg *telemetry.Registry
+	if o.metricsAddr != "" || o.metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	var ins instruments
+	if o.traceOut != "" || o.chromeOut != "" || reg.Enabled() {
+		ins.tracer = incognito.NewTracer()
+	}
+	if o.verbose || reg.Enabled() {
+		ins.progress = incognito.NewProgress()
+	}
+	ins.metrics = reg.NewRunMetrics()
+	telemetry.RegisterProgress(reg, ins.progress)
+
+	var srv *telemetry.Server
+	if o.metricsAddr != "" {
+		srv, err = telemetry.Serve(o.metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incognito: "+err.Error())
+			return 1
+		}
+		// Printed to stderr so scripts (and the CLI tests) can discover the
+		// bound port when -metrics-addr ends in :0.
+		fmt.Fprintf(os.Stderr, "incognito: metrics listening on http://%s/metrics\n", srv.Addr())
+	}
+	stopSampler := telemetry.StartSampler(reg, time.Second)
+	var stopReporter func()
+	if o.verbose {
+		stopReporter = telemetry.StartReporter(logger, ins.progress, time.Second)
+	}
+
 	if o.demo {
-		err = runDemo(ctx, o, tracer)
+		err = runDemo(ctx, o, ins)
 	} else {
-		err = anonymizeFile(ctx, o, tracer)
+		err = anonymizeFile(ctx, o, ins)
 	}
+
+	if stopReporter != nil {
+		stopReporter()
+	}
+	stopSampler()
 	if perr := stopProfiles(); perr != nil && err == nil {
 		err = perr
 	}
+	doc := ins.tracer.Export()
+	telemetry.RecordTrace(reg, doc)
 	if o.traceOut != "" {
-		if terr := writeTrace(tracer, o.traceOut); terr != nil && err == nil {
+		if terr := writeFile(o.traceOut, ins.tracer.WriteJSON); terr != nil && err == nil {
 			err = terr
+		}
+	}
+	if o.chromeOut != "" {
+		if cerr := writeFile(o.chromeOut, func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(doc, w)
+		}); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if o.metricsOut != "" {
+		if merr := writeFile(o.metricsOut, reg.WritePrometheus); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	if srv != nil {
+		if serr := srv.Close(); serr != nil && err == nil {
+			err = serr
 		}
 	}
 	if err != nil {
@@ -162,12 +253,14 @@ func run(ctx context.Context, o *options) int {
 	return 0
 }
 
-func writeTrace(tracer *incognito.Tracer, path string) error {
+// writeFile creates path and streams write into it, surfacing both write
+// and close errors.
+func writeFile(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tracer.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -175,7 +268,7 @@ func writeTrace(tracer *incognito.Tracer, path string) error {
 }
 
 // anonymizeFile is the main CSV-in, CSV-out path.
-func anonymizeFile(ctx context.Context, o *options, tracer *incognito.Tracer) error {
+func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 	table, err := incognito.LoadCSV(o.input)
 	if err != nil {
 		return err
@@ -199,7 +292,9 @@ func anonymizeFile(ctx context.Context, o *options, tracer *incognito.Tracer) er
 		Algorithm:         algo,
 		MaterializeBudget: o.budget,
 		Parallelism:       o.parallel,
-		Tracer:            tracer,
+		Tracer:            ins.tracer,
+		Progress:          ins.progress,
+		Metrics:           ins.metrics,
 	})
 	if err != nil {
 		return err
@@ -369,7 +464,7 @@ func parseCriterion(name string) (incognito.Criterion, error) {
 }
 
 // runDemo reproduces the paper's running example (Fig. 1 and Fig. 2).
-func runDemo(ctx context.Context, o *options, tracer *incognito.Tracer) error {
+func runDemo(ctx context.Context, o *options, ins instruments) error {
 	table, err := incognito.NewTable(
 		[]string{"Birthdate", "Sex", "Zipcode", "Disease"},
 		[][]string{
@@ -394,7 +489,8 @@ func runDemo(ctx context.Context, o *options, tracer *incognito.Tracer) error {
 		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(2)},
 	}
 	res, err := incognito.AnonymizeContext(ctx, table, qi, incognito.Config{
-		K: o.k, Algorithm: algo, Parallelism: o.parallel, Tracer: tracer,
+		K: o.k, Algorithm: algo, Parallelism: o.parallel,
+		Tracer: ins.tracer, Progress: ins.progress, Metrics: ins.metrics,
 	})
 	if err != nil {
 		return err

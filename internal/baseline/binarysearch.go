@@ -29,6 +29,7 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 		return nil, err
 	}
 	sp := in.StartSpan("binary_search")
+	in.Progress.SetPhase("binary search")
 	defer sp.End()
 	full := lattice.NewFull(in.Heights())
 	dims := make([]int, full.NumAttrs())
@@ -38,6 +39,7 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 	res := &SamaratiResult{Height: -1}
 	res.Stats.Candidates = full.Size()
 	sp.Add(core.CounterCandidates, int64(full.Size()))
+	in.Progress.AddCandidates(int64(full.Size()))
 
 	// existsAt scans the stratum at height h, returning the first
 	// k-anonymous node found (nil if none). Each probe is one trace span
@@ -55,6 +57,7 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 				return nil
 			}
 			levels := full.Levels(id)
+			in.Progress.AddVisited(1)
 			res.Stats.NodesChecked++
 			res.Stats.TableScans++
 			if in.CheckFreq(in.ScanFreq(dims, levels)) {

@@ -27,6 +27,7 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 	}
 	sp := in.StartSpan("bottomup")
 	sp.SetAttr("rollup", useRollup)
+	in.Progress.SetPhase("bottom-up")
 	defer sp.End()
 	full := lattice.NewFull(in.Heights())
 	n := full.NumAttrs()
@@ -38,6 +39,7 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 	res := &core.Result{}
 	res.Stats.Candidates = full.Size()
 	sp.Add(core.CounterCandidates, int64(full.Size()))
+	in.Progress.AddCandidates(int64(full.Size()))
 
 	anonymous := make(map[int]bool) // marked or checked-and-passed
 	// Frequency sets of checked-failed nodes in the previous stratum, for
@@ -58,6 +60,7 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 			if err := in.Err(); err != nil {
 				return nil, fmt.Errorf("baseline: bottom-up cancelled at height %d: %w", h, err)
 			}
+			in.Progress.AddVisited(1)
 			if anonymous[id] {
 				// Propagate the marking: generalizations of an anonymous
 				// node are anonymous.

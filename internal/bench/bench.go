@@ -13,8 +13,20 @@ import (
 	"incognito/internal/baseline"
 	"incognito/internal/core"
 	"incognito/internal/dataset"
+	"incognito/internal/telemetry"
 	"incognito/internal/trace"
 )
+
+// Obs bundles the optional observability instruments a cell runs under:
+// a span tracer, live progress counters, and runtime-metrics histograms.
+// The zero value disables all three; each field is independently optional
+// (nil handles are no-ops), so callers opt into exactly the instruments
+// they need. Instruments never change Solutions or Stats.
+type Obs struct {
+	Tracer   *trace.Tracer
+	Progress *telemetry.Progress
+	Metrics  *telemetry.RunMetrics
+}
 
 // Algo identifies one of the six algorithms compared in Fig. 10.
 type Algo int
@@ -98,14 +110,14 @@ func Run(d *dataset.Dataset, qiSize int, k int64, algo Algo) (Measurement, error
 // (0 = GOMAXPROCS, 1 = sequential, n = at most n workers). Solutions and
 // Stats are identical at every setting; only Elapsed changes.
 func RunParallel(d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism int) (Measurement, error) {
-	return RunCell(context.Background(), nil, d, qiSize, k, algo, parallelism)
+	return RunCell(context.Background(), Obs{}, d, qiSize, k, algo, parallelism)
 }
 
 // RunCell is the fully instrumented cell runner: RunParallel with a
-// cancellation context and an optional tracer that records the cell's span
-// tree (nil disables tracing). Cancelling ctx mid-cell returns an error
+// cancellation context and an optional observability bundle (the zero Obs
+// disables all instruments). Cancelling ctx mid-cell returns an error
 // wrapping ctx.Err().
-func RunCell(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism int) (Measurement, error) {
+func RunCell(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism int) (Measurement, error) {
 	cols, hs, err := d.QISubset(qiSize)
 	if err != nil {
 		return Measurement{}, err
@@ -113,10 +125,12 @@ func RunCell(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, qiSize i
 	in := core.NewInput(d.Table, cols, hs, k, 0)
 	in.Parallelism = parallelism
 	in.Ctx = ctx
-	in.Trace = tr
+	in.Trace = obs.Tracer
+	in.Progress = obs.Progress
+	in.Metrics = obs.Metrics
 	m := Measurement{Dataset: d.Name, Algo: algo, QISize: qiSize, K: k, Parallelism: parallelism}
 
-	cell := tr.Start("cell")
+	cell := obs.Tracer.Start("cell")
 	cell.SetAttr("dataset", d.Name)
 	cell.SetAttr("qi_size", qiSize)
 	cell.SetAttr("k", k)

@@ -84,7 +84,7 @@ func TestParseAlgo(t *testing.T) {
 func TestFig10Sweep(t *testing.T) {
 	d := small()
 	var logged []string
-	s, err := Fig10(context.Background(), nil, d, 2, 3, 4, []Algo{BasicIncognito, BinarySearch}, func(f string, a ...interface{}) {
+	s, err := Fig10(context.Background(), Obs{}, d, 2, 3, 4, []Algo{BasicIncognito, BinarySearch}, func(f string, a ...interface{}) {
 		logged = append(logged, f)
 	})
 	if err != nil {
@@ -115,7 +115,7 @@ func TestFig10Sweep(t *testing.T) {
 
 func TestFig11Staggered(t *testing.T) {
 	d := small()
-	s, err := Fig11(context.Background(), nil, d, 4, []int64{2, 5}, []Algo{BinarySearch, BasicIncognito},
+	s, err := Fig11(context.Background(), Obs{}, d, 4, []int64{2, 5}, []Algo{BinarySearch, BasicIncognito},
 		map[Algo]int{BinarySearch: 3}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestFig11Staggered(t *testing.T) {
 
 func TestNodesTableShape(t *testing.T) {
 	d := small()
-	s, err := NodesTable(context.Background(), nil, d, 2, 3, 4, nil)
+	s, err := NodesTable(context.Background(), Obs{}, d, 2, 3, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestNodesTableShape(t *testing.T) {
 
 func TestFig12Breakdown(t *testing.T) {
 	d := small()
-	s, err := Fig12(context.Background(), nil, d, 2, 3, 4, nil)
+	s, err := Fig12(context.Background(), Obs{}, d, 2, 3, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"incognito/internal/dataset"
-	"incognito/internal/trace"
 )
 
 // Sweep is a formatted experiment: a grid of measurements with labeled rows
@@ -35,8 +34,8 @@ func (p Progress) Log(format string, args ...interface{}) {
 
 // Fig10 sweeps quasi-identifier size for a fixed k over the given
 // algorithms — one panel of Fig. 10. ctx cancels the sweep between and
-// inside cells; tr (optional, nil disables) traces every cell.
-func Fig10(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, k int64, qiMin, qiMax int, algos []Algo, progress Progress) (*Sweep, error) {
+// inside cells; obs (optional, zero value disables) instruments every cell.
+func Fig10(ctx context.Context, obs Obs, d *dataset.Dataset, k int64, qiMin, qiMax int, algos []Algo, progress Progress) (*Sweep, error) {
 	s := &Sweep{
 		Title:    fmt.Sprintf("Figure 10: %s database (k=%d), %d rows", d.Name, k, d.Table.NumRows()),
 		RowLabel: "QID size",
@@ -47,7 +46,7 @@ func Fig10(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, k int64, q
 	for qi := qiMin; qi <= qiMax; qi++ {
 		row := make([]*Measurement, len(algos))
 		for i, a := range algos {
-			m, err := RunCell(ctx, tr, d, qi, k, a, 1)
+			m, err := RunCell(ctx, obs, d, qi, k, a, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -63,7 +62,7 @@ func Fig10(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, k int64, q
 // Fig11 sweeps k at a fixed quasi-identifier size — one panel of Fig. 11.
 // qiOverride maps an algorithm to a different QI size, reproducing the
 // staggered Lands End panel (Binary Search at QID 6, Incognito at QID 8).
-func Fig11(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, qiSize int, ks []int64, algos []Algo, qiOverride map[Algo]int, progress Progress) (*Sweep, error) {
+func Fig11(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int, ks []int64, algos []Algo, qiOverride map[Algo]int, progress Progress) (*Sweep, error) {
 	s := &Sweep{
 		Title:    fmt.Sprintf("Figure 11: %s database (QID size %d), %d rows", d.Name, qiSize, d.Table.NumRows()),
 		RowLabel: "k",
@@ -82,7 +81,7 @@ func Fig11(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, qiSize int
 			if o, ok := qiOverride[a]; ok {
 				qi = o
 			}
-			m, err := RunCell(ctx, tr, d, qi, k, a, 1)
+			m, err := RunCell(ctx, obs, d, qi, k, a, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -98,18 +97,18 @@ func Fig11(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, qiSize int
 // NodesTable reproduces the §4.2.1 table: generalization nodes whose
 // k-anonymity was explicitly checked, bottom-up versus Incognito, by
 // quasi-identifier size.
-func NodesTable(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, k int64, qiMin, qiMax int, progress Progress) (*Sweep, error) {
+func NodesTable(ctx context.Context, obs Obs, d *dataset.Dataset, k int64, qiMin, qiMax int, progress Progress) (*Sweep, error) {
 	s := &Sweep{
 		Title:    fmt.Sprintf("§4.2.1 table: nodes searched, %s database (k=%d), %d rows", d.Name, k, d.Table.NumRows()),
 		RowLabel: "QID size",
 		ColNames: []string{"Bottom-Up", "Incognito"},
 	}
 	for qi := qiMin; qi <= qiMax; qi++ {
-		bu, err := RunCell(ctx, tr, d, qi, k, BottomUpRollup, 1)
+		bu, err := RunCell(ctx, obs, d, qi, k, BottomUpRollup, 1)
 		if err != nil {
 			return nil, err
 		}
-		inc, err := RunCell(ctx, tr, d, qi, k, BasicIncognito, 1)
+		inc, err := RunCell(ctx, obs, d, qi, k, BasicIncognito, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -122,14 +121,14 @@ func NodesTable(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, k int
 
 // Fig12 reproduces the Cube Incognito cost breakdown: zero-generalization
 // cube build time versus anonymization time, by quasi-identifier size.
-func Fig12(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, k int64, qiMin, qiMax int, progress Progress) (*Sweep, error) {
+func Fig12(ctx context.Context, obs Obs, d *dataset.Dataset, k int64, qiMin, qiMax int, progress Progress) (*Sweep, error) {
 	s := &Sweep{
 		Title:    fmt.Sprintf("Figure 12: Cube Incognito cost breakdown, %s database (k=%d), %d rows", d.Name, k, d.Table.NumRows()),
 		RowLabel: "QID size",
 		ColNames: []string{"Cube Build Time", "Anonymization Time", "Total"},
 	}
 	for qi := qiMin; qi <= qiMax; qi++ {
-		m, err := RunCell(ctx, tr, d, qi, k, CubeIncognito, 1)
+		m, err := RunCell(ctx, obs, d, qi, k, CubeIncognito, 1)
 		if err != nil {
 			return nil, err
 		}

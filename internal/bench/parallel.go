@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"incognito/internal/dataset"
-	"incognito/internal/trace"
 )
 
 // ParallelCell is one serial-vs-parallel comparison: the same (dataset,
@@ -51,16 +50,16 @@ type ParallelReport struct {
 // Parallel runs the serial-vs-parallel comparison for each algorithm on
 // one (dataset, QI size, k) workload. Serial and parallel cells alternate
 // per algorithm so the comparison is as back-to-back as the harness can
-// make it. ctx cancels the sweep between and inside cells; tr (optional)
-// records every cell's span tree.
-func Parallel(ctx context.Context, tr *trace.Tracer, d *dataset.Dataset, qiSize int, k int64, algos []Algo, parallelism int, progress Progress) ([]ParallelCell, error) {
+// make it. ctx cancels the sweep between and inside cells; obs (optional)
+// instruments every cell.
+func Parallel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int, k int64, algos []Algo, parallelism int, progress Progress) ([]ParallelCell, error) {
 	var cells []ParallelCell
 	for _, a := range algos {
-		serial, err := RunCell(ctx, tr, d, qiSize, k, a, 1)
+		serial, err := RunCell(ctx, obs, d, qiSize, k, a, 1)
 		if err != nil {
 			return nil, err
 		}
-		par, err := RunCell(ctx, tr, d, qiSize, k, a, parallelism)
+		par, err := RunCell(ctx, obs, d, qiSize, k, a, parallelism)
 		if err != nil {
 			return nil, err
 		}

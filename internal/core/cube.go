@@ -26,6 +26,7 @@ func dimsKey(dims []int) string {
 // returned immediately; callers must check Input.Err before using it.
 func BuildCube(in *Input) *CubeIndex {
 	sp := in.StartSpan("cube_build")
+	in.Progress.SetPhase("cube build")
 	defer sp.End()
 	n := len(in.QI)
 	c := &CubeIndex{sets: make(map[string]*relation.FreqSet, (1<<n)-1)}
@@ -94,6 +95,8 @@ func BuildCube(in *Input) *CubeIndex {
 				}
 			}
 			margins[i] = parent.DropColumn(pos)
+			in.Metrics.ObserveFreqSetSize(margins[i].Len())
+			in.Metrics.ObserveRollup(parent.Len(), margins[i].Len())
 		})
 		if in.Err() != nil {
 			// Cancelled mid-wave: some margins are missing. Drop the whole
@@ -106,6 +109,7 @@ func BuildCube(in *Input) *CubeIndex {
 		}
 		c.BuildStats.CubeFreqSets += len(masks)
 		c.BuildStats.Rollups += len(masks)
+		in.Progress.AddRollups(int64(len(masks)))
 		wave.Add(CounterCubeFreqSets, int64(len(masks)))
 		wave.Add(CounterRollups, int64(len(masks)))
 		wave.End()

@@ -140,6 +140,7 @@ func run(in *Input, v Variant, cube *CubeIndex) (*Result, error) {
 func runSearch(in *Input, maker rootFreqMaker, label string) (*Result, error) {
 	sp := in.StartSpan("search")
 	sp.SetAttr("algorithm", label)
+	in.Progress.SetPhase(label)
 	defer sp.End()
 	var stats Stats
 	n := len(in.QI)
@@ -154,6 +155,7 @@ func runSearch(in *Input, maker rootFreqMaker, label string) (*Result, error) {
 		it.SetAttr("subset_size", i)
 		it.Add(CounterCandidates, int64(graph.Len()))
 		stats.Candidates += graph.Len()
+		in.Progress.AddCandidates(int64(graph.Len()))
 		surv := searchGraphFamilies(in, graph, maker, &stats, it)
 		it.End()
 		if err := in.Err(); err != nil {
@@ -264,6 +266,7 @@ func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, 
 			continue
 		}
 		processed[node.ID] = true
+		in.Progress.AddVisited(1)
 		// Once this node is processed, its failed specializations have one
 		// fewer unprocessed generalization; release frequency sets nothing
 		// can need anymore. Runs after the node consumed its own parent's

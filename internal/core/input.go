@@ -11,6 +11,7 @@ import (
 
 	"incognito/internal/hierarchy"
 	"incognito/internal/relation"
+	"incognito/internal/telemetry"
 	"incognito/internal/trace"
 )
 
@@ -49,6 +50,16 @@ type Input struct {
 	// of the same tracer (the bench harness groups each experiment cell
 	// this way). When nil, runs start top-level spans on Trace.
 	Span *trace.Span
+	// Progress, when non-nil, receives live atomic work counters (nodes
+	// visited, candidate totals, tuples scanned, rollups) from the hot
+	// paths, for progress reporting and the /metrics endpoint. A nil
+	// handle is fully disabled and allocation-free; Solutions and Stats
+	// are bit-identical with progress on or off.
+	Progress *telemetry.Progress
+	// Metrics, when non-nil, receives distribution observations
+	// (frequency-set sizes, rollup fan-in) as they happen. Same disabled
+	// contract as Progress.
+	Metrics *telemetry.RunMetrics
 }
 
 // StartSpan opens a phase span for this run: a child of Input.Span when one
@@ -159,7 +170,11 @@ func (in *Input) recodeTables(dims, levels []int) [][]int32 {
 // the star schema. At Workers() > 1 the scan is sharded into row ranges
 // counted concurrently and merged; the result is identical either way.
 func (in *Input) ScanFreq(dims, levels []int) *relation.FreqSet {
-	return relation.GroupCountParallel(in.Table, in.cols(dims), in.recodeTables(dims, levels), in.Workers())
+	f := relation.GroupCountParallel(in.Table, in.cols(dims), in.recodeTables(dims, levels), in.Workers())
+	in.Progress.AddTableScans(1)
+	in.Progress.AddTuplesScanned(int64(in.Table.NumRows()))
+	in.Metrics.ObserveFreqSetSize(f.Len())
+	return f
 }
 
 // composeSteps builds the γ⁺ table from hierarchy level `from` to level
@@ -197,7 +212,11 @@ func (in *Input) RollupTo(f *relation.FreqSet, dims, fromLevels, levels []int) *
 	if !changed {
 		return f
 	}
-	return f.Recode(maps)
+	out := f.Recode(maps)
+	in.Progress.AddRollups(1)
+	in.Metrics.ObserveFreqSetSize(out.Len())
+	in.Metrics.ObserveRollup(f.Len(), out.Len())
+	return out
 }
 
 // CheckFreq applies the instance's k-anonymity test (with suppression

@@ -48,6 +48,7 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 	}
 	sp := in.StartSpan("materialize")
 	sp.SetAttr("budget", budget)
+	in.Progress.SetPhase("materialize")
 	defer sp.End()
 	full := (1 << n) - 1
 	rows := int64(in.Table.NumRows())

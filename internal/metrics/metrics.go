@@ -6,6 +6,11 @@
 // Samarati's generalization height, Sweeney's precision (Prec), the
 // Bayardo–Agrawal discernibility metric (DM), and average equivalence-class
 // size.
+//
+// These are data-quality metrics of the anonymized OUTPUT. Runtime
+// telemetry about the search itself (phase latencies, work counters,
+// Prometheus export) is a different concern and lives in
+// incognito/internal/telemetry.
 package metrics
 
 import (

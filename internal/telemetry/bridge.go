@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"incognito/internal/trace"
+)
+
+// This file bridges the run-scoped observability (internal/trace spans,
+// hot-path distribution observations) into the process-scoped registry.
+
+// RunMetrics is the hot-path distribution hook threaded through
+// core.Input: pre-resolved histogram handles so instrumented code pays one
+// mutex-guarded observe, never a registry lookup. A nil *RunMetrics (the
+// default) disables every observation at zero cost, like a nil tracer.
+type RunMetrics struct {
+	freqSetGroups *Histogram
+	rollupFanIn   *Histogram
+}
+
+// NewRunMetrics resolves the run-metric handles against the registry.
+// Nil-safe: a nil registry yields a nil (disabled) RunMetrics.
+func (r *Registry) NewRunMetrics() *RunMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RunMetrics{
+		freqSetGroups: r.Histogram("incognito_freqset_groups",
+			"Groups per materialized frequency set (scan, rollup, or cube margin).", SizeBuckets),
+		rollupFanIn: r.Histogram("incognito_rollup_fanin",
+			"Source groups folded into each output group by a rollup or cube margin.", FanInBuckets),
+	}
+}
+
+// ObserveFreqSetSize records the group count of a materialized frequency
+// set.
+func (m *RunMetrics) ObserveFreqSetSize(groups int) {
+	if m == nil {
+		return
+	}
+	m.freqSetGroups.Observe(float64(groups))
+}
+
+// ObserveRollup records one rollup's fan-in: how many source groups were
+// folded into each output group on average.
+func (m *RunMetrics) ObserveRollup(fromGroups, toGroups int) {
+	if m == nil || toGroups <= 0 {
+		return
+	}
+	m.rollupFanIn.Observe(float64(fromGroups) / float64(toGroups))
+}
+
+// counterHelp documents the known trace counters in the exposition; an
+// unknown counter gets a generic line rather than being dropped.
+var counterHelp = map[string]string{
+	"nodes_checked":  "Generalization nodes whose k-anonymity was tested explicitly.",
+	"nodes_marked":   "Nodes skipped via the generalization property.",
+	"candidates":     "Candidate nodes across all iterations.",
+	"table_scans":    "Frequency sets built by scanning the base table.",
+	"rollups":        "Frequency sets derived from other frequency sets.",
+	"cube_freq_sets": "Zero-generalization frequency sets materialized by the cube.",
+}
+
+// RecordTrace folds an exported trace document into the registry: every
+// span's duration feeds the phase-latency histogram (labeled by span
+// name), and the document's aggregate counters feed monotonic counters
+// named incognito_<counter>_total. Call it once per completed run; it is
+// how the span tree of internal/trace becomes Prometheus-readable without
+// the hot paths ever touching the registry. No-op when either side is nil.
+func RecordTrace(r *Registry, doc *trace.Document) {
+	if r == nil || doc == nil {
+		return
+	}
+	doc.Walk(func(_ []string, s *trace.SpanDoc) {
+		r.Histogram("incognito_phase_seconds", "Wall-clock duration of pipeline phase spans, by span name.",
+			LatencyBuckets, "phase", s.Name).Observe(float64(s.DurUS) / 1e6)
+	})
+	for _, name := range doc.CounterNames() {
+		help, ok := counterHelp[name]
+		if !ok {
+			help = "Trace counter " + name + "."
+		}
+		r.Counter("incognito_"+name+"_total", help).Add(doc.SumCounter(name))
+	}
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"incognito/internal/trace"
+)
+
+// This file converts an exported trace.Document into Chrome trace-event
+// JSON (the "JSON Object Format" of the Trace Event spec), so any run
+// recorded with -trace can be opened in Perfetto / chrome://tracing. Every
+// span becomes one complete ("X") event with microsecond timestamps, and
+// concurrent spans — the per-family searches of one iteration, the
+// per-wave margin builds of the cube — are laid out on separate lanes
+// (tids) so the UI shows them side by side instead of stacked garbage.
+
+// chromeComplete is one "X" (complete) event: a named interval on a lane.
+type chromeComplete struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta is one "M" (metadata) event, used for process and lane names.
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// chromeDoc is the top-level JSON object. OtherData carries the trace
+// document's attributes and aggregate counters for post-hoc inspection.
+type chromeDoc struct {
+	TraceEvents     []any          `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders doc as Chrome trace-event JSON. Event order,
+// lane assignment, and args key order are all deterministic for a given
+// document (encoding/json sorts map keys), so goldens built from
+// hand-constructed documents are stable. A nil document yields a valid
+// empty trace.
+func WriteChromeTrace(doc *trace.Document, w io.Writer) error {
+	out := &chromeDoc{TraceEvents: []any{}, DisplayTimeUnit: "ms"}
+	if doc != nil {
+		out.OtherData = map[string]any{}
+		for k, v := range doc.Attrs {
+			out.OtherData[k] = v
+		}
+		for k, v := range doc.Counters {
+			out.OtherData["counter_"+k] = v
+		}
+		if len(out.OtherData) == 0 {
+			out.OtherData = nil
+		}
+		spans, lanes := layoutLanes(doc)
+		out.TraceEvents = append(out.TraceEvents, chromeMeta{
+			Name: "process_name", Ph: "M", PID: 1, TID: 0,
+			Args: map[string]any{"name": "incognito"},
+		})
+		for tid := 0; tid < lanes; tid++ {
+			out.TraceEvents = append(out.TraceEvents, chromeMeta{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": laneName(tid)},
+			})
+		}
+		for _, p := range spans {
+			ev := chromeComplete{Name: p.s.Name, Ph: "X", TS: p.s.StartUS, Dur: p.s.DurUS, PID: 1, TID: p.lane}
+			if len(p.s.Attrs) > 0 || len(p.s.Counters) > 0 {
+				ev.Args = make(map[string]any, len(p.s.Attrs)+len(p.s.Counters))
+				for k, v := range p.s.Attrs {
+					ev.Args[k] = v
+				}
+				for k, v := range p.s.Counters {
+					ev.Args[k] = v
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func laneName(tid int) string {
+	if tid == 0 {
+		return "main"
+	}
+	return "lane " + formatInt(int64(tid))
+}
+
+// placed is a span with its assigned lane.
+type placed struct {
+	s    *trace.SpanDoc
+	lane int
+}
+
+// layoutLanes assigns each span a lane such that the spans of any one lane
+// are properly nested — what the trace viewers require of complete events
+// sharing a tid. Spans are processed in (start, widest-first) order; a
+// span goes to the lowest lane whose innermost open interval fully
+// contains it, or to a fresh lane when every existing lane's open interval
+// merely overlaps it (concurrent families and waves land side by side).
+func layoutLanes(doc *trace.Document) ([]placed, int) {
+	var flat []*trace.SpanDoc
+	doc.Walk(func(_ []string, s *trace.SpanDoc) { flat = append(flat, s) })
+	// Stable-sort by start time, widest first on ties, so a parent always
+	// precedes its children and the original depth-first order breaks the
+	// remaining ties deterministically.
+	sort.SliceStable(flat, func(i, j int) bool {
+		if flat[i].StartUS != flat[j].StartUS {
+			return flat[i].StartUS < flat[j].StartUS
+		}
+		return flat[i].DurUS > flat[j].DurUS
+	})
+
+	type interval struct{ start, end int64 }
+	var lanes [][]interval // per lane: stack of open (containing) intervals
+	out := make([]placed, 0, len(flat))
+	for _, s := range flat {
+		start, end := s.StartUS, s.StartUS+s.DurUS
+		lane := -1
+		for l := range lanes {
+			stack := lanes[l]
+			for len(stack) > 0 && stack[len(stack)-1].end <= start {
+				stack = stack[:len(stack)-1] // closed before we start
+			}
+			if len(stack) == 0 || (stack[len(stack)-1].start <= start && end <= stack[len(stack)-1].end) {
+				lanes[l] = append(stack, interval{start, end})
+				lane = l
+				break
+			}
+			lanes[l] = stack
+		}
+		if lane < 0 {
+			lanes = append(lanes, []interval{{start, end}})
+			lane = len(lanes) - 1
+		}
+		out = append(out, placed{s: s, lane: lane})
+	}
+	return out, len(lanes)
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"incognito/internal/trace"
+)
+
+// goldenDocument hand-builds a trace document shaped like a real run: a
+// root span with two concurrent family searches (overlapping intervals
+// that must land on separate lanes) and a nested child that must share its
+// parent's lane.
+func goldenDocument() *trace.Document {
+	return &trace.Document{
+		Version:  1,
+		Attrs:    map[string]any{"algorithm": "Basic Incognito", "k": 2},
+		Counters: map[string]int64{"nodes_checked": 9, "table_scans": 4},
+		Spans: []*trace.SpanDoc{
+			{
+				Name: "search", StartUS: 0, DurUS: 1000,
+				Attrs: map[string]any{"algorithm": "Basic Incognito"},
+				Children: []*trace.SpanDoc{
+					{
+						Name: "family", StartUS: 100, DurUS: 400,
+						Counters: map[string]int64{"nodes_checked": 5},
+						Children: []*trace.SpanDoc{
+							{Name: "scan", StartUS: 150, DurUS: 100},
+						},
+					},
+					{
+						Name: "family", StartUS: 120, DurUS: 420,
+						Counters: map[string]int64{"nodes_checked": 4},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(goldenDocument(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "chrome.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("chrome trace differs from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// chromeEvent is the schema Perfetto / chrome://tracing requires of the
+// JSON Object Format: the fields every event must carry to load.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   *int64         `json:"ts"`
+	Dur  *int64         `json:"dur"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func decodeChrome(t *testing.T, data []byte) (events []chromeEvent, other map[string]any) {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []chromeEvent  `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" && doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ms or ns", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents, doc.OtherData
+}
+
+// validateChromeEvents checks what the viewers actually require: known
+// phase codes, mandatory fields per phase, non-negative times, and proper
+// nesting of complete events sharing a lane.
+func validateChromeEvents(t *testing.T, events []chromeEvent) {
+	t.Helper()
+	type iv struct{ start, end int64 }
+	byLane := make(map[int][]iv)
+	namedLanes := make(map[int]bool)
+	for i, ev := range events {
+		if ev.Name == "" {
+			t.Errorf("event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Args["name"] == nil {
+				t.Errorf("metadata event %d lacks args.name", i)
+			}
+			if ev.TID != nil && ev.Name == "thread_name" {
+				namedLanes[*ev.TID] = true
+			}
+		case "X":
+			if ev.TS == nil || ev.Dur == nil || ev.PID == nil || ev.TID == nil {
+				t.Errorf("complete event %d (%s) missing ts/dur/pid/tid", i, ev.Name)
+				continue
+			}
+			if *ev.TS < 0 || *ev.Dur < 0 {
+				t.Errorf("complete event %d (%s) has negative time ts=%d dur=%d", i, ev.Name, *ev.TS, *ev.Dur)
+			}
+			byLane[*ev.TID] = append(byLane[*ev.TID], iv{*ev.TS, *ev.TS + *ev.Dur})
+		default:
+			t.Errorf("event %d has unsupported phase %q", i, ev.Ph)
+		}
+	}
+	for lane, ivs := range byLane {
+		if !namedLanes[lane] {
+			t.Errorf("lane %d has events but no thread_name metadata", lane)
+		}
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].start != ivs[j].start {
+				return ivs[i].start < ivs[j].start
+			}
+			return ivs[i].end > ivs[j].end
+		})
+		var stack []iv
+		for _, v := range ivs {
+			for len(stack) > 0 && stack[len(stack)-1].end <= v.start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if !(top.start <= v.start && v.end <= top.end) {
+					t.Errorf("lane %d: span [%d,%d) overlaps [%d,%d) without nesting", lane, v.start, v.end, top.start, top.end)
+				}
+			}
+			stack = append(stack, v)
+		}
+	}
+}
+
+func TestWriteChromeTraceValid(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(goldenDocument(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	events, other := decodeChrome(t, []byte(sb.String()))
+	validateChromeEvents(t, events)
+
+	// The two concurrent families must be on different lanes; the nested
+	// scan must share its parent's lane.
+	lanes := make(map[string][]int)
+	for _, ev := range events {
+		if ev.Ph == "X" {
+			lanes[ev.Name] = append(lanes[ev.Name], *ev.TID)
+		}
+	}
+	if fams := lanes["family"]; len(fams) != 2 || fams[0] == fams[1] {
+		t.Errorf("concurrent families got lanes %v, want two distinct", fams)
+	}
+	if len(lanes["scan"]) != 1 || len(lanes["family"]) != 2 || lanes["scan"][0] != lanes["family"][0] {
+		t.Errorf("nested scan on lane %v, want its parent family's lane %v", lanes["scan"], lanes["family"])
+	}
+	if other["counter_nodes_checked"] != float64(9) {
+		t.Errorf("otherData counters = %v", other)
+	}
+}
+
+func TestWriteChromeTraceNilDocument(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodeChrome(t, []byte(sb.String()))
+	if len(events) != 0 {
+		t.Fatalf("nil document produced %d events", len(events))
+	}
+}
+
+// TestChromeTraceFromLiveRun converts a real traced run, end to end: the
+// schema validation here is what "loads in Perfetto" means in CI.
+func TestChromeTraceFromLiveRun(t *testing.T) {
+	tr := trace.New()
+	root := tr.Start("cell")
+	child := root.Start("search")
+	child.Add("nodes_checked", 3)
+	child.End()
+	root.End()
+	var sb strings.Builder
+	if err := WriteChromeTrace(tr.Export(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := decodeChrome(t, []byte(sb.String()))
+	validateChromeEvents(t, events)
+	var complete int
+	for _, ev := range events {
+		if ev.Ph == "X" {
+			complete++
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("live run produced %d complete events, want 2", complete)
+	}
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// NewLogger builds the structured logger both CLIs share: format is "text"
+// (the default when empty) for human-readable key=value lines or "json"
+// for machine-readable events; verbose lifts the level from Warn to Info,
+// which is what turns the periodic progress events on. Unknown formats are
+// a usage error for the caller to report.
+func NewLogger(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelWarn
+	if verbose {
+		level = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+}
+
+// StartReporter begins periodic progress reporting: every interval
+// (default one second when interval <= 0) it snapshots p and emits one
+// Info-level "progress" event on log with the phase, the counters, the
+// completion percentage, and an ETA extrapolated from the visited/total
+// fraction. The returned stop function is idempotent; it halts the ticker
+// and emits one final "done" event so even sub-interval runs log their
+// totals. No-op (and stop trivially) when log or p is nil.
+func StartReporter(log *slog.Logger, p *Progress, interval time.Duration) (stop func()) {
+	if log == nil || p == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	start := time.Now()
+	emit := func(msg string) {
+		s := p.Snapshot()
+		elapsed := time.Since(start)
+		attrs := []slog.Attr{
+			slog.String("phase", s.Phase),
+			slog.Int64("nodes_visited", s.NodesVisited),
+			slog.Int64("nodes_total", s.NodesTotal),
+			slog.Int64("tuples_scanned", s.TuplesScanned),
+			slog.Int64("table_scans", s.TableScans),
+			slog.Int64("rollups", s.Rollups),
+			slog.Duration("elapsed", elapsed.Round(time.Millisecond)),
+		}
+		if s.NodesTotal > 0 && s.NodesVisited > 0 && s.NodesVisited <= s.NodesTotal {
+			frac := float64(s.NodesVisited) / float64(s.NodesTotal)
+			attrs = append(attrs, slog.String("pct", fmt.Sprintf("%.1f", 100*frac)))
+			if msg == "progress" {
+				eta := time.Duration(float64(elapsed) * (1 - frac) / frac)
+				attrs = append(attrs, slog.Duration("eta", eta.Round(time.Millisecond)))
+			}
+		}
+		log.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				emit("progress")
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			emit("done")
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"incognito/internal/trace"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger(&sb, "json", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", 1)
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &ev); err != nil {
+		t.Fatalf("json log line is not JSON: %v (%q)", err, sb.String())
+	}
+	if ev["msg"] != "hello" || ev["k"] != float64(1) {
+		t.Fatalf("json event = %v", ev)
+	}
+
+	sb.Reset()
+	log, err = NewLogger(&sb, "text", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("suppressed") // Info below Warn when not verbose
+	if sb.Len() != 0 {
+		t.Fatalf("non-verbose logger emitted Info: %q", sb.String())
+	}
+	log.Warn("kept")
+	if !strings.Contains(sb.String(), "msg=kept") {
+		t.Fatalf("text log = %q", sb.String())
+	}
+
+	if _, err := NewLogger(&sb, "xml", false); err == nil {
+		t.Fatal("unknown format did not error")
+	}
+	if _, err := NewLogger(&sb, "", true); err != nil {
+		t.Fatalf("empty format (default text) errored: %v", err)
+	}
+}
+
+func TestStartReporterEmitsDone(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger(&sb, "json", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProgress()
+	p.SetPhase("search")
+	p.AddCandidates(10)
+	p.AddVisited(4)
+	stop := StartReporter(log, p, time.Hour) // ticker never fires; done event only
+	stop()
+	stop() // idempotent
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &ev); err != nil {
+		t.Fatalf("done event not JSON: %v (%q)", err, sb.String())
+	}
+	if ev["msg"] != "done" || ev["phase"] != "search" ||
+		ev["nodes_visited"] != float64(4) || ev["nodes_total"] != float64(10) || ev["pct"] != "40.0" {
+		t.Fatalf("done event = %v", ev)
+	}
+	if _, hasETA := ev["eta"]; hasETA {
+		t.Fatal("done event carries an eta")
+	}
+}
+
+func TestStartReporterPeriodic(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger(&sb, "json", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProgress()
+	p.AddCandidates(100)
+	p.AddVisited(50)
+	stop := StartReporter(log, p, 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("reporter emitted %d events, want >= 2 (progress + done)", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["msg"] != "progress" {
+		t.Fatalf("first event = %v", first)
+	}
+	if _, hasETA := first["eta"]; !hasETA {
+		t.Fatal("progress event lacks an eta")
+	}
+}
+
+func TestStartReporterNil(t *testing.T) {
+	StartReporter(nil, NewProgress(), time.Millisecond)()
+	log, _ := NewLogger(&strings.Builder{}, "text", true)
+	StartReporter(log, nil, time.Millisecond)()
+}
+
+// TestRecordTrace closes the loop from span tree to registry: phase
+// histograms by span name and counter totals.
+func TestRecordTrace(t *testing.T) {
+	tr := trace.New()
+	sp := tr.Start("search")
+	sp.Add("nodes_checked", 7)
+	child := sp.Start("scan")
+	child.End()
+	sp.End()
+
+	reg := NewRegistry()
+	RecordTrace(reg, tr.Export())
+	if v := reg.Counter("incognito_nodes_checked_total", "").Value(); v != 7 {
+		t.Errorf("recorded counter = %d, want 7", v)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`incognito_phase_seconds_count{phase="search"} 1`, `incognito_phase_seconds_count{phase="scan"} 1`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	RecordTrace(nil, tr.Export())
+	RecordTrace(reg, nil) // no-ops
+}

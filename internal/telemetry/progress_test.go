@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress()
+	p.SetPhase("search")
+	p.AddVisited(3)
+	p.AddCandidates(10)
+	p.AddTuplesScanned(600)
+	p.AddTableScans(2)
+	p.AddRollups(4)
+	s := p.Snapshot()
+	want := ProgressSnapshot{Phase: "search", NodesVisited: 3, NodesTotal: 10, TuplesScanned: 600, TableScans: 2, Rollups: 4}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.SetPhase("x")
+	p.AddVisited(1)
+	p.AddCandidates(1)
+	p.AddTuplesScanned(1)
+	p.AddTableScans(1)
+	p.AddRollups(1)
+	if p.Phase() != "" {
+		t.Fatal("nil phase non-empty")
+	}
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+// TestProgressAllocFree pins the tentpole's hot-path contract: the Add
+// methods are allocation-free on BOTH the nil (disabled) and the enabled
+// handle, and SetPhase is allocation-free when disabled.
+func TestProgressAllocFree(t *testing.T) {
+	var disabled *Progress
+	if n := testing.AllocsPerRun(200, func() {
+		disabled.SetPhase("phase")
+		disabled.AddVisited(1)
+		disabled.AddCandidates(1)
+		disabled.AddTuplesScanned(1)
+		disabled.AddTableScans(1)
+		disabled.AddRollups(1)
+	}); n != 0 {
+		t.Fatalf("disabled progress allocated %v per run", n)
+	}
+	enabled := NewProgress()
+	if n := testing.AllocsPerRun(200, func() {
+		enabled.AddVisited(1)
+		enabled.AddCandidates(1)
+		enabled.AddTuplesScanned(1)
+		enabled.AddTableScans(1)
+		enabled.AddRollups(1)
+	}); n != 0 {
+		t.Fatalf("enabled progress adders allocated %v per run", n)
+	}
+}
+
+func TestRegisterProgressNil(t *testing.T) {
+	RegisterProgress(nil, NewProgress())
+	RegisterProgress(NewRegistry(), nil)
+	RegisterProgress(nil, nil) // all no-ops; just must not panic
+}
+
+func TestRunMetricsObservations(t *testing.T) {
+	reg := NewRegistry()
+	m := reg.NewRunMetrics()
+	m.ObserveFreqSetSize(50)
+	m.ObserveRollup(100, 10) // fan-in 10
+	m.ObserveRollup(100, 0)  // ignored: empty output
+	if c := sampleCount(m.freqSetGroups.s); c != 1 {
+		t.Errorf("freqset observations = %d, want 1", c)
+	}
+	if c := sampleCount(m.rollupFanIn.s); c != 1 {
+		t.Errorf("fan-in observations = %d, want 1", c)
+	}
+	var disabled *RunMetrics
+	disabled.ObserveFreqSetSize(1)
+	disabled.ObserveRollup(1, 1)
+}
+
+// sampleCount reads a series' histogram sample count under its lock.
+func sampleCount(s *series) uint64 {
+	s.hmu.Lock()
+	defer s.hmu.Unlock()
+	return s.count
+}
+
+func TestSampler(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartSampler(reg, 10*time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	if v := reg.Gauge("incognito_goroutines", "Current number of goroutines.").Value(); v < 1 {
+		t.Errorf("goroutines gauge = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("incognito_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).").Value(); v <= 0 {
+		t.Errorf("heap gauge = %v, want > 0", v)
+	}
+	StartSampler(nil, time.Millisecond)() // nil registry: no-op stop
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters only go up
+	c.Add(0)  // ignored
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	// Re-registration returns the same series.
+	if again := r.Counter("test_total", "help"); again.Value() != 4 {
+		t.Fatalf("re-registered counter = %d, want 4", again.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "help", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	s := h.s
+	s.hmu.Lock()
+	defer s.hmu.Unlock()
+	// le="1" gets 0.5 and 1 (le is inclusive), le="10" gets 5 and 10,
+	// le="100" gets 99, +Inf gets 1000.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.counts[i], w)
+		}
+	}
+	if s.count != 6 {
+		t.Errorf("count = %d, want 6", s.count)
+	}
+	if s.sum != 0.5+1+5+10+99+1000 {
+		t.Errorf("sum = %v", s.sum)
+	}
+}
+
+func TestLabelsCanonicalOrder(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_labeled", "help", "b", "2", "a", "1")
+	b := r.Counter("test_labeled", "help", "a", "1", "b", "2")
+	a.Inc()
+	if got := b.Value(); got != 1 {
+		t.Fatalf("label order created distinct series: %d, want 1", got)
+	}
+	if a.s.labels != `a="1",b="2"` {
+		t.Fatalf("rendered labels = %q", a.s.labels)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	got := renderLabels([]string{"k", "a\\b\"c\nd"})
+	want := `k="a\\b\"c\nd"`
+	if got != want {
+		t.Fatalf("escaped labels = %q, want %q", got, want)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_conflict", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_conflict", "help")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1abc", "has space", "bad-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			r.Counter(name, "help")
+		}()
+	}
+}
+
+func TestNilRegistryHandles(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x", "h")
+	g := r.Gauge("x", "h")
+	h := r.Histogram("x", "h", SizeBuckets)
+	r.GaugeFunc("x", "h", func() float64 { return 1 })
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles returned non-zero values")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q, err %v", sb.String(), err)
+	}
+	if m := r.NewRunMetrics(); m != nil {
+		t.Fatal("nil registry produced a non-nil RunMetrics")
+	}
+}
+
+func TestNilHandleAllocFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Set(1)
+		h.Observe(1)
+	}); n != 0 {
+		t.Fatalf("nil instrument methods allocated %v per run", n)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("test_conc_total", "help")
+			h := r.Histogram("test_conc_hist", "help", SizeBuckets, "worker", "shared")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("test_conc_total", "help").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `test_conc_hist_count{worker="shared"} 8000`) {
+		t.Fatalf("histogram count missing from exposition:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartSampler begins a periodic runtime sampler that feeds process-level
+// gauges into the registry: goroutine count, heap allocation, heap
+// objects, total memory obtained from the OS, completed GC cycles, and
+// cumulative GC pause time. It samples once immediately, then every
+// interval (default one second when interval <= 0), and once more on stop
+// so the final exposition reflects the end of the run. The returned stop
+// function is idempotent. No-op on a nil registry.
+func StartSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	goroutines := reg.Gauge("incognito_goroutines", "Current number of goroutines.")
+	heapAlloc := reg.Gauge("incognito_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	heapObjects := reg.Gauge("incognito_heap_objects", "Number of allocated heap objects.")
+	sysBytes := reg.Gauge("incognito_sys_bytes", "Total bytes of memory obtained from the OS.")
+	gcCycles := reg.Gauge("incognito_gc_cycles", "Completed GC cycles.")
+	gcPause := reg.Gauge("incognito_gc_pause_seconds", "Cumulative GC stop-the-world pause time in seconds.")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		sysBytes.Set(float64(ms.Sys))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	}
+	sample()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			sample()
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in telemetry HTTP listener: /metrics serves the
+// registry in Prometheus text format and /debug/pprof/ mounts the standard
+// net/http/pprof handlers, so a long run can be scraped and profiled live
+// (curl :PORT/metrics, go tool pprof :PORT/debug/pprof/profile).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the listener on addr (host:port; a :0 port picks a free
+// one — read the bound address back with Addr). The registry may be nil,
+// in which case /metrics serves an empty exposition; pprof works
+// regardless.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "incognito telemetry endpoints:")
+		fmt.Fprintln(w, "  /metrics       Prometheus text format")
+		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles (pprof)")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The connection is gone; there is nobody left to tell.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else has no
+		// caller to report to, and the run must not die for telemetry.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with a :0 port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down, letting in-flight scrapes finish briefly.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeMetricsDuringRun is the acceptance check behind "curl
+// :PORT/metrics during a run returns valid Prometheus text": it scrapes
+// repeatedly while a goroutine mutates the progress counters, parsing
+// every response with the same validator as the golden test.
+func TestServeMetricsDuringRun(t *testing.T) {
+	reg := NewRegistry()
+	p := NewProgress()
+	RegisterProgress(reg, p)
+	reg.Counter("incognito_nodes_checked_total", "help").Add(5)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				p.AddVisited(1)
+				p.AddCandidates(2)
+			}
+		}
+	}()
+
+	var lastVisited float64
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %d: status %d", i, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Fatalf("scrape %d: Content-Type %q", i, ct)
+		}
+		families := parsePrometheus(t, string(body))
+		g := families["incognito_progress_nodes_visited"]
+		if g == nil || g.kind != "gauge" {
+			t.Fatalf("scrape %d: progress gauge missing", i)
+		}
+		if v := g.samples[0].value; v < lastVisited {
+			t.Fatalf("scrape %d: progress went backwards: %v < %v", i, v, lastVisited)
+		} else {
+			lastVisited = v
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	if lastVisited == 0 {
+		t.Fatal("live scrapes never observed progress")
+	}
+}
+
+func TestServePprofEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap", "/debug/pprof/goroutine"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// A nil registry serves a valid empty exposition.
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Errorf("nil-registry /metrics: status %d body %q", resp.StatusCode, body)
+	}
+	// Unknown paths 404 rather than serving the index.
+	resp, err = http.Get("http://" + srv.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeBadAddress(t *testing.T) {
+	if _, err := Serve("127.0.0.1:notaport", nil); err == nil {
+		t.Fatal("bad address did not error")
+	}
+}

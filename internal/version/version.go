@@ -1,0 +1,53 @@
+// Package version renders a one-line build identity banner for the
+// command-line tools, assembled entirely from the build metadata the Go
+// toolchain embeds (debug.ReadBuildInfo) — no ldflags stamping and no
+// generated files to keep in sync.
+package version
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the banner for cmd: the module version (or "(devel)" for
+// an untagged build), the VCS revision and commit time when built from a
+// checkout ("+dirty" when the working tree was modified), and the Go
+// toolchain. Example:
+//
+//	incognito (devel) 53635d1f2a4c+dirty 2026-08-05T10:00:00Z go1.24.0
+func String(cmd string) string {
+	ver := "(devel)"
+	var rev, when string
+	dirty := false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" {
+			ver = v
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.time":
+				when = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	parts := []string{cmd, ver}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		parts = append(parts, rev)
+	}
+	if when != "" {
+		parts = append(parts, when)
+	}
+	parts = append(parts, runtime.Version())
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,25 @@
+package version
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	s := String("incognito")
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		t.Fatalf("banner %q has %d fields, want >= 3 (cmd, version, toolchain)", s, len(fields))
+	}
+	if fields[0] != "incognito" {
+		t.Errorf("banner %q does not start with the command name", s)
+	}
+	if fields[len(fields)-1] != runtime.Version() {
+		t.Errorf("banner %q does not end with %s", s, runtime.Version())
+	}
+	// Test binaries carry no module version, so the devel fallback shows.
+	if fields[1] != "(devel)" && !strings.HasPrefix(fields[1], "v") {
+		t.Errorf("banner version field = %q, want (devel) or a v-prefixed version", fields[1])
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	incognito "incognito"
+	"incognito/internal/telemetry"
 )
 
 var allAlgorithms = []incognito.Algorithm{
@@ -94,5 +96,72 @@ func TestAnonymizeTracerTransparent(t *testing.T) {
 				t.Errorf("%v: counter %q = %d in trace, %d in stats", algo, counter, got, want)
 			}
 		}
+	}
+}
+
+// TestAnonymizeTelemetryTransparent is the tentpole's acceptance gate:
+// with the FULL observability bundle enabled (tracer + progress +
+// run-metrics), every algorithm at parallelism 1, 2, and GOMAXPROCS
+// produces Solutions and Stats bit-identical to the bare run, and the
+// progress counters end up consistent with the final statistics.
+func TestAnonymizeTelemetryTransparent(t *testing.T) {
+	tab := patientsTable(t)
+	reg := telemetry.NewRegistry()
+	for _, algo := range allAlgorithms {
+		bare, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for _, par := range []int{1, 2, 0} {
+			progress := incognito.NewProgress()
+			got, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{
+				K:           2,
+				Algorithm:   algo,
+				Parallelism: par,
+				Tracer:      incognito.NewTracer(),
+				Progress:    progress,
+				Metrics:     reg.NewRunMetrics(),
+			})
+			if err != nil {
+				t.Fatalf("%v parallelism %d: %v", algo, par, err)
+			}
+			if !reflect.DeepEqual(bare.Stats(), got.Stats()) {
+				t.Errorf("%v parallelism %d: stats differ with telemetry on: %+v vs %+v",
+					algo, par, got.Stats(), bare.Stats())
+			}
+			if bare.Len() != got.Len() {
+				t.Fatalf("%v parallelism %d: %d solutions with telemetry, %d without",
+					algo, par, got.Len(), bare.Len())
+			}
+			for i, s := range bare.Solutions() {
+				if !reflect.DeepEqual(s.Levels(), got.Solutions()[i].Levels()) {
+					t.Errorf("%v parallelism %d: solution %d differs with telemetry on", algo, par, i)
+				}
+			}
+			snap := progress.Snapshot()
+			st := got.Stats()
+			if snap.Phase == "" {
+				t.Errorf("%v parallelism %d: no phase was ever set", algo, par)
+			}
+			if snap.NodesVisited == 0 || snap.NodesTotal == 0 {
+				t.Errorf("%v parallelism %d: progress never advanced: %+v", algo, par, snap)
+			}
+			if snap.NodesTotal != int64(st.Candidates) {
+				t.Errorf("%v parallelism %d: progress candidates %d != stats %d",
+					algo, par, snap.NodesTotal, st.Candidates)
+			}
+			if snap.TableScans != int64(st.TableScans) {
+				t.Errorf("%v parallelism %d: progress table scans %d != stats %d",
+					algo, par, snap.TableScans, st.TableScans)
+			}
+		}
+	}
+	// Every run fed the shared registry; the exposition must stay valid.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "incognito_freqset_groups_count") {
+		t.Errorf("registry missing run-metric observations:\n%s", sb.String())
 	}
 }

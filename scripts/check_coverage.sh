@@ -6,14 +6,28 @@
 # The baseline is a floor, not a target — raise it when coverage improves,
 # never lower it to make a red build green.
 #
+# Portability: plain POSIX sh, and deliberately no mktemp or grep — both
+# differ between GNU and BSD/macOS (mktemp template handling, grep -P).
+# Number parsing is pinned to the C locale so awk's float comparison does
+# not depend on the host's decimal separator.
+#
 # Regenerate the number behind the baseline with:
 #   go test -coverprofile=coverage.out ./...
 #   go tool cover -func=coverage.out | tail -1
 set -eu
+LC_ALL=C
+export LC_ALL
 
 profile=${1:?usage: check_coverage.sh coverage.out}
 baseline_file=$(dirname "$0")/coverage_baseline.txt
-baseline=$(cat "$baseline_file")
+# tr strips whitespace and CR so a CRLF checkout cannot corrupt the number.
+baseline=$(tr -d ' \t\r\n' < "$baseline_file")
+case $baseline in
+    ''|*[!0-9.]*)
+        echo "check_coverage: baseline '$baseline' in $baseline_file is not a number" >&2
+        exit 1
+        ;;
+esac
 
 total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 if [ -z "$total" ]; then
