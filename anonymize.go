@@ -138,6 +138,13 @@ type Config struct {
 	// observations (frequency-set sizes, rollup fan-in). nil disables them
 	// with zero overhead.
 	Metrics *RunMetrics
+	// SparseKernel forces every frequency set onto the sparse map-backed
+	// representation. By default (false) the kernel is adaptive: when the
+	// generalized domain sizes known from the hierarchies multiply out to a
+	// small product, counting uses a dense mixed-radix array instead of a
+	// hash map. Solutions and Stats are bit-identical either way; the knob
+	// exists for benchmarking and as an escape hatch.
+	SparseKernel bool
 }
 
 // Stats reports how much work a run did, mirroring the measurements of §4.
@@ -194,14 +201,15 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		ctx = context.Background()
 	}
 	in := core.Input{
-		Table:       t.rel,
-		K:           int64(cfg.K),
-		MaxSuppress: int64(cfg.MaxSuppressed),
-		Parallelism: cfg.Parallelism,
-		Ctx:         ctx,
-		Trace:       cfg.Tracer,
-		Progress:    cfg.Progress,
-		Metrics:     cfg.Metrics,
+		Table:        t.rel,
+		K:            int64(cfg.K),
+		MaxSuppress:  int64(cfg.MaxSuppressed),
+		Parallelism:  cfg.Parallelism,
+		Ctx:          ctx,
+		Trace:        cfg.Tracer,
+		Progress:     cfg.Progress,
+		Metrics:      cfg.Metrics,
+		SparseKernel: cfg.SparseKernel,
 	}
 	cfg.Tracer.SetAttr("algorithm", cfg.Algorithm.String())
 	cfg.Tracer.SetAttr("k", cfg.K)

@@ -48,7 +48,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, parallel, or all")
+		experiment  = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, parallel, kernel, or all")
 		adultsRows  = flag.Int("rows", dataset.AdultsDefaultRows, "row count for the Adults dataset")
 		leRows      = flag.Int("landsend-rows", 200000, "row count for the Lands End dataset (the original had 4,591,581)")
 		seed        = flag.Int64("seed", 1, "generator seed")
@@ -304,6 +304,8 @@ func (r *runner) dispatch(experiment string) error {
 		return r.nodesTable()
 	case "parallel":
 		return r.parallel()
+	case "kernel":
+		return r.kernel()
 	case "all":
 		for _, f := range []func() error{
 			r.fig9,
@@ -467,6 +469,42 @@ func (r *runner) parallel() error {
 			return err
 		}
 		report.Cells = append(report.Cells, cells...)
+	}
+	if r.jsonOut {
+		return report.WriteJSON(os.Stdout)
+	}
+	return report.WriteTable(os.Stdout)
+}
+
+// kernel compares the sparse frequency-set kernel against the adaptive
+// dense mixed-radix kernel: end-to-end cells (the Incognito variants on the
+// full Adults quasi-identifier and on Lands End at QID 6, k=2) plus scan
+// and rollup microbenchmarks at each dataset's canonical dense-eligible
+// generalized layout. With -json the report is machine-readable
+// (BENCH_kernel.json).
+func (r *runner) kernel() error {
+	algos := []bench.Algo{bench.BasicIncognito, bench.SuperRootsIncognito, bench.CubeIncognito}
+	if r.algosExplicit {
+		algos = r.algos
+	}
+	report := bench.NewKernelReport()
+	for _, w := range []struct {
+		d  *dataset.Dataset
+		qi int
+	}{
+		{r.adults(), len(r.adults().QICols)},
+		{r.landsEnd(), 6},
+	} {
+		cells, err := bench.Kernel(r.ctx, r.obs, w.d, w.qi, 2, algos, r.progress)
+		if err != nil {
+			return err
+		}
+		report.Cells = append(report.Cells, cells...)
+		micro, err := bench.KernelMicros(w.d, w.qi, r.progress)
+		if err != nil {
+			return err
+		}
+		report.Micro = append(report.Micro, micro...)
 	}
 	if r.jsonOut {
 		return report.WriteJSON(os.Stdout)

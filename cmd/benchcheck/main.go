@@ -1,17 +1,31 @@
 // Command benchcheck is the CI bench-regression gate: it compares a fresh
-// `bench -experiment parallel -json` report against the golden report
-// checked in under results/, field by field — but only the fields that are
-// deterministic for a fixed (dataset, rows, seed, QI size, k, algorithm):
-// solution counts, minimal height, and the work counters (nodes checked,
-// nodes marked, candidates, table scans, rollups). Timings are never
-// compared, so the gate is immune to runner speed while still catching any
-// change to how much work the algorithms do.
+// `bench -json` report against the golden report checked in under
+// results/, field by field — but only the fields that are deterministic
+// for a fixed (dataset, rows, seed, QI size, k, algorithm): solution
+// counts, minimal height, and the work counters (nodes checked, nodes
+// marked, candidates, table scans, rollups). Timings are never compared,
+// so the gate is immune to runner speed while still catching any change to
+// how much work the algorithms do.
+//
+// Two report kinds are understood, selected with -kind:
+//
+//   - parallel (default): the intra-run parallelism experiment; every cell's
+//     counters and the serial/parallel identical flag are pinned.
+//   - kernel: the sparse-vs-dense frequency-set kernel experiment; every
+//     cell's counters and identical flag are pinned, and so are the
+//     microbenchmark rows' layouts, group counts, dense eligibility, and the
+//     dense hot path's zero-allocation guarantee.
 //
 // Usage:
 //
 //	bench -experiment parallel -rows 800 -landsend-rows 2000 -seed 1 \
 //	  -parallelism 2 -quiet -json > got.json
 //	benchcheck -golden results/bench-regression-golden.json -got got.json
+//
+//	bench -experiment kernel -rows 800 -landsend-rows 2000 -seed 1 \
+//	  -quiet -json > kernel-got.json
+//	benchcheck -kind kernel -golden results/kernel-regression-golden.json \
+//	  -got kernel-got.json
 //
 // Exit status: 0 when every cell matches, 1 on any drift (each difference
 // is reported), 2 on usage errors.
@@ -29,21 +43,40 @@ import (
 func main() {
 	golden := flag.String("golden", "", "path to the golden report (required)")
 	got := flag.String("got", "", "path to the freshly generated report (required)")
+	kind := flag.String("kind", "parallel", "report kind: parallel or kernel")
 	flag.Parse()
 	if *golden == "" || *got == "" || flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: -golden and -got are both required, and take no positional arguments")
 		fmt.Fprintln(os.Stderr, "run 'benchcheck -help' for usage")
 		os.Exit(2)
 	}
-	want, err := load(*golden)
-	if err != nil {
-		fatal(err)
+	var diffs []string
+	var cells int
+	switch *kind {
+	case "parallel":
+		want, err := loadParallel(*golden)
+		if err != nil {
+			fatal(err)
+		}
+		have, err := loadParallel(*got)
+		if err != nil {
+			fatal(err)
+		}
+		diffs, cells = compare(want, have), len(want.Cells)
+	case "kernel":
+		want, err := loadKernel(*golden)
+		if err != nil {
+			fatal(err)
+		}
+		have, err := loadKernel(*got)
+		if err != nil {
+			fatal(err)
+		}
+		diffs, cells = compareKernel(want, have), len(want.Cells)+len(want.Micro)
+	default:
+		fmt.Fprintf(os.Stderr, "benchcheck: unknown -kind %q (want parallel or kernel)\n", *kind)
+		os.Exit(2)
 	}
-	have, err := load(*got)
-	if err != nil {
-		fatal(err)
-	}
-	diffs := compare(want, have)
 	if len(diffs) > 0 {
 		for _, d := range diffs {
 			fmt.Fprintln(os.Stderr, "benchcheck: "+d)
@@ -52,10 +85,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck: if the change is intentional, regenerate the golden file (see results/README.md)")
 		os.Exit(1)
 	}
-	fmt.Printf("benchcheck: %d cells match the golden counters\n", len(want.Cells))
+	fmt.Printf("benchcheck: %d cells match the golden counters\n", cells)
 }
 
-func load(path string) (*bench.ParallelReport, error) {
+func loadParallel(path string) (*bench.ParallelReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -70,6 +103,34 @@ func load(path string) (*bench.ParallelReport, error) {
 	return &r, nil
 }
 
+func loadKernel(path string) (*bench.KernelReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.KernelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Cells) == 0 {
+		return nil, fmt.Errorf("%s: report has no cells", path)
+	}
+	return &r, nil
+}
+
+// fieldDiffs appends one message per mismatched (name, want, have) triple.
+func fieldDiffs(diffs []string, key string, fields []struct {
+	name       string
+	want, have any
+}) []string {
+	for _, f := range fields {
+		if f.want != f.have {
+			diffs = append(diffs, fmt.Sprintf("%s: %s = %v, want %v", key, f.name, f.have, f.want))
+		}
+	}
+	return diffs
+}
+
 // compare returns one message per drifted deterministic field. Cells are
 // matched positionally: the experiment emits them in a fixed order.
 func compare(want, got *bench.ParallelReport) []string {
@@ -80,7 +141,7 @@ func compare(want, got *bench.ParallelReport) []string {
 	for i := range want.Cells {
 		w, g := want.Cells[i], got.Cells[i]
 		key := fmt.Sprintf("cell %d (%s rows=%d qi=%d k=%d %s)", i, w.Dataset, w.Rows, w.QISize, w.K, w.Algo)
-		for _, f := range []struct {
+		diffs = fieldDiffs(diffs, key, []struct {
 			name       string
 			want, have any
 		}{
@@ -97,10 +158,70 @@ func compare(want, got *bench.ParallelReport) []string {
 			{"table_scans", w.TableScans, g.TableScans},
 			{"rollups", w.Rollups, g.Rollups},
 			{"identical", w.Identical, g.Identical},
-		} {
-			if f.want != f.have {
-				diffs = append(diffs, fmt.Sprintf("%s: %s = %v, want %v", key, f.name, f.have, f.want))
-			}
+		})
+	}
+	return diffs
+}
+
+// compareKernel is compare for the kernel experiment: end-to-end cells are
+// pinned on the same counters, microbenchmark rows on their layout, group
+// count, dense eligibility, cross-kernel agreement, and the zero-allocation
+// dense hot path. Timings and speedups are never compared.
+func compareKernel(want, got *bench.KernelReport) []string {
+	var diffs []string
+	if len(want.Cells) != len(got.Cells) {
+		diffs = append(diffs, fmt.Sprintf("cell count: got %d, want %d", len(got.Cells), len(want.Cells)))
+	} else {
+		for i := range want.Cells {
+			w, g := want.Cells[i], got.Cells[i]
+			key := fmt.Sprintf("kernel cell %d (%s rows=%d qi=%d k=%d %s)", i, w.Dataset, w.Rows, w.QISize, w.K, w.Algo)
+			diffs = fieldDiffs(diffs, key, []struct {
+				name       string
+				want, have any
+			}{
+				{"dataset", w.Dataset, g.Dataset},
+				{"rows", w.Rows, g.Rows},
+				{"qi_size", w.QISize, g.QISize},
+				{"k", w.K, g.K},
+				{"algo", w.Algo, g.Algo},
+				{"solutions", w.Solutions, g.Solutions},
+				{"min_height", w.MinHeight, g.MinHeight},
+				{"nodes_checked", w.NodesChecked, g.NodesChecked},
+				{"nodes_marked", w.NodesMarked, g.NodesMarked},
+				{"candidates", w.Candidates, g.Candidates},
+				{"table_scans", w.TableScans, g.TableScans},
+				{"rollups", w.Rollups, g.Rollups},
+				{"identical", w.Identical, g.Identical},
+			})
+		}
+	}
+	if len(want.Micro) != len(got.Micro) {
+		diffs = append(diffs, fmt.Sprintf("micro row count: got %d, want %d", len(got.Micro), len(want.Micro)))
+		return diffs
+	}
+	for i := range want.Micro {
+		w, g := want.Micro[i], got.Micro[i]
+		key := fmt.Sprintf("kernel micro %d (%s rows=%d qi=%d %s)", i, w.Dataset, w.Rows, w.QISize, w.Op)
+		diffs = fieldDiffs(diffs, key, []struct {
+			name       string
+			want, have any
+		}{
+			{"op", w.Op, g.Op},
+			{"dataset", w.Dataset, g.Dataset},
+			{"rows", w.Rows, g.Rows},
+			{"qi_size", w.QISize, g.QISize},
+			{"levels", fmt.Sprint(w.Levels), fmt.Sprint(g.Levels)},
+			{"target_levels", fmt.Sprint(w.TargetLevels), fmt.Sprint(g.TargetLevels)},
+			{"cells", w.Cells, g.Cells},
+			{"dense_eligible", w.DenseEligible, g.DenseEligible},
+			{"groups", w.Groups, g.Groups},
+			{"identical", w.Identical, g.Identical},
+			{"dense_add_allocs_per_op", w.DenseAddAllocsPerOp, g.DenseAddAllocsPerOp},
+		})
+		// The allocation pin is absolute, not just drift-free: the dense
+		// per-tuple hot path must never allocate.
+		if g.DenseAddAllocsPerOp != 0 {
+			diffs = append(diffs, fmt.Sprintf("%s: dense_add_allocs_per_op = %v, want 0", key, g.DenseAddAllocsPerOp))
 		}
 	}
 	return diffs

@@ -67,3 +67,82 @@ func TestCompareFlagsIdenticalRegression(t *testing.T) {
 		t.Fatalf("identical=false not flagged: %v", diffs)
 	}
 }
+
+func goldenKernelReport() *bench.KernelReport {
+	return &bench.KernelReport{
+		GOMAXPROCS:    1,
+		DenseMaxCells: 1 << 22,
+		Cells: []bench.KernelCell{
+			{
+				Dataset: "Adults", Rows: 800, QISize: 9, K: 2, Algo: "Basic Incognito",
+				SparseMS: 140.0, DenseMS: 60.0, Speedup: 2.3,
+				Solutions: 116, MinHeight: 7,
+				NodesChecked: 1500, NodesMarked: 300, Candidates: 2000,
+				TableScans: 120, Rollups: 1380, Identical: true,
+			},
+		},
+		Micro: []bench.KernelMicro{
+			{
+				Op: "scan", Dataset: "Adults", Rows: 800, QISize: 9,
+				Levels: []int{4, 0, 1, 1, 1, 1, 1, 1, 0}, Cells: 2880,
+				DenseEligible: true, Groups: 311, Identical: true,
+				SparseMS: 0.1, DenseMS: 0.02, Speedup: 5,
+			},
+		},
+	}
+}
+
+func TestCompareKernelIgnoresTimings(t *testing.T) {
+	got := goldenKernelReport()
+	got.Cells[0].SparseMS = 999
+	got.Cells[0].DenseMS = 0.001
+	got.Cells[0].Speedup = 42
+	got.Micro[0].SparseMS = 7
+	got.Micro[0].DenseMS = 7
+	got.Micro[0].Speedup = 1
+	got.GOMAXPROCS = 8
+	if diffs := compareKernel(goldenKernelReport(), got); len(diffs) != 0 {
+		t.Fatalf("timing-only changes flagged: %v", diffs)
+	}
+}
+
+func TestCompareKernelFlagsDrift(t *testing.T) {
+	got := goldenKernelReport()
+	got.Cells[0].Rollups++
+	got.Cells[0].Identical = false
+	got.Micro[0].Groups--
+	got.Micro[0].DenseEligible = false
+	got.Micro[0].Levels = []int{4, 0, 1, 1, 1, 1, 1, 1, 1}
+	diffs := compareKernel(goldenKernelReport(), got)
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"rollups", "identical", "groups", "dense_eligible", "levels"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs missing %q:\n%s", want, joined)
+		}
+	}
+	if len(diffs) != 5 {
+		t.Fatalf("got %d diffs, want 5: %v", len(diffs), diffs)
+	}
+}
+
+func TestCompareKernelPinsAllocsAtZero(t *testing.T) {
+	// A non-zero allocs/op is flagged even when the golden file carries the
+	// same non-zero value — the pin is absolute, not drift-relative.
+	want := goldenKernelReport()
+	want.Micro[0].DenseAddAllocsPerOp = 2
+	got := goldenKernelReport()
+	got.Micro[0].DenseAddAllocsPerOp = 2
+	diffs := compareKernel(want, got)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "dense_add_allocs_per_op") {
+		t.Fatalf("non-zero allocs/op not flagged: %v", diffs)
+	}
+}
+
+func TestCompareKernelFlagsRowCountMismatch(t *testing.T) {
+	got := goldenKernelReport()
+	got.Micro = append(got.Micro, got.Micro[0])
+	diffs := compareKernel(goldenKernelReport(), got)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "micro row count") {
+		t.Fatalf("micro row count mismatch not flagged: %v", diffs)
+	}
+}

@@ -53,6 +53,22 @@ func TestCLIDemoSucceeds(t *testing.T) {
 	}
 }
 
+// TestCLIKernelSparseMatchesAuto pins the kernel guarantee at the CLI
+// surface: forcing the sparse reference kernel changes nothing observable.
+func TestCLIKernelSparseMatchesAuto(t *testing.T) {
+	auto, code := runCLI(t, "-demo", "-k", "2", "-list", "-stats", "-kernel", "auto")
+	if code != 0 {
+		t.Fatalf("auto kernel: exit %d, want 0:\n%s", code, auto)
+	}
+	sparse, code := runCLI(t, "-demo", "-k", "2", "-list", "-stats", "-kernel", "sparse")
+	if code != 0 {
+		t.Fatalf("sparse kernel: exit %d, want 0:\n%s", code, sparse)
+	}
+	if auto != sparse {
+		t.Errorf("kernel outputs differ:\nauto:\n%s\nsparse:\n%s", auto, sparse)
+	}
+}
+
 // Flag misuse must exit with status 2 and point at usage — never status 0.
 func TestCLIUsageErrorsExitTwo(t *testing.T) {
 	cases := [][]string{
@@ -61,9 +77,10 @@ func TestCLIUsageErrorsExitTwo(t *testing.T) {
 		{"-demo", "-parallelism", "-1"},
 		{"-demo", "-suppress", "-1"},
 		{"-demo", "-budget", "0"},
-		{},                           // no -input/-qi and no -demo
-		{"-input", "only-input.csv"}, // missing -qi
-		{"-definitely-not-a-flag"},   // flag package's own error path
+		{"-demo", "-kernel", "dense"}, // only auto|sparse name the kernels
+		{},                            // no -input/-qi and no -demo
+		{"-input", "only-input.csv"},  // missing -qi
+		{"-definitely-not-a-flag"},    // flag package's own error path
 	}
 	for _, args := range cases {
 		out, code := runCLI(t, args...)

@@ -57,6 +57,7 @@ type options struct {
 	input, output, qiSpec  string
 	k, suppress            int
 	algoName               string
+	kernel                 string
 	budget, parallel       int
 	criteria               string
 	list, demo, stats      bool
@@ -80,6 +81,7 @@ func main() {
 	flag.StringVar(&o.algoName, "algorithm", "basic", "basic, superroots, cube, materialized, bottomup, bottomup-rollup, or binary")
 	flag.IntVar(&o.budget, "budget", 1<<20, "partial-cube size budget in groups (materialized algorithm only)")
 	flag.IntVar(&o.parallel, "parallelism", 0, "intra-run worker bound: 0 = all cores, 1 = sequential, n = at most n workers")
+	flag.StringVar(&o.kernel, "kernel", "auto", "frequency-set kernel: auto (adaptive dense/sparse) or sparse (reference maps); results are identical either way")
 	flag.StringVar(&o.criteria, "criterion", "height", "minimality criterion: height, precision, discernibility, or avgclass")
 	flag.BoolVar(&o.list, "list", false, "print every k-anonymous generalization, not just the chosen one")
 	flag.StringVar(&o.dotFile, "dot", "", "write the generalization lattice as Graphviz DOT to this file")
@@ -126,6 +128,9 @@ func (o *options) validate() error {
 	}
 	if o.budget < 1 {
 		return fmt.Errorf("-budget must be >= 1, got %d", o.budget)
+	}
+	if o.kernel != "auto" && o.kernel != "sparse" {
+		return fmt.Errorf("-kernel must be auto or sparse, got %q", o.kernel)
 	}
 	if o.logFormat != "" && o.logFormat != "text" && o.logFormat != "json" {
 		return fmt.Errorf("-log-format must be text or json, got %q", o.logFormat)
@@ -292,6 +297,7 @@ func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 		Algorithm:         algo,
 		MaterializeBudget: o.budget,
 		Parallelism:       o.parallel,
+		SparseKernel:      o.kernel == "sparse",
 		Tracer:            ins.tracer,
 		Progress:          ins.progress,
 		Metrics:           ins.metrics,
@@ -490,7 +496,8 @@ func runDemo(ctx context.Context, o *options, ins instruments) error {
 	}
 	res, err := incognito.AnonymizeContext(ctx, table, qi, incognito.Config{
 		K: o.k, Algorithm: algo, Parallelism: o.parallel,
-		Tracer: ins.tracer, Progress: ins.progress, Metrics: ins.metrics,
+		SparseKernel: o.kernel == "sparse",
+		Tracer:       ins.tracer, Progress: ins.progress, Metrics: ins.metrics,
 	})
 	if err != nil {
 		return err

@@ -118,12 +118,21 @@ func RunParallel(d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism
 // disables all instruments). Cancelling ctx mid-cell returns an error
 // wrapping ctx.Err().
 func RunCell(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism int) (Measurement, error) {
+	return RunCellKernel(ctx, obs, d, qiSize, k, algo, parallelism, false)
+}
+
+// RunCellKernel is RunCell with an explicit frequency-set kernel selection:
+// sparseKernel forces the reference sparse map representation instead of
+// the adaptive dense mixed-radix kernel. Solutions and Stats are identical
+// either way; the -experiment kernel sweep measures the difference.
+func RunCellKernel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int, k int64, algo Algo, parallelism int, sparseKernel bool) (Measurement, error) {
 	cols, hs, err := d.QISubset(qiSize)
 	if err != nil {
 		return Measurement{}, err
 	}
 	in := core.NewInput(d.Table, cols, hs, k, 0)
 	in.Parallelism = parallelism
+	in.SparseKernel = sparseKernel
 	in.Ctx = ctx
 	in.Trace = obs.Tracer
 	in.Progress = obs.Progress

@@ -60,6 +60,12 @@ type Input struct {
 	// (frequency-set sizes, rollup fan-in) as they happen. Same disabled
 	// contract as Progress.
 	Metrics *telemetry.RunMetrics
+	// SparseKernel forces every frequency set onto the sparse map-backed
+	// representation, disabling the dense mixed-radix kernel that is
+	// otherwise chosen adaptively from the hierarchies' level sizes.
+	// Solutions and Stats are bit-identical either way; the knob exists for
+	// benchmarking the kernels against each other and as an escape hatch.
+	SparseKernel bool
 }
 
 // StartSpan opens a phase span for this run: a child of Input.Span when one
@@ -165,12 +171,28 @@ func (in *Input) recodeTables(dims, levels []int) [][]int32 {
 	return out
 }
 
+// cardAt returns the per-column cardinality bounds of the frequency set at
+// the given generalization — the hierarchies' level sizes, known without
+// touching the data. This is the metadata the adaptive kernel picks its
+// representation from; nil (forcing the sparse kernel) when SparseKernel
+// is set.
+func (in *Input) cardAt(dims, levels []int) []int {
+	if in.SparseKernel {
+		return nil
+	}
+	card := make([]int, len(dims))
+	for i := range dims {
+		card[i] = in.QI[dims[i]].H.LevelSize(levels[i])
+	}
+	return card
+}
+
 // ScanFreq computes the frequency set of the table with respect to the
 // given generalization by a full scan — the paper's COUNT(*) group-by over
 // the star schema. At Workers() > 1 the scan is sharded into row ranges
 // counted concurrently and merged; the result is identical either way.
 func (in *Input) ScanFreq(dims, levels []int) *relation.FreqSet {
-	f := relation.GroupCountParallel(in.Table, in.cols(dims), in.recodeTables(dims, levels), in.Workers())
+	f := relation.GroupCountParallelWithCard(in.Table, in.cols(dims), in.recodeTables(dims, levels), in.cardAt(dims, levels), in.Workers())
 	in.Progress.AddTableScans(1)
 	in.Progress.AddTuplesScanned(int64(in.Table.NumRows()))
 	in.Metrics.ObserveFreqSetSize(f.Len())
@@ -212,7 +234,7 @@ func (in *Input) RollupTo(f *relation.FreqSet, dims, fromLevels, levels []int) *
 	if !changed {
 		return f
 	}
-	out := f.Recode(maps)
+	out := f.RecodeWithCard(maps, in.cardAt(dims, levels))
 	in.Progress.AddRollups(1)
 	in.Metrics.ObserveFreqSetSize(out.Len())
 	in.Metrics.ObserveRollup(f.Len(), out.Len())

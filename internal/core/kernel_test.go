@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestKernelSanity checks the SparseKernel knob actually selects the
+// representation: by default the generalized domain sizes are threaded from
+// the hierarchies and the frequency set comes back dense; with the knob set
+// the same scan stays on the sparse map.
+func TestKernelSanity(t *testing.T) {
+	in := determinismInputs(t)[0]
+	dims := make([]int, len(in.QI))
+	levels := make([]int, len(in.QI))
+	for i := range dims {
+		dims[i] = i
+	}
+	if f := in.ScanFreq(dims, levels); !f.Dense() {
+		t.Fatal("adaptive kernel should scan the paper's example densely")
+	}
+	in.SparseKernel = true
+	if f := in.ScanFreq(dims, levels); f.Dense() {
+		t.Fatal("SparseKernel did not force the sparse representation")
+	}
+}
+
+// TestKernelEquivalenceAcrossParallelism is the dense kernel's acceptance
+// contract: for every algorithm variant, every workload, and every
+// parallelism level, the adaptive (dense-capable) kernel must produce
+// Solutions AND Stats bit-identical to the sparse reference kernel.
+func TestKernelEquivalenceAcrossParallelism(t *testing.T) {
+	variants := []Variant{Basic, SuperRoots, Cube}
+	for di, ref := range determinismInputs(t) {
+		for _, v := range variants {
+			v := v
+			in := ref
+			t.Run(fmt.Sprintf("input=%d/%v", di, v), func(t *testing.T) {
+				in.Parallelism = 1
+				in.SparseKernel = true
+				want, err := Run(in, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range parallelismLevels() {
+					for _, sparse := range []bool{false, true} {
+						in.Parallelism = p
+						in.SparseKernel = sparse
+						got, err := Run(in, v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got.Solutions, want.Solutions) {
+							t.Fatalf("kernel sparse=%v parallelism=%d changed solutions:\ngot  %v\nwant %v",
+								sparse, p, got.Solutions, want.Solutions)
+						}
+						if got.Stats != want.Stats {
+							t.Fatalf("kernel sparse=%v parallelism=%d changed stats:\ngot  %+v\nwant %+v",
+								sparse, p, got.Stats, want.Stats)
+						}
+					}
+				}
+			})
+		}
+	}
+}

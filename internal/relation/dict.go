@@ -57,6 +57,19 @@ func (d *Dict) Value(c int32) string {
 	return d.values[c]
 }
 
+// Clone returns a deep, independent copy of the dictionary, preserving
+// code assignments.
+func (d *Dict) Clone() *Dict {
+	out := &Dict{
+		codes:  make(map[string]int32, len(d.codes)),
+		values: append([]string(nil), d.values...),
+	}
+	for v, c := range d.codes {
+		out.codes[v] = c
+	}
+	return out
+}
+
 // Len returns the number of distinct values in the dictionary.
 func (d *Dict) Len() int { return len(d.values) }
 

@@ -9,11 +9,27 @@ import (
 
 // FreqSet is the frequency set of a table with respect to a set of columns
 // (§1.1): a mapping from each distinct value group to the number of tuples
-// carrying it. Group keys are the group's codes packed 4 bytes per column,
-// which keeps the map allocation-free on lookups and lets rollups re-key in
-// place. Counts are stored behind pointers so that incrementing an existing
-// group — the overwhelmingly common case in a scan — never re-allocates the
-// string key.
+// carrying it. Counts are assumed non-negative; a group whose count is zero
+// does not exist (it is never reported by Each, Len, or Count's callers'
+// iteration).
+//
+// Two representations back a FreqSet, chosen adaptively:
+//
+//   - sparse: a map from packed code keys (4 bytes per column) to counts —
+//     works for any code vectors, including the folded level<<24|code keys
+//     internal/recoding uses;
+//   - dense: a flat []int64 indexed by a mixed-radix composite code, used
+//     when every column's cardinality is known and the radix product is at
+//     most DenseMaxCells. Full-domain generalization shrinks domains, so at
+//     generalized levels most frequency sets take this form — array
+//     counting instead of hash probing, the dense-cube representation of
+//     §3.2's Cube Incognito.
+//
+// The two representations are observably identical: Add, Count, Each,
+// EachSorted, AddFrom, Merge, Recode, DropColumn, Total, MinCount,
+// TuplesBelow, and IsKAnonymous behave the same on both, and a dense set
+// converts to sparse transparently if it is ever handed a code outside its
+// declared cardinalities.
 //
 // A FreqSet is created in exactly two ways, mirroring the paper:
 //
@@ -24,17 +40,153 @@ import (
 // builds one private FreqSet per worker and merges them with AddFrom.
 type FreqSet struct {
 	// Cols are the source-table column positions the groups range over.
-	Cols   []int
+	Cols []int
+	// card, when non-nil, bounds each column's codes: column i only holds
+	// codes in [0, card[i]). It is metadata, kept even when the set is
+	// sparse (the radix product may be too large for the dense form while a
+	// rollup of this set still fits).
+	card []int32
+	// Sparse representation (non-nil iff dense is nil).
 	groups map[string]*int64
+	// Dense representation: dense[Σ codes[i]·stride[i]] is the group count;
+	// stride[i] is the product of card[i+1:] (row-major mixed radix), so the
+	// natural array order is the lexicographic code order.
+	dense   []int64
+	stride  []int64
+	nonzero int // distinct non-zero cells of dense
+}
+
+// DenseMaxCells is the largest mixed-radix cell count (product of
+// per-column cardinalities) the dense representation is used for: 2^22
+// cells, i.e. a 32 MiB count array. Above it the sparse map wins on both
+// memory and the O(cells) iteration passes.
+const DenseMaxCells = 1 << 22
+
+// DenseMinCells is the cell count below which the dense representation is
+// always worth it regardless of input size — the array is smaller than the
+// map's fixed overhead would be.
+const DenseMinCells = 1 << 12
+
+// DenseCellsPerUnit bounds how much larger than its input a dense layout
+// may be: a scan of n rows (or a rollup of n source groups) uses the dense
+// array only when the cell count is at most DenseCellsPerUnit×n. Beyond
+// that the array's allocation, zeroing, and O(cells) iteration passes cost
+// more than the hashing they replace.
+const DenseCellsPerUnit = 8
+
+// cardCells validates ncols per-column cardinality bounds and returns the
+// mixed-radix cell count (the multiplication stops growing past
+// DenseMaxCells, so it cannot overflow).
+func cardCells(ncols int, card []int) (int64, bool) {
+	if len(card) != ncols || ncols == 0 {
+		return 0, false
+	}
+	cells := int64(1)
+	for _, c := range card {
+		if c <= 0 || c > 1<<31-1 {
+			return 0, false
+		}
+		if cells <= DenseMaxCells {
+			cells *= int64(c)
+		}
+	}
+	return cells, true
+}
+
+// DenseEligible reports whether the adaptive kernel chooses the dense
+// representation for a layout with the given cardinalities filled from
+// `workload` input units (table rows for a scan, source groups for a
+// rollup): valid bounds, at most DenseMaxCells cells, and at most
+// max(DenseMinCells, DenseCellsPerUnit×workload) cells.
+func DenseEligible(card []int, workload int) bool {
+	cells, ok := cardCells(len(card), card)
+	return ok && cells <= DenseMaxCells && cells <= maxCellsFor(workload)
+}
+
+func maxCellsFor(workload int) int64 {
+	limit := int64(workload) * DenseCellsPerUnit
+	if limit < DenseMinCells {
+		return DenseMinCells
+	}
+	return limit
 }
 
 // maxStackKeyCols is the quasi-identifier width (in columns) up to which
 // Add and Count pack group keys into a stack buffer instead of allocating.
 const maxStackKeyCols = 16
 
-// NewFreqSet returns an empty frequency set over the given columns.
+// NewFreqSet returns an empty sparse frequency set over the given columns,
+// with unknown cardinalities.
 func NewFreqSet(cols []int) *FreqSet {
 	return &FreqSet{Cols: append([]int(nil), cols...), groups: make(map[string]*int64)}
+}
+
+// NewFreqSetWithCard returns an empty frequency set over the given columns
+// whose codes are bounded by the per-column cardinalities card (codes of
+// column i lie in [0, card[i])). The representation is chosen adaptively:
+// dense mixed-radix array counting when the radix product is at most
+// DenseMaxCells, the sparse map otherwise. A nil, mismatched, or
+// non-positive card means unknown cardinalities and yields a plain sparse
+// set, so callers can thread "no metadata" straight through.
+func NewFreqSetWithCard(cols []int, card []int) *FreqSet {
+	f := &FreqSet{Cols: append([]int(nil), cols...)}
+	cells, valid := cardCells(len(cols), card)
+	if valid {
+		f.card = make([]int32, len(card))
+		for i, c := range card {
+			f.card[i] = int32(c)
+		}
+		if cells <= DenseMaxCells {
+			f.stride = make([]int64, len(card))
+			s := int64(1)
+			for i := len(card) - 1; i >= 0; i-- {
+				f.stride[i] = s
+				s *= int64(card[i])
+			}
+			f.dense = make([]int64, cells)
+			return f
+		}
+	}
+	f.groups = make(map[string]*int64)
+	return f
+}
+
+// newFreqSetSized is NewFreqSetWithCard for a set about to be filled from
+// `workload` input units (table rows for a scan, source groups for a
+// rollup): the dense representation is used only when DenseEligible says it
+// pays off at that input size; otherwise the set is sparse but keeps the
+// cardinality metadata so later, smaller rollups can still go dense. The
+// choice depends only on the layout and the input size — never on the data
+// — so it is deterministic, and either outcome behaves identically.
+func newFreqSetSized(cols []int, card []int, workload int) *FreqSet {
+	if len(card) == len(cols) && DenseEligible(card, workload) {
+		return NewFreqSetWithCard(cols, card)
+	}
+	f := &FreqSet{Cols: append([]int(nil), cols...), groups: make(map[string]*int64)}
+	if _, valid := cardCells(len(cols), card); valid {
+		f.card = make([]int32, len(card))
+		for i, c := range card {
+			f.card[i] = int32(c)
+		}
+	}
+	return f
+}
+
+// Dense reports whether the set currently uses the dense mixed-radix
+// representation (it converts to sparse if fed out-of-range codes).
+func (f *FreqSet) Dense() bool { return f.dense != nil }
+
+// Card returns a copy of the per-column cardinality bounds, or nil when
+// they are unknown.
+func (f *FreqSet) Card() []int {
+	if f.card == nil {
+		return nil
+	}
+	out := make([]int, len(f.card))
+	for i, c := range f.card {
+		out[i] = int(c)
+	}
+	return out
 }
 
 // packKey encodes a code vector into a map key held in buf, which must have
@@ -56,20 +208,98 @@ func unpackKey(key string, codes []int32) {
 	}
 }
 
-// bump adds n to the group keyed by key. The map read converts key without
-// allocating; only the first sighting of a group copies the key into the
-// map.
+// keyCode decodes the i-th code of a packed key.
+func keyCode(key string, i int) int32 {
+	j := 4 * i
+	return int32(uint32(key[j]) | uint32(key[j+1])<<8 | uint32(key[j+2])<<16 | uint32(key[j+3])<<24)
+}
+
+// lessKey orders packed keys by their decoded code vectors — lexicographic
+// over signed int32 codes, the same order the dense layout stores cells in.
+// (Sorting the packed strings directly would order by the little-endian
+// byte representation, which diverges once any code exceeds 255.)
+func lessKey(a, b string) bool {
+	n := len(a) / 4
+	for i := 0; i < n; i++ {
+		x, y := keyCode(a, i), keyCode(b, i)
+		if x != y {
+			return x < y
+		}
+	}
+	return false
+}
+
+// bump adds n to the sparse group keyed by key. The map read converts key
+// without allocating; only the first sighting of a group copies the key
+// into the map. Groups never rest at count zero: a zero add of an absent
+// group is a no-op and a group decremented back to zero is removed, so both
+// representations agree on which groups exist.
 func (f *FreqSet) bump(key []byte, n int64) {
 	if p, ok := f.groups[string(key)]; ok {
 		*p += n
+		if *p == 0 {
+			delete(f.groups, string(key))
+		}
+		return
+	}
+	if n == 0 {
 		return
 	}
 	c := n
 	f.groups[string(key)] = &c
 }
 
+// denseIndex computes the mixed-radix composite code of a code vector, or
+// ok=false if any code falls outside the declared cardinalities.
+func (f *FreqSet) denseIndex(codes []int32) (int64, bool) {
+	var idx int64
+	for i, c := range codes {
+		if c < 0 || c >= f.card[i] {
+			return 0, false
+		}
+		idx += int64(c) * f.stride[i]
+	}
+	return idx, true
+}
+
+// bumpDense adds n to the dense cell at idx, maintaining the non-zero
+// group count.
+func (f *FreqSet) bumpDense(idx, n int64) {
+	c := f.dense[idx]
+	nc := c + n
+	if c == 0 {
+		if nc != 0 {
+			f.nonzero++
+		}
+	} else if nc == 0 {
+		f.nonzero--
+	}
+	f.dense[idx] = nc
+}
+
+// spill converts a dense set to the sparse representation in place, keeping
+// the cardinality metadata. Called when a dense set must absorb codes
+// outside its declared cardinalities.
+func (f *FreqSet) spill() {
+	groups := make(map[string]*int64, f.nonzero)
+	buf := make([]byte, 4*len(f.Cols))
+	f.Each(func(codes []int32, count int64) {
+		c := count
+		groups[string(packKey(buf, codes))] = &c
+	})
+	f.groups = groups
+	f.dense, f.stride, f.nonzero = nil, nil, 0
+}
+
 // Add increments the count of the group with the given codes by n.
 func (f *FreqSet) Add(codes []int32, n int64) {
+	if f.dense != nil {
+		if idx, ok := f.denseIndex(codes); ok {
+			f.bumpDense(idx, n)
+			return
+		}
+		f.spill()
+	}
 	var scratch [4 * maxStackKeyCols]byte
 	buf := scratch[:]
 	if 4*len(codes) > len(buf) {
@@ -80,6 +310,12 @@ func (f *FreqSet) Add(codes []int32, n int64) {
 
 // Count returns the count of the group with the given codes (0 if absent).
 func (f *FreqSet) Count(codes []int32) int64 {
+	if f.dense != nil {
+		if idx, ok := f.denseIndex(codes); ok {
+			return f.dense[idx]
+		}
+		return 0
+	}
 	var scratch [4 * maxStackKeyCols]byte
 	buf := scratch[:]
 	if 4*len(codes) > len(buf) {
@@ -92,12 +328,23 @@ func (f *FreqSet) Count(codes []int32) int64 {
 }
 
 // Len returns the number of distinct value groups.
-func (f *FreqSet) Len() int { return len(f.groups) }
+func (f *FreqSet) Len() int {
+	if f.dense != nil {
+		return f.nonzero
+	}
+	return len(f.groups)
+}
 
 // Total returns the sum of all counts, i.e. the number of tuples in the
 // underlying (projected) relation.
 func (f *FreqSet) Total() int64 {
 	var t int64
+	if f.dense != nil {
+		for _, c := range f.dense {
+			t += c
+		}
+		return t
+	}
 	for _, c := range f.groups {
 		t += *c
 	}
@@ -108,6 +355,14 @@ func (f *FreqSet) Total() int64 {
 func (f *FreqSet) MinCount() int64 {
 	var min int64
 	first := true
+	if f.dense != nil {
+		for _, c := range f.dense {
+			if c != 0 && (first || c < min) {
+				min, first = c, false
+			}
+		}
+		return min
+	}
 	for _, c := range f.groups {
 		if first || *c < min {
 			min, first = *c, false
@@ -121,6 +376,14 @@ func (f *FreqSet) MinCount() int64 {
 // for the relation to become k-anonymous (§2.1's suppression threshold).
 func (f *FreqSet) TuplesBelow(k int64) int64 {
 	var s int64
+	if f.dense != nil {
+		for _, c := range f.dense {
+			if c != 0 && c < k {
+				s += c
+			}
+		}
+		return s
+	}
 	for _, c := range f.groups {
 		if *c < k {
 			s += *c
@@ -129,17 +392,63 @@ func (f *FreqSet) TuplesBelow(k int64) int64 {
 	return s
 }
 
+// SuppressionExceeds reports whether the tuples in groups with count < k
+// outnumber budget, returning as soon as the running sum crosses it. This
+// is the early-exit form of TuplesBelow used on the hot k-anonymity check
+// path: a clearly non-anonymous frequency set is rejected without summing
+// the whole set.
+func (f *FreqSet) SuppressionExceeds(k, budget int64) bool {
+	var s int64
+	if f.dense != nil {
+		for _, c := range f.dense {
+			if c != 0 && c < k {
+				s += c
+				if s > budget {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, c := range f.groups {
+		if *c < k {
+			s += *c
+			if s > budget {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // IsKAnonymous reports whether every group count is ≥ k, allowing up to
 // maxSuppress tuples in undersized groups to be suppressed. With
-// maxSuppress == 0 this is the plain k-anonymity property of §1.1.
+// maxSuppress == 0 this is the plain k-anonymity property of §1.1. It
+// stops scanning as soon as the threshold is provably exceeded.
 func (f *FreqSet) IsKAnonymous(k int64, maxSuppress int64) bool {
-	return f.TuplesBelow(k) <= maxSuppress
+	return !f.SuppressionExceeds(k, maxSuppress)
 }
 
 // Each calls fn for every group in unspecified order. The codes slice is
-// reused across calls; fn must not retain it.
+// reused across calls; fn must not retain or modify it.
 func (f *FreqSet) Each(fn func(codes []int32, count int64)) {
 	codes := make([]int32, len(f.Cols))
+	if f.dense != nil {
+		n := len(codes)
+		for _, count := range f.dense {
+			if count != 0 {
+				fn(codes, count)
+			}
+			for i := n - 1; i >= 0; i-- {
+				codes[i]++
+				if codes[i] < f.card[i] {
+					break
+				}
+				codes[i] = 0
+			}
+		}
+		return
+	}
 	for key, count := range f.groups {
 		unpackKey(key, codes)
 		fn(codes, *count)
@@ -147,13 +456,18 @@ func (f *FreqSet) Each(fn func(codes []int32, count int64)) {
 }
 
 // EachSorted calls fn for every group in lexicographic code order, for
-// deterministic output.
+// deterministic output. Both representations yield the same order: the
+// dense array is stored in it, and the sparse path sorts by decoded codes.
 func (f *FreqSet) EachSorted(fn func(codes []int32, count int64)) {
+	if f.dense != nil {
+		f.Each(fn) // the mixed-radix layout is already in code order
+		return
+	}
 	keys := make([]string, 0, len(f.groups))
 	for key := range f.groups {
 		keys = append(keys, key)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
 	codes := make([]int32, len(f.Cols))
 	for _, key := range keys {
 		unpackKey(key, codes)
@@ -162,7 +476,9 @@ func (f *FreqSet) EachSorted(fn func(codes []int32, count int64)) {
 }
 
 // AddFrom adds every group count of other into f — the merge step of a
-// sharded scan. Both sets must range over the same columns.
+// sharded scan. Both sets must range over the same columns. Two dense sets
+// with the same layout merge by a single vector add; every other
+// combination falls back to re-adding groups (converting transparently).
 func (f *FreqSet) AddFrom(other *FreqSet) {
 	if len(f.Cols) != len(other.Cols) {
 		panic(fmt.Sprintf("relation: AddFrom over mismatched columns %v and %v", f.Cols, other.Cols))
@@ -172,14 +488,41 @@ func (f *FreqSet) AddFrom(other *FreqSet) {
 			panic(fmt.Sprintf("relation: AddFrom over mismatched columns %v and %v", f.Cols, other.Cols))
 		}
 	}
-	for key, c := range other.groups {
-		if p, ok := f.groups[key]; ok {
-			*p += *c
-		} else {
-			n := *c
-			f.groups[key] = &n
+	if f.dense != nil && other.dense != nil && sameCard(f.card, other.card) {
+		for i, c := range other.dense {
+			if c != 0 {
+				f.bumpDense(int64(i), c)
+			}
+		}
+		return
+	}
+	if f.groups != nil && other.groups != nil {
+		for key, c := range other.groups {
+			if p, ok := f.groups[key]; ok {
+				*p += *c
+				if *p == 0 {
+					delete(f.groups, key)
+				}
+			} else if *c != 0 {
+				n := *c
+				f.groups[key] = &n
+			}
+		}
+		return
+	}
+	other.Each(func(codes []int32, count int64) { f.Add(codes, count) })
+}
+
+func sameCard(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
+	return true
 }
 
 // Merge folds every part into f with AddFrom.
@@ -189,26 +532,81 @@ func (f *FreqSet) Merge(parts ...*FreqSet) {
 	}
 }
 
+// InferCard derives the per-column cardinality bounds of a GroupCount over
+// t: a recoded column is bounded by its recode table's largest target code,
+// an identity column by its dictionary size. For the dimension tables
+// internal/hierarchy materializes, this equals the hierarchy's LevelSize at
+// the scanned level, so inferred and threaded metadata agree.
+func InferCard(t *Table, cols []int, recode [][]int32) []int {
+	card := make([]int, len(cols))
+	for i, c := range cols {
+		if recode != nil && recode[i] != nil {
+			max := int32(-1)
+			for _, g := range recode[i] {
+				if g > max {
+					max = g
+				}
+			}
+			card[i] = int(max) + 1
+		} else {
+			card[i] = t.Dict(c).Len()
+		}
+	}
+	return card
+}
+
 // GroupCount computes the frequency set of t with respect to cols after
 // recoding each column's codes through the corresponding lookup table
 // (recode[i][baseCode] = generalized code; a nil entry means identity, i.e.
 // the column is grouped at its base domain). This is the paper's
 // "SELECT COUNT(*) ... GROUP BY ..." over the star schema: the recode arrays
-// are the materialized dimension tables.
+// are the materialized dimension tables. The representation is chosen
+// adaptively from the inferred cardinalities and the table's row count
+// (see DenseEligible).
 func GroupCount(t *Table, cols []int, recode [][]int32) *FreqSet {
-	return groupCountRange(t, cols, recode, 0, t.NumRows())
+	return GroupCountWithCard(t, cols, recode, InferCard(t, cols, recode))
 }
 
-// groupCountRange is GroupCount restricted to the row range [lo, hi) — one
-// shard of a parallel scan.
-func groupCountRange(t *Table, cols []int, recode [][]int32, lo, hi int) *FreqSet {
-	f := NewFreqSet(cols)
-	codes := make([]int32, len(cols))
-	buf := make([]byte, 4*len(cols))
+// GroupCountWithCard is GroupCount with explicit per-column cardinality
+// bounds (nil card forces the sparse representation), for callers — like
+// core.Input — that already know the generalized domain sizes from the
+// hierarchies.
+func GroupCountWithCard(t *Table, cols []int, recode [][]int32, card []int) *FreqSet {
+	return groupCountRange(t, cols, recode, card, 0, t.NumRows())
+}
+
+// groupCountRange is GroupCountWithCard restricted to the row range
+// [lo, hi) — one shard of a parallel scan. On the dense path the recode
+// lookup and the mixed-radix multiply fuse into one per-column table, so
+// counting a tuple is len(cols) array reads, one add each, and a single
+// increment — no hashing, no key packing.
+func groupCountRange(t *Table, cols []int, recode [][]int32, card []int, lo, hi int) *FreqSet {
+	// The representation choice uses the whole table's row count, not the
+	// shard's, so every shard of a parallel scan picks the same layout and
+	// the merge stays a vector add.
+	f := newFreqSetSized(cols, card, t.NumRows())
 	columns := make([][]int32, len(cols))
 	for i, c := range cols {
 		columns[i] = t.Codes(c)
 	}
+	if f.dense != nil {
+		if lut, ok := scanLUT(t, cols, recode, f); ok {
+			for r := lo; r < hi; r++ {
+				idx := int64(0)
+				for i := range lut {
+					idx += lut[i][columns[i][r]]
+				}
+				if f.dense[idx] == 0 {
+					f.nonzero++
+				}
+				f.dense[idx]++
+			}
+			return f
+		}
+		f.spill()
+	}
+	codes := make([]int32, len(cols))
+	buf := make([]byte, 4*len(cols))
 	for r := lo; r < hi; r++ {
 		for i := range cols {
 			c := columns[i][r]
@@ -222,6 +620,34 @@ func groupCountRange(t *Table, cols []int, recode [][]int32, lo, hi int) *FreqSe
 	return f
 }
 
+// scanLUT builds the fused per-column scan tables for a dense group count:
+// lut[i][baseCode] is the stride-scaled generalized code, so a tuple's
+// composite code is the plain sum of its per-column lookups. ok=false if
+// any reachable code would fall outside the declared cardinalities (the
+// caller then falls back to the sparse scan).
+func scanLUT(t *Table, cols []int, recode [][]int32, f *FreqSet) ([][]int64, bool) {
+	lut := make([][]int64, len(cols))
+	for i, c := range cols {
+		d := t.Dict(c).Len()
+		col := make([]int64, d)
+		for b := 0; b < d; b++ {
+			g := int32(b)
+			if recode != nil && recode[i] != nil {
+				if b >= len(recode[i]) {
+					return nil, false
+				}
+				g = recode[i][b]
+			}
+			if g < 0 || g >= f.card[i] {
+				return nil, false
+			}
+			col[b] = int64(g) * f.stride[i]
+		}
+		lut[i] = col
+	}
+	return lut, true
+}
+
 // minShardRows is the smallest row range worth handing to a scan worker;
 // below it, goroutine and merge overhead dominates the counting itself.
 const minShardRows = 2048
@@ -233,12 +659,19 @@ const minShardRows = 2048
 // worker count. workers ≤ 1 (or a table too small to shard) runs the plain
 // sequential GroupCount.
 func GroupCountParallel(t *Table, cols []int, recode [][]int32, workers int) *FreqSet {
+	return GroupCountParallelWithCard(t, cols, recode, InferCard(t, cols, recode), workers)
+}
+
+// GroupCountParallelWithCard is GroupCountParallel with explicit
+// cardinality bounds (nil card forces sparse). Dense shards share one
+// layout, so the merge is a vector add instead of a map iteration.
+func GroupCountParallelWithCard(t *Table, cols []int, recode [][]int32, card []int, workers int) *FreqSet {
 	n := t.NumRows()
 	if max := n / minShardRows; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
-		return GroupCount(t, cols, recode)
+		return GroupCountWithCard(t, cols, recode, card)
 	}
 	parts := make([]*FreqSet, workers)
 	var wg sync.WaitGroup
@@ -247,7 +680,7 @@ func GroupCountParallel(t *Table, cols []int, recode [][]int32, workers int) *Fr
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			parts[w] = groupCountRange(t, cols, recode, lo, hi)
+			parts[w] = groupCountRange(t, cols, recode, card, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -259,25 +692,125 @@ func GroupCountParallel(t *Table, cols []int, recode [][]int32, workers int) *Fr
 // Recode produces a new frequency set by mapping each column position i of
 // every group through maps[i] (nil = identity) and summing counts — the
 // paper's rollup property: a SUM(count) group-by over the dimension join.
+// The output's cardinalities are inferred from the maps (and the input's
+// metadata for identity columns); use RecodeWithCard to supply them.
 func (f *FreqSet) Recode(maps [][]int32) *FreqSet {
-	out := NewFreqSet(f.Cols)
-	codes := make([]int32, len(f.Cols))
-	buf := make([]byte, 4*len(f.Cols))
-	for key, count := range f.groups {
-		unpackKey(key, codes)
-		for i := range codes {
+	card := make([]int, len(f.Cols))
+	known := true
+	for i := range f.Cols {
+		switch {
+		case maps[i] != nil:
+			max := int32(-1)
+			for _, g := range maps[i] {
+				if g > max {
+					max = g
+				}
+			}
+			card[i] = int(max) + 1
+		case f.card != nil:
+			card[i] = int(f.card[i])
+		default:
+			known = false
+		}
+	}
+	if !known {
+		card = nil
+	}
+	return f.RecodeWithCard(maps, card)
+}
+
+// RecodeWithCard is Recode with explicit output cardinality bounds (nil
+// card forces a sparse result). A dense-to-dense rollup is a single pass
+// over the source array driven by per-column index-contribution tables
+// built once from the dimension maps — no hashing and no key material at
+// all.
+func (f *FreqSet) RecodeWithCard(maps [][]int32, card []int) *FreqSet {
+	out := newFreqSetSized(f.Cols, card, f.Len())
+	if f.dense != nil && out.dense != nil {
+		if contrib, ok := f.recodeContrib(maps, out); ok {
+			f.denseRemap(out, contrib)
+			return out
+		}
+	}
+	scratch := make([]int32, len(f.Cols))
+	f.Each(func(codes []int32, count int64) {
+		for i, c := range codes {
 			if maps[i] != nil {
-				codes[i] = maps[i][codes[i]]
+				c = maps[i][c]
+			}
+			scratch[i] = c
+		}
+		out.Add(scratch, count)
+	})
+	return out
+}
+
+// recodeContrib builds the per-column index-contribution tables of a
+// dense-to-dense recode: contrib[i][c] is the target composite-code
+// contribution of source code c in column i, folding the dimension map and
+// the target stride into one lookup. ok=false if a map would send a code
+// outside the target layout.
+func (f *FreqSet) recodeContrib(maps [][]int32, out *FreqSet) ([][]int64, bool) {
+	contrib := make([][]int64, len(f.card))
+	for i := range f.card {
+		col := make([]int64, f.card[i])
+		for c := int32(0); c < f.card[i]; c++ {
+			g := c
+			if maps[i] != nil {
+				if int(c) >= len(maps[i]) {
+					return nil, false
+				}
+				g = maps[i][c]
+			}
+			if g < 0 || g >= out.card[i] {
+				return nil, false
+			}
+			col[c] = int64(g) * out.stride[i]
+		}
+		contrib[i] = col
+	}
+	return contrib, true
+}
+
+// denseRemap folds every cell of f's dense array into out: the target cell
+// of a source group is Σ contrib[i][codes[i]], maintained incrementally by
+// an odometer over the outer columns — the innermost column has stride 1,
+// so each outer position covers one contiguous run of the source array and
+// the hot loop is a plain slice walk (load, zero test, one add per live
+// cell), no divisions anywhere.
+func (f *FreqSet) denseRemap(out *FreqSet, contrib [][]int64) {
+	last := len(f.card) - 1
+	inner := contrib[last]
+	run := int(f.card[last])
+	codes := make([]int32, last) // outer odometer over columns [0, last)
+	var base int64
+	for i := 0; i < last; i++ {
+		base += contrib[i][0]
+	}
+	for lo := 0; lo < len(f.dense); lo += run {
+		for c, count := range f.dense[lo : lo+run] {
+			if count != 0 {
+				out.bumpDense(base+inner[c], count)
 			}
 		}
-		out.bump(packKey(buf, codes), *count)
+		for i := last - 1; i >= 0; i-- {
+			base -= contrib[i][codes[i]]
+			codes[i]++
+			if codes[i] < f.card[i] {
+				base += contrib[i][codes[i]]
+				break
+			}
+			codes[i] = 0
+			base += contrib[i][0]
+		}
 	}
-	return out
 }
 
 // DropColumn produces the frequency set over the remaining columns by
 // summing over column position pos — the data-cube margin used by Cube
 // Incognito's bottom-up pre-computation and by subset-property reasoning.
+// Dense to dense, it is the same precomputed index-remap pass as
+// RecodeWithCard with the dropped column contributing nothing.
 func (f *FreqSet) DropColumn(pos int) *FreqSet {
 	rest := make([]int, 0, len(f.Cols)-1)
 	for i, c := range f.Cols {
@@ -285,26 +818,60 @@ func (f *FreqSet) DropColumn(pos int) *FreqSet {
 			rest = append(rest, c)
 		}
 	}
-	out := NewFreqSet(rest)
-	codes := make([]int32, len(f.Cols))
-	kept := make([]int32, len(rest))
-	buf := make([]byte, 4*len(rest))
-	for key, count := range f.groups {
-		unpackKey(key, codes)
-		kept = kept[:0]
-		for i, c := range codes {
+	var card []int
+	if f.card != nil {
+		card = make([]int, 0, len(rest))
+		for i, c := range f.card {
 			if i != pos {
-				kept = append(kept, c)
+				card = append(card, int(c))
 			}
 		}
-		out.bump(packKey(buf, kept), *count)
 	}
+	out := newFreqSetSized(rest, card, f.Len())
+	if f.dense != nil && out.dense != nil {
+		contrib := make([][]int64, len(f.card))
+		k := 0
+		for i := range f.card {
+			col := make([]int64, f.card[i])
+			if i != pos {
+				for c := range col {
+					col[c] = int64(c) * out.stride[k]
+				}
+				k++
+			}
+			contrib[i] = col
+		}
+		f.denseRemap(out, contrib)
+		return out
+	}
+	kept := make([]int32, len(rest))
+	f.Each(func(codes []int32, count int64) {
+		j := 0
+		for i, c := range codes {
+			if i != pos {
+				kept[j] = c
+				j++
+			}
+		}
+		out.Add(kept, count)
+	})
 	return out
 }
 
-// Clone returns a deep copy of the frequency set.
+// Clone returns a deep copy of the frequency set, preserving its
+// representation.
 func (f *FreqSet) Clone() *FreqSet {
-	out := NewFreqSet(f.Cols)
+	out := &FreqSet{Cols: append([]int(nil), f.Cols...)}
+	if f.card != nil {
+		out.card = append([]int32(nil), f.card...)
+	}
+	if f.dense != nil {
+		out.stride = append([]int64(nil), f.stride...)
+		out.dense = append([]int64(nil), f.dense...)
+		out.nonzero = f.nonzero
+		return out
+	}
+	out.groups = make(map[string]*int64, len(f.groups))
 	for k, v := range f.groups {
 		c := *v
 		out.groups[k] = &c

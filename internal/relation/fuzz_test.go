@@ -2,9 +2,131 @@ package relation
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 )
+
+// FuzzKernelEquivalence is the kernel-equivalence property test: for a
+// pseudo-random table, pseudo-random generalization hierarchies, and a
+// pseudo-random rollup chain derived from the fuzz input, the dense
+// mixed-radix kernel and the sparse map kernel must produce identical
+// groups, counts, and EachSorted orders at every step — for the base scan,
+// for every chained Recode, for DropColumn margins, and against a direct
+// rescan of the table (the rollup property, across representations).
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(60))
+	f.Add(int64(42), uint8(3), uint8(200))
+	f.Add(int64(-7), uint8(1), uint8(0))
+	f.Add(int64(1<<40), uint8(3), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, ncolsRaw, rowsRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		ncols := 1 + int(ncolsRaw%3)
+		rows := int(rowsRaw)
+
+		// Random hierarchies: per column a chain of many-to-one step maps,
+		// sizes[l] distinct values at level l.
+		names := []string{"a", "b", "c"}[:ncols]
+		tab := MustNewTable(names...)
+		sizes := make([][]int, ncols)     // sizes[i][l]: domain size of column i at level l
+		steps := make([][][]int32, ncols) // steps[i][l]: level l code -> level l+1 code
+		for i := 0; i < ncols; i++ {
+			dom := 1 + rng.Intn(9)
+			for v := 0; v < dom; v++ {
+				tab.Dict(i).Encode(string(rune('a' + v)))
+			}
+			height := 1 + rng.Intn(3)
+			sizes[i] = []int{dom}
+			for l := 0; l < height; l++ {
+				cur := sizes[i][l]
+				next := 1 + rng.Intn(cur)
+				step := make([]int32, cur)
+				for c := range step {
+					step[c] = int32(rng.Intn(next))
+				}
+				steps[i] = append(steps[i], step)
+				sizes[i] = append(sizes[i], next)
+			}
+		}
+		codes := make([]int32, ncols)
+		for r := 0; r < rows; r++ {
+			for i := 0; i < ncols; i++ {
+				codes[i] = int32(rng.Intn(sizes[i][0]))
+			}
+			if err := tab.AppendCoded(codes); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// compose builds the level from -> level to map of column i (nil for
+		// identity), mirroring core.Input's composed dimension tables.
+		compose := func(i, from, to int) []int32 {
+			if from == to {
+				return nil
+			}
+			m := append([]int32(nil), steps[i][from]...)
+			for l := from + 1; l < to; l++ {
+				for c, g := range m {
+					m[c] = steps[i][l][g]
+				}
+			}
+			return m
+		}
+		cols := make([]int, ncols)
+		for i := range cols {
+			cols[i] = i
+		}
+		cardAt := func(levels []int) []int {
+			card := make([]int, ncols)
+			for i, l := range levels {
+				card[i] = sizes[i][l]
+			}
+			return card
+		}
+		mapsBetween := func(from, to []int) [][]int32 {
+			maps := make([][]int32, ncols)
+			for i := range maps {
+				maps[i] = compose(i, from[i], to[i])
+			}
+			return maps
+		}
+		zero := make([]int, ncols)
+
+		// Base scan: dense (explicit card) vs sparse (nil card).
+		levels := append([]int(nil), zero...)
+		dense := GroupCountWithCard(tab, cols, nil, cardAt(levels))
+		sparse := GroupCountWithCard(tab, cols, nil, nil)
+		requireSameFreqSet(t, dense, sparse)
+
+		// Rollup chain: raise random attributes and roll both kernels up,
+		// cross-checking against a direct generalized scan each time.
+		for step := 0; step < 3; step++ {
+			next := append([]int(nil), levels...)
+			raised := false
+			for i := range next {
+				if next[i] < len(sizes[i])-1 && rng.Intn(2) == 1 {
+					next[i] = next[i] + 1 + rng.Intn(len(sizes[i])-1-next[i])
+					raised = true
+				}
+			}
+			if !raised {
+				continue
+			}
+			maps := mapsBetween(levels, next)
+			dense = dense.RecodeWithCard(maps, cardAt(next))
+			sparse = sparse.RecodeWithCard(maps, nil)
+			requireSameFreqSet(t, dense, sparse)
+			direct := GroupCountWithCard(tab, cols, mapsBetween(zero, next), nil)
+			requireSameFreqSet(t, dense, direct)
+			levels = next
+		}
+
+		// Margins: dropping any column must agree across representations.
+		for pos := 0; pos < ncols && ncols > 1; pos++ {
+			requireSameFreqSet(t, dense.DropColumn(pos), sparse.DropColumn(pos))
+		}
+	})
+}
 
 // FuzzReadCSV asserts ReadCSV never panics on arbitrary bytes and that
 // whatever it accepts round-trips losslessly through WriteCSV.

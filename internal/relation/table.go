@@ -143,27 +143,54 @@ func (t *Table) Rows() [][]string {
 	return out
 }
 
+// newRemap returns an old-code → new-code translation table with every
+// entry marked "not yet seen in the output" (-1).
+func newRemap(n int) []int32 {
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = -1
+	}
+	return m
+}
+
+// remapCode translates one code through the remap table, registering the
+// decoded value in the destination dictionary the first time it survives —
+// so output codes keep the order-of-first-appearance semantics AppendRow
+// would have produced, at one string decode per distinct surviving value
+// instead of one per cell.
+func remapCode(remap []int32, src, dst *Dict, c int32) int32 {
+	if nc := remap[c]; nc >= 0 {
+		return nc
+	}
+	nc := dst.Encode(src.Value(c))
+	remap[c] = nc
+	return nc
+}
+
 // Select returns a new table containing exactly the rows for which keep
 // returns true, preserving order. Dictionaries are rebuilt so the result is
-// self-contained.
+// self-contained: codes are copied directly and remapped per column, never
+// round-tripped through strings row by row.
 func (t *Table) Select(keep func(row int) bool) *Table {
 	out := MustNewTable(t.names...)
-	rec := make([]string, len(t.names))
+	remaps := make([][]int32, len(t.names))
+	for c := range t.names {
+		remaps[c] = newRemap(t.dicts[c].Len())
+	}
 	for r := 0; r < t.rows; r++ {
 		if !keep(r) {
 			continue
 		}
 		for c := range t.names {
-			rec[c] = t.Value(r, c)
+			out.cols[c] = append(out.cols[c], remapCode(remaps[c], t.dicts[c], out.dicts[c], t.cols[c][r]))
 		}
-		// AppendRow cannot fail: rec always has the right arity.
-		_ = out.AppendRow(rec)
+		out.rows++
 	}
 	return out
 }
 
 // Project returns a new table with only the named columns, in the given
-// order.
+// order. Like Select, it copies and remaps code vectors directly.
 func (t *Table) Project(columns ...string) (*Table, error) {
 	idx := make([]int, len(columns))
 	for i, name := range columns {
@@ -177,21 +204,32 @@ func (t *Table) Project(columns ...string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec := make([]string, len(columns))
-	for r := 0; r < t.rows; r++ {
-		for i, j := range idx {
-			rec[i] = t.Value(r, j)
+	for i, j := range idx {
+		remap := newRemap(t.dicts[j].Len())
+		codes := make([]int32, t.rows)
+		for r, c := range t.cols[j] {
+			codes[r] = remapCode(remap, t.dicts[j], out.dicts[i], c)
 		}
-		_ = out.AppendRow(rec)
+		out.cols[i] = codes
 	}
+	out.rows = t.rows
 	return out, nil
 }
 
-// Clone returns a deep, independent copy of the table.
+// Clone returns a deep, independent copy of the table: dictionaries and
+// code vectors are copied verbatim, with no re-encoding.
 func (t *Table) Clone() *Table {
-	out := MustNewTable(t.names...)
-	for r := 0; r < t.rows; r++ {
-		_ = out.AppendRow(t.Row(r))
+	out := &Table{
+		names: append([]string(nil), t.names...),
+		index: make(map[string]int, len(t.names)),
+		dicts: make([]*Dict, len(t.names)),
+		cols:  make([][]int32, len(t.names)),
+		rows:  t.rows,
+	}
+	for i, name := range t.names {
+		out.index[name] = i
+		out.dicts[i] = t.dicts[i].Clone()
+		out.cols[i] = append([]int32(nil), t.cols[i]...)
 	}
 	return out
 }
