@@ -2,6 +2,7 @@ package incognito
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"incognito/internal/core"
 	"incognito/internal/metrics"
 	"incognito/internal/relation"
+	"incognito/internal/resilience"
 	"incognito/internal/telemetry"
 	"incognito/internal/trace"
 )
@@ -42,6 +44,45 @@ func NewProgress() *Progress { return telemetry.NewProgress() }
 // registry; nil disables the observations. Not to be confused with the
 // data-quality metrics on Solution (Precision, Discernibility, ...).
 type RunMetrics = telemetry.RunMetrics
+
+// PanicError is a worker panic converted into an ordinary error: a panic on
+// any goroutine of a parallel phase (family searches, scan shards, cube and
+// materialization waves) drains its siblings and surfaces as a *PanicError
+// whose Site names the span path of the panicking worker, with the original
+// panic value and stack attached.
+type PanicError = resilience.PanicError
+
+// Checkpointer writes versioned, checksummed search-frontier snapshots with
+// atomic replace semantics; pass one in Config.Checkpoint. Create with
+// NewCheckpointer, reload a snapshot with LoadCheckpoint.
+type Checkpointer = resilience.Checkpointer
+
+// Snapshot is one saved checkpoint of a run, as written by a Checkpointer
+// and reloaded by LoadCheckpoint; pass it in Config.Resume.
+type Snapshot = resilience.Snapshot
+
+// MemoryAccountant tracks the run's long-lived frequency-set bytes against
+// a soft budget and drives the degradation ladder (see Config.
+// MemoryBudgetBytes). Its counters — DenseFallbacks, Sheds, Aborted — are
+// the degradation telemetry CLIs export.
+type MemoryAccountant = resilience.Accountant
+
+// ErrDegraded is returned (wrapped) by a run that hit the memory budget's
+// hard stop: the Result carries the solutions proven so far rather than the
+// complete set. Test with errors.Is.
+var ErrDegraded = resilience.ErrDegraded
+
+// NewCheckpointer returns a Checkpointer writing to path; the empty path
+// returns nil, which disables checkpointing.
+func NewCheckpointer(path string) *Checkpointer { return resilience.NewCheckpointer(path) }
+
+// LoadCheckpoint reads, verifies and decodes a snapshot file written by a
+// Checkpointer.
+func LoadCheckpoint(path string) (*Snapshot, error) { return resilience.Load(path) }
+
+// NewMemoryBudget returns an accountant enforcing the given soft budget in
+// bytes; non-positive budgets return nil, which disables budgeting.
+func NewMemoryBudget(bytes int64) *MemoryAccountant { return resilience.NewAccountant(bytes) }
 
 // QI names one quasi-identifier attribute: a table column and the
 // generalization hierarchy over it. The order of the QI slice passed to
@@ -145,6 +186,28 @@ type Config struct {
 	// hash map. Solutions and Stats are bit-identical either way; the knob
 	// exists for benchmarking and as an escape hatch.
 	SparseKernel bool
+	// Checkpoint, when non-nil, saves the search frontier after every
+	// breadth-first level, candidate family, and subset-size iteration, so a
+	// killed run can resume with Resume. Only the Incognito variants
+	// checkpoint; combining it with a baseline algorithm is an error. nil
+	// disables checkpointing with zero overhead.
+	Checkpoint *Checkpointer
+	// Resume, when non-nil, restarts the run from a snapshot written by a
+	// previous run's Checkpoint. The snapshot's fingerprint (table, QI
+	// hierarchies, K, suppression threshold, algorithm) must match this
+	// configuration; the resumed run's Solutions and Stats are bit-identical
+	// to an uninterrupted run's.
+	Resume *Snapshot
+	// MemoryBudgetBytes, when positive, is a soft limit on the estimated
+	// bytes held in long-lived frequency sets. Over the soft budget the run
+	// degrades instead of growing: dense kernels fall back to sparse and
+	// materialization waves are shed. Past twice the budget the run stops
+	// and returns the solutions proven so far with an error wrapping
+	// ErrDegraded. 0 (the default) disables budgeting.
+	MemoryBudgetBytes int64
+	// Budget optionally supplies the accountant directly (e.g. one shared
+	// with a telemetry registry). When set it wins over MemoryBudgetBytes.
+	Budget *MemoryAccountant
 }
 
 // Stats reports how much work a run did, mirroring the measurements of §4.
@@ -196,6 +259,19 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 	if cfg.Parallelism < 0 {
 		return nil, fmt.Errorf("incognito: negative Parallelism %d (0 = all cores, 1 = sequential)", cfg.Parallelism)
 	}
+	if cfg.MemoryBudgetBytes < 0 {
+		return nil, fmt.Errorf("incognito: negative MemoryBudgetBytes %d", cfg.MemoryBudgetBytes)
+	}
+	switch cfg.Algorithm {
+	case BottomUp, BottomUpRollup, BinarySearch:
+		if cfg.Checkpoint != nil || cfg.Resume != nil {
+			return nil, fmt.Errorf("incognito: checkpoint/resume is only supported by the Incognito variants, not %s", cfg.Algorithm)
+		}
+	}
+	budget := cfg.Budget
+	if budget == nil {
+		budget = NewMemoryBudget(cfg.MemoryBudgetBytes)
+	}
 
 	if ctx == nil {
 		ctx = context.Background()
@@ -210,6 +286,9 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		Progress:     cfg.Progress,
 		Metrics:      cfg.Metrics,
 		SparseKernel: cfg.SparseKernel,
+		Check:        cfg.Checkpoint,
+		Resume:       cfg.Resume,
+		Budget:       budget,
 	}
 	cfg.Tracer.SetAttr("algorithm", cfg.Algorithm.String())
 	cfg.Tracer.SetAttr("k", cfg.K)
@@ -235,6 +314,18 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 	}
 
 	res := &Result{in: in, qiNames: names, heights: in.Heights(), complete: true}
+	// degraded salvages a budget-aborted run: the partial Result (the
+	// solutions proven before the hard stop) rides along with the error so
+	// callers that errors.Is(err, ErrDegraded) can still use it.
+	degraded := func(r *core.Result, err error) (*Result, error) {
+		if r == nil || !errors.Is(err, ErrDegraded) {
+			return nil, err
+		}
+		res.solutions = r.Solutions
+		res.stats = wrapStats(r.Stats)
+		res.complete = false
+		return res, err
+	}
 	switch cfg.Algorithm {
 	case BasicIncognito, SuperRootsIncognito, CubeIncognito:
 		variant := map[Algorithm]core.Variant{
@@ -244,7 +335,7 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		}[cfg.Algorithm]
 		r, err := core.Run(in, variant)
 		if err != nil {
-			return nil, err
+			return degraded(r, err)
 		}
 		res.solutions = r.Solutions
 		res.stats = wrapStats(r.Stats)
@@ -266,10 +357,16 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		res.stats = wrapStats(r.Stats)
 		res.complete = false
 	case MaterializedIncognito:
-		mat := core.MaterializeBudget(&in, int64(cfg.MaterializeBudget))
-		r, err := core.RunMaterialized(in, mat)
+		mat, err := buildMaterialized(&in, int64(cfg.MaterializeBudget))
 		if err != nil {
 			return nil, err
+		}
+		r, err := core.RunMaterialized(in, mat)
+		if err != nil {
+			if r != nil {
+				r.Stats.Add(mat.BuildStats)
+			}
+			return degraded(r, err)
 		}
 		res.solutions = r.Solutions
 		st := r.Stats
@@ -279,6 +376,18 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		return nil, fmt.Errorf("incognito: unknown algorithm %d", cfg.Algorithm)
 	}
 	return res, nil
+}
+
+// buildMaterialized runs the view-selection phase under a recover guard:
+// a panic on a materialization-wave worker surfaces from MaterializeBudget
+// as a typed re-panic, converted here to a *PanicError.
+func buildMaterialized(in *core.Input, budget int64) (mat *core.MaterializedSet, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mat, err = nil, resilience.AsPanicError("run", r)
+		}
+	}()
+	return core.MaterializeBudget(in, budget), nil
 }
 
 func wrapStats(s core.Stats) Stats {

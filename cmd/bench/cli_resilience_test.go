@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchTimeoutExits124: a sweep that overruns -timeout exits 124 and
+// still flushes its metrics snapshot, stamped as cancelled.
+func TestBenchTimeoutExits124(t *testing.T) {
+	promPath := filepath.Join(t.TempDir(), "metrics.prom")
+	_, stderr, code := runCLI(t,
+		"-experiment", "parallel", "-rows", "200", "-landsend-rows", "300",
+		"-seed", "1", "-algos", "basic", "-quiet",
+		"-timeout", "1ns", "-metrics-out", promPath)
+	if code != 124 {
+		t.Fatalf("exit %d, want 124:\n%s", code, stderr)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatalf("metrics not flushed on timeout: %v", err)
+	}
+	if !strings.Contains(string(prom), "incognito_run_cancelled 1") {
+		t.Errorf("metrics snapshot does not record the cancellation:\n%s", prom)
+	}
+}
+
+// Resilience flag misuse is a usage error, exit 2.
+func TestBenchResilienceUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-experiment", "fig9", "-mem-budget", "12.5Mi"},
+		{"-experiment", "fig9", "-timeout", "-2s"},
+	}
+	for _, args := range cases {
+		_, stderr, code := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2\n%s", args, code, stderr)
+		}
+		if !strings.Contains(strings.ToLower(stderr), "usage") {
+			t.Errorf("args %v: error output does not mention usage:\n%s", args, stderr)
+		}
+	}
+}
+
+// TestBenchCheckpointedSweepCompletesAndClears: a checkpointed sweep that
+// finishes leaves no snapshot behind.
+func TestBenchCheckpointedSweepCompletesAndClears(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	_, stderr, code := runCLI(t,
+		"-experiment", "parallel", "-rows", "200", "-landsend-rows", "300",
+		"-seed", "1", "-algos", "basic", "-quiet", "-checkpoint", ckpt)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, stderr)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("completed sweep left its checkpoint behind (stat err: %v)", err)
+	}
+}
+
+// A missing snapshot is a runtime failure before the sweep starts.
+func TestBenchResumeMissingSnapshotExitsOne(t *testing.T) {
+	_, stderr, code := runCLI(t,
+		"-experiment", "parallel", "-rows", "200", "-landsend-rows", "300",
+		"-resume", filepath.Join(t.TempDir(), "nope.ckpt"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "bench:") {
+		t.Fatalf("error output missing command prefix:\n%s", stderr)
+	}
+}

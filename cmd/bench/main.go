@@ -41,6 +41,7 @@ import (
 	"incognito/internal/bench"
 	"incognito/internal/dataset"
 	"incognito/internal/profiling"
+	"incognito/internal/resilience"
 	"incognito/internal/telemetry"
 	"incognito/internal/trace"
 	"incognito/internal/version"
@@ -68,6 +69,10 @@ func main() {
 		showVersion = flag.Bool("version", false, "print version information and exit")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		checkpoint  = flag.String("checkpoint", "", "save resumable search snapshots to this file (Incognito-variant cells only)")
+		resume      = flag.String("resume", "", "resume an interrupted sweep from a snapshot file written by -checkpoint; cells other than the interrupted one rerun fresh")
+		memBudget   = flag.String("mem-budget", "", "soft memory budget for frequency sets, e.g. 64Mi or 1Gi (empty disables); past 2x a cell stops with the solutions proven so far (exit 3)")
+		timeout     = flag.Duration("timeout", 0, "abort the sweep after this duration, flushing telemetry and exiting 124 (0 disables)")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -88,6 +93,12 @@ func main() {
 		usageError(fmt.Errorf("-maxqi must be >= 0 (0 = dataset maximum), got %d", *maxQI))
 	case *parallel < 0:
 		usageError(fmt.Errorf("-parallelism must be >= 0 (0 = all cores), got %d", *parallel))
+	case *timeout < 0:
+		usageError(fmt.Errorf("-timeout must be >= 0, got %v", *timeout))
+	}
+	budgetBytes, err := resilience.ParseByteSize(*memBudget)
+	if err != nil {
+		usageError(fmt.Errorf("-mem-budget: %w", err))
 	}
 
 	algos := bench.AllAlgos
@@ -115,6 +126,10 @@ func main() {
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	cancelTimeout := func() {}
+	if *timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+	}
 	r := &runner{
 		ctx:           ctx,
 		adultsRows:    *adultsRows,
@@ -152,7 +167,20 @@ func main() {
 	}
 	r.obs.Metrics = cfg.reg.NewRunMetrics()
 	telemetry.RegisterProgress(cfg.reg, r.obs.Progress)
+	r.obs.Budget = resilience.NewAccountant(budgetBytes)
+	r.obs.Check = resilience.NewCheckpointer(*checkpoint)
+	if *resume != "" {
+		snap, rerr := resilience.Load(*resume)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "bench: "+rerr.Error())
+			os.Exit(1)
+		}
+		r.obs.Resume = snap
+	}
+	telemetry.RegisterBudget(cfg.reg, r.obs.Budget)
+	telemetry.RegisterCheckpoints(cfg.reg, r.obs.Check)
 	code := run(r, *experiment, cfg)
+	cancelTimeout()
 	stop()
 	os.Exit(code)
 }
@@ -202,6 +230,13 @@ func run(r *runner, experiment string, cfg obsConfig) int {
 	if perr := stopProfiles(); perr != nil && err == nil {
 		err = perr
 	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The sweep was interrupted or timed out: the trace and metrics below
+		// are still flushed, stamped so post-mortem tooling can tell a
+		// truncated recording from a complete one.
+		r.obs.Tracer.SetAttr("cancelled", true)
+		cfg.reg.Gauge("incognito_run_cancelled", "1 when the run was interrupted or timed out before completing.").Set(1)
+	}
 	doc := r.obs.Tracer.Export()
 	telemetry.RecordTrace(cfg.reg, doc)
 	if cfg.traceOut != "" {
@@ -232,8 +267,13 @@ func run(r *runner, experiment string, cfg obsConfig) int {
 			msg = "bench: " + msg
 		}
 		fmt.Fprintln(os.Stderr, msg)
-		if errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return 124 // timed out, by the timeout(1) convention
+		case errors.Is(err, context.Canceled):
 			return 130 // interrupted, by shell convention
+		case errors.Is(err, resilience.ErrDegraded):
+			return 3 // partial result under memory pressure
 		}
 		return 1
 	}

@@ -47,6 +47,7 @@ import (
 
 	incognito "incognito"
 	"incognito/internal/profiling"
+	"incognito/internal/resilience"
 	"incognito/internal/telemetry"
 	"incognito/internal/version"
 )
@@ -69,6 +70,9 @@ type options struct {
 	verbose                bool
 	showVersion            bool
 	cpuProfile, memProfile string
+	checkpoint, resume     string
+	memBudget              string
+	timeout                time.Duration
 }
 
 func main() {
@@ -96,6 +100,10 @@ func main() {
 	flag.BoolVar(&o.showVersion, "version", false, "print version information and exit")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "save resumable search snapshots to this file (Incognito variants only)")
+	flag.StringVar(&o.resume, "resume", "", "resume the search from a snapshot file written by -checkpoint")
+	flag.StringVar(&o.memBudget, "mem-budget", "", "soft memory budget for frequency sets, e.g. 64Mi or 1Gi (empty disables); past 2x the run stops with the solutions proven so far (exit 3)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration, flushing telemetry and exiting 124 (0 disables)")
 	flag.Parse()
 
 	if o.showVersion {
@@ -106,7 +114,12 @@ func main() {
 		usageError(err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	cancelTimeout := func() {}
+	if o.timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, o.timeout)
+	}
 	code := run(ctx, &o)
+	cancelTimeout()
 	stop()
 	os.Exit(code)
 }
@@ -135,6 +148,19 @@ func (o *options) validate() error {
 	if o.logFormat != "" && o.logFormat != "text" && o.logFormat != "json" {
 		return fmt.Errorf("-log-format must be text or json, got %q", o.logFormat)
 	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", o.timeout)
+	}
+	if _, err := resilience.ParseByteSize(o.memBudget); err != nil {
+		return fmt.Errorf("-mem-budget: %w", err)
+	}
+	if o.checkpoint != "" || o.resume != "" {
+		switch o.algoName {
+		case "basic", "superroots", "cube", "materialized":
+		default:
+			return fmt.Errorf("-checkpoint/-resume require an Incognito variant (basic, superroots, cube, or materialized), not %q", o.algoName)
+		}
+	}
 	if !o.demo && (o.input == "" || o.qiSpec == "") {
 		return fmt.Errorf("-input and -qi are required (or use -demo)")
 	}
@@ -153,12 +179,15 @@ func usageError(err error) {
 	os.Exit(2)
 }
 
-// instruments bundles the observability handles threaded into the search:
-// each is independently nil (disabled).
+// instruments bundles the observability and resilience handles threaded
+// into the search: each is independently nil (disabled).
 type instruments struct {
 	tracer   *incognito.Tracer
 	progress *incognito.Progress
 	metrics  *incognito.RunMetrics
+	check    *incognito.Checkpointer
+	resume   *incognito.Snapshot
+	budget   *incognito.MemoryAccountant
 }
 
 // run executes the anonymization with profiling, tracing, and telemetry
@@ -190,6 +219,20 @@ func run(ctx context.Context, o *options) int {
 	ins.metrics = reg.NewRunMetrics()
 	telemetry.RegisterProgress(reg, ins.progress)
 
+	budgetBytes, _ := resilience.ParseByteSize(o.memBudget) // validated at startup
+	ins.budget = incognito.NewMemoryBudget(budgetBytes)
+	ins.check = incognito.NewCheckpointer(o.checkpoint)
+	if o.resume != "" {
+		snap, rerr := incognito.LoadCheckpoint(o.resume)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "incognito: "+rerr.Error())
+			return 1
+		}
+		ins.resume = snap
+	}
+	telemetry.RegisterBudget(reg, ins.budget)
+	telemetry.RegisterCheckpoints(reg, ins.check)
+
 	var srv *telemetry.Server
 	if o.metricsAddr != "" {
 		srv, err = telemetry.Serve(o.metricsAddr, reg)
@@ -219,6 +262,13 @@ func run(ctx context.Context, o *options) int {
 	stopSampler()
 	if perr := stopProfiles(); perr != nil && err == nil {
 		err = perr
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The run was interrupted or timed out: the trace and metrics below
+		// are still flushed, stamped so post-mortem tooling can tell a
+		// truncated recording from a complete one.
+		ins.tracer.SetAttr("cancelled", true)
+		reg.Gauge("incognito_run_cancelled", "1 when the run was interrupted or timed out before completing.").Set(1)
 	}
 	doc := ins.tracer.Export()
 	telemetry.RecordTrace(reg, doc)
@@ -250,8 +300,13 @@ func run(ctx context.Context, o *options) int {
 			msg = "incognito: " + msg
 		}
 		fmt.Fprintln(os.Stderr, msg)
-		if errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return 124 // timed out, by the timeout(1) convention
+		case errors.Is(err, context.Canceled):
 			return 130 // interrupted, by shell convention
+		case errors.Is(err, incognito.ErrDegraded):
+			return 3 // partial result under memory pressure
 		}
 		return 1
 	}
@@ -301,6 +356,9 @@ func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 		Tracer:            ins.tracer,
 		Progress:          ins.progress,
 		Metrics:           ins.metrics,
+		Checkpoint:        ins.check,
+		Resume:            ins.resume,
+		Budget:            ins.budget,
 	})
 	if err != nil {
 		return err
@@ -498,6 +556,7 @@ func runDemo(ctx context.Context, o *options, ins instruments) error {
 		K: o.k, Algorithm: algo, Parallelism: o.parallel,
 		SparseKernel: o.kernel == "sparse",
 		Tracer:       ins.tracer, Progress: ins.progress, Metrics: ins.metrics,
+		Checkpoint: ins.check, Resume: ins.resume, Budget: ins.budget,
 	})
 	if err != nil {
 		return err

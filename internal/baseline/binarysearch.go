@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"incognito/internal/core"
+	"incognito/internal/faultinject"
 	"incognito/internal/lattice"
+	"incognito/internal/resilience"
 )
 
 // SamaratiResult is the outcome of the binary search: a single minimal
@@ -24,10 +26,15 @@ type SamaratiResult struct {
 // k-anonymous node; each probe checks the nodes of one height stratum by a
 // group-by scan over the star schema. Unlike Incognito it returns a single
 // solution, minimal only under the specific height-based definition.
-func BinarySearch(in core.Input) (*SamaratiResult, error) {
+func BinarySearch(in core.Input) (res *SamaratiResult, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, resilience.AsPanicError("binary_search", r)
+		}
+	}()
 	sp := in.StartSpan("binary_search")
 	in.Progress.SetPhase("binary search")
 	defer sp.End()
@@ -36,7 +43,7 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 	for i := range dims {
 		dims[i] = i
 	}
-	res := &SamaratiResult{Height: -1}
+	res = &SamaratiResult{Height: -1}
 	res.Stats.Candidates = full.Size()
 	sp.Add(core.CounterCandidates, int64(full.Size()))
 	in.Progress.AddCandidates(int64(full.Size()))
@@ -45,6 +52,7 @@ func BinarySearch(in core.Input) (*SamaratiResult, error) {
 	// k-anonymous node found (nil if none). Each probe is one trace span
 	// and one cancellation checkpoint.
 	existsAt := func(h int) []int {
+		faultinject.Point("baseline.probe")
 		probe := sp.Start("probe")
 		probe.SetAttr("height", h)
 		before := res.Stats

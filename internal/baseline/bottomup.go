@@ -9,8 +9,10 @@ import (
 	"fmt"
 
 	"incognito/internal/core"
+	"incognito/internal/faultinject"
 	"incognito/internal/lattice"
 	"incognito/internal/relation"
+	"incognito/internal/resilience"
 )
 
 // BottomUp performs the naive bottom-up breadth-first search of §2.2 over
@@ -21,10 +23,15 @@ import (
 // node already found k-anonymous is marked and not checked (generalization
 // property). With useRollup, a non-root node's frequency set is derived
 // from a checked parent's frequency set instead of re-scanning the table.
-func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
+func BottomUp(in core.Input, useRollup bool) (res *core.Result, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, resilience.AsPanicError("bottomup", r)
+		}
+	}()
 	sp := in.StartSpan("bottomup")
 	sp.SetAttr("rollup", useRollup)
 	in.Progress.SetPhase("bottom-up")
@@ -36,7 +43,7 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 		dims[i] = i
 	}
 
-	res := &core.Result{}
+	res = &core.Result{}
 	res.Stats.Candidates = full.Size()
 	sp.Add(core.CounterCandidates, int64(full.Size()))
 	in.Progress.AddCandidates(int64(full.Size()))
@@ -52,6 +59,7 @@ func BottomUp(in core.Input, useRollup bool) (*core.Result, error) {
 		if err := in.Err(); err != nil {
 			return nil, fmt.Errorf("baseline: bottom-up cancelled at height %d: %w", h, err)
 		}
+		faultinject.Point("baseline.stratum")
 		stratum := sp.Start("stratum")
 		stratum.SetAttr("height", h)
 		before := res.Stats

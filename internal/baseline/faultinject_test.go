@@ -1,0 +1,83 @@
+//go:build faultinject
+
+package baseline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"incognito/internal/faultinject"
+	"incognito/internal/resilience"
+)
+
+// The baseline algorithms carry the same panic-isolation and cancellation
+// contracts as the Incognito variants: injected faults at their named sites
+// surface as typed errors, never as partial results.
+
+func TestBottomUpInjectedPanic(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm("baseline.stratum", faultinject.KindPanic, 2)
+	res, err := BottomUp(patientsInput(2, 0), true)
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *resilience.PanicError", err, err)
+	}
+	if !strings.HasPrefix(pe.Site, "bottomup") {
+		t.Errorf("span path %q does not start at the bottomup root", pe.Site)
+	}
+	if res != nil {
+		t.Error("partial result committed alongside the panic")
+	}
+}
+
+func TestBottomUpInjectedCancel(t *testing.T) {
+	defer faultinject.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.OnCancel(cancel)
+	faultinject.Arm("baseline.stratum", faultinject.KindCancel, 2)
+	in := patientsInput(2, 0)
+	in.Ctx = ctx
+	res, err := BottomUp(in, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run committed a partial result")
+	}
+}
+
+func TestBinarySearchInjectedPanic(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm("baseline.probe", faultinject.KindPanic, 1)
+	res, err := BinarySearch(patientsInput(2, 0))
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *resilience.PanicError", err, err)
+	}
+	if !strings.HasPrefix(pe.Site, "binary_search") {
+		t.Errorf("span path %q does not start at the binary_search root", pe.Site)
+	}
+	if res != nil {
+		t.Error("partial result committed alongside the panic")
+	}
+}
+
+func TestBinarySearchInjectedCancel(t *testing.T) {
+	defer faultinject.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.OnCancel(cancel)
+	faultinject.Arm("baseline.probe", faultinject.KindCancel, 1)
+	in := patientsInput(2, 0)
+	in.Ctx = ctx
+	res, err := BinarySearch(in)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run committed a partial result")
+	}
+}

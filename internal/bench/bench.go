@@ -13,19 +13,26 @@ import (
 	"incognito/internal/baseline"
 	"incognito/internal/core"
 	"incognito/internal/dataset"
+	"incognito/internal/resilience"
 	"incognito/internal/telemetry"
 	"incognito/internal/trace"
 )
 
-// Obs bundles the optional observability instruments a cell runs under:
-// a span tracer, live progress counters, and runtime-metrics histograms.
-// The zero value disables all three; each field is independently optional
-// (nil handles are no-ops), so callers opt into exactly the instruments
-// they need. Instruments never change Solutions or Stats.
+// Obs bundles the optional observability and resilience instruments a cell
+// runs under: a span tracer, live progress counters, runtime-metrics
+// histograms, a checkpointer (with an optional snapshot to resume from),
+// and a memory-budget accountant. The zero value disables all of them;
+// each field is independently optional (nil handles are no-ops), so
+// callers opt into exactly the instruments they need. Instruments never
+// change Solutions or Stats; Budget can (it degrades the run under memory
+// pressure), which is the point.
 type Obs struct {
 	Tracer   *trace.Tracer
 	Progress *telemetry.Progress
 	Metrics  *telemetry.RunMetrics
+	Check    *resilience.Checkpointer
+	Resume   *resilience.Snapshot
+	Budget   *resilience.Accountant
 }
 
 // Algo identifies one of the six algorithms compared in Fig. 10.
@@ -137,6 +144,17 @@ func RunCellKernel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int,
 	in.Trace = obs.Tracer
 	in.Progress = obs.Progress
 	in.Metrics = obs.Metrics
+	in.Budget = obs.Budget
+	// Checkpoint/resume applies to the Incognito-variant cells only (the
+	// baselines have no resumable frontier), and a resume snapshot is handed
+	// to exactly the cell it was written by — a sweep that was killed mid-cell
+	// reruns the earlier cells fresh and resumes the interrupted one.
+	if algo == BasicIncognito || algo == SuperRootsIncognito || algo == CubeIncognito {
+		in.Check = obs.Check
+		if obs.Resume != nil && in.SnapshotMatches(obs.Resume, algo.String()) {
+			in.Resume = obs.Resume
+		}
+	}
 	m := Measurement{Dataset: d.Name, Algo: algo, QISize: qiSize, K: k, Parallelism: parallelism}
 
 	cell := obs.Tracer.Start("cell")
@@ -176,8 +194,11 @@ func RunCellKernel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int,
 		m.Stats, m.Solutions, m.MinHeight = res.Stats, len(res.Solutions), res.MinHeight()
 	case CubeIncognito:
 		buildStart := time.Now()
-		cube := core.BuildCube(&in)
+		cube, err := buildCube(&in)
 		m.BuildTime = time.Since(buildStart)
+		if err != nil {
+			return m, err
+		}
 		if err := in.Err(); err != nil {
 			return m, fmt.Errorf("bench: cube build cancelled: %w", err)
 		}
@@ -197,4 +218,16 @@ func RunCellKernel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int,
 		m.AnonTime = m.Elapsed
 	}
 	return m, nil
+}
+
+// buildCube runs the cube pre-computation under a recover guard: a panic on
+// a wave worker surfaces from BuildCube as a typed re-panic, converted here
+// to a *resilience.PanicError so the cell reports it like any other error.
+func buildCube(in *core.Input) (cube *core.CubeIndex, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cube, err = nil, resilience.AsPanicError("cube_build", r)
+		}
+	}()
+	return core.BuildCube(in), nil
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"incognito/internal/faultinject"
 	"incognito/internal/lattice"
 	"incognito/internal/relation"
 )
@@ -24,7 +27,11 @@ func dimsKey(dims []int) string {
 // BuildCube materializes the cube for the input's quasi-identifier. If the
 // input's context is cancelled mid-build the partially built cube is
 // returned immediately; callers must check Input.Err before using it.
+// A panic on a wave worker propagates to the caller as a typed re-panic
+// carrying the worker's site; the run entry points convert it to a
+// *resilience.PanicError (direct callers recover it themselves).
 func BuildCube(in *Input) *CubeIndex {
+	in.installAbort()
 	sp := in.StartSpan("cube_build")
 	in.Progress.SetPhase("cube build")
 	defer sp.End()
@@ -46,6 +53,7 @@ func BuildCube(in *Input) *CubeIndex {
 	scan := sp.Start("full_scan")
 	c.BuildStats.TableScans++
 	c.sets[dimsKey(fullDims)] = in.ScanFreq(fullDims, make([]int, n))
+	in.grantFreq(c.sets[dimsKey(fullDims)])
 	c.BuildStats.CubeFreqSets++
 	scan.Add(CounterTableScans, 1)
 	scan.Add(CounterCubeFreqSets, 1)
@@ -71,10 +79,11 @@ func BuildCube(in *Input) *CubeIndex {
 		wave.SetAttr("subset_size", size)
 		wave.SetAttr("subsets", len(masks))
 		margins := make([]*relation.FreqSet, len(masks))
-		runIndexed(workers, len(masks), func(i int) {
+		werr := runIndexedSafe(in, workers, len(masks), func(i int) string { return fmt.Sprintf("cube_wave[%d]", i) }, func(i int) {
 			if in.Err() != nil {
 				return
 			}
+			faultinject.Point("core.cube_wave")
 			mask := masks[i]
 			// Add the lowest missing dimension to find a materialized parent.
 			extra := 0
@@ -98,6 +107,13 @@ func BuildCube(in *Input) *CubeIndex {
 			in.Metrics.ObserveFreqSetSize(margins[i].Len())
 			in.Metrics.ObserveRollup(parent.Len(), margins[i].Len())
 		})
+		if werr != nil {
+			// A wave worker panicked: nothing from this wave is committed;
+			// the typed re-panic is converted back to an error at the run
+			// entry points.
+			wave.End()
+			panic(werr)
+		}
 		if in.Err() != nil {
 			// Cancelled mid-wave: some margins are missing. Drop the whole
 			// wave so the cube never holds nil frequency sets.
@@ -106,6 +122,7 @@ func BuildCube(in *Input) *CubeIndex {
 		}
 		for i, mask := range masks {
 			c.sets[dimsKey(dimsOf(mask))] = margins[i]
+			in.grantFreq(margins[i])
 		}
 		c.BuildStats.CubeFreqSets += len(masks)
 		c.BuildStats.Rollups += len(masks)

@@ -2,11 +2,13 @@ package core
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 
 	"incognito/internal/lattice"
 	"incognito/internal/relation"
+	"incognito/internal/resilience"
 )
 
 // Variant selects which member of the Incognito family to run (§3.1, §3.3).
@@ -80,22 +82,43 @@ func height(levels []int) int {
 // Run executes the chosen Incognito variant and returns every k-anonymous
 // full-domain generalization of the input. It is sound and complete (§3.2).
 // If Input.Ctx is cancelled mid-run, the error wraps the context's error.
-func Run(in Input, v Variant) (*Result, error) {
+// A panic on any worker goroutine is isolated: siblings drain and the run
+// returns a *resilience.PanicError naming the panicking worker's span path.
+// With Input.Budget set, a run that passes the budget's hard stop returns
+// the solutions proven so far alongside an error wrapping
+// resilience.ErrDegraded.
+func Run(in Input, v Variant) (res *Result, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	in.installAbort()
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, resilience.AsPanicError("run", r)
+		}
+	}()
 	var cube *CubeIndex
 	var stats Stats
 	if v == Cube {
 		cube = BuildCube(&in)
-		if err := in.Err(); err != nil {
-			return nil, cancelled(err)
+		if cerr := in.Err(); cerr != nil {
+			return nil, cancelled(cerr)
 		}
 		stats.Add(cube.BuildStats)
+		if in.Budget.Exhausted() {
+			// The cube alone blew past the hard stop; no search happened, so
+			// there are no proven solutions to return.
+			return &Result{Stats: stats}, degradedErr(&in)
+		}
 	}
-	res, err := run(&in, v, cube)
-	if err != nil {
-		return nil, err
+	res, rerr := run(&in, v, cube)
+	if rerr != nil {
+		if res != nil && errors.Is(rerr, resilience.ErrDegraded) {
+			stats.Add(res.Stats)
+			res.Stats = stats
+			return res, rerr
+		}
+		return nil, rerr
 	}
 	stats.Add(res.Stats)
 	res.Stats = stats
@@ -105,7 +128,7 @@ func Run(in Input, v Variant) (*Result, error) {
 // RunWithCube executes Cube Incognito against an already-built cube,
 // so callers (and the Fig. 12 experiment) can separate the pre-computation
 // cost from the marginal anonymization cost.
-func RunWithCube(in Input, cube *CubeIndex) (*Result, error) {
+func RunWithCube(in Input, cube *CubeIndex) (res *Result, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,6 +146,12 @@ func RunWithCube(in Input, cube *CubeIndex) (*Result, error) {
 		return nil, fmt.Errorf("core: cube was built for a different quasi-identifier (%d sets, want %d)",
 			cube.NumSets(), (1<<len(in.QI))-1)
 	}
+	in.installAbort()
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, resilience.AsPanicError("run", r)
+		}
+	}()
 	return run(&in, Cube, cube)
 }
 
@@ -137,6 +166,13 @@ func run(in *Input, v Variant, cube *CubeIndex) (*Result, error) {
 // the survivors. Each iteration records a trace span (candidate count plus
 // per-component search counters) and checks the input's context, so runs
 // are observable and cancellable at every subset size.
+//
+// With Input.Check set, a snapshot is saved after every completed iteration
+// (and at family/level boundaries inside each one, see searchGraphFamilies)
+// and cleared when the run completes. With Input.Resume set, completed
+// iterations are replayed from the snapshot's survivor history — candidate
+// generation and node IDs are deterministic, so the replay is exact — and
+// the interrupted iteration continues from its recorded partial state.
 func runSearch(in *Input, maker rootFreqMaker, label string) (*Result, error) {
 	sp := in.StartSpan("search")
 	sp.SetAttr("algorithm", label)
@@ -147,19 +183,94 @@ func runSearch(in *Input, maker rootFreqMaker, label string) (*Result, error) {
 	ids := lattice.NewIDGen()
 	graph := lattice.FirstIteration(in.Heights(), ids)
 	res := &Result{}
-	for i := 1; ; i++ {
+
+	var fp resilience.Fingerprint
+	if in.Check != nil || in.Resume != nil {
+		fp = in.fingerprint(label)
+	}
+	var history [][]resilience.NodeKey
+	startIter := 1
+	var resumed *iterResume
+	if snap := in.Resume; snap != nil {
+		if !snap.Fingerprint.Equal(fp) {
+			return nil, fmt.Errorf("core: resume snapshot was written by a different run (snapshot: %s, k=%d, %d rows; this run: %s, k=%d, %d rows)",
+				snap.Fingerprint.Algorithm, snap.Fingerprint.K, snap.Fingerprint.Rows, fp.Algorithm, fp.K, fp.Rows)
+		}
+		if snap.Iter >= n || snap.Iter != len(snap.History) {
+			return nil, fmt.Errorf("core: corrupt resume snapshot: %d completed iterations recorded with %d history entries for a %d-iteration run",
+				snap.Iter, len(snap.History), n)
+		}
+		for it, keys := range snap.History {
+			surv, err := survivorsFromKeys(graph, keys)
+			if err != nil {
+				return nil, fmt.Errorf("core: replaying iteration %d: %w", it+1, err)
+			}
+			graph = lattice.Generate(graph, surv, ids)
+		}
+		startIter = snap.Iter + 1
+		stats = statsFromMap(snap.Stats)
+		history = append(history, snap.History...)
+		if len(snap.Families) > 0 || snap.Frontier != nil {
+			resumed = &iterResume{families: snap.Families, frontier: snap.Frontier}
+		}
+		sp.SetAttr("resumed_at_iteration", startIter)
+	}
+
+	for i := startIter; ; i++ {
 		if err := in.Err(); err != nil {
 			return nil, cancelled(err)
 		}
+		if in.Budget.Exhausted() {
+			res.Stats = stats
+			return res, degradedErr(in)
+		}
 		it := sp.Start("iteration")
 		it.SetAttr("subset_size", i)
-		it.Add(CounterCandidates, int64(graph.Len()))
-		stats.Candidates += graph.Len()
-		in.Progress.AddCandidates(int64(graph.Len()))
-		surv := searchGraphFamilies(in, graph, maker, &stats, it)
+		var rc *iterResume
+		if i == startIter {
+			rc = resumed
+		}
+		// A level-boundary snapshot's Stats already include this iteration's
+		// candidate count (see iterCkpt); every other entry path adds it here.
+		if rc == nil || rc.frontier == nil {
+			it.Add(CounterCandidates, int64(graph.Len()))
+			stats.Candidates += graph.Len()
+			in.Progress.AddCandidates(int64(graph.Len()))
+		}
+		var ck *iterCkpt
+		if in.Check != nil {
+			base := stats
+			base.Candidates -= graph.Len() // family snapshots exclude the bump
+			ck = &iterCkpt{check: in.Check, fp: fp, iter: i - 1, history: history, base: base}
+		}
+		var proven map[int]bool
+		if in.Budget != nil {
+			proven = make(map[int]bool)
+		}
+		surv, complete, err := searchGraphFamilies(in, graph, maker, &stats, it, rc, ck, proven)
 		it.End()
-		if err := in.Err(); err != nil {
-			return nil, cancelled(err)
+		if err != nil {
+			return nil, err
+		}
+		if err := ck.takeErr(); err != nil {
+			return nil, err
+		}
+		if cerr := in.Err(); cerr != nil {
+			return nil, cancelled(cerr)
+		}
+		if !complete {
+			// The memory budget's hard stop: return what was proven. Only
+			// the final iteration's proven nodes are full-QI solutions.
+			if i == n {
+				for _, node := range graph.Nodes() {
+					if proven[node.ID] {
+						res.Solutions = append(res.Solutions, append([]int(nil), node.Levels...))
+					}
+				}
+				SortSolutions(res.Solutions)
+			}
+			res.Stats = stats
+			return res, degradedErr(in)
 		}
 		if i == n {
 			for _, node := range graph.Nodes() {
@@ -169,10 +280,29 @@ func runSearch(in *Input, maker rootFreqMaker, label string) (*Result, error) {
 			}
 			break
 		}
+		history = append(history, survivorKeys(graph, surv))
+		if in.Check != nil {
+			snap := &resilience.Snapshot{
+				Fingerprint: fp,
+				Boundary:    "iteration",
+				Iter:        i,
+				History:     history,
+				Stats:       statsToMap(stats),
+			}
+			if err := in.Check.Save(snap); err != nil {
+				return nil, err
+			}
+		}
+		if cerr := in.Err(); cerr != nil {
+			return nil, cancelled(cerr)
+		}
 		graph = lattice.Generate(graph, surv, ids)
 	}
 	SortSolutions(res.Solutions)
 	res.Stats = stats
+	if err := in.Check.Clear(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -233,14 +363,27 @@ func (q *nodeQueue) Pop() interface{} {
 // provider. nodes must be closed under g's edges (no edge may leave the
 // set) and roots must be exactly the members of nodes with no incoming
 // edge.
-func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, rootFreq func(*lattice.Node) *relation.FreqSet, stats *Stats) map[int]bool {
-	surv := make(map[int]bool, len(nodes))
+//
+// The maker's counters go to a private sink merged into stats at the end,
+// so that on a frontier resume (fr non-nil) the restore phase — which
+// recomputes frequency sets the original run already counted before the
+// snapshot — can be discarded from the totals. ck, when non-nil, saves a
+// frontier snapshot at every breadth-first level boundary. proven, when
+// non-nil, collects the nodes known k-anonymous (checked-passed or marked),
+// the best-so-far set a budget-aborted run returns. complete is false when
+// the search bailed early (cancellation or the budget's hard stop).
+func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, maker rootFreqMaker, stats *Stats, ck *iterCkpt, fr *resilience.Frontier, proven map[int]bool) (surv map[int]bool, complete bool, err error) {
+	surv = make(map[int]bool, len(nodes))
 	for _, n := range nodes {
 		surv[n.ID] = true
 	}
 	if len(nodes) == 0 {
-		return surv
+		return surv, true, nil
 	}
+
+	var makerStats Stats
+	rootFreq := maker(roots, &makerStats)
+	defer func() { stats.Add(makerStats) }()
 
 	marked := make(map[int]bool)
 	processed := make(map[int]bool)
@@ -250,20 +393,75 @@ func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, 
 	// failed node; when it reaches zero that node's frequency set can never
 	// be needed again and is released, bounding memory on large graphs.
 	pendingUps := make(map[int]int)
-	pq := &nodeQueue{}
-	for _, r := range roots {
-		heap.Push(pq, r)
+	if in.Budget != nil {
+		defer func() {
+			for _, f := range freqs {
+				in.releaseFreq(f)
+			}
+		}()
 	}
+
+	// outcomes is the processed list a frontier snapshot persists; only
+	// maintained when checkpointing is on.
+	var outcomes []resilience.NodeOutcome
+	record := func(n *lattice.Node, o string) {
+		if ck != nil {
+			outcomes = append(outcomes, resilience.NodeOutcome{Key: nodeKey(n), Outcome: o})
+		}
+	}
+
+	pq := &nodeQueue{}
+	if fr != nil {
+		// An eager maker (super-roots) already ran against makerStats; its
+		// work, like all restore work, was counted before the snapshot.
+		queue, rerr := restoreFrontier(in, g, fr, roots, surv, marked, processed, proven, parentOf, pendingUps, freqs, rootFreq)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		makerStats = Stats{}
+		if ck != nil {
+			outcomes = append(outcomes, fr.Processed...)
+		}
+		for _, n := range queue {
+			heap.Push(pq, n)
+		}
+	} else {
+		for _, r := range roots {
+			heap.Push(pq, r)
+		}
+	}
+
+	lastHeight := -1
 	for pq.Len() > 0 {
 		if in.Err() != nil {
 			// Cancelled: bail out promptly with whatever survived so far.
 			// The driver re-checks the context and discards the partial
 			// result, so correctness never depends on this map.
-			return surv
+			return surv, false, nil
+		}
+		if in.Budget.Exhausted() {
+			// Hard stop: everything marked k-anonymous so far is proven by
+			// the generalization property even if never popped.
+			if proven != nil {
+				for id := range marked {
+					proven[id] = true
+				}
+			}
+			return surv, false, nil
 		}
 		node := heap.Pop(pq).(*lattice.Node)
 		if processed[node.ID] {
 			continue
+		}
+		if ck != nil {
+			if h := node.Height(); h > lastHeight {
+				if lastHeight >= 0 && len(outcomes) > 0 {
+					total := *stats
+					total.Add(makerStats)
+					ck.saveLevel(outcomes, total)
+				}
+				lastHeight = h
+			}
 		}
 		processed[node.ID] = true
 		in.Progress.AddVisited(1)
@@ -276,6 +474,7 @@ func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, 
 				if _, failed := freqs[down]; failed {
 					pendingUps[down]--
 					if pendingUps[down] == 0 {
+						in.releaseFreq(freqs[down])
 						delete(freqs, down)
 						delete(pendingUps, down)
 					}
@@ -290,6 +489,10 @@ func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, 
 			// a faithful, sound inefficiency; the bottom-up baseline differs
 			// here because it visits every lattice node anyway.
 			stats.NodesMarked++
+			if proven != nil {
+				proven[node.ID] = true
+			}
+			record(node, resilience.OutcomeMarked)
 			release()
 			continue
 		}
@@ -308,10 +511,15 @@ func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, 
 			for _, up := range g.Up(node.ID) {
 				marked[up] = true
 			}
+			if proven != nil {
+				proven[node.ID] = true
+			}
+			record(node, resilience.OutcomePassed)
 		} else {
 			surv[node.ID] = false
 			if ups := g.Up(node.ID); len(ups) > 0 {
 				freqs[node.ID] = f
+				in.grantFreq(f)
 				pendingUps[node.ID] = len(ups)
 				for _, up := range ups {
 					if _, has := parentOf[up]; !has {
@@ -322,10 +530,11 @@ func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, 
 					}
 				}
 			}
+			record(node, resilience.OutcomeFailed)
 		}
 		release()
 	}
-	return surv
+	return surv, true, nil
 }
 
 // variantRootFreqMaker returns the per-variant rootFreqMaker: handed a

@@ -8,9 +8,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"sync/atomic"
 
+	"incognito/internal/faultinject"
 	"incognito/internal/hierarchy"
 	"incognito/internal/relation"
+	"incognito/internal/resilience"
 	"incognito/internal/telemetry"
 	"incognito/internal/trace"
 )
@@ -66,6 +70,31 @@ type Input struct {
 	// Solutions and Stats are bit-identical either way; the knob exists for
 	// benchmarking the kernels against each other and as an escape hatch.
 	SparseKernel bool
+	// Check, when non-nil, snapshots the search frontier to disk at every
+	// checkpoint boundary — after each subset-size iteration, after each
+	// family completes on the parallel path, after each breadth-first level
+	// on the sequential path — so a killed run can be resumed. Snapshots
+	// hold marked lattice state and counters, never raw frequency sets;
+	// those are recomputed by rollup on resume.
+	Check *resilience.Checkpointer
+	// Resume, when non-nil, is a snapshot previously written by Check.
+	// The run replays candidate generation up to the snapshot (node IDs are
+	// deterministic, so the replay is exact), restores the partial iteration
+	// state, and continues; Solutions and Stats are bit-identical to an
+	// uninterrupted run. The snapshot's fingerprint must match this input.
+	Resume *resilience.Snapshot
+	// Budget, when non-nil, enforces a soft memory budget over the run's
+	// long-lived frequency sets (cube and materialized views, failure
+	// frontiers retained for rollup): over budget, new sets fall back to the
+	// sparse kernel and materialization is shed; past the hard stop the run
+	// aborts at the next boundary with resilience.ErrDegraded, returning
+	// the solutions already proven.
+	Budget *resilience.Accountant
+
+	// abort is set by the first worker panic of a parallel phase so sibling
+	// workers drain promptly through the same Err checks cancellation uses.
+	// The run entry points install it on their private Input copy.
+	abort *atomic.Bool
 }
 
 // StartSpan opens a phase span for this run: a child of Input.Span when one
@@ -82,10 +111,29 @@ func (in *Input) StartSpan(name string) *trace.Span {
 // is live, the context's error once it is done. It is cheap enough to call
 // on every queue pop.
 func (in *Input) Err() error {
+	if in.abort != nil && in.abort.Load() {
+		return context.Canceled
+	}
 	if in.Ctx == nil {
 		return nil
 	}
 	return in.Ctx.Err()
+}
+
+// installAbort equips the input with the worker-panic drain flag; entry
+// points call it on their private copy before spawning any goroutine.
+func (in *Input) installAbort() {
+	if in.abort == nil {
+		in.abort = new(atomic.Bool)
+	}
+}
+
+// abortSiblings makes every subsequent Err call report cancellation, so the
+// workers of a parallel phase drain after one of them panicked.
+func (in *Input) abortSiblings() {
+	if in.abort != nil {
+		in.abort.Store(true)
+	}
 }
 
 // cancelled wraps a context error so callers can test it with errors.Is
@@ -175,9 +223,10 @@ func (in *Input) recodeTables(dims, levels []int) [][]int32 {
 // the given generalization — the hierarchies' level sizes, known without
 // touching the data. This is the metadata the adaptive kernel picks its
 // representation from; nil (forcing the sparse kernel) when SparseKernel
-// is set.
+// is set or the memory budget is over its soft limit (the first rung of the
+// degradation ladder).
 func (in *Input) cardAt(dims, levels []int) []int {
-	if in.SparseKernel {
+	if in.SparseKernel || !in.Budget.DenseAllowed() {
 		return nil
 	}
 	card := make([]int, len(dims))
@@ -192,6 +241,7 @@ func (in *Input) cardAt(dims, levels []int) []int {
 // the star schema. At Workers() > 1 the scan is sharded into row ranges
 // counted concurrently and merged; the result is identical either way.
 func (in *Input) ScanFreq(dims, levels []int) *relation.FreqSet {
+	faultinject.Point("core.scan")
 	f := relation.GroupCountParallelWithCard(in.Table, in.cols(dims), in.recodeTables(dims, levels), in.cardAt(dims, levels), in.Workers())
 	in.Progress.AddTableScans(1)
 	in.Progress.AddTuplesScanned(int64(in.Table.NumRows()))
@@ -234,6 +284,7 @@ func (in *Input) RollupTo(f *relation.FreqSet, dims, fromLevels, levels []int) *
 	if !changed {
 		return f
 	}
+	faultinject.Point("core.rollup")
 	out := f.RecodeWithCard(maps, in.cardAt(dims, levels))
 	in.Progress.AddRollups(1)
 	in.Metrics.ObserveFreqSetSize(out.Len())
@@ -245,4 +296,51 @@ func (in *Input) RollupTo(f *relation.FreqSet, dims, fromLevels, levels []int) *
 // threshold) to a frequency set.
 func (in *Input) CheckFreq(f *relation.FreqSet) bool {
 	return f.IsKAnonymous(in.K, in.MaxSuppress)
+}
+
+// grantFreq charges a long-lived frequency set (retained past the current
+// node: a failure-frontier set, a cube set, a materialized view) to the
+// memory accountant. Transient scan and rollup results are not charged.
+func (in *Input) grantFreq(f *relation.FreqSet) {
+	if in.Budget != nil && f != nil {
+		in.Budget.Grant(f.MemBytes())
+	}
+}
+
+// releaseFreq returns a granted frequency set's bytes to the accountant.
+func (in *Input) releaseFreq(f *relation.FreqSet) {
+	if in.Budget != nil && f != nil {
+		in.Budget.Release(f.MemBytes())
+	}
+}
+
+// SnapshotMatches reports whether snap was written by a run over this exact
+// problem instance under the named algorithm (a Variant or Algo String).
+// Harnesses sweeping many configurations against one shared snapshot use it
+// to resume only the cell the snapshot belongs to.
+func (in *Input) SnapshotMatches(snap *resilience.Snapshot, algorithm string) bool {
+	return snap != nil && snap.Fingerprint.Equal(in.fingerprint(algorithm))
+}
+
+// fingerprint pins a checkpoint to this exact problem instance: algorithm,
+// lattice shape, parameters, and an FNV-1a hash of the table's QI columns,
+// so a snapshot can never be resumed against different data.
+func (in *Input) fingerprint(algorithm string) resilience.Fingerprint {
+	h := fnv.New64a()
+	rows := in.Table.NumRows()
+	buf := make([]byte, 4*len(in.QI))
+	for r := 0; r < rows; r++ {
+		for i, q := range in.QI {
+			put32(buf, i, in.Table.Code(r, q.Col))
+		}
+		h.Write(buf)
+	}
+	return resilience.Fingerprint{
+		Algorithm:   algorithm,
+		Heights:     in.Heights(),
+		K:           in.K,
+		MaxSuppress: in.MaxSuppress,
+		Rows:        rows,
+		TableHash:   h.Sum64(),
+	}
 }

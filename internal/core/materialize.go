@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
+	"incognito/internal/faultinject"
 	"incognito/internal/lattice"
 	"incognito/internal/relation"
+	"incognito/internal/resilience"
 )
 
 // This file implements the paper's §7 future-work proposal: "the
@@ -41,6 +44,7 @@ type MaterializedSet struct {
 // views are then materialized exactly, so correctness never depends on the
 // estimates.
 func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
+	in.installAbort()
 	m := &MaterializedSet{in: in, byKey: make(map[string]*matView)}
 	n := len(in.QI)
 	if budget <= 0 || n == 0 {
@@ -131,6 +135,13 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 			// (smaller) partial cube, so just stop selecting more.
 			return m
 		}
+		if !in.Budget.AllowMaterialize() {
+			// Over the soft memory budget: shed the remaining waves. The
+			// partial set is still exact; unanswered subsets fall back to
+			// scans, exactly like a smaller budget would have.
+			sp.SetAttr("shed_views", len(masks)-lo)
+			return m
+		}
 		hi := lo
 		for hi < len(masks) && popcount(masks[hi]) == popcount(masks[lo]) {
 			hi++
@@ -141,10 +152,11 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 		waveSpan.SetAttr("views", len(wave))
 		built := make([]*matView, len(wave))
 		scanned := make([]bool, len(wave))
-		runIndexed(workers, len(wave), func(i int) {
+		werr := runIndexedSafe(in, workers, len(wave), func(i int) string { return fmt.Sprintf("materialize_wave[%d]", i) }, func(i int) {
 			if in.Err() != nil {
 				return
 			}
+			faultinject.Point("core.materialize_wave")
 			dims := dimsOfMask(wave[i], n)
 			if super := m.lookupSuperset(dims); super != nil {
 				built[i] = &matView{dims: dims, f: marginTo(super, dims)}
@@ -153,6 +165,12 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 				scanned[i] = true
 			}
 		})
+		if werr != nil {
+			// A wave worker panicked: commit nothing from this wave and
+			// re-panic typed; the API-boundary guards convert it.
+			waveSpan.End()
+			panic(werr)
+		}
 		if in.Err() != nil {
 			// Cancelled mid-wave: drop the incomplete wave so the set never
 			// holds nil views.
@@ -162,6 +180,7 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 		for i, v := range built {
 			m.views = append(m.views, v)
 			m.byKey[dimsKey(v.dims)] = v
+			in.grantFreq(v.f)
 			if scanned[i] {
 				m.BuildStats.TableScans++
 				waveSpan.Add(CounterTableScans, 1)
@@ -330,10 +349,16 @@ func (m *MaterializedSet) ViewDims() [][]int {
 // served by an exact margin plus rollup; everything else scans, exactly
 // like Basic. The solution set is identical to every other variant — only
 // the scan/rollup mix changes, which is the point of the optimization.
-func RunMaterialized(in Input, mat *MaterializedSet) (*Result, error) {
+func RunMaterialized(in Input, mat *MaterializedSet) (res *Result, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	in.installAbort()
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, resilience.AsPanicError("run", r)
+		}
+	}()
 	// The maker serves roots from the (read-only) materialized set; each
 	// search component writes its counters to its own Stats, so the family
 	// searches can run in parallel.

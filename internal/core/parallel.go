@@ -11,12 +11,15 @@ package core
 // the Stats counters are per-family sums, so they are identical too.
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"incognito/internal/faultinject"
 	"incognito/internal/lattice"
 	"incognito/internal/relation"
+	"incognito/internal/resilience"
 	"incognito/internal/trace"
 )
 
@@ -64,6 +67,32 @@ func runIndexed(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// runIndexedSafe is runIndexed with worker panic isolation: each index runs
+// under a recover wrapper that converts a panic into a *resilience.PanicError
+// naming the index's site and flips the input's abort flag, so sibling
+// workers drain through their ordinary Err checks instead of crashing the
+// process. The lowest-index panic is returned; results committed by other
+// indices are discarded by the caller alongside the error, so no partial
+// state escapes.
+func runIndexedSafe(in *Input, workers, n int, site func(i int) string, fn func(i int)) error {
+	panics := make([]*resilience.PanicError, n)
+	runIndexed(workers, n, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = resilience.AsPanicError(site(i), r)
+				in.abortSiblings()
+			}
+		}()
+		fn(i)
+	})
+	for _, pe := range panics {
+		if pe != nil {
+			return pe
+		}
+	}
+	return nil
+}
+
 // rootFreqMaker builds the root frequency-set provider for one search
 // component, given the component's roots; all the counter writes of the
 // provider must go to stats, so the parallel driver can hand every family
@@ -80,47 +109,137 @@ type rootFreqMaker func(roots []*lattice.Node, stats *Stats) func(*lattice.Node)
 // the whole graph on the sequential path, one "family" span per attribute
 // subset on the parallel path — carrying that component's work counters,
 // and the worker loop checks the input's context before starting a family.
-func searchGraphFamilies(in *Input, g *lattice.Graph, maker rootFreqMaker, stats *Stats, parent *trace.Span) map[int]bool {
+//
+// rc restores a resumed snapshot's partial state for this iteration (nil
+// otherwise): recorded families force the family path regardless of worker
+// count, a frontier forces the sequential path — either way the results are
+// identical, per the package comment. ck, when non-nil, saves a snapshot as
+// each family (or breadth-first level) completes. complete is false when
+// the search bailed early at the memory budget's hard stop; cancellation is
+// reported by in.Err as before, and a worker panic comes back as the error.
+func searchGraphFamilies(in *Input, g *lattice.Graph, maker rootFreqMaker, stats *Stats, parent *trace.Span, rc *iterResume, ck *iterCkpt, proven map[int]bool) (surv map[int]bool, complete bool, err error) {
 	if g.Len() == 0 {
-		return map[int]bool{}
+		return map[int]bool{}, true, nil
 	}
 	workers := in.Workers()
 	fams := g.Families()
-	if workers <= 1 || len(fams) == 1 {
+	useFamilies := workers > 1 && len(fams) > 1
+	if rc != nil && len(rc.families) > 0 {
+		useFamilies = true
+	}
+	if rc != nil && rc.frontier != nil {
+		useFamilies = false
+	}
+	if !useFamilies {
 		sp := parent.Start("component")
 		sp.SetAttr("families", len(fams))
 		sp.SetAttr("nodes", g.Len())
 		before := *stats
 		roots := g.Roots()
-		surv := searchComponent(in, g, g.Nodes(), roots, maker(roots, stats), stats)
+		var fr *resilience.Frontier
+		if rc != nil {
+			fr = rc.frontier
+		}
+		surv, complete, err = searchComponent(in, g, g.Nodes(), roots, maker, stats, ck, fr, proven)
 		stats.Sub(before).recordOn(sp)
 		sp.End()
-		return surv
+		return surv, complete, err
+	}
+	restored := make(map[string]*resilience.FamilyState)
+	if rc != nil {
+		for i := range rc.families {
+			restored[dimsKey(rc.families[i].Dims)] = &rc.families[i]
+		}
+		ck.preload(rc.families)
 	}
 	results := make([]map[int]bool, len(fams))
 	famStats := make([]Stats, len(fams))
-	runIndexed(workers, len(fams), func(i int) {
+	completes := make([]bool, len(fams))
+	errs := make([]error, len(fams))
+	werr := runIndexedSafe(in, workers, len(fams), func(i int) string { return fmt.Sprintf("family[%d]", i) }, func(i int) {
+		nodes := fams[i]
+		if fs := restored[dimsKey(nodes[0].Dims)]; fs != nil {
+			// This family completed before the checkpoint: reconstruct its
+			// survivor map from the recorded failures and take its counters
+			// verbatim instead of re-searching it.
+			m := make(map[int]bool, len(nodes))
+			for _, nd := range nodes {
+				m[nd.ID] = true
+			}
+			for _, k := range fs.Failed {
+				nd := g.Lookup(k.Dims, k.Levels)
+				if nd == nil {
+					errs[i] = fmt.Errorf("core: resume snapshot names a node %v/%v absent from iteration graph", k.Dims, k.Levels)
+					return
+				}
+				m[nd.ID] = false
+			}
+			results[i] = m
+			famStats[i] = statsFromMap(fs.Stats)
+			completes[i] = true
+			sp := parent.Start("family")
+			sp.SetAttr("dims", nodes[0].DimsKey())
+			sp.SetAttr("nodes", len(nodes))
+			sp.SetAttr("restored", true)
+			famStats[i].recordOn(sp)
+			sp.End()
+			return
+		}
 		if in.Err() != nil {
 			return // cancelled: the driver discards everything anyway
 		}
-		nodes := fams[i]
+		if in.Budget.Exhausted() {
+			return // hard stop: reported as complete=false below
+		}
+		faultinject.Point("core.family")
 		sp := parent.Start("family")
 		sp.SetAttr("dims", nodes[0].DimsKey())
 		sp.SetAttr("nodes", len(nodes))
 		roots := familyRoots(g, nodes)
 		st := &famStats[i]
-		results[i] = searchComponent(in, g, nodes, roots, maker(roots, st), st)
+		results[i], completes[i], errs[i] = searchComponent(in, g, nodes, roots, maker, st, nil, nil, nil)
 		st.recordOn(sp)
 		sp.End()
+		if completes[i] && in.Err() == nil {
+			ck.addFamily(familyState(nodes, results[i], *st))
+		}
 	})
-	surv := make(map[int]bool, g.Len())
+	if werr != nil {
+		// Rethrow the typed worker panic so the variant's run-level guard
+		// prefixes the span path with the run root, same as the cube and
+		// materialization waves.
+		panic(werr)
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, false, e
+		}
+	}
+	surv = make(map[int]bool, g.Len())
+	complete = true
 	for i := range results {
 		for id, ok := range results[i] {
 			surv[id] = ok
 		}
 		stats.Add(famStats[i])
+		if !completes[i] {
+			complete = false
+		}
 	}
-	return surv
+	return surv, complete, nil
+}
+
+// familyState records one completed family for a checkpoint: its attribute
+// subset, the candidates that failed the k-anonymity check (in node-ID
+// order), and the search counters it spent.
+func familyState(nodes []*lattice.Node, surv map[int]bool, st Stats) resilience.FamilyState {
+	fs := resilience.FamilyState{Dims: append([]int(nil), nodes[0].Dims...), Stats: statsToMap(st)}
+	for _, nd := range nodes {
+		if !surv[nd.ID] {
+			fs.Failed = append(fs.Failed, nodeKey(nd))
+		}
+	}
+	return fs
 }
 
 // familyRoots returns the roots (no incoming edge) among one family's

@@ -1,0 +1,136 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+func recovered(f func()) (v any) {
+	defer func() { v = recover() }()
+	f()
+	return nil
+}
+
+func TestEnabled(t *testing.T) {
+	if !Enabled() {
+		t.Fatal("Enabled() = false in a faultinject build")
+	}
+}
+
+func TestPointUnarmedIsQuiet(t *testing.T) {
+	defer Reset()
+	if v := recovered(func() { Point("nowhere") }); v != nil {
+		t.Fatalf("unarmed Point panicked with %v", v)
+	}
+	if FailAlloc("nowhere") {
+		t.Fatal("unarmed FailAlloc fired")
+	}
+}
+
+func TestArmAfterN(t *testing.T) {
+	defer Reset()
+	Arm("core.scan", KindPanic, 3)
+	for hit := 1; hit <= 4; hit++ {
+		v := recovered(func() { Point("core.scan") })
+		if hit == 3 {
+			if v == nil {
+				t.Fatal("hit 3: armed panic did not fire")
+			}
+			if !strings.Contains(v.(string), "core.scan") {
+				t.Errorf("panic value %q does not name the site", v)
+			}
+		} else if v != nil {
+			t.Fatalf("hit %d: fired out of turn with %v", hit, v)
+		}
+	}
+}
+
+func TestArmEveryHit(t *testing.T) {
+	defer Reset()
+	Arm("core.rollup", KindPanic, 0)
+	for hit := 0; hit < 3; hit++ {
+		if recovered(func() { Point("core.rollup") }) == nil {
+			t.Fatalf("hit %d: every-hit arm did not fire", hit)
+		}
+	}
+}
+
+func TestCancelHook(t *testing.T) {
+	defer Reset()
+	calls := 0
+	OnCancel(func() { calls++ })
+	Arm("relation.dense_scan", KindCancel, 2)
+	Point("relation.dense_scan")
+	if calls != 0 {
+		t.Fatal("cancel fired before its hit count")
+	}
+	Point("relation.dense_scan")
+	if calls != 1 {
+		t.Fatalf("cancel hook ran %d times, want 1", calls)
+	}
+	Point("relation.dense_scan") // disarmed after the n-th hit
+	if calls != 1 {
+		t.Fatalf("disarmed cancel fired again (%d calls)", calls)
+	}
+}
+
+func TestCancelWithoutHookIsQuiet(t *testing.T) {
+	defer Reset()
+	Arm("site", KindCancel, 0)
+	Point("site") // no OnCancel registered: nothing to invoke, no panic
+}
+
+func TestFailAlloc(t *testing.T) {
+	defer Reset()
+	Arm("relation.dense_alloc", KindAlloc, 2)
+	if FailAlloc("relation.dense_alloc") {
+		t.Fatal("alloc failure fired on the first hit, armed for the second")
+	}
+	if !FailAlloc("relation.dense_alloc") {
+		t.Fatal("alloc failure did not fire on its hit")
+	}
+	if FailAlloc("relation.dense_alloc") {
+		t.Fatal("alloc failure fired after disarming")
+	}
+	// Kind mismatch: an alloc arm never triggers Point and vice versa.
+	Arm("x", KindAlloc, 0)
+	if v := recovered(func() { Point("x") }); v != nil {
+		t.Fatalf("alloc arm fired a panic: %v", v)
+	}
+	Arm("y", KindPanic, 0)
+	if FailAlloc("y") {
+		t.Fatal("panic arm fired an alloc failure")
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	if err := ArmSpec("panic:core.scan:1, alloc:relation.dense_alloc:0"); err != nil {
+		t.Fatalf("ArmSpec: %v", err)
+	}
+	if !FailAlloc("relation.dense_alloc") {
+		t.Error("spec-armed alloc site did not fire")
+	}
+	if recovered(func() { Point("core.scan") }) == nil {
+		t.Error("spec-armed panic site did not fire")
+	}
+	for _, bad := range []string{"panic:core.scan", "explode:x:1", "panic:x:many"} {
+		if err := ArmSpec(bad); err == nil {
+			t.Errorf("ArmSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	Arm("core.scan", KindPanic, 0)
+	OnCancel(func() { t.Fatal("cancel hook survived Reset") })
+	Reset()
+	if v := recovered(func() { Point("core.scan") }); v != nil {
+		t.Fatalf("armed site survived Reset: %v", v)
+	}
+	Arm("core.scan", KindCancel, 0)
+	Point("core.scan") // hook cleared: must not call the t.Fatal closure
+	Reset()
+}

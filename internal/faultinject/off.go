@@ -1,0 +1,36 @@
+//go:build !faultinject
+
+// Production no-op implementation: every function is empty (or constant
+// false) and inlines away, so instrumented sites cost nothing without the
+// faultinject build tag. See faultinject.go for the real implementation and
+// the package documentation.
+package faultinject
+
+// Enabled reports whether this build can inject faults (never, here).
+func Enabled() bool { return false }
+
+// Arm is a no-op without the faultinject build tag.
+func Arm(site, kind string, after int) {}
+
+// ArmSpec is a no-op without the faultinject build tag.
+func ArmSpec(spec string) error { return nil }
+
+// OnCancel is a no-op without the faultinject build tag.
+func OnCancel(fn func()) {}
+
+// Reset is a no-op without the faultinject build tag.
+func Reset() {}
+
+// Point is a no-op without the faultinject build tag.
+func Point(site string) {}
+
+// FailAlloc never fails without the faultinject build tag.
+func FailAlloc(site string) bool { return false }
+
+// Fault kinds (shared with the faultinject build so test helpers compile
+// either way).
+const (
+	KindPanic  = "panic"
+	KindCancel = "cancel"
+	KindAlloc  = "alloc"
+)

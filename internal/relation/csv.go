@@ -2,6 +2,7 @@ package relation
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,15 +10,22 @@ import (
 
 // ReadCSV reads a table from CSV. When header is true the first record
 // supplies the column names; otherwise columns are named col0, col1, ….
+// Malformed input is reported with position detail: quoting errors carry
+// the line and column encoding/csv saw them at, and ragged rows (too few or
+// too many fields) name the data row, the offending value, and the column
+// it appeared in.
 func ReadCSV(r io.Reader, header bool) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
+	// Field-count enforcement is done here, not by encoding/csv, so the
+	// error can name the offending value as well as the position.
+	cr.FieldsPerRecord = -1
 	first, err := cr.Read()
 	if err == io.EOF {
 		return nil, fmt.Errorf("relation: empty CSV input")
 	}
 	if err != nil {
-		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+		return nil, fmt.Errorf("relation: reading CSV header: %w", describeCSVErr(err))
 	}
 	var t *Table
 	if header {
@@ -38,18 +46,50 @@ func ReadCSV(r io.Reader, header bool) (*Table, error) {
 			return nil, err
 		}
 	}
-	for {
+	want := len(first)
+	for row := 1; ; row++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			return t, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV: %w", err)
+			return nil, fmt.Errorf("relation: reading CSV data row %d: %w", row, describeCSVErr(err))
+		}
+		line, _ := cr.FieldPos(0)
+		if len(rec) != want {
+			return nil, raggedRowErr(row, line, rec, want)
 		}
 		if err := t.AppendRow(rec); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("relation: CSV data row %d (line %d): %w", row, line, err)
 		}
 	}
+}
+
+// describeCSVErr unwraps an encoding/csv error to surface the parse
+// position (line and column) it already carries.
+func describeCSVErr(err error) error {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("line %d, column %d: %w", pe.Line, pe.Column, pe.Err)
+	}
+	return err
+}
+
+// raggedRowErr reports a row whose field count does not match the header:
+// the data row and file line, the expected and actual widths, and the
+// offending value — the first extra field of an over-wide row, or the last
+// present field of a truncated one.
+func raggedRowErr(row, line int, rec []string, want int) error {
+	if len(rec) > want {
+		return fmt.Errorf("relation: CSV data row %d (line %d) has %d values, want %d: unexpected extra value %q in column %d",
+			row, line, len(rec), want, rec[want], want+1)
+	}
+	last := "<empty row>"
+	if len(rec) > 0 {
+		last = fmt.Sprintf("%q", rec[len(rec)-1])
+	}
+	return fmt.Errorf("relation: CSV data row %d (line %d) has %d values, want %d: row truncated after column %d (last value %s)",
+		row, line, len(rec), want, len(rec), last)
 }
 
 // ReadCSVFile reads a table from the named CSV file (with header).

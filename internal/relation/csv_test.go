@@ -43,13 +43,42 @@ func TestReadCSVWithoutHeader(t *testing.T) {
 	}
 }
 
+// TestReadCSVErrors pins the malformed-input diagnostics: every error
+// names the position (data row, file line, or the parser's line/column) and
+// the offending value, so a bad cell in a million-row file is findable.
 func TestReadCSVErrors(t *testing.T) {
-	if _, err := ReadCSV(strings.NewReader(""), true); err == nil {
-		t.Fatal("empty input should error")
+	cases := []struct {
+		name   string
+		input  string
+		header bool
+		want   []string // substrings the error must contain
+	}{
+		{"empty input", "", true, []string{"empty CSV"}},
+		{"over-wide row", "a,b\n1,2\nx,y,z\n", true,
+			[]string{"row 2", "line 3", "has 3 values, want 2", `extra value "z"`, "column 3"}},
+		{"truncated row", "a,b,c\n1,2,3\n4,5\n", true,
+			[]string{"row 2", "line 3", "has 2 values, want 3", "truncated after column 2", `"5"`}},
+		{"empty data row", "a,b\n\"\"\n", true,
+			[]string{"row 1", "has 1 values, want 2"}},
+		{"bare quote in data", "a,b\n1,2\n3,\"x\"y\n", true,
+			[]string{"data row 2", "line 3", "column"}},
+		{"bare quote in header", "a,\"x\"y\n", true,
+			[]string{"header", "line 1", "column"}},
+		{"over-wide without header", "1,2\n3,4,5\n", false,
+			[]string{"row 1", "has 3 values, want 2"}},
 	}
-	// Ragged record: header has 2 columns, row has 3.
-	if _, err := ReadCSV(strings.NewReader("a,b\n1,2,3\n"), true); err == nil {
-		t.Fatal("ragged CSV should error")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(c.input), c.header)
+			if err == nil {
+				t.Fatal("malformed CSV accepted")
+			}
+			for _, want := range c.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not contain %q", err, want)
+				}
+			}
+		})
 	}
 }
 

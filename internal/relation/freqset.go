@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"incognito/internal/faultinject"
+	"incognito/internal/resilience"
 )
 
 // FreqSet is the frequency set of a table with respect to a set of columns
@@ -159,7 +162,7 @@ func NewFreqSetWithCard(cols []int, card []int) *FreqSet {
 // choice depends only on the layout and the input size — never on the data
 // — so it is deterministic, and either outcome behaves identically.
 func newFreqSetSized(cols []int, card []int, workload int) *FreqSet {
-	if len(card) == len(cols) && DenseEligible(card, workload) {
+	if len(card) == len(cols) && DenseEligible(card, workload) && !faultinject.FailAlloc("relation.dense_alloc") {
 		return NewFreqSetWithCard(cols, card)
 	}
 	f := &FreqSet{Cols: append([]int(nil), cols...), groups: make(map[string]*int64)}
@@ -591,6 +594,7 @@ func groupCountRange(t *Table, cols []int, recode [][]int32, card []int, lo, hi 
 	}
 	if f.dense != nil {
 		if lut, ok := scanLUT(t, cols, recode, f); ok {
+			faultinject.Point("relation.dense_scan")
 			for r := lo; r < hi; r++ {
 				idx := int64(0)
 				for i := range lut {
@@ -674,16 +678,33 @@ func GroupCountParallelWithCard(t *Table, cols []int, recode [][]int32, card []i
 		return GroupCountWithCard(t, cols, recode, card)
 	}
 	parts := make([]*FreqSet, workers)
+	// Worker panic isolation: each shard recovers its own panic into a
+	// *resilience.PanicError naming the shard; the coordinator rethrows the
+	// lowest-indexed one after every shard finished, so the enclosing phase
+	// guard converts it to an error, no goroutine leaks, and the partially
+	// counted shards are never merged.
+	panics := make([]*resilience.PanicError, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = resilience.AsPanicError(fmt.Sprintf("scan_shard[%d]", w), r)
+				}
+			}()
+			faultinject.Point("relation.scan_shard")
 			parts[w] = groupCountRange(t, cols, recode, card, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, pe := range panics {
+		if pe != nil {
+			panic(pe)
+		}
+	}
 	out := parts[0]
 	out.Merge(parts[1:]...)
 	return out
@@ -728,6 +749,7 @@ func (f *FreqSet) RecodeWithCard(maps [][]int32, card []int) *FreqSet {
 	out := newFreqSetSized(f.Cols, card, f.Len())
 	if f.dense != nil && out.dense != nil {
 		if contrib, ok := f.recodeContrib(maps, out); ok {
+			faultinject.Point("relation.dense_rollup")
 			f.denseRemap(out, contrib)
 			return out
 		}
@@ -856,6 +878,23 @@ func (f *FreqSet) DropColumn(pos int) *FreqSet {
 		out.Add(kept, count)
 	})
 	return out
+}
+
+// MemBytes estimates the retained heap size of the set in bytes — the
+// figure the resilience memory accountant budgets with. Dense sets are the
+// count array; sparse sets charge each group for its key bytes, boxed
+// count, and an amortized share of map overhead. An estimate, not an exact
+// measurement: the accountant enforces a soft budget.
+func (f *FreqSet) MemBytes() int64 {
+	// Fixed overhead: struct header, Cols, card, stride backing arrays.
+	b := int64(96) + int64(len(f.Cols))*8 + int64(len(f.card))*4 + int64(len(f.stride))*8
+	if f.dense != nil {
+		return b + int64(len(f.dense))*8
+	}
+	// Per sparse group: 4 bytes of key per column plus a string header, a
+	// boxed int64 count, and roughly 48 bytes of map bucket share.
+	const perGroup = 16 + 8 + 48
+	return b + int64(len(f.groups))*(int64(len(f.Cols))*4+perGroup)
 }
 
 // Clone returns a deep copy of the frequency set, preserving its

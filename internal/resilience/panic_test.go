@@ -1,0 +1,59 @@
+package resilience
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsPanicError(t *testing.T) {
+	recovered := func() (v any) {
+		defer func() { v = recover() }()
+		panic("boom")
+	}()
+	pe := AsPanicError("scan_shard[3]", recovered)
+	if pe.Site != "scan_shard[3]" {
+		t.Errorf("Site = %q", pe.Site)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(pe.Error(), "scan_shard[3]") || !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("Error() = %q, want site and value", pe.Error())
+	}
+}
+
+func TestAsPanicErrorPrefixesChain(t *testing.T) {
+	// A shard panic rethrown through two coordinator layers keeps its value
+	// and stack while the span path grows outward.
+	inner := AsPanicError("scan_shard[1]", "boom")
+	stack := inner.Stack
+	mid := AsPanicError("family[2]", inner)
+	outer := AsPanicError("run", mid)
+	if outer.Site != "run/family[2]/scan_shard[1]" {
+		t.Errorf("Site = %q, want run/family[2]/scan_shard[1]", outer.Site)
+	}
+	if outer.Value != "boom" {
+		t.Errorf("Value = %v, want the original panic value", outer.Value)
+	}
+	if &outer.Stack[0] != &stack[0] {
+		t.Error("stack was recaptured instead of preserved")
+	}
+}
+
+func TestAsPanicErrorThroughErrorInterface(t *testing.T) {
+	// Workers rethrow the typed error via panic(err); the recover site must
+	// still see the dynamic *PanicError, not a wrapped interface.
+	var rethrown any
+	func() {
+		defer func() { rethrown = recover() }()
+		var err error = AsPanicError("cube_wave[0]", "boom")
+		panic(err)
+	}()
+	pe := AsPanicError("run", rethrown)
+	if pe.Site != "run/cube_wave[0]" {
+		t.Errorf("Site = %q, want run/cube_wave[0]", pe.Site)
+	}
+}
