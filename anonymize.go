@@ -208,6 +208,15 @@ type Config struct {
 	// Budget optionally supplies the accountant directly (e.g. one shared
 	// with a telemetry registry). When set it wins over MemoryBudgetBytes.
 	Budget *MemoryAccountant
+	// Partition, when non-nil, distributes every base-table scan across the
+	// pool's worker processes: each worker counts its contiguous row range
+	// and the coordinator merges the partial frequency sets additively, so
+	// Solutions and Stats are bit-identical to a single-process run. The
+	// pool must have been built for this table (same row count); spawn one
+	// with SpawnPartitionWorkers and close it after the last use of the
+	// Result (Solution metrics like Discernibility re-scan the table).
+	// Rollups and the search itself stay in this process.
+	Partition *PartitionPool
 }
 
 // Stats reports how much work a run did, mirroring the measurements of §4.
@@ -290,28 +299,25 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		Resume:       cfg.Resume,
 		Budget:       budget,
 	}
+	if pool := cfg.Partition; pool != nil {
+		if pool.Rows() != t.rel.NumRows() {
+			return nil, fmt.Errorf("incognito: partition pool was built for %d rows but the table has %d", pool.Rows(), t.rel.NumRows())
+		}
+		in.ScanOverride = func(dims, levels []int) (*relation.FreqSet, error) {
+			// Mirror cardAt's kernel choice — including the budget's sparse
+			// degradation and its fallback accounting — so the workers make
+			// the same representation decision a local scan would.
+			return pool.Scan(dims, levels, cfg.SparseKernel || !budget.DenseAllowed())
+		}
+	}
 	cfg.Tracer.SetAttr("algorithm", cfg.Algorithm.String())
 	cfg.Tracer.SetAttr("k", cfg.K)
 	cfg.Tracer.SetAttr("parallelism", cfg.Parallelism)
-	names := make([]string, len(qi))
-	for i, q := range qi {
-		col := t.rel.ColumnIndex(q.Column)
-		if col < 0 {
-			return nil, fmt.Errorf("incognito: table has no column %q", q.Column)
-		}
-		if q.Hierarchy == nil {
-			return nil, fmt.Errorf("incognito: attribute %q has no hierarchy", q.Column)
-		}
-		if q.Hierarchy.err != nil {
-			return nil, fmt.Errorf("incognito: attribute %q: %w", q.Column, q.Hierarchy.err)
-		}
-		h, err := q.Hierarchy.build(q.Column).Bind(t.rel.Dict(col))
-		if err != nil {
-			return nil, fmt.Errorf("incognito: attribute %q: %w", q.Column, err)
-		}
-		in.QI = append(in.QI, core.QIAttr{Col: col, H: h})
-		names[i] = q.Column
+	attrs, names, err := bindQI(t, qi)
+	if err != nil {
+		return nil, err
 	}
+	in.QI = attrs
 
 	res := &Result{in: in, qiNames: names, heights: in.Heights(), complete: true}
 	// degraded salvages a budget-aborted run: the partial Result (the
@@ -376,6 +382,36 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		return nil, fmt.Errorf("incognito: unknown algorithm %d", cfg.Algorithm)
 	}
 	return res, nil
+}
+
+// bindQI resolves the public QI descriptions against the table: column
+// names to indexes, hierarchy builders to hierarchies bound to the
+// columns' dictionaries. Both the coordinator (AnonymizeContext) and the
+// partition-worker entry point (ServePartitionWorker) bind through here,
+// which is what guarantees a worker counts exactly the generalizations
+// the coordinator asks about.
+func bindQI(t *Table, qi []QI) ([]core.QIAttr, []string, error) {
+	attrs := make([]core.QIAttr, 0, len(qi))
+	names := make([]string, len(qi))
+	for i, q := range qi {
+		col := t.rel.ColumnIndex(q.Column)
+		if col < 0 {
+			return nil, nil, fmt.Errorf("incognito: table has no column %q", q.Column)
+		}
+		if q.Hierarchy == nil {
+			return nil, nil, fmt.Errorf("incognito: attribute %q has no hierarchy", q.Column)
+		}
+		if q.Hierarchy.err != nil {
+			return nil, nil, fmt.Errorf("incognito: attribute %q: %w", q.Column, q.Hierarchy.err)
+		}
+		h, err := q.Hierarchy.build(q.Column).Bind(t.rel.Dict(col))
+		if err != nil {
+			return nil, nil, fmt.Errorf("incognito: attribute %q: %w", q.Column, err)
+		}
+		attrs = append(attrs, core.QIAttr{Col: col, H: h})
+		names[i] = q.Column
+	}
+	return attrs, names, nil
 }
 
 // buildMaterialized runs the view-selection phase under a recover guard:

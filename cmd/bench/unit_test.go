@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"incognito/internal/bench"
+)
+
+func TestParseWorkerSpec(t *testing.T) {
+	index, total, err := parseWorkerSpec("2/4")
+	if err != nil || index != 2 || total != 4 {
+		t.Fatalf("parseWorkerSpec(2/4) = %d, %d, %v", index, total, err)
+	}
+	for _, bad := range []string{"", "nonsense", "2", "4/4", "-1/4", "0/0", "x/4", "2/y"} {
+		if _, _, err := parseWorkerSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestServePartitionWorkerInProcess drives the hidden worker mode without
+// a subprocess: the test runner's stdin is /dev/null, so the serve loop
+// sees EOF immediately and the happy path reduces to dataset regeneration
+// plus a clean exit.
+func TestServePartitionWorkerInProcess(t *testing.T) {
+	if err := servePartitionWorker("0/2", "adults", 4, 200, 200, 1); err != nil {
+		t.Fatalf("adults worker: %v", err)
+	}
+	if err := servePartitionWorker("1/2", "landsend", 3, 200, 200, 1); err != nil {
+		t.Fatalf("landsend worker: %v", err)
+	}
+	if err := servePartitionWorker("nonsense", "adults", 4, 200, 200, 1); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := servePartitionWorker("0/2", "census", 4, 200, 200, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := servePartitionWorker("0/2", "adults", 99, 200, 200, 1); err == nil {
+		t.Fatal("oversized QI accepted")
+	}
+}
+
+// TestPartitionExperimentInProcess drives the coordinator side of the
+// partition experiment without the built CLI: partition.SpawnSelf
+// re-execs this test binary, whose TestMain dispatches the hidden worker
+// flags to the same servePartitionWorker as the real binary.
+func TestPartitionExperimentInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.txt")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = f
+	r := &runner{
+		ctx: context.Background(), adultsRows: 200, leRows: 200, seed: 1,
+		algos: []bench.Algo{bench.BasicIncognito}, algosExplicit: true,
+		partitions: 2,
+	}
+	perr := r.dispatch("partition")
+	os.Stdout = saved
+	f.Close()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	report, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"partitions=2", "Adults", "Lands End", "identical=true"} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(string(report), "identical=false") {
+		t.Errorf("a cell diverged:\n%s", report)
+	}
+}

@@ -7,7 +7,7 @@
 // so the gate is immune to runner speed while still catching any change to
 // how much work the algorithms do.
 //
-// Two report kinds are understood, selected with -kind:
+// Three report kinds are understood, selected with -kind:
 //
 //   - parallel (default): the intra-run parallelism experiment; every cell's
 //     counters and the serial/parallel identical flag are pinned.
@@ -15,6 +15,15 @@
 //     cell's counters and identical flag are pinned, and so are the
 //     microbenchmark rows' layouts, group counts, dense eligibility, and the
 //     dense hot path's zero-allocation guarantee.
+//   - partition: the multi-process partitioned-counting experiment; every
+//     cell's counters and the single-vs-partitioned identical flag are
+//     pinned.
+//
+// For -kind parallel, -min-speedup additionally gates measured speedups on
+// multi-core runners: a comma-separated list of per-algorithm floors
+// (short names, as -algos takes them). A gated cell must be identical AND
+// meet its floor. With -min-speedup, -golden becomes optional, because the
+// multi-core job gates timing ratios, not machine-specific counters.
 //
 // Usage:
 //
@@ -27,6 +36,14 @@
 //	benchcheck -kind kernel -golden results/kernel-regression-golden.json \
 //	  -got kernel-got.json
 //
+//	bench -experiment partition -partitions 2 -rows 800 -landsend-rows 2000 \
+//	  -seed 1 -quiet -json > partition-got.json
+//	benchcheck -kind partition -golden results/partition-regression-golden.json \
+//	  -got partition-got.json
+//
+//	bench -experiment parallel -parallelism 4 -quiet -json > multicore.json
+//	benchcheck -got multicore.json -min-speedup 'basic=1.5,superroots=1.5,cube=1.0'
+//
 // Exit status: 0 when every cell matches, 1 on any drift (each difference
 // is reported), 2 on usage errors.
 package main
@@ -36,17 +53,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"incognito/internal/bench"
 )
 
 func main() {
-	golden := flag.String("golden", "", "path to the golden report (required)")
+	golden := flag.String("golden", "", "path to the golden report (required unless -min-speedup is given)")
 	got := flag.String("got", "", "path to the freshly generated report (required)")
-	kind := flag.String("kind", "parallel", "report kind: parallel or kernel")
+	kind := flag.String("kind", "parallel", "report kind: parallel, kernel, or partition")
+	minSpeedup := flag.String("min-speedup", "", "per-algorithm speedup floors for -kind parallel, e.g. basic=1.5,superroots=1.5,cube=1.0; gated cells must be identical and meet their floor")
 	flag.Parse()
-	if *golden == "" || *got == "" || flag.NArg() > 0 {
-		fmt.Fprintln(os.Stderr, "benchcheck: -golden and -got are both required, and take no positional arguments")
+	goldenOptional := *kind == "parallel" && *minSpeedup != ""
+	if (*golden == "" && !goldenOptional) || *got == "" || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: -golden (unless -min-speedup is given) and -got are required, and take no positional arguments")
+		fmt.Fprintln(os.Stderr, "run 'benchcheck -help' for usage")
+		os.Exit(2)
+	}
+	if *minSpeedup != "" && *kind != "parallel" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -min-speedup applies to -kind parallel only")
 		fmt.Fprintln(os.Stderr, "run 'benchcheck -help' for usage")
 		os.Exit(2)
 	}
@@ -54,15 +80,36 @@ func main() {
 	var cells int
 	switch *kind {
 	case "parallel":
-		want, err := loadParallel(*golden)
-		if err != nil {
-			fatal(err)
-		}
 		have, err := loadParallel(*got)
 		if err != nil {
 			fatal(err)
 		}
-		diffs, cells = compare(want, have), len(want.Cells)
+		cells = len(have.Cells)
+		if *golden != "" {
+			want, err := loadParallel(*golden)
+			if err != nil {
+				fatal(err)
+			}
+			diffs, cells = compare(want, have), len(want.Cells)
+		}
+		if *minSpeedup != "" {
+			floors, err := parseSpeedupFloors(*minSpeedup)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchcheck: "+err.Error())
+				os.Exit(2)
+			}
+			diffs = append(diffs, gateSpeedups(have, floors)...)
+		}
+	case "partition":
+		want, err := loadPartition(*golden)
+		if err != nil {
+			fatal(err)
+		}
+		have, err := loadPartition(*got)
+		if err != nil {
+			fatal(err)
+		}
+		diffs, cells = comparePartition(want, have), len(want.Cells)
 	case "kernel":
 		want, err := loadKernel(*golden)
 		if err != nil {
@@ -74,16 +121,26 @@ func main() {
 		}
 		diffs, cells = compareKernel(want, have), len(want.Cells)+len(want.Micro)
 	default:
-		fmt.Fprintf(os.Stderr, "benchcheck: unknown -kind %q (want parallel or kernel)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchcheck: unknown -kind %q (want parallel, kernel, or partition)\n", *kind)
 		os.Exit(2)
 	}
 	if len(diffs) > 0 {
 		for _, d := range diffs {
 			fmt.Fprintln(os.Stderr, "benchcheck: "+d)
 		}
-		fmt.Fprintf(os.Stderr, "benchcheck: %d difference(s) against %s\n", len(diffs), *golden)
-		fmt.Fprintln(os.Stderr, "benchcheck: if the change is intentional, regenerate the golden file (see results/README.md)")
+		gate := *golden
+		if gate == "" {
+			gate = "the speedup gate"
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: %d difference(s) against %s\n", len(diffs), gate)
+		if *golden != "" {
+			fmt.Fprintln(os.Stderr, "benchcheck: if the change is intentional, regenerate the golden file (see results/README.md)")
+		}
 		os.Exit(1)
+	}
+	if *golden == "" {
+		fmt.Printf("benchcheck: %d cells pass the speedup gate\n", cells)
+		return
 	}
 	fmt.Printf("benchcheck: %d cells match the golden counters\n", cells)
 }
@@ -101,6 +158,79 @@ func loadParallel(path string) (*bench.ParallelReport, error) {
 		return nil, fmt.Errorf("%s: report has no cells", path)
 	}
 	return &r, nil
+}
+
+func loadPartition(path string) (*bench.PartitionReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.PartitionReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Cells) == 0 {
+		return nil, fmt.Errorf("%s: report has no cells", path)
+	}
+	return &r, nil
+}
+
+// parseSpeedupFloors parses "basic=1.5,superroots=1.5,cube=1.0" into a map
+// keyed by the algorithms' display names (the Algo strings the report
+// cells carry).
+func parseSpeedupFloors(spec string) (map[string]float64, error) {
+	floors := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-min-speedup entry %q (want algo=floor)", part)
+		}
+		a, err := bench.ParseAlgo(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		floor, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || floor <= 0 {
+			return nil, fmt.Errorf("-min-speedup floor %q for %s (want a positive number)", val, name)
+		}
+		floors[a.String()] = floor
+	}
+	if len(floors) == 0 {
+		return nil, fmt.Errorf("-min-speedup spec %q names no algorithms", spec)
+	}
+	return floors, nil
+}
+
+// gateSpeedups enforces the per-algorithm speedup floors on a parallel
+// report: every cell whose algorithm has a floor must have reproduced the
+// serial results exactly AND meet the floor. Cells of algorithms without a
+// floor are ignored.
+func gateSpeedups(r *bench.ParallelReport, floors map[string]float64) []string {
+	var diffs []string
+	gated := 0
+	for i, c := range r.Cells {
+		floor, ok := floors[c.Algo]
+		if !ok {
+			continue
+		}
+		gated++
+		key := fmt.Sprintf("cell %d (%s rows=%d qi=%d k=%d %s)", i, c.Dataset, c.Rows, c.QISize, c.K, c.Algo)
+		if !c.Identical {
+			diffs = append(diffs, key+": parallel run was not identical to the serial run")
+		}
+		if c.Speedup < floor {
+			diffs = append(diffs, fmt.Sprintf("%s: speedup %.2fx below the %.2fx floor (serial %.1fms, parallel %.1fms, workers %d)",
+				key, c.Speedup, floor, c.SerialMS, c.ParallelMS, c.Workers))
+		}
+	}
+	if gated == 0 {
+		diffs = append(diffs, "no report cell matches any -min-speedup algorithm")
+	}
+	return diffs
 }
 
 func loadKernel(path string) (*bench.KernelReport, error) {
@@ -150,6 +280,39 @@ func compare(want, got *bench.ParallelReport) []string {
 			{"qi_size", w.QISize, g.QISize},
 			{"k", w.K, g.K},
 			{"algo", w.Algo, g.Algo},
+			{"solutions", w.Solutions, g.Solutions},
+			{"min_height", w.MinHeight, g.MinHeight},
+			{"nodes_checked", w.NodesChecked, g.NodesChecked},
+			{"nodes_marked", w.NodesMarked, g.NodesMarked},
+			{"candidates", w.Candidates, g.Candidates},
+			{"table_scans", w.TableScans, g.TableScans},
+			{"rollups", w.Rollups, g.Rollups},
+			{"identical", w.Identical, g.Identical},
+		})
+	}
+	return diffs
+}
+
+// comparePartition is compare for the partition experiment: the same
+// deterministic counters plus the single-vs-partitioned identical flag.
+func comparePartition(want, got *bench.PartitionReport) []string {
+	if len(want.Cells) != len(got.Cells) {
+		return []string{fmt.Sprintf("cell count: got %d, want %d", len(got.Cells), len(want.Cells))}
+	}
+	var diffs []string
+	for i := range want.Cells {
+		w, g := want.Cells[i], got.Cells[i]
+		key := fmt.Sprintf("partition cell %d (%s rows=%d qi=%d k=%d %s)", i, w.Dataset, w.Rows, w.QISize, w.K, w.Algo)
+		diffs = fieldDiffs(diffs, key, []struct {
+			name       string
+			want, have any
+		}{
+			{"dataset", w.Dataset, g.Dataset},
+			{"rows", w.Rows, g.Rows},
+			{"qi_size", w.QISize, g.QISize},
+			{"k", w.K, g.K},
+			{"algo", w.Algo, g.Algo},
+			{"partitions", w.Partitions, g.Partitions},
 			{"solutions", w.Solutions, g.Solutions},
 			{"min_height", w.MinHeight, g.MinHeight},
 			{"nodes_checked", w.NodesChecked, g.NodesChecked},

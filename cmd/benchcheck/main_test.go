@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -65,6 +68,110 @@ func TestCompareFlagsIdenticalRegression(t *testing.T) {
 	diffs := compare(goldenReport(), got)
 	if len(diffs) != 1 || !strings.Contains(diffs[0], "identical") {
 		t.Fatalf("identical=false not flagged: %v", diffs)
+	}
+}
+
+func TestParseSpeedupFloors(t *testing.T) {
+	floors, err := parseSpeedupFloors("basic=1.5, superroots=1.5,cube=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		bench.BasicIncognito.String():      1.5,
+		bench.SuperRootsIncognito.String(): 1.5,
+		bench.CubeIncognito.String():       1.0,
+	}
+	if len(floors) != len(want) {
+		t.Fatalf("got %d floors, want %d: %v", len(floors), len(want), floors)
+	}
+	for k, v := range want {
+		if floors[k] != v {
+			t.Errorf("floor[%s] = %v, want %v", k, floors[k], v)
+		}
+	}
+	for _, bad := range []string{"", "basic", "quantum=2", "basic=0", "basic=-1", "basic=fast"} {
+		if _, err := parseSpeedupFloors(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestGateSpeedups(t *testing.T) {
+	floors := map[string]float64{
+		bench.BasicIncognito.String(): 1.5,
+		bench.CubeIncognito.String():  1.0,
+	}
+	report := &bench.ParallelReport{Cells: []bench.ParallelCell{
+		{Algo: bench.BasicIncognito.String(), Speedup: 2.1, Identical: true},
+		{Algo: bench.CubeIncognito.String(), Speedup: 1.2, Identical: true},
+		// No floor declared for Super-roots: never gated, even at 0.1x.
+		{Algo: bench.SuperRootsIncognito.String(), Speedup: 0.1, Identical: true},
+	}}
+	if diffs := gateSpeedups(report, floors); len(diffs) != 0 {
+		t.Fatalf("clean report gated: %v", diffs)
+	}
+
+	report.Cells[0].Speedup = 1.4 // below its 1.5x floor
+	report.Cells[1].Identical = false
+	diffs := gateSpeedups(report, floors)
+	if len(diffs) != 2 {
+		t.Fatalf("got %d diffs, want 2: %v", len(diffs), diffs)
+	}
+	if !strings.Contains(diffs[0], "below the 1.50x floor") || !strings.Contains(diffs[1], "not identical") {
+		t.Fatalf("unexpected diff messages: %v", diffs)
+	}
+
+	if diffs := gateSpeedups(&bench.ParallelReport{}, floors); len(diffs) != 1 ||
+		!strings.Contains(diffs[0], "no report cell") {
+		t.Fatalf("empty report not flagged: %v", diffs)
+	}
+}
+
+func goldenPartitionReport() *bench.PartitionReport {
+	return &bench.PartitionReport{
+		GOMAXPROCS: 1,
+		Partitions: 2,
+		Cells: []bench.PartitionCell{
+			{
+				Dataset: "Adults", Rows: 800, QISize: 9, K: 2, Algo: "Basic Incognito",
+				Partitions: 2, SingleMS: 60, PartitionedMS: 80, Speedup: 0.75,
+				Solutions: 116, MinHeight: 7,
+				NodesChecked: 1500, NodesMarked: 300, Candidates: 2000,
+				TableScans: 120, Rollups: 1380, Identical: true,
+			},
+		},
+	}
+}
+
+func TestComparePartition(t *testing.T) {
+	got := goldenPartitionReport()
+	got.Cells[0].SingleMS = 999
+	got.Cells[0].PartitionedMS = 0.1
+	got.Cells[0].Speedup = 42
+	if diffs := comparePartition(goldenPartitionReport(), got); len(diffs) != 0 {
+		t.Fatalf("timing-only changes flagged: %v", diffs)
+	}
+
+	got = goldenPartitionReport()
+	got.Cells[0].Identical = false
+	got.Cells[0].TableScans++
+	got.Cells[0].Partitions = 3
+	diffs := comparePartition(goldenPartitionReport(), got)
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"identical", "table_scans", "partitions"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs missing %q:\n%s", want, joined)
+		}
+	}
+	if len(diffs) != 3 {
+		t.Fatalf("got %d diffs, want 3: %v", len(diffs), diffs)
+	}
+
+	got = goldenPartitionReport()
+	got.Cells = nil
+	if diffs := comparePartition(goldenPartitionReport(), got); len(diffs) != 1 ||
+		!strings.Contains(diffs[0], "cell count") {
+		t.Fatalf("cell count mismatch not flagged: %v", diffs)
 	}
 }
 
@@ -144,5 +251,63 @@ func TestCompareKernelFlagsRowCountMismatch(t *testing.T) {
 	diffs := compareKernel(goldenKernelReport(), got)
 	if len(diffs) != 1 || !strings.Contains(diffs[0], "micro row count") {
 		t.Fatalf("micro row count mismatch not flagged: %v", diffs)
+	}
+}
+
+// TestLoaders exercises all three report loaders against real files: a
+// valid report, a missing file, malformed JSON, and an empty cell list.
+func TestLoaders(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	parallelJSON, err := json.Marshal(goldenReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	partitionJSON, err := json.Marshal(goldenPartitionReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelJSON, err := json.Marshal(goldenKernelReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r, err := loadParallel(write("p.json", string(parallelJSON))); err != nil || len(r.Cells) != 1 {
+		t.Fatalf("loadParallel: %v", err)
+	}
+	if r, err := loadPartition(write("pt.json", string(partitionJSON))); err != nil || len(r.Cells) != 1 {
+		t.Fatalf("loadPartition: %v", err)
+	}
+	if r, err := loadKernel(write("k.json", string(kernelJSON))); err != nil || len(r.Cells) != 1 {
+		t.Fatalf("loadKernel: %v", err)
+	}
+
+	missing := filepath.Join(dir, "no-such-file.json")
+	garbage := write("garbage.json", "{not json")
+	empty := write("empty.json", "{}")
+	if _, err := loadParallel(missing); err == nil {
+		t.Error("loadParallel accepted a missing file")
+	}
+	if _, err := loadPartition(garbage); err == nil {
+		t.Error("loadPartition accepted malformed JSON")
+	}
+	if _, err := loadPartition(empty); err == nil {
+		t.Error("loadPartition accepted a cell-less report")
+	}
+	if _, err := loadKernel(garbage); err == nil {
+		t.Error("loadKernel accepted malformed JSON")
+	}
+	if _, err := loadParallel(empty); err == nil {
+		t.Error("loadParallel accepted a cell-less report")
+	}
+	if _, err := loadKernel(empty); err == nil {
+		t.Error("loadKernel accepted a cell-less report")
 	}
 }

@@ -21,6 +21,11 @@
 // Run with -demo to see the paper's Patients example end to end without any
 // input files.
 //
+// -partitions N splits base-table frequency-set scans across N worker
+// processes (re-exec'd copies of this binary reading the same input); the
+// partial counts merge additively, so the released view, -list output, and
+// -stats are bit-identical to a single-process run.
+//
 // Observability: -trace FILE writes a JSON execution trace (the span tree
 // of every search phase, with per-phase wall time and work counters),
 // -trace-chrome FILE the same trace as Chrome trace-event JSON for
@@ -60,6 +65,8 @@ type options struct {
 	algoName               string
 	kernel                 string
 	budget, parallel       int
+	partitions             int
+	partitionWorker        string
 	criteria               string
 	list, demo, stats      bool
 	dotFile                string
@@ -85,6 +92,8 @@ func main() {
 	flag.StringVar(&o.algoName, "algorithm", "basic", "basic, superroots, cube, materialized, bottomup, bottomup-rollup, or binary")
 	flag.IntVar(&o.budget, "budget", 1<<20, "partial-cube size budget in groups (materialized algorithm only)")
 	flag.IntVar(&o.parallel, "parallelism", 0, "intra-run worker bound: 0 = all cores, 1 = sequential, n = at most n workers")
+	flag.IntVar(&o.partitions, "partitions", 0, "split base-table scans across this many worker processes (re-exec'd copies of this binary); 0 or 1 = single process, results are bit-identical either way")
+	flag.StringVar(&o.partitionWorker, "partition-worker", "", "internal: serve as partition-scan worker I/N over stdio (spawned by -partitions)")
 	flag.StringVar(&o.kernel, "kernel", "auto", "frequency-set kernel: auto (adaptive dense/sparse) or sparse (reference maps); results are identical either way")
 	flag.StringVar(&o.criteria, "criterion", "height", "minimality criterion: height, precision, discernibility, or avgclass")
 	flag.BoolVar(&o.list, "list", false, "print every k-anonymous generalization, not just the chosen one")
@@ -113,6 +122,13 @@ func main() {
 	if err := o.validate(); err != nil {
 		usageError(err)
 	}
+	if o.partitionWorker != "" {
+		if err := runPartitionWorker(&o); err != nil {
+			fmt.Fprintln(os.Stderr, "incognito: "+err.Error())
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	cancelTimeout := func() {}
 	if o.timeout > 0 {
@@ -138,6 +154,12 @@ func (o *options) validate() error {
 	}
 	if o.parallel < 0 {
 		return fmt.Errorf("-parallelism must be >= 0 (0 = all cores), got %d", o.parallel)
+	}
+	if o.partitions < 0 {
+		return fmt.Errorf("-partitions must be >= 0 (0 = single process), got %d", o.partitions)
+	}
+	if o.partitionWorker != "" && o.partitions > 1 {
+		return fmt.Errorf("-partition-worker and -partitions are mutually exclusive (a worker never spawns workers)")
 	}
 	if o.budget < 1 {
 		return fmt.Errorf("-budget must be >= 1, got %d", o.budget)
@@ -177,6 +199,63 @@ func usageError(err error) {
 	fmt.Fprintln(os.Stderr, msg)
 	fmt.Fprintln(os.Stderr, "run 'incognito -help' for usage")
 	os.Exit(2)
+}
+
+// runPartitionWorker is the hidden re-exec surface behind -partitions: the
+// worker's command line replays the coordinator's -input/-qi (or -demo) so
+// it loads the identical table and quasi-identifier, then it serves
+// scan requests over stdio until the coordinator closes its stdin.
+func runPartitionWorker(o *options) error {
+	index, total, err := parseWorkerSpec(o.partitionWorker)
+	if err != nil {
+		return err
+	}
+	var table *incognito.Table
+	var qi []incognito.QI
+	if o.demo {
+		table, qi, err = demoTable()
+	} else {
+		table, err = incognito.LoadCSV(o.input)
+		if err == nil {
+			qi, err = parseQISpec(o.qiSpec)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return incognito.ServePartitionWorker(table, qi, index, total, os.Stdin, os.Stdout)
+}
+
+// parseWorkerSpec parses the I/N range spec of -partition-worker.
+func parseWorkerSpec(spec string) (index, total int, err error) {
+	i, n, ok := strings.Cut(spec, "/")
+	if ok {
+		index, err = strconv.Atoi(i)
+		if err == nil {
+			total, err = strconv.Atoi(n)
+		}
+	}
+	if !ok || err != nil || total < 1 || index < 0 || index >= total {
+		return 0, 0, fmt.Errorf("-partition-worker wants I/N with 0 <= I < N, got %q", spec)
+	}
+	return index, total, nil
+}
+
+// spawnPool launches the -partitions worker processes for table, or
+// returns nil when partitioning is off. The caller must close the pool
+// only after its last use of the run's Result — solution metrics re-scan
+// the table through it.
+func (o *options) spawnPool(table *incognito.Table) (*incognito.PartitionPool, error) {
+	if o.partitions <= 1 {
+		return nil, nil
+	}
+	return incognito.SpawnPartitionWorkers(table, o.partitions, func(index, total int) []string {
+		args := []string{"-partition-worker", fmt.Sprintf("%d/%d", index, total)}
+		if o.demo {
+			return append(args, "-demo")
+		}
+		return append(args, "-input", o.input, "-qi", o.qiSpec)
+	})
 }
 
 // instruments bundles the observability and resilience handles threaded
@@ -346,7 +425,7 @@ func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 		return err
 	}
 
-	res, err := incognito.AnonymizeContext(ctx, table, qi, incognito.Config{
+	cfg := incognito.Config{
 		K:                 o.k,
 		MaxSuppressed:     o.suppress,
 		Algorithm:         algo,
@@ -359,7 +438,18 @@ func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 		Checkpoint:        ins.check,
 		Resume:            ins.resume,
 		Budget:            ins.budget,
-	})
+	}
+	pool, err := o.spawnPool(table)
+	if err != nil {
+		return err
+	}
+	if pool != nil {
+		// Closed after the released view is written: -list metrics and the
+		// chosen solution's Apply re-scan the table through the pool.
+		defer pool.Close()
+		cfg.Partition = pool
+	}
+	res, err := incognito.AnonymizeContext(ctx, table, qi, cfg)
 	if err != nil {
 		return err
 	}
@@ -527,8 +617,10 @@ func parseCriterion(name string) (incognito.Criterion, error) {
 	return nil, fmt.Errorf("incognito: unknown criterion %q", name)
 }
 
-// runDemo reproduces the paper's running example (Fig. 1 and Fig. 2).
-func runDemo(ctx context.Context, o *options, ins instruments) error {
+// demoTable builds the paper's Patients example (Fig. 1) and its
+// quasi-identifier — shared by the demo run and its partition workers,
+// which must load the identical table.
+func demoTable() (*incognito.Table, []incognito.QI, error) {
 	table, err := incognito.NewTable(
 		[]string{"Birthdate", "Sex", "Zipcode", "Disease"},
 		[][]string{
@@ -541,23 +633,41 @@ func runDemo(ctx context.Context, o *options, ins instruments) error {
 		},
 	)
 	if err != nil {
-		return err
-	}
-	algo, err := parseAlgorithm(o.algoName)
-	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	qi := []incognito.QI{
 		{Column: "Birthdate", Hierarchy: incognito.Suppression()},
 		{Column: "Sex", Hierarchy: incognito.Taxonomy(map[string]string{"Male": "Person", "Female": "Person"})},
 		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(2)},
 	}
-	res, err := incognito.AnonymizeContext(ctx, table, qi, incognito.Config{
+	return table, qi, nil
+}
+
+// runDemo reproduces the paper's running example (Fig. 1 and Fig. 2).
+func runDemo(ctx context.Context, o *options, ins instruments) error {
+	table, qi, err := demoTable()
+	if err != nil {
+		return err
+	}
+	algo, err := parseAlgorithm(o.algoName)
+	if err != nil {
+		return err
+	}
+	cfg := incognito.Config{
 		K: o.k, Algorithm: algo, Parallelism: o.parallel,
 		SparseKernel: o.kernel == "sparse",
 		Tracer:       ins.tracer, Progress: ins.progress, Metrics: ins.metrics,
 		Checkpoint: ins.check, Resume: ins.resume, Budget: ins.budget,
-	})
+	}
+	pool, err := o.spawnPool(table)
+	if err != nil {
+		return err
+	}
+	if pool != nil {
+		defer pool.Close()
+		cfg.Partition = pool
+	}
+	res, err := incognito.AnonymizeContext(ctx, table, qi, cfg)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"incognito/internal/baseline"
 	"incognito/internal/core"
 	"incognito/internal/dataset"
+	"incognito/internal/relation"
 	"incognito/internal/resilience"
 	"incognito/internal/telemetry"
 	"incognito/internal/trace"
@@ -33,6 +34,11 @@ type Obs struct {
 	Check    *resilience.Checkpointer
 	Resume   *resilience.Snapshot
 	Budget   *resilience.Accountant
+	// Scan, when non-nil, replaces every base-table frequency-set scan of
+	// the cell (it becomes core.Input.ScanOverride). The partition
+	// experiment routes scans through a pool of worker processes with it;
+	// results must stay bit-identical, which the experiment verifies.
+	Scan func(dims, levels []int) (*relation.FreqSet, error)
 }
 
 // Algo identifies one of the six algorithms compared in Fig. 10.
@@ -98,6 +104,7 @@ type Measurement struct {
 	QISize      int
 	K           int64
 	Parallelism int // the Input.Parallelism knob the cell ran with
+	Workers     int // the effective worker bound (knob clamped to GOMAXPROCS)
 	Elapsed     time.Duration
 	BuildTime   time.Duration // cube pre-computation, separated as in Fig. 12
 	AnonTime    time.Duration // anonymization excluding cube build
@@ -145,6 +152,7 @@ func RunCellKernel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int,
 	in.Progress = obs.Progress
 	in.Metrics = obs.Metrics
 	in.Budget = obs.Budget
+	in.ScanOverride = obs.Scan
 	// Checkpoint/resume applies to the Incognito-variant cells only (the
 	// baselines have no resumable frontier), and a resume snapshot is handed
 	// to exactly the cell it was written by — a sweep that was killed mid-cell
@@ -155,7 +163,8 @@ func RunCellKernel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int,
 			in.Resume = obs.Resume
 		}
 	}
-	m := Measurement{Dataset: d.Name, Algo: algo, QISize: qiSize, K: k, Parallelism: parallelism}
+	m := Measurement{Dataset: d.Name, Algo: algo, QISize: qiSize, K: k,
+		Parallelism: parallelism, Workers: in.Workers()}
 
 	cell := obs.Tracer.Start("cell")
 	cell.SetAttr("dataset", d.Name)

@@ -9,7 +9,29 @@ import (
 	"time"
 
 	"incognito/internal/dataset"
+	"incognito/internal/sched"
+	"incognito/internal/telemetry"
 )
+
+// schedCounters is a point-in-time reading of the scheduler's cumulative
+// counters; cells record the difference between two readings so each
+// parallel run's numbers are its own.
+type schedCounters struct {
+	steals, tasks    int64
+	busy, span, wall time.Duration
+}
+
+func schedSnapshot(m *sched.Metrics) schedCounters {
+	return schedCounters{m.Steals(), m.Tasks(), m.Busy(), m.WorkerSpan(), m.ParallelWall()}
+}
+
+func (c schedCounters) sub(o schedCounters) schedCounters {
+	return schedCounters{c.steals - o.steals, c.tasks - o.tasks,
+		c.busy - o.busy, c.span - o.span, c.wall - o.wall}
+}
+
+// ms renders a duration as fractional milliseconds for the JSON reports.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // ParallelCell is one serial-vs-parallel comparison: the same (dataset,
 // QI size, k, algorithm) cell timed at parallelism 1 and at the requested
@@ -23,8 +45,20 @@ type ParallelCell struct {
 	SerialMS   float64 `json:"serial_ms"`
 	ParallelMS float64 `json:"parallel_ms"`
 	Speedup    float64 `json:"speedup"`
-	Solutions  int     `json:"solutions"`
-	MinHeight  int     `json:"min_height"`
+	// The execution environment and the scheduler's own accounting for the
+	// parallel run: the process GOMAXPROCS, the effective worker bound the
+	// cell ran with (the knob clamped to GOMAXPROCS), and the Amdahl split
+	// of the parallel run's wall time — time inside worker-dispatched
+	// scheduler phases vs. the serial remainder between them.
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Workers         int     `json:"workers"`
+	ParallelPhaseMS float64 `json:"parallel_phase_ms"`
+	SerialPhaseMS   float64 `json:"serial_phase_ms"`
+	Steals          int64   `json:"steals"`
+	SchedTasks      int64   `json:"sched_tasks"`
+	Utilization     float64 `json:"utilization"`
+	Solutions       int     `json:"solutions"`
+	MinHeight       int     `json:"min_height"`
 	// The serial run's work counters — deterministic for a given (dataset,
 	// rows, seed, qi, k, algorithm), which is what the CI bench-regression
 	// gate pins against golden values under results/.
@@ -53,24 +87,33 @@ type ParallelReport struct {
 // make it. ctx cancels the sweep between and inside cells; obs (optional)
 // instruments every cell.
 func Parallel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int, k int64, algos []Algo, parallelism int, progress Progress) ([]ParallelCell, error) {
+	if obs.Metrics == nil {
+		// The cells record the scheduler's steal/task/phase-time counters
+		// even when the caller asked for no exported telemetry; a throwaway
+		// registry provides the handles.
+		obs.Metrics = telemetry.NewRegistry().NewRunMetrics()
+	}
+	sm := obs.Metrics.Sched()
 	var cells []ParallelCell
 	for _, a := range algos {
 		serial, err := RunCell(ctx, obs, d, qiSize, k, a, 1)
 		if err != nil {
 			return nil, err
 		}
+		before := schedSnapshot(sm)
 		par, err := RunCell(ctx, obs, d, qiSize, k, a, parallelism)
 		if err != nil {
 			return nil, err
 		}
+		sched := schedSnapshot(sm).sub(before)
 		cell := ParallelCell{
 			Dataset:      d.Name,
 			Rows:         d.Table.NumRows(),
 			QISize:       qiSize,
 			K:            k,
 			Algo:         a.String(),
-			SerialMS:     float64(serial.Elapsed.Microseconds()) / 1000,
-			ParallelMS:   float64(par.Elapsed.Microseconds()) / 1000,
+			SerialMS:     ms(serial.Elapsed),
+			ParallelMS:   ms(par.Elapsed),
 			Solutions:    serial.Solutions,
 			MinHeight:    serial.MinHeight,
 			NodesChecked: serial.Stats.NodesChecked,
@@ -81,6 +124,20 @@ func Parallel(ctx context.Context, obs Obs, d *dataset.Dataset, qiSize int, k in
 			Identical: serial.Solutions == par.Solutions &&
 				serial.MinHeight == par.MinHeight &&
 				serial.Stats == par.Stats,
+		}
+		cell.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		cell.Workers = par.Workers
+		cell.ParallelPhaseMS = ms(sched.wall)
+		if rest := par.Elapsed - sched.wall; rest > 0 {
+			cell.SerialPhaseMS = ms(rest)
+		}
+		cell.Steals = sched.steals
+		cell.SchedTasks = sched.tasks
+		if sched.span > 0 {
+			cell.Utilization = float64(sched.busy) / float64(sched.span)
+			if cell.Utilization > 1 {
+				cell.Utilization = 1 // clock skew between per-task and per-phase readings
+			}
 		}
 		if par.Elapsed > 0 {
 			cell.Speedup = float64(serial.Elapsed) / float64(par.Elapsed)
@@ -106,8 +163,8 @@ func (r *ParallelReport) WriteTable(w io.Writer) error {
 		return err
 	}
 	for _, c := range r.Cells {
-		if _, err := fmt.Fprintf(w, "%s QID=%d k=%d %-24s serial %.1fms parallel %.1fms speedup %.2fx identical=%v\n",
-			c.Dataset, c.QISize, c.K, c.Algo, c.SerialMS, c.ParallelMS, c.Speedup, c.Identical); err != nil {
+		if _, err := fmt.Fprintf(w, "%s QID=%d k=%d %-24s serial %.1fms parallel %.1fms speedup %.2fx workers=%d util=%.2f identical=%v\n",
+			c.Dataset, c.QISize, c.K, c.Algo, c.SerialMS, c.ParallelMS, c.Speedup, c.Workers, c.Utilization, c.Identical); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"incognito/internal/dataset"
+)
+
+// TestParallelExperimentCells runs the serial-vs-parallel comparison
+// in-process: every cell must be identical, and the scheduler fields must
+// describe a plausible environment (the timing fields are free to be
+// anything, including zero on a single-core box).
+func TestParallelExperimentCells(t *testing.T) {
+	d := dataset.Adults(300, 7)
+	algos := []Algo{BasicIncognito, CubeIncognito}
+	cells, err := Parallel(context.Background(), Obs{}, d, 4, 2, algos, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(algos) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(algos))
+	}
+	for _, c := range cells {
+		if !c.Identical {
+			t.Errorf("%s: parallel run diverged from the serial run", c.Algo)
+		}
+		if c.GOMAXPROCS < 1 || c.Workers < 1 || c.Rows != d.Table.NumRows() {
+			t.Errorf("%s: implausible environment fields %+v", c.Algo, c)
+		}
+		if c.SerialMS < 0 || c.ParallelMS < 0 || c.Utilization < 0 || c.Utilization > 1 {
+			t.Errorf("%s: out-of-range timing fields %+v", c.Algo, c)
+		}
+		if c.Solutions == 0 || c.Candidates == 0 {
+			t.Errorf("%s: empty work counters %+v", c.Algo, c)
+		}
+	}
+}
+
+func TestParallelReportRenders(t *testing.T) {
+	d := dataset.Adults(200, 7)
+	cells, err := Parallel(context.Background(), Obs{}, d, 3, 2, []Algo{BasicIncognito}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := NewParallelReport(2)
+	report.Cells = cells
+	if report.GOMAXPROCS < 1 || report.Parallelism != 2 {
+		t.Fatalf("bad report header %+v", report)
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ParallelReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(decoded.Cells) != 1 || !decoded.Cells[0].Identical {
+		t.Fatalf("decoded report lost its cell: %+v", decoded)
+	}
+
+	buf.Reset()
+	if err := report.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Serial vs parallel", "Basic Incognito", "identical=true", "workers="} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

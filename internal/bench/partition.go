@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"incognito/internal/dataset"
+	"incognito/internal/partition"
+	"incognito/internal/relation"
+)
+
+// PartitionCell is one single-process-vs-partitioned comparison: the same
+// (dataset, QI size, k, algorithm) cell run with local scans and with its
+// base-table scans split across a pool of worker processes, with the
+// bit-identical cross-check on solutions and counters.
+type PartitionCell struct {
+	Dataset       string  `json:"dataset"`
+	Rows          int     `json:"rows"`
+	QISize        int     `json:"qi_size"`
+	K             int64   `json:"k"`
+	Algo          string  `json:"algo"`
+	Partitions    int     `json:"partitions"`
+	SingleMS      float64 `json:"single_ms"`
+	PartitionedMS float64 `json:"partitioned_ms"`
+	Speedup       float64 `json:"speedup"`
+	Solutions     int     `json:"solutions"`
+	MinHeight     int     `json:"min_height"`
+	// The single-process run's work counters — deterministic for a fixed
+	// (dataset, rows, seed, qi, k, algorithm), pinned by the CI gate. The
+	// partitioned run must reproduce every one of them (Identical below):
+	// partitioning moves where a scan's rows are counted, never how many
+	// scans run or what they produce.
+	NodesChecked int `json:"nodes_checked"`
+	NodesMarked  int `json:"nodes_marked"`
+	Candidates   int `json:"candidates"`
+	TableScans   int `json:"table_scans"`
+	Rollups      int `json:"rollups"`
+	// Identical reports whether the partitioned run reproduced the
+	// single-process run's solution count, minimum height, and every Stats
+	// counter — the acceptance contract of partition mode.
+	Identical bool `json:"identical"`
+}
+
+// PartitionReport is the JSON document cmd/bench -experiment partition
+// emits (recorded at the repo root as BENCH_partition.json).
+type PartitionReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Partitions int             `json:"partitions"`
+	Cells      []PartitionCell `json:"cells"`
+}
+
+// Partition runs the single-process-vs-partitioned comparison for each
+// algorithm on one (dataset, QI size, k) workload. Both runs are
+// sequential inside the coordinator (parallelism 1), so the only variable
+// is where the base-table scans count their rows: locally, or across the
+// pool's worker processes. The pool must have been built for d's table.
+func Partition(ctx context.Context, obs Obs, pool *partition.Pool, d *dataset.Dataset, qiSize int, k int64, algos []Algo, progress Progress) ([]PartitionCell, error) {
+	if pool.Rows() != d.Table.NumRows() {
+		return nil, fmt.Errorf("bench: partition pool was built for %d rows but %s has %d",
+			pool.Rows(), d.Name, d.Table.NumRows())
+	}
+	var cells []PartitionCell
+	for _, a := range algos {
+		single, err := RunCell(ctx, obs, d, qiSize, k, a, 1)
+		if err != nil {
+			return nil, err
+		}
+		pobs := obs
+		pobs.Scan = poolScan(pool)
+		part, err := RunCell(ctx, pobs, d, qiSize, k, a, 1)
+		if err != nil {
+			return nil, err
+		}
+		cell := PartitionCell{
+			Dataset:       d.Name,
+			Rows:          d.Table.NumRows(),
+			QISize:        qiSize,
+			K:             k,
+			Algo:          a.String(),
+			Partitions:    pool.Workers(),
+			SingleMS:      ms(single.Elapsed),
+			PartitionedMS: ms(part.Elapsed),
+			Solutions:     single.Solutions,
+			MinHeight:     single.MinHeight,
+			NodesChecked:  single.Stats.NodesChecked,
+			NodesMarked:   single.Stats.NodesMarked,
+			Candidates:    single.Stats.Candidates,
+			TableScans:    single.Stats.TableScans,
+			Rollups:       single.Stats.Rollups,
+			Identical: single.Solutions == part.Solutions &&
+				single.MinHeight == part.MinHeight &&
+				single.Stats == part.Stats,
+		}
+		if part.Elapsed > 0 {
+			cell.Speedup = float64(single.Elapsed) / float64(part.Elapsed)
+		}
+		progress.Log("%s | QID=%d k=%d | %-22s | single %v, %d partitions %v (%.2fx, identical=%v)",
+			d.Name, qiSize, k, a, single.Elapsed.Round(time.Millisecond), pool.Workers(),
+			part.Elapsed.Round(time.Millisecond), cell.Speedup, cell.Identical)
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// poolScan adapts a partition pool to the Obs.Scan hook. The bench cells
+// run with the adaptive dense kernel and no memory budget, so the
+// workers' kernel choice mirrors the coordinator's unconditionally.
+func poolScan(pool *partition.Pool) func(dims, levels []int) (*relation.FreqSet, error) {
+	return func(dims, levels []int) (*relation.FreqSet, error) {
+		return pool.Scan(dims, levels, false)
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *PartitionReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the report as an aligned text table.
+func (r *PartitionReport) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Single-process vs partitioned scans (GOMAXPROCS=%d, partitions=%d)\n", r.GOMAXPROCS, r.Partitions); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprintf(w, "%s QID=%d k=%d %-24s single %.1fms partitioned %.1fms speedup %.2fx identical=%v\n",
+			c.Dataset, c.QISize, c.K, c.Algo, c.SingleMS, c.PartitionedMS, c.Speedup, c.Identical); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewPartitionReport assembles a report header for the current process.
+func NewPartitionReport(partitions int) *PartitionReport {
+	return &PartitionReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Partitions: partitions}
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"incognito/internal/core"
+	"incognito/internal/dataset"
+	"incognito/internal/partition"
+)
+
+// testPool wires a partition pool whose workers are goroutines serving
+// over in-process pipes — the same Serve loop and wire codec as the
+// spawned processes of cmd/bench, minus the exec, so the test stays
+// hermetic and fast.
+func testPool(t *testing.T, d *dataset.Dataset, qiSize, workers int) *partition.Pool {
+	t.Helper()
+	cols, hs, err := d.QISubset(qiSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]partition.Peer, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		reqR, reqW := io.Pipe()
+		respR, respW := io.Pipe()
+		in := core.NewInput(d.Table, cols, hs, 2, 0)
+		wg.Add(1)
+		go func(i int, in core.Input, r *io.PipeReader, w *io.PipeWriter) {
+			defer wg.Done()
+			w.CloseWithError(partition.Serve(&in, i, workers, r, w))
+		}(i, in, reqR, respW)
+		peers[i] = partition.Peer{R: respR, W: reqW}
+	}
+	pool := partition.NewPool(d.Table.NumRows(), peers)
+	t.Cleanup(func() {
+		pool.Close()
+		wg.Wait()
+	})
+	return pool
+}
+
+// TestPartitionExperimentIdentical runs the partition experiment against a
+// three-worker pool: every cell must report identical=true (the
+// acceptance contract), and a pool built for a different table must be
+// rejected up front.
+func TestPartitionExperimentIdentical(t *testing.T) {
+	d := dataset.Adults(400, 7)
+	pool := testPool(t, d, 4, 3)
+	algos := []Algo{BasicIncognito, SuperRootsIncognito, CubeIncognito}
+	cells, err := Partition(context.Background(), Obs{}, pool, d, 4, 2, algos, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(algos) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(algos))
+	}
+	for _, c := range cells {
+		if !c.Identical {
+			t.Errorf("%s: partitioned run diverged from the single-process run", c.Algo)
+		}
+		if c.Partitions != 3 || c.Rows != d.Table.NumRows() || c.TableScans == 0 {
+			t.Errorf("%s: implausible cell %+v", c.Algo, c)
+		}
+	}
+
+	other := dataset.Adults(200, 7)
+	if _, err := Partition(context.Background(), Obs{}, pool, other, 4, 2, algos[:1], nil); err == nil {
+		t.Fatal("pool/table row mismatch not rejected")
+	}
+}
+
+func TestPartitionReportRenders(t *testing.T) {
+	d := dataset.Adults(200, 7)
+	pool := testPool(t, d, 3, 2)
+	cells, err := Partition(context.Background(), Obs{}, pool, d, 3, 2, []Algo{BasicIncognito}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := NewPartitionReport(2)
+	report.Cells = cells
+	if report.GOMAXPROCS < 1 || report.Partitions != 2 {
+		t.Fatalf("bad report header %+v", report)
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded PartitionReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(decoded.Cells) != 1 || !decoded.Cells[0].Identical {
+		t.Fatalf("decoded report lost its cell: %+v", decoded)
+	}
+
+	buf.Reset()
+	if err := report.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Single-process vs partitioned", "Basic Incognito", "identical=true"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

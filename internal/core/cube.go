@@ -52,85 +52,119 @@ func BuildCube(in *Input) *CubeIndex {
 	fullDims := dimsOf(full)
 	scan := sp.Start("full_scan")
 	c.BuildStats.TableScans++
-	c.sets[dimsKey(fullDims)] = in.ScanFreq(fullDims, make([]int, n))
-	in.grantFreq(c.sets[dimsKey(fullDims)])
+	fullSet := in.ScanFreq(fullDims, make([]int, n))
+	c.sets[dimsKey(fullDims)] = fullSet
+	in.grantFreq(fullSet)
 	c.BuildStats.CubeFreqSets++
 	scan.Add(CounterTableScans, 1)
 	scan.Add(CounterCubeFreqSets, 1)
 	scan.End()
+	if in.Err() != nil {
+		return c
+	}
 
-	// Walk subsets in decreasing population count so every mask's chosen
-	// superset is already materialized. All margins of one size depend only
-	// on the size above, so each wave is computed in parallel (workers
-	// read the already-built sets of earlier waves; only the coordinating
-	// goroutine writes the map, after the wave completes).
-	masksBySize := make([][]int, n+1)
-	for mask := 1; mask < full; mask++ {
-		size := popcount(mask)
-		masksBySize[size] = append(masksBySize[size], mask)
-	}
-	workers := in.Workers()
+	// Every proper subset's margin comes from its chosen parent — the mask
+	// with the lowest missing dimension added back — which has one more
+	// bit. Ordering tasks by decreasing population count (mask ascending
+	// within a size) therefore puts each parent strictly before its
+	// children, giving the topological index order sched.RunGraph needs.
+	// The old implementation ran one barriered wave per subset size, which
+	// serialized every wave on its slowest margin; the dependency graph
+	// lets a size-k margin start the moment its own size-(k+1) parent is
+	// done, overlapping what used to be separate waves.
+	masks := make([]int, 0, full-1)
 	for size := n - 1; size >= 1; size-- {
-		if in.Err() != nil {
-			return c
-		}
-		masks := masksBySize[size]
-		wave := sp.Start("wave")
-		wave.SetAttr("subset_size", size)
-		wave.SetAttr("subsets", len(masks))
-		margins := make([]*relation.FreqSet, len(masks))
-		werr := runIndexedSafe(in, workers, len(masks), func(i int) string { return fmt.Sprintf("cube_wave[%d]", i) }, func(i int) {
-			if in.Err() != nil {
-				return
+		for mask := 1; mask < full; mask++ {
+			if popcount(mask) == size {
+				masks = append(masks, mask)
 			}
-			faultinject.Point("core.cube_wave")
-			mask := masks[i]
-			// Add the lowest missing dimension to find a materialized parent.
-			extra := 0
-			for d := 0; d < n; d++ {
-				if mask&(1<<d) == 0 {
-					extra = d
-					break
-				}
-			}
-			parentMask := mask | (1 << extra)
-			parentDims := dimsOf(parentMask)
-			parent := c.sets[dimsKey(parentDims)]
-			// Position of the extra dimension within the parent's dims.
-			pos := 0
-			for j, d := range parentDims {
-				if d == extra {
-					pos = j
-				}
-			}
-			margins[i] = parent.DropColumn(pos)
-			in.Metrics.ObserveFreqSetSize(margins[i].Len())
-			in.Metrics.ObserveRollup(parent.Len(), margins[i].Len())
-		})
-		if werr != nil {
-			// A wave worker panicked: nothing from this wave is committed;
-			// the typed re-panic is converted back to an error at the run
-			// entry points.
-			wave.End()
-			panic(werr)
 		}
-		if in.Err() != nil {
-			// Cancelled mid-wave: some margins are missing. Drop the whole
-			// wave so the cube never holds nil frequency sets.
-			wave.End()
-			return c
-		}
-		for i, mask := range masks {
-			c.sets[dimsKey(dimsOf(mask))] = margins[i]
-			in.grantFreq(margins[i])
-		}
-		c.BuildStats.CubeFreqSets += len(masks)
-		c.BuildStats.Rollups += len(masks)
-		in.Progress.AddRollups(int64(len(masks)))
-		wave.Add(CounterCubeFreqSets, int64(len(masks)))
-		wave.Add(CounterRollups, int64(len(masks)))
-		wave.End()
 	}
+	taskOf := make(map[int]int, len(masks))
+	for i, mask := range masks {
+		taskOf[mask] = i
+	}
+	parentOf := func(mask int) (parentMask, extra int) {
+		for d := 0; d < n; d++ {
+			if mask&(1<<d) == 0 {
+				return mask | (1 << d), d
+			}
+		}
+		panic("core: full mask has no parent")
+	}
+	children := make([][]int, len(masks))
+	for i, mask := range masks {
+		if pm, _ := parentOf(mask); pm != full {
+			p := taskOf[pm]
+			children[p] = append(children[p], i)
+		}
+	}
+
+	mspan := sp.Start("margins")
+	mspan.SetAttr("subsets", len(masks))
+	margins := make([]*relation.FreqSet, len(masks))
+	// Dispatch decision: clamp to the task count and apply the task-size
+	// floor (margin cost is bounded by the full set's group count, itself
+	// at most the row count). The inline path runs the same tasks in the
+	// same topological order, so results are identical.
+	workers := in.floorWorkers(in.workersFor(len(masks)))
+	werr := runGraphSafe(in, workers, len(masks), children, func(i int) string { return fmt.Sprintf("cube_wave[%d]", i) }, func(i int) {
+		if in.Err() != nil {
+			return // cancelled or a sibling panicked: drain
+		}
+		faultinject.Point("core.cube_wave")
+		mask := masks[i]
+		parentMask, extra := parentOf(mask)
+		var parent *relation.FreqSet
+		if parentMask == full {
+			parent = fullSet
+		} else {
+			// The scheduler only releases this task after its parent task
+			// returned, which ordered that margins-slot write before this read.
+			parent = margins[taskOf[parentMask]]
+		}
+		if parent == nil {
+			return // ancestor was drained: nothing to margin from
+		}
+		// Position of the extra dimension within the parent's dims.
+		parentDims := dimsOf(parentMask)
+		pos := 0
+		for j, d := range parentDims {
+			if d == extra {
+				pos = j
+			}
+		}
+		margins[i] = parent.DropColumn(pos)
+		in.Metrics.ObserveFreqSetSize(margins[i].Len())
+		in.Metrics.ObserveRollup(parent.Len(), margins[i].Len())
+	})
+	if werr != nil {
+		// A margin worker panicked: nothing is committed; the typed
+		// re-panic is converted back to an error at the run entry points.
+		mspan.End()
+		panic(werr)
+	}
+	// Commit in task (topological) order on this goroutine only. Under
+	// cancellation some margins are nil (drained before running); the
+	// committed set is still parent-closed — a margin only exists if its
+	// whole ancestor chain was built — so the cube never holds nil sets
+	// and callers see the same partial-cube contract as before: check
+	// Input.Err before relying on completeness.
+	committed := 0
+	for i, mask := range masks {
+		if margins[i] == nil {
+			continue
+		}
+		c.sets[dimsKey(dimsOf(mask))] = margins[i]
+		in.grantFreq(margins[i])
+		committed++
+	}
+	c.BuildStats.CubeFreqSets += committed
+	c.BuildStats.Rollups += committed
+	in.Progress.AddRollups(int64(committed))
+	mspan.Add(CounterCubeFreqSets, int64(committed))
+	mspan.Add(CounterRollups, int64(committed))
+	mspan.End()
 	return c
 }
 

@@ -127,8 +127,12 @@ func MaterializeBudget(in *Input, budget int64) *MaterializedSet {
 	// other, so every view's margin source lives in an earlier (larger)
 	// size wave. Each wave is therefore materialized in parallel without
 	// changing which source any view margins from — the scan/rollup mix in
-	// BuildStats is identical at every worker count.
-	workers := in.Workers()
+	// BuildStats is identical at every worker count. (The wave boundary
+	// stays: unlike the cube, which source a view margins from depends on
+	// estimated sizes of whatever is already materialized, so the
+	// dependency structure is dynamic, not a static DAG. Within a wave the
+	// work-stealing scheduler still rebalances the uneven view costs.)
+	workers := in.floorWorkers(in.Workers())
 	for lo := 0; lo < len(masks); {
 		if in.Err() != nil {
 			// Cancelled: whatever was materialized so far is still a valid

@@ -4,22 +4,25 @@ package core
 // decomposes into one independent candidate graph per i-attribute subset
 // ("family"): families share no nodes and no edges, and the breadth-first
 // search of one family never reads another's state. The parallel driver
-// therefore runs each family's search on its own worker with its own
-// Stats, then merges survivors and counters in family order. Because the
-// per-family search is byte-for-byte the sequential search, the survivor
-// sets — and hence the solutions — are identical at every worker count;
-// the Stats counters are per-family sums, so they are identical too.
+// therefore schedules each family as one task of the work-stealing
+// scheduler (internal/sched) with its own Stats, then merges survivors
+// and counters in family order. Families have wildly uneven costs — one
+// fails deep while its siblings pass at the roots — which is exactly what
+// stealing absorbs and a fixed shard assignment serialized on. Because
+// the per-family search is byte-for-byte the sequential search and the
+// merge runs in family-index order on the coordinator, the survivor sets
+// — and hence the solutions — are identical at every worker count; the
+// Stats counters are per-family sums, so they are identical too.
 
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"incognito/internal/faultinject"
 	"incognito/internal/lattice"
 	"incognito/internal/relation"
 	"incognito/internal/resilience"
+	"incognito/internal/sched"
 	"incognito/internal/trace"
 )
 
@@ -36,47 +39,83 @@ func (in *Input) Workers() int {
 	return in.Parallelism
 }
 
-// runIndexed executes fn(0), …, fn(n-1), on up to `workers` goroutines
-// pulling indices from a shared atomic counter. workers ≤ 1 degenerates to
-// a plain loop on the calling goroutine.
-func runIndexed(workers, n int, fn func(i int)) {
-	if workers > n {
-		workers = n
+// workersFor clamps the resolved worker count to the number of scheduled
+// tasks, so a phase never spawns a goroutine that could not receive work
+// (the scheduler clamps again defensively; this keeps the accounting and
+// the trace attrs honest at the call sites).
+func (in *Input) workersFor(tasks int) int {
+	w := in.Workers()
+	if w > tasks {
+		w = tasks
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
+	if w < 1 {
+		return 1
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	return w
 }
 
-// runIndexedSafe is runIndexed with worker panic isolation: each index runs
-// under a recover wrapper that converts a panic into a *resilience.PanicError
-// naming the index's site and flips the input's abort flag, so sibling
-// workers drain through their ordinary Err checks instead of crashing the
-// process. The lowest-index panic is returned; results committed by other
-// indices are discarded by the caller alongside the error, so no partial
-// state escapes.
+// parallelFloorRows is the task-size floor for parallel dispatch,
+// measured in base-table rows (the unit every task's cost scales with: a
+// family search scans the table, a cube margin walks a frequency set no
+// larger than it). Phases over inputs smaller than this run inline on
+// the calling goroutine — same task structure, same results, no
+// goroutine or scheduling overhead. Measured on this repo's datasets
+// (BenchmarkDispatchFloor): below ~100 rows the goroutine handoff costs
+// about half as much as the tasks themselves, at ~500 rows it is down to
+// ~10% of task cost and shrinking linearly with table size, so above the
+// floor dispatch overhead is noise next to even a modest speedup.
+const parallelFloorRows = 512
+
+// schedMetrics returns the run's scheduler-metrics handle (nil — i.e.
+// disabled — unless telemetry is on).
+func (in *Input) schedMetrics() *sched.Metrics { return in.Metrics.Sched() }
+
+// floorWorkers applies the task-size floor: phases whose per-task work is
+// bounded by a table this small run inline regardless of the parallelism
+// knob.
+func (in *Input) floorWorkers(workers int) int {
+	if in.Table.NumRows() < parallelFloorRows {
+		return 1
+	}
+	return workers
+}
+
+// runIndexedSafe executes fn(0), …, fn(n-1) on the work-stealing
+// scheduler with worker panic isolation: each index runs under a recover
+// wrapper that converts a panic into a *resilience.PanicError naming the
+// index's site and flips the input's abort flag, so sibling workers drain
+// through their ordinary Err checks instead of crashing the process. The
+// lowest-index panic is returned; results committed by other indices are
+// discarded by the caller alongside the error, so no partial state
+// escapes. The recover wrapper also guards the inline (workers ≤ 1) path,
+// so panic semantics do not depend on the dispatch decision.
 func runIndexedSafe(in *Input, workers, n int, site func(i int) string, fn func(i int)) error {
 	panics := make([]*resilience.PanicError, n)
-	runIndexed(workers, n, func(i int) {
+	sched.Run(in.schedMetrics(), workers, n, func(_, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = resilience.AsPanicError(site(i), r)
+				in.abortSiblings()
+			}
+		}()
+		fn(i)
+	})
+	for _, pe := range panics {
+		if pe != nil {
+			return pe
+		}
+	}
+	return nil
+}
+
+// runGraphSafe is runIndexedSafe over a dependency DAG (sched.RunGraph):
+// children[i] lists the tasks unlocked by task i, and task indices must
+// be topologically ordered. A panicked task aborts the siblings; its
+// dependents still "run" but drain immediately through the Err check
+// their fn must perform, so the pool always terminates.
+func runGraphSafe(in *Input, workers, n int, children [][]int, site func(i int) string, fn func(i int)) error {
+	panics := make([]*resilience.PanicError, n)
+	sched.RunGraph(in.schedMetrics(), workers, n, children, func(_, i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				panics[i] = resilience.AsPanicError(site(i), r)
@@ -156,7 +195,12 @@ func searchGraphFamilies(in *Input, g *lattice.Graph, maker rootFreqMaker, stats
 	famStats := make([]Stats, len(fams))
 	completes := make([]bool, len(fams))
 	errs := make([]error, len(fams))
-	werr := runIndexedSafe(in, workers, len(fams), func(i int) string { return fmt.Sprintf("family[%d]", i) }, func(i int) {
+	// The family *path* is chosen by the parallelism knob above; whether it
+	// actually dispatches goroutines is a separate decision, clamped to the
+	// task count and floored by input size. Results are identical either
+	// way — the inline loop runs the same tasks in index order.
+	dispatch := in.floorWorkers(in.workersFor(len(fams)))
+	werr := runIndexedSafe(in, dispatch, len(fams), func(i int) string { return fmt.Sprintf("family[%d]", i) }, func(i int) {
 		nodes := fams[i]
 		if fs := restored[dimsKey(nodes[0].Dims)]; fs != nil {
 			// This family completed before the checkpoint: reconstruct its

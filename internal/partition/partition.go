@@ -1,0 +1,339 @@
+// Package partition implements multi-process frequency-set counting: the
+// base table's rows are split into contiguous ranges, one worker process
+// per range counts its share of every requested frequency set locally,
+// and the coordinator merges the partial sets additively. Counts are
+// additive, so the merged set — and therefore every Solution and Stat
+// derived from it — is bit-identical to a single-process scan.
+//
+// Only base-table scans cross process boundaries. Rollups, the candidate
+// search, and all Stats accounting stay on the coordinator, which is what
+// makes the split safe: the workers are pure functions from (dims,
+// levels, row range) to a frequency set.
+//
+// The wire protocol is deliberately boring. Requests go down each
+// worker's stdin as single JSON lines (they are tiny and debuggable);
+// responses come back on stdout as a JSON header line carrying the
+// payload length (or an error string) followed by that many bytes of the
+// deterministic binary frequency-set encoding (relation.EncodeFreqSet —
+// compact where volume actually is). Workers are the same executable
+// re-exec'd with a hidden flag; they serve requests until stdin closes.
+package partition
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"incognito/internal/core"
+	"incognito/internal/relation"
+	"incognito/internal/resilience"
+)
+
+// request asks a worker for its share of one frequency set. Sparse
+// mirrors the coordinator's kernel choice at request time (the knob, or a
+// memory budget past its soft limit), so the worker's representation
+// decision matches the one a local scan would have made.
+type request struct {
+	Dims   []int `json:"dims"`
+	Levels []int `json:"levels"`
+	Sparse bool  `json:"sparse,omitempty"`
+}
+
+// response precedes each reply payload: Len bytes of encoded frequency
+// set follow, unless Err reports why the worker could not count.
+type response struct {
+	Len int    `json:"len,omitempty"`
+	Err string `json:"err,omitempty"`
+}
+
+// Peer is one connected worker from the coordinator's side: requests are
+// written to W, replies read from R, and Close releases the transport
+// (closing W first is the shutdown signal — workers exit on EOF).
+type Peer struct {
+	R io.Reader
+	W io.WriteCloser
+	// Close, when non-nil, reaps the transport after W is closed — for
+	// spawned workers it waits for process exit.
+	Close func() error
+	// Kill, when non-nil, tears the worker down forcibly. It is only used
+	// when the reply stream desynchronized (a transport error mid-scan), so
+	// the worker may be blocked mid-write and would never see the EOF.
+	Kill func() error
+}
+
+// Pool is the coordinator's handle on a set of partition workers. Its
+// Scan is the drop-in ScanOverride for core.Input: one request fans out
+// to every worker, the partial sets stream back, and the merge runs in
+// worker-index order, so the result is deterministic. A Pool serializes
+// its scans — the search requests them one at a time anyway.
+type Pool struct {
+	mu    sync.Mutex
+	peers []Peer
+	rs    []*bufio.Reader
+	ws    []*bufio.Writer
+	rows  int
+	buf   []byte // reusable payload buffer
+	// broken is set when a reply stream desynchronized (transport or
+	// decode failure): later scans refuse to run and Close kills the
+	// workers instead of waiting for their EOF handshake.
+	broken bool
+}
+
+// NewPool wires a coordinator over pre-connected peers. rows is the full
+// table's row count — the workload the decoded partials size their
+// representation for, matching a local scan of that table.
+func NewPool(rows int, peers []Peer) *Pool {
+	p := &Pool{peers: peers, rows: rows}
+	for _, pe := range peers {
+		p.rs = append(p.rs, bufio.NewReader(pe.R))
+		p.ws = append(p.ws, bufio.NewWriter(pe.W))
+	}
+	return p
+}
+
+// Rows returns the table row count the pool was built for; installers
+// check it against the table they are about to anonymize.
+func (p *Pool) Rows() int { return p.rows }
+
+// Workers returns the number of partition workers.
+func (p *Pool) Workers() int { return len(p.peers) }
+
+// SpawnSelf launches n copies of the current executable as partition
+// workers, one per row range. workerArgs composes the command line that
+// makes the copy load the same table and call Serve for range index/total
+// — the hidden worker flag of the CLIs. The workers' stderr is inherited
+// so their failures surface on the coordinator's stderr.
+func SpawnSelf(rows, n int, workerArgs func(index, total int) []string) (*Pool, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("partition: resolving own executable: %w", err)
+	}
+	peers := make([]Peer, 0, n)
+	fail := func(err error) (*Pool, error) {
+		NewPool(rows, peers).Close()
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, workerArgs(i, n)...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(fmt.Errorf("partition: worker %d stdin: %w", i, err))
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(fmt.Errorf("partition: worker %d stdout: %w", i, err))
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("partition: starting worker %d: %w", i, err))
+		}
+		peers = append(peers, Peer{R: stdout, W: stdin, Close: cmd.Wait, Kill: cmd.Process.Kill})
+	}
+	return NewPool(rows, peers), nil
+}
+
+// Scan counts one frequency set across every worker and merges the
+// partials. The request is written to all workers before any reply is
+// read, so the workers count concurrently; replies are then read and
+// merged in worker-index order, which fixes the merge order — counts are
+// additive, so the merged set equals the single-process scan exactly.
+//
+// Every worker's reply is consumed even after a failure, as long as the
+// streams stay framed: a worker-reported error (a refused request, a
+// recovered panic) leaves the pool usable for further scans. Only a
+// transport or decode failure — where the stream position is lost —
+// marks the pool broken; Close then tears the workers down instead of
+// handshaking.
+func (p *Pool) Scan(dims, levels []int, sparse bool) (*relation.FreqSet, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.peers) == 0 {
+		return nil, fmt.Errorf("partition: scan on a closed or empty pool")
+	}
+	if p.broken {
+		return nil, fmt.Errorf("partition: pool broken by an earlier transport failure")
+	}
+	line, err := json.Marshal(request{Dims: dims, Levels: levels, Sparse: sparse})
+	if err != nil {
+		return nil, err
+	}
+	line = append(line, '\n')
+	for i, w := range p.ws {
+		if _, err := w.Write(line); err != nil {
+			p.broken = true
+			return nil, fmt.Errorf("partition: sending to worker %d: %w", i, err)
+		}
+		if err := w.Flush(); err != nil {
+			p.broken = true
+			return nil, fmt.Errorf("partition: sending to worker %d: %w", i, err)
+		}
+	}
+	var out *relation.FreqSet
+	var firstErr error
+	for i, r := range p.rs {
+		part, err := p.readReply(i, r)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if p.broken {
+				return nil, firstErr // stream position lost: stop reading
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drained for framing only
+		}
+		if out == nil {
+			out = part
+		} else {
+			out.AddFrom(part)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// readReply consumes one worker's framed reply: header line, then the
+// payload. A worker-reported error keeps the stream in sync; a transport
+// or decode failure marks the pool broken.
+func (p *Pool) readReply(i int, r *bufio.Reader) (*relation.FreqSet, error) {
+	hdr, err := r.ReadBytes('\n')
+	if err != nil {
+		p.broken = true
+		return nil, fmt.Errorf("partition: reading worker %d header: %w", i, err)
+	}
+	var resp response
+	if err := json.Unmarshal(hdr, &resp); err != nil {
+		p.broken = true
+		return nil, fmt.Errorf("partition: worker %d sent a malformed header: %w", i, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("partition: worker %d: %s", i, resp.Err)
+	}
+	if resp.Len < 0 {
+		p.broken = true
+		return nil, fmt.Errorf("partition: worker %d claims a negative payload", i)
+	}
+	if cap(p.buf) < resp.Len {
+		p.buf = make([]byte, resp.Len)
+	}
+	payload := p.buf[:resp.Len]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		p.broken = true
+		return nil, fmt.Errorf("partition: reading worker %d payload: %w", i, err)
+	}
+	part, err := relation.DecodeFreqSet(payload, p.rows)
+	if err != nil {
+		p.broken = true
+		return nil, fmt.Errorf("partition: worker %d payload: %w", i, err)
+	}
+	return part, nil
+}
+
+// Close shuts the pool down: every worker's write side is closed (the EOF
+// is their exit signal), then their transports are reaped. A broken pool
+// kills its workers first — they may be blocked mid-write and would never
+// reach the EOF. The first graceful-path error wins but every peer is
+// still closed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for _, pe := range p.peers {
+		if err := pe.W.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, pe := range p.peers {
+		if p.broken && pe.Kill != nil {
+			pe.Kill() // unblock a worker stuck mid-write; Wait errors follow
+		}
+		if pe.Close != nil {
+			if err := pe.Close(); err != nil && first == nil && !p.broken {
+				first = err
+			}
+		}
+	}
+	p.peers, p.rs, p.ws = nil, nil, nil
+	return first
+}
+
+// Serve runs one worker's request loop: count rows [index·n/total,
+// (index+1)·n/total) of in's table for each request on r, stream the
+// encoded partials to w, return when r reaches EOF. A failure to count
+// one request — including a panic, recovered into a
+// *resilience.PanicError — is reported in that reply's header and the
+// loop continues; only transport errors end the loop early.
+func Serve(in *core.Input, index, total int, r io.Reader, w io.Writer) error {
+	if total < 1 || index < 0 || index >= total {
+		return fmt.Errorf("partition: worker index %d of %d out of range", index, total)
+	}
+	n := in.Table.NumRows()
+	lo, hi := index*n/total, (index+1)*n/total
+	bw := bufio.NewWriter(w)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var buf []byte
+	for sc.Scan() {
+		var req request
+		var payload []byte
+		err := json.Unmarshal(sc.Bytes(), &req)
+		if err == nil {
+			payload, err = countRequest(in, req, lo, hi, buf[:0])
+			buf = payload
+		}
+		hdr := response{Len: len(payload)}
+		if err != nil {
+			hdr = response{Err: err.Error()}
+		}
+		line, merr := json.Marshal(hdr)
+		if merr != nil {
+			return merr
+		}
+		if _, werr := bw.Write(append(line, '\n')); werr != nil {
+			return werr
+		}
+		if err == nil {
+			if _, werr := bw.Write(payload); werr != nil {
+				return werr
+			}
+		}
+		if werr := bw.Flush(); werr != nil {
+			return werr
+		}
+	}
+	return sc.Err()
+}
+
+// countRequest validates and executes one scan request under a recover
+// guard, so a panic in the counting kernel comes back as this request's
+// error instead of killing the worker process.
+func countRequest(in *core.Input, req request, lo, hi int, buf []byte) (payload []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			payload, err = nil, resilience.AsPanicError("partition_scan", r)
+		}
+	}()
+	if len(req.Dims) == 0 || len(req.Dims) != len(req.Levels) {
+		return nil, fmt.Errorf("malformed scan request: %d dims, %d levels", len(req.Dims), len(req.Levels))
+	}
+	for i, d := range req.Dims {
+		if d < 0 || d >= len(in.QI) {
+			return nil, fmt.Errorf("dim %d out of range [0,%d)", d, len(in.QI))
+		}
+		if l := req.Levels[i]; l < 0 || l > in.QI[d].H.Height() {
+			return nil, fmt.Errorf("level %d out of range for dim %d", l, d)
+		}
+	}
+	win := *in
+	win.SparseKernel = req.Sparse
+	f := win.ScanFreqRange(req.Dims, req.Levels, lo, hi)
+	return relation.EncodeFreqSet(buf, f), nil
+}

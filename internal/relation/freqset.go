@@ -4,10 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
-	"sync"
 
 	"incognito/internal/faultinject"
 	"incognito/internal/resilience"
+	"incognito/internal/sched"
 )
 
 // FreqSet is the frequency set of a table with respect to a set of columns
@@ -575,19 +575,28 @@ func GroupCount(t *Table, cols []int, recode [][]int32) *FreqSet {
 // core.Input — that already know the generalized domain sizes from the
 // hierarchies.
 func GroupCountWithCard(t *Table, cols []int, recode [][]int32, card []int) *FreqSet {
-	return groupCountRange(t, cols, recode, card, 0, t.NumRows())
+	return GroupCountRange(t, cols, recode, card, 0, t.NumRows())
 }
 
-// groupCountRange is GroupCountWithCard restricted to the row range
-// [lo, hi) — one shard of a parallel scan. On the dense path the recode
+// GroupCountRange is GroupCountWithCard restricted to the row range
+// [lo, hi) — one shard of a parallel scan, or one partition worker's
+// whole share of a multi-process scan. On the dense path the recode
 // lookup and the mixed-radix multiply fuse into one per-column table, so
 // counting a tuple is len(cols) array reads, one add each, and a single
 // increment — no hashing, no key packing.
-func groupCountRange(t *Table, cols []int, recode [][]int32, card []int, lo, hi int) *FreqSet {
+func GroupCountRange(t *Table, cols []int, recode [][]int32, card []int, lo, hi int) *FreqSet {
 	// The representation choice uses the whole table's row count, not the
 	// shard's, so every shard of a parallel scan picks the same layout and
 	// the merge stays a vector add.
 	f := newFreqSetSized(cols, card, t.NumRows())
+	f.countRange(t, cols, recode, lo, hi)
+	return f
+}
+
+// countRange folds the rows [lo, hi) of t into f — the body of
+// GroupCountRange, split out so a scan worker can accumulate several
+// chunks into one worker-local set without a merge per chunk.
+func (f *FreqSet) countRange(t *Table, cols []int, recode [][]int32, lo, hi int) {
 	columns := make([][]int32, len(cols))
 	for i, c := range cols {
 		columns[i] = t.Codes(c)
@@ -605,7 +614,7 @@ func groupCountRange(t *Table, cols []int, recode [][]int32, card []int, lo, hi 
 				}
 				f.dense[idx]++
 			}
-			return f
+			return
 		}
 		f.spill()
 	}
@@ -621,7 +630,6 @@ func groupCountRange(t *Table, cols []int, recode [][]int32, card []int, lo, hi 
 		}
 		f.bump(packKey(buf, codes), 1)
 	}
-	return f
 }
 
 // scanLUT builds the fused per-column scan tables for a dense group count:
@@ -656,8 +664,16 @@ func scanLUT(t *Table, cols []int, recode [][]int32, f *FreqSet) ([][]int64, boo
 // below it, goroutine and merge overhead dominates the counting itself.
 const minShardRows = 2048
 
-// GroupCountParallel is GroupCount with the base-table scan sharded across
-// up to `workers` goroutines: each worker counts a contiguous row range
+// scanChunksPerWorker oversubscribes the chunked scan: cutting the table
+// into a few times more chunks than workers lets the work-stealing
+// scheduler rebalance when chunks cost unevenly (cache effects, a dense
+// fallback to sparse mid-scan) or when a worker is preempted, without
+// multiplying the number of partial sets — partials are per-worker, not
+// per-chunk.
+const scanChunksPerWorker = 4
+
+// GroupCountParallel is GroupCount with the base-table scan chunked across
+// up to `workers` goroutines: each worker counts contiguous row ranges
 // into a private FreqSet and the partials are merged with AddFrom. Counts
 // are additive, so the result is identical to the sequential scan at every
 // worker count. workers ≤ 1 (or a table too small to shard) runs the plain
@@ -670,6 +686,18 @@ func GroupCountParallel(t *Table, cols []int, recode [][]int32, workers int) *Fr
 // cardinality bounds (nil card forces sparse). Dense shards share one
 // layout, so the merge is a vector add instead of a map iteration.
 func GroupCountParallelWithCard(t *Table, cols []int, recode [][]int32, card []int, workers int) *FreqSet {
+	return GroupCountParallelSched(t, cols, recode, card, workers, nil)
+}
+
+// GroupCountParallelSched is the scheduled form of the parallel scan: row
+// chunks (at least minShardRows each, a few per worker) become tasks of
+// the work-stealing scheduler, each worker accumulates the chunks it
+// executes — its own or stolen — into one worker-local FreqSet, and the
+// partials are merged in worker-index order. Counts are additive and
+// every chunk's layout decision uses the whole table's row count, so the
+// result is bit-identical to the sequential scan at every worker count
+// and every steal schedule. m may be nil (unmetered).
+func GroupCountParallelSched(t *Table, cols []int, recode [][]int32, card []int, workers int, m *sched.Metrics) *FreqSet {
 	n := t.NumRows()
 	if max := n / minShardRows; workers > max {
 		workers = max
@@ -677,36 +705,48 @@ func GroupCountParallelWithCard(t *Table, cols []int, recode [][]int32, card []i
 	if workers <= 1 {
 		return GroupCountWithCard(t, cols, recode, card)
 	}
-	parts := make([]*FreqSet, workers)
-	// Worker panic isolation: each shard recovers its own panic into a
-	// *resilience.PanicError naming the shard; the coordinator rethrows the
-	// lowest-indexed one after every shard finished, so the enclosing phase
-	// guard converts it to an error, no goroutine leaks, and the partially
-	// counted shards are never merged.
-	panics := make([]*resilience.PanicError, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[w] = resilience.AsPanicError(fmt.Sprintf("scan_shard[%d]", w), r)
-				}
-			}()
-			faultinject.Point("relation.scan_shard")
-			parts[w] = groupCountRange(t, cols, recode, card, lo, hi)
-		}(w, lo, hi)
+	chunks := workers * scanChunksPerWorker
+	if max := n / minShardRows; chunks > max {
+		chunks = max
 	}
-	wg.Wait()
+	parts := make([]*FreqSet, workers)
+	// Worker panic isolation: each chunk recovers its own panic into a
+	// *resilience.PanicError naming the chunk; the coordinator rethrows the
+	// lowest-indexed one after every chunk finished, so the enclosing phase
+	// guard converts it to an error, no goroutine leaks, and the partially
+	// counted partials are never merged.
+	panics := make([]*resilience.PanicError, chunks)
+	sched.Run(m, workers, chunks, func(w, c int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[c] = resilience.AsPanicError(fmt.Sprintf("scan_shard[%d]", c), r)
+			}
+		}()
+		faultinject.Point("relation.scan_shard")
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		if parts[w] == nil {
+			// Layout chosen from the whole table's rows, like every chunk:
+			// all partials agree, so the final merge is a vector add.
+			parts[w] = newFreqSetSized(cols, card, t.NumRows())
+		}
+		parts[w].countRange(t, cols, recode, lo, hi)
+	})
 	for _, pe := range panics {
 		if pe != nil {
 			panic(pe)
 		}
 	}
-	out := parts[0]
-	out.Merge(parts[1:]...)
+	var out *FreqSet
+	for _, p := range parts {
+		if p == nil {
+			continue // that worker never won a task
+		}
+		if out == nil {
+			out = p
+			continue
+		}
+		out.AddFrom(p)
+	}
 	return out
 }
 

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"incognito/internal/sched"
 	"incognito/internal/trace"
 )
 
@@ -14,6 +15,7 @@ import (
 type RunMetrics struct {
 	freqSetGroups *Histogram
 	rollupFanIn   *Histogram
+	sched         *sched.Metrics
 }
 
 // NewRunMetrics resolves the run-metric handles against the registry.
@@ -22,12 +24,54 @@ func (r *Registry) NewRunMetrics() *RunMetrics {
 	if r == nil {
 		return nil
 	}
-	return &RunMetrics{
+	m := &RunMetrics{
 		freqSetGroups: r.Histogram("incognito_freqset_groups",
 			"Groups per materialized frequency set (scan, rollup, or cube margin).", SizeBuckets),
 		rollupFanIn: r.Histogram("incognito_rollup_fanin",
 			"Source groups folded into each output group by a rollup or cube margin.", FanInBuckets),
+		sched: &sched.Metrics{},
 	}
+	registerScheduler(r, m.sched)
+	return m
+}
+
+// registerScheduler exposes a scheduler-metrics handle as export-time
+// gauges: its values live in the scheduler's atomics, so the hot paths
+// never touch the registry (the GaugeFunc bridge, like live Progress).
+func registerScheduler(r *Registry, m *sched.Metrics) {
+	r.GaugeFunc("incognito_sched_steals_total",
+		"Tasks taken from a sibling worker's deque by the work-stealing scheduler.",
+		func() float64 { return float64(m.Steals()) })
+	r.GaugeFunc("incognito_sched_tasks_total",
+		"Tasks executed by the work-stealing scheduler.",
+		func() float64 { return float64(m.Tasks()) })
+	r.GaugeFunc("incognito_sched_queue_depth",
+		"Tasks currently queued across all worker deques.",
+		func() float64 { return float64(m.QueueDepth()) })
+	r.GaugeFunc("incognito_sched_queue_depth_peak",
+		"High-water mark of tasks queued across all worker deques.",
+		func() float64 { return float64(m.QueueDepthPeak()) })
+	r.GaugeFunc("incognito_sched_workers",
+		"Worker count of the most recent parallel phase.",
+		func() float64 { return float64(m.Workers()) })
+	r.GaugeFunc("incognito_sched_worker_utilization",
+		"Fraction of scheduled worker time spent inside tasks (Σ busy / Σ workers × wall).",
+		m.Utilization)
+	r.GaugeFunc("incognito_sched_phases_total",
+		"Scheduler phases by dispatch mode: parallel spawned workers, inline ran on the calling goroutine (single worker, single task, or below the task-size floor).",
+		func() float64 { return float64(m.ParallelPhases()) }, "mode", "parallel")
+	r.GaugeFunc("incognito_sched_phases_total",
+		"Scheduler phases by dispatch mode: parallel spawned workers, inline ran on the calling goroutine (single worker, single task, or below the task-size floor).",
+		func() float64 { return float64(m.InlinePhases()) }, "mode", "inline")
+}
+
+// Sched returns the run's scheduler-metrics handle (nil when metrics are
+// disabled — the scheduler itself treats a nil handle as disabled).
+func (m *RunMetrics) Sched() *sched.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.sched
 }
 
 // ObserveFreqSetSize records the group count of a materialized frequency

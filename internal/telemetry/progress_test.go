@@ -107,3 +107,14 @@ func TestSampler(t *testing.T) {
 	}
 	StartSampler(nil, time.Millisecond)() // nil registry: no-op stop
 }
+
+func TestRunMetricsSchedHandle(t *testing.T) {
+	var nilRM *RunMetrics
+	if nilRM.Sched() != nil {
+		t.Fatal("nil RunMetrics must hand out a nil scheduler handle")
+	}
+	rm := NewRegistry().NewRunMetrics()
+	if rm.Sched() == nil {
+		t.Fatal("live RunMetrics must hand out a scheduler-metrics handle")
+	}
+}

@@ -1,0 +1,59 @@
+package incognito
+
+import (
+	"fmt"
+	"io"
+
+	"incognito/internal/core"
+	"incognito/internal/partition"
+)
+
+// PartitionPool distributes base-table frequency-set counting across
+// worker processes: the table's rows are split into one contiguous range
+// per worker, each worker counts its share of every requested frequency
+// set, and the coordinator merges the partial sets additively in worker
+// order — so a partitioned run's Solutions and Stats are bit-identical to
+// a single-process run's. Pass one in Config.Partition; the candidate
+// search, rollups, and all accounting stay in the coordinating process.
+type PartitionPool = partition.Pool
+
+// SpawnPartitionWorkers launches n copies of the current executable as
+// partition workers for table t. workerArgs composes the command line
+// that makes the re-exec'd copy load the same table and quasi-identifier
+// and call ServePartitionWorker with the given range index — CLIs expose
+// a hidden flag for exactly this. Close the pool when done with the run
+// AND its Result (Solution metrics such as Discernibility re-scan the
+// table through the pool).
+func SpawnPartitionWorkers(t *Table, n int, workerArgs func(index, total int) []string) (*PartitionPool, error) {
+	if t == nil {
+		return nil, fmt.Errorf("incognito: nil table")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("incognito: partition worker count must be >= 1, got %d", n)
+	}
+	return partition.SpawnSelf(t.rel.NumRows(), n, workerArgs)
+}
+
+// ServePartitionWorker runs a partition worker's request loop: it binds
+// the quasi-identifier against t exactly as AnonymizeContext would, then
+// counts this worker's row range (index of total) for every scan request
+// arriving on r, streaming the encoded partial frequency sets to w. It
+// returns when r reaches EOF — for a spawned worker, when the coordinator
+// closes the pool. The worker process must load the same table and QI
+// spec as the coordinator; a mismatch shows up as a scan error on the
+// coordinator, not silent corruption, because requests are validated
+// against the worker's own hierarchy heights.
+func ServePartitionWorker(t *Table, qi []QI, index, total int, r io.Reader, w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("incognito: nil table")
+	}
+	if len(qi) == 0 {
+		return fmt.Errorf("incognito: empty quasi-identifier")
+	}
+	attrs, _, err := bindQI(t, qi)
+	if err != nil {
+		return err
+	}
+	in := core.Input{Table: t.rel, QI: attrs}
+	return partition.Serve(&in, index, total, r, w)
+}

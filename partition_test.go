@@ -1,0 +1,222 @@
+package incognito_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	incognito "incognito"
+	"incognito/internal/partition"
+)
+
+// partitionTable builds a deterministic synthetic table big enough that
+// every worker of a small pool gets a non-trivial row range, with a QI
+// whose lattice has multiple families.
+func partitionTable(tb testing.TB, rows int) (*incognito.Table, []incognito.QI) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(17))
+	data := make([][]string, rows)
+	for i := range data {
+		data[i] = []string{
+			fmt.Sprintf("%05d", 53000+rng.Intn(40)),
+			[]string{"Male", "Female"}[rng.Intn(2)],
+			fmt.Sprintf("%d", 1950+rng.Intn(30)),
+		}
+	}
+	tab, err := incognito.NewTable([]string{"Zipcode", "Sex", "Year"}, data)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	qi := []incognito.QI{
+		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(3)},
+		{Column: "Sex", Hierarchy: incognito.Suppression()},
+		{Column: "Year", Hierarchy: incognito.RoundDigits(2)},
+	}
+	return tab, qi
+}
+
+// inProcessPool wires a partition pool whose workers are goroutines
+// serving over in-process pipes instead of child processes — the same
+// code path as spawned workers (ServePartitionWorker end to end, wire
+// codec included) minus the exec, so tests stay hermetic and fast.
+func inProcessPool(t *testing.T, tab *incognito.Table, qi []incognito.QI, n int) *incognito.PartitionPool {
+	t.Helper()
+	peers := make([]partition.Peer, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		reqR, reqW := io.Pipe()
+		respR, respW := io.Pipe()
+		wg.Add(1)
+		go func(i int, r *io.PipeReader, w *io.PipeWriter) {
+			defer wg.Done()
+			err := incognito.ServePartitionWorker(tab, qi, i, n, r, w)
+			w.CloseWithError(err)
+		}(i, reqR, respW)
+		peers[i] = partition.Peer{R: respR, W: reqW}
+	}
+	pool := partition.NewPool(tab.NumRows(), peers)
+	t.Cleanup(func() {
+		pool.Close()
+		wg.Wait()
+	})
+	return pool
+}
+
+// runLevels flattens a result to its solution level vectors for
+// comparison.
+func runLevels(res *incognito.Result) [][]int {
+	out := make([][]int, 0, res.Len())
+	for _, s := range res.Solutions() {
+		out = append(out, s.Levels())
+	}
+	return out
+}
+
+// TestPartitionedRunBitIdentical is the acceptance contract of the
+// partition mode: for every Incognito variant and both kernels, a run
+// whose scans are distributed across 1, 2, or 3 worker processes must
+// produce exactly the Solutions and Stats of the single-process run —
+// and so must the per-solution metrics that re-scan through the pool.
+func TestPartitionedRunBitIdentical(t *testing.T) {
+	tab, qi := partitionTable(t, 600)
+	for _, algo := range []incognito.Algorithm{
+		incognito.BasicIncognito, incognito.SuperRootsIncognito, incognito.CubeIncognito,
+	} {
+		for _, sparse := range []bool{false, true} {
+			base := incognito.Config{K: 4, Algorithm: algo, SparseKernel: sparse}
+			want, err := incognito.Anonymize(tab, qi, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBest, _ := want.Best(incognito.MinDiscernibility())
+			for _, parts := range []int{1, 2, 3} {
+				t.Run(fmt.Sprintf("%v/sparse=%v/partitions=%d", algo, sparse, parts), func(t *testing.T) {
+					cfg := base
+					cfg.Partition = inProcessPool(t, tab, qi, parts)
+					got, err := incognito.Anonymize(tab, qi, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if lv, wv := runLevels(got), runLevels(want); !equalLevels(lv, wv) {
+						t.Fatalf("partitioned solutions differ:\ngot  %v\nwant %v", lv, wv)
+					}
+					if got.Stats() != want.Stats() {
+						t.Fatalf("partitioned stats differ:\ngot  %+v\nwant %+v", got.Stats(), want.Stats())
+					}
+					best, ok := got.Best(incognito.MinDiscernibility())
+					if !ok {
+						t.Fatal("partitioned run lost its solutions")
+					}
+					if best.Discernibility() != wantBest.Discernibility() ||
+						best.Suppressed() != wantBest.Suppressed() {
+						t.Fatal("solution metrics diverged under partitioned scanning")
+					}
+				})
+			}
+		}
+	}
+}
+
+func equalLevels(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPartitionPoolValidation pins the guard rails: a pool built for a
+// different table is rejected up front, and a worker bound to a different
+// QI (shorter hierarchies than the coordinator requests) surfaces as a
+// scan error, not silent corruption.
+func TestPartitionPoolValidation(t *testing.T) {
+	tab, qi := partitionTable(t, 200)
+	other, _ := partitionTable(t, 120)
+	pool := inProcessPool(t, other, qi, 2)
+	if _, err := incognito.Anonymize(tab, qi, incognito.Config{K: 2, Partition: pool}); err == nil ||
+		!strings.Contains(err.Error(), "partition pool") {
+		t.Fatalf("pool/table row mismatch not rejected: %v", err)
+	}
+
+	// A worker bound to shorter hierarchies serves the search itself
+	// correctly (Incognito scans at level zero and rolls up locally), but
+	// the first scan at a generalized level — a solution metric's re-scan —
+	// must fail loudly on the worker's request validation.
+	shortQI := []incognito.QI{
+		{Column: "Zipcode", Hierarchy: incognito.RoundDigits(1)},
+		{Column: "Sex", Hierarchy: incognito.Suppression()},
+		{Column: "Year", Hierarchy: incognito.RoundDigits(1)},
+	}
+	mismatched := inProcessPool(t, tab, shortQI, 2)
+	res, err := incognito.Anonymize(tab, qi, incognito.Config{K: 2, Partition: mismatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("expected solutions")
+	}
+	// The last solution in height order is the lattice top — its levels
+	// exceed the short worker hierarchies, so its re-scan must be refused.
+	top := res.Solutions()[res.Len()-1]
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "partition") {
+				t.Fatalf("QI-mismatched worker scan did not surface a partition error: %v", r)
+			}
+		}()
+		top.Discernibility()
+	}()
+
+	if err := incognito.ServePartitionWorker(tab, qi, 3, 2, strings.NewReader(""), io.Discard); err == nil {
+		t.Fatal("out-of-range worker index accepted")
+	}
+	if err := incognito.ServePartitionWorker(nil, qi, 0, 2, strings.NewReader(""), io.Discard); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	if err := incognito.ServePartitionWorker(tab, nil, 0, 2, strings.NewReader(""), io.Discard); err == nil {
+		t.Fatal("empty quasi-identifier accepted")
+	}
+	badQI := []incognito.QI{{Column: "NoSuchColumn", Hierarchy: incognito.Suppression()}}
+	if err := incognito.ServePartitionWorker(tab, badQI, 0, 2, strings.NewReader(""), io.Discard); err == nil {
+		t.Fatal("unknown QI column accepted")
+	}
+
+	if _, err := incognito.SpawnPartitionWorkers(nil, 2, nil); err == nil {
+		t.Fatal("SpawnPartitionWorkers accepted a nil table")
+	}
+	if _, err := incognito.SpawnPartitionWorkers(tab, 0, nil); err == nil {
+		t.Fatal("SpawnPartitionWorkers accepted a zero worker count")
+	}
+}
+
+// TestPartitionWithIntraRunParallelism layers the two axes: partitioned
+// scans under a coordinator that also runs its family searches on the
+// work-stealing scheduler. Results must still match the sequential
+// single-process reference bit for bit.
+func TestPartitionWithIntraRunParallelism(t *testing.T) {
+	tab, qi := partitionTable(t, 600)
+	want, err := incognito.Anonymize(tab, qi, incognito.Config{K: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := incognito.Config{K: 3, Parallelism: 4, Partition: inProcessPool(t, tab, qi, 2)}
+	got, err := incognito.Anonymize(tab, qi, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalLevels(runLevels(got), runLevels(want)) || got.Stats() != want.Stats() {
+		t.Fatal("partitioned + parallel run diverged from the sequential reference")
+	}
+}
