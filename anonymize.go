@@ -72,6 +72,47 @@ type MemoryAccountant = resilience.Accountant
 // complete set. Test with errors.Is.
 var ErrDegraded = resilience.ErrDegraded
 
+// Fingerprint identifies a run's exact problem instance: the algorithm,
+// k, suppression threshold, lattice heights, row count, and an FNV-1a hash
+// of the quasi-identifier columns. Checkpoints are pinned to it so a
+// snapshot cannot resume against different data, and the incognitod result
+// cache builds its key from it (see RunFingerprint). Key renders it as a
+// compact stable string; Equal compares two instances.
+type Fingerprint = resilience.Fingerprint
+
+// RunFingerprint computes the Fingerprint an AnonymizeContext run over
+// (t, qi, cfg) would carry, without running the search. It binds the
+// quasi-identifier exactly like AnonymizeContext does, so it returns the
+// same validation errors on bad columns or hierarchies. The cost is one
+// pass over the QI columns (the table hash).
+//
+// Note for cache builders: the fingerprint covers the QI columns and the
+// hierarchy HEIGHTS only. Two requests over tables that differ in non-QI
+// columns, or with different hierarchy contents of equal height, share a
+// fingerprint while producing different releases — a result cache must
+// extend the key with hashes of the full dataset and of the hierarchy
+// definitions, as internal/service does.
+func RunFingerprint(t *Table, qi []QI, cfg Config) (Fingerprint, error) {
+	if t == nil {
+		return Fingerprint{}, fmt.Errorf("incognito: nil table")
+	}
+	if len(qi) == 0 {
+		return Fingerprint{}, fmt.Errorf("incognito: empty quasi-identifier")
+	}
+	if cfg.K < 1 {
+		return Fingerprint{}, fmt.Errorf("incognito: K must be at least 1, got %d", cfg.K)
+	}
+	if cfg.MaxSuppressed < 0 {
+		return Fingerprint{}, fmt.Errorf("incognito: negative MaxSuppressed %d", cfg.MaxSuppressed)
+	}
+	attrs, _, err := bindQI(t, qi)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	in := core.Input{Table: t.rel, QI: attrs, K: int64(cfg.K), MaxSuppress: int64(cfg.MaxSuppressed)}
+	return in.Fingerprint(cfg.Algorithm.String()), nil
+}
+
 // NewCheckpointer returns a Checkpointer writing to path; the empty path
 // returns nil, which disables checkpointing.
 func NewCheckpointer(path string) *Checkpointer { return resilience.NewCheckpointer(path) }

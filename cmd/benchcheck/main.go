@@ -59,10 +59,22 @@ import (
 	"incognito/internal/bench"
 )
 
+// validKinds lists every report kind benchcheck understands, in the order
+// they are documented. The -kind flag help and the unknown-kind error both
+// render from it, so adding a kind cannot leave either message stale.
+var validKinds = []string{"parallel", "kernel", "partition"}
+
+// kindList renders the valid kinds for usage and error text: "parallel,
+// kernel, or partition".
+func kindList() string {
+	n := len(validKinds)
+	return strings.Join(validKinds[:n-1], ", ") + ", or " + validKinds[n-1]
+}
+
 func main() {
 	golden := flag.String("golden", "", "path to the golden report (required unless -min-speedup is given)")
 	got := flag.String("got", "", "path to the freshly generated report (required)")
-	kind := flag.String("kind", "parallel", "report kind: parallel, kernel, or partition")
+	kind := flag.String("kind", validKinds[0], "report kind: "+kindList())
 	minSpeedup := flag.String("min-speedup", "", "per-algorithm speedup floors for -kind parallel, e.g. basic=1.5,superroots=1.5,cube=1.0; gated cells must be identical and meet their floor")
 	flag.Parse()
 	goldenOptional := *kind == "parallel" && *minSpeedup != ""
@@ -121,7 +133,7 @@ func main() {
 		}
 		diffs, cells = compareKernel(want, have), len(want.Cells)+len(want.Micro)
 	default:
-		fmt.Fprintf(os.Stderr, "benchcheck: unknown -kind %q (want parallel, kernel, or partition)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchcheck: unknown -kind %q (want %s)\n", *kind, kindList())
 		os.Exit(2)
 	}
 	if len(diffs) > 0 {

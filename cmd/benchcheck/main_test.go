@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -309,5 +310,53 @@ func TestLoaders(t *testing.T) {
 	}
 	if _, err := loadKernel(empty); err == nil {
 		t.Error("loadKernel accepted a cell-less report")
+	}
+}
+
+// TestKindUsageListsEveryKind pins the single source of truth for report
+// kinds: the -kind flag help and the unknown-kind error must both name
+// every valid kind, exactly as a caller would type it.
+func TestKindUsageListsEveryKind(t *testing.T) {
+	list := kindList()
+	for _, k := range validKinds {
+		if !strings.Contains(list, k) {
+			t.Errorf("kindList() = %q omits %q", list, k)
+		}
+	}
+	if want := "parallel, kernel, or partition"; list != want {
+		t.Errorf("kindList() = %q, want %q", list, want)
+	}
+}
+
+// TestCLIUnknownKindError runs the real binary: a bogus -kind must exit 2
+// and the error must enumerate every kind a caller could have meant, while
+// each valid kind must get past the kind check (failing later, on the
+// missing report files, with a different message).
+func TestCLIUnknownKindError(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "benchcheck")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building benchcheck: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-kind", "sideways", "-golden", "g.json", "-got", "x.json").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("bogus -kind: err %v (out %q), want exit 2", err, out)
+	}
+	if !strings.Contains(string(out), `unknown -kind "sideways"`) {
+		t.Errorf("error %q does not name the bad kind", out)
+	}
+	for _, k := range validKinds {
+		if !strings.Contains(string(out), k) {
+			t.Errorf("error %q omits valid kind %q", out, k)
+		}
+	}
+	for _, k := range validKinds {
+		out, err := exec.Command(bin, "-kind", k, "-golden", "missing.json", "-got", "missing.json").CombinedOutput()
+		if err == nil {
+			t.Fatalf("-kind %s with missing files succeeded", k)
+		}
+		if strings.Contains(string(out), "unknown -kind") {
+			t.Errorf("-kind %s rejected as unknown:\n%s", k, out)
+		}
 	}
 }

@@ -38,7 +38,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +51,7 @@ import (
 
 	incognito "incognito"
 	"incognito/internal/profiling"
+	"incognito/internal/qispec"
 	"incognito/internal/resilience"
 	"incognito/internal/telemetry"
 	"incognito/internal/version"
@@ -503,118 +503,26 @@ func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 	return nil
 }
 
+// The spec grammar lives in internal/qispec, shared verbatim with the
+// incognitod service so a daemon-served run parses exactly like a CLI run.
+// The CLI enables the file-reading hierarchy kinds; the service gates them.
+var cliSpecOptions = qispec.Options{AllowFiles: true}
+
 // parseQISpec parses 'Col=hier;Col=hier;…'.
 func parseQISpec(spec string) ([]incognito.QI, error) {
-	var out []incognito.QI
-	for _, part := range strings.Split(spec, ";") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		eq := strings.Index(part, "=")
-		if eq < 0 {
-			return nil, fmt.Errorf("incognito: bad QI entry %q (want Col=hierarchy)", part)
-		}
-		col := strings.TrimSpace(part[:eq])
-		h, err := parseHierarchy(strings.TrimSpace(part[eq+1:]))
-		if err != nil {
-			return nil, fmt.Errorf("incognito: column %q: %w", col, err)
-		}
-		out = append(out, incognito.QI{Column: col, Hierarchy: h})
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("incognito: empty -qi spec")
-	}
-	return out, nil
+	return qispec.ParseQI(spec, cliSpecOptions)
 }
 
 func parseHierarchy(spec string) (*incognito.Hierarchy, error) {
-	kind, arg := spec, ""
-	if i := strings.Index(spec, ":"); i >= 0 {
-		kind, arg = spec[:i], spec[i+1:]
-	}
-	switch kind {
-	case "suppress":
-		return incognito.Suppression(), nil
-	case "round":
-		n, err := strconv.Atoi(arg)
-		if err != nil {
-			return nil, fmt.Errorf("round wants a level count, got %q", arg)
-		}
-		return incognito.RoundDigits(n), nil
-	case "date":
-		return incognito.Dates(), nil
-	case "interval":
-		parts := strings.SplitN(arg, ":", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("interval wants origin:w1,w2,…, got %q", arg)
-		}
-		origin, err := strconv.Atoi(parts[0])
-		if err != nil {
-			return nil, fmt.Errorf("bad interval origin %q", parts[0])
-		}
-		var widths []int
-		for _, w := range strings.Split(parts[1], ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(w))
-			if err != nil {
-				return nil, fmt.Errorf("bad interval width %q", w)
-			}
-			widths = append(widths, n)
-		}
-		return incognito.Intervals(origin, widths...), nil
-	case "csv":
-		// A dimension-table CSV: base value plus one column per level,
-		// header naming the levels (the Fig. 6 row format).
-		if arg == "" {
-			return nil, fmt.Errorf("csv wants a file path")
-		}
-		return incognito.DimensionCSV(arg), nil
-	case "taxonomy":
-		data, err := os.ReadFile(arg)
-		if err != nil {
-			return nil, err
-		}
-		var parents []map[string]string
-		if err := json.Unmarshal(data, &parents); err != nil {
-			return nil, fmt.Errorf("taxonomy file %s: %w (want a JSON array of child→parent objects)", arg, err)
-		}
-		return incognito.Taxonomy(parents...), nil
-	}
-	return nil, fmt.Errorf("unknown hierarchy %q (want suppress, round:N, interval:O:W…, date, csv:FILE, or taxonomy:FILE)", spec)
+	return qispec.ParseHierarchy(spec, cliSpecOptions)
 }
 
 func parseAlgorithm(name string) (incognito.Algorithm, error) {
-	switch name {
-	case "basic":
-		return incognito.BasicIncognito, nil
-	case "superroots":
-		return incognito.SuperRootsIncognito, nil
-	case "cube":
-		return incognito.CubeIncognito, nil
-	case "bottomup":
-		return incognito.BottomUp, nil
-	case "bottomup-rollup":
-		return incognito.BottomUpRollup, nil
-	case "binary":
-		return incognito.BinarySearch, nil
-	case "materialized":
-		return incognito.MaterializedIncognito, nil
-	}
-	return 0, fmt.Errorf("incognito: unknown algorithm %q", name)
+	return qispec.ParseAlgorithm(name)
 }
 
 func parseCriterion(name string) (incognito.Criterion, error) {
-	switch name {
-	case "height":
-		return incognito.MinHeight(), nil
-	case "precision":
-		return incognito.MaxPrecision(), nil
-	case "discernibility":
-		return incognito.MinDiscernibility(), nil
-	case "avgclass":
-		return incognito.MinAvgClassSize(), nil
-	}
-	return nil, fmt.Errorf("incognito: unknown criterion %q", name)
+	return qispec.ParseCriterion(name)
 }
 
 // demoTable builds the paper's Patients example (Fig. 1) and its

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// binPath is the incognitod binary built once in TestMain.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "incognitod-test")
+	if err != nil {
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "incognitod")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		os.Stderr.WriteString("building incognitod: " + err.Error() + "\n" + string(out))
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+const patientsCSV = `Birthdate,Sex,Zipcode,Disease
+1/21/76,Male,53715,Flu
+4/13/86,Female,53715,Hepatitis
+2/28/76,Male,53703,Bronchitis
+1/21/76,Male,53703,Broken Arm
+4/13/86,Female,53706,Sprained Ankle
+2/28/76,Female,53706,Hang Nail
+`
+
+// daemon starts incognitod on a random port and returns its base URL, the
+// running command, and a function that (after the process exits) returns
+// the rest of its stderr.
+func daemon(t *testing.T, extraArgs ...string) (string, *exec.Cmd, func() string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(binPath, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The first stderr line announces the bound address.
+	sc := bufio.NewScanner(stderr)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		t.Fatalf("no listening line on stderr: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on http://"
+	i := strings.Index(line, marker)
+	if i < 0 {
+		cmd.Process.Kill()
+		t.Fatalf("unexpected first stderr line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len(marker):])
+	rest := &bytes.Buffer{}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for sc.Scan() {
+			rest.WriteString(sc.Text() + "\n")
+		}
+	}()
+	stderrRest := func() string {
+		<-readerDone
+		return rest.String()
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return base, cmd, stderrRest
+}
+
+func submitBody(t *testing.T, k int) []byte {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{
+		"csv":    patientsCSV,
+		"qi":     "Birthdate=suppress;Sex=round:1;Zipcode=round:2",
+		"policy": map[string]any{"k": k},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postJob(t *testing.T, base string, body []byte) map[string]any {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("POST /v1/jobs = %d: %v", resp.StatusCode, m)
+	}
+	return m
+}
+
+func waitDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		switch m["state"] {
+		case "done":
+			return
+		case "failed", "cancelled":
+			t.Fatalf("job %s reached %v: %v", id, m["state"], m["error"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	base, _, _ := daemon(t)
+
+	m := postJob(t, base, submitBody(t, 2))
+	id := m["id"].(string)
+	waitDone(t, base, id)
+
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d: %s", resp.StatusCode, body)
+	}
+	var payload struct {
+		Solutions   []json.RawMessage `json:"solutions"`
+		ReleasedCSV string            `json:"released_csv"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Solutions) != 2 || !strings.Contains(payload.ReleasedCSV, "537**") {
+		t.Fatalf("payload: %d solutions, csv:\n%s", len(payload.Solutions), payload.ReleasedCSV)
+	}
+
+	// The duplicate is answered from the cache without a second run.
+	dup := postJob(t, base, submitBody(t, 2))
+	if dup["cache_hit"] != true {
+		t.Fatalf("duplicate = %v, want cache_hit", dup)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"incognitod_runs_total 1", "incognitod_cache_hits 1", "incognitod_queue_depth"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDaemonSIGTERMDrains is the graceful-drain smoke test: a daemon with
+// work behind it gets SIGTERM, finishes, prints the drain summary, exits 0.
+func TestDaemonSIGTERMDrains(t *testing.T) {
+	base, cmd, stderrRest := daemon(t, "-drain-timeout", "10s")
+	m := postJob(t, base, submitBody(t, 2))
+	waitDone(t, base, m["id"].(string))
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Stderr EOF marks process exit; all pipe reads must complete before
+	// Wait per os/exec, so collect stderr first (with a hang guard).
+	summaryCh := make(chan string, 1)
+	go func() { summaryCh <- stderrRest() }()
+	var summary string
+	select {
+	case summary = <-summaryCh:
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("exit after SIGTERM: %v\nstderr:\n%s", err, summary)
+	}
+	if !strings.Contains(summary, "drained (completed=1 failed=0 cancelled=0)") {
+		t.Fatalf("missing drain summary in stderr:\n%s", summary)
+	}
+}
+
+func TestDaemonVersionFlag(t *testing.T) {
+	out, err := exec.Command(binPath, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-version: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "incognitod ") {
+		t.Fatalf("banner %q", out)
+	}
+}
+
+func TestDaemonUsageErrorsExit2(t *testing.T) {
+	cases := [][]string{
+		{"-workers", "0"},
+		{"-cache-max-bytes", "a lot"},
+		{"-mem-budget", "plenty"},
+		{"-log-format", "yaml"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		out, err := exec.Command(binPath, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: err %v (out %q), want exit 2", args, err, out)
+		}
+	}
+}
+
+func TestDaemonRejectsBadListenAddress(t *testing.T) {
+	out, err := exec.Command(binPath, "-addr", "256.0.0.1:bad").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("err %v (out %q), want exit 1", err, out)
+	}
+	if !strings.Contains(string(out), "listen") {
+		t.Fatalf("stderr %q does not mention listen", out)
+	}
+}
+
+func TestDaemonHealthz(t *testing.T) {
+	base, _, _ := daemon(t)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var m map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil || m["status"] != "ok" {
+		t.Fatalf("healthz body %v (%v)", m, err)
+	}
+}

@@ -186,7 +186,7 @@ func runSearch(in *Input, maker rootFreqMaker, label string) (*Result, error) {
 
 	var fp resilience.Fingerprint
 	if in.Check != nil || in.Resume != nil {
-		fp = in.fingerprint(label)
+		fp = in.Fingerprint(label)
 	}
 	var history [][]resilience.NodeKey
 	startIter := 1

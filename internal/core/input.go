@@ -350,13 +350,16 @@ func (in *Input) releaseFreq(f *relation.FreqSet) {
 // Harnesses sweeping many configurations against one shared snapshot use it
 // to resume only the cell the snapshot belongs to.
 func (in *Input) SnapshotMatches(snap *resilience.Snapshot, algorithm string) bool {
-	return snap != nil && snap.Fingerprint.Equal(in.fingerprint(algorithm))
+	return snap != nil && snap.Fingerprint.Equal(in.Fingerprint(algorithm))
 }
 
-// fingerprint pins a checkpoint to this exact problem instance: algorithm,
+// Fingerprint pins a checkpoint to this exact problem instance: algorithm,
 // lattice shape, parameters, and an FNV-1a hash of the table's QI columns,
-// so a snapshot can never be resumed against different data.
-func (in *Input) fingerprint(algorithm string) resilience.Fingerprint {
+// so a snapshot can never be resumed against different data. It is also
+// the identity the service layer keys its result cache on (extended there
+// with full-dataset and hierarchy-content hashes, which the checkpoint
+// identity does not need: a snapshot already lives next to its run).
+func (in *Input) Fingerprint(algorithm string) resilience.Fingerprint {
 	h := fnv.New64a()
 	rows := in.Table.NumRows()
 	buf := make([]byte, 4*len(in.QI))

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -80,6 +81,22 @@ func (f Fingerprint) Equal(other Fingerprint) bool {
 		}
 	}
 	return true
+}
+
+// Key renders the fingerprint as a compact stable string, the form cache
+// maps and log lines want. Two fingerprints are Equal exactly when their
+// Keys are equal: every identity field is encoded, heights positionally.
+func (f Fingerprint) Key() string {
+	var b strings.Builder
+	b.WriteString(f.Algorithm)
+	fmt.Fprintf(&b, "|k=%d|s=%d|rows=%d|table=%016x|heights=", f.K, f.MaxSuppress, f.Rows, f.TableHash)
+	for i, h := range f.Heights {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", h)
+	}
+	return b.String()
 }
 
 // Snapshot is one checkpoint of the Incognito outer loop. Iter is the

@@ -237,3 +237,29 @@ func TestNilCheckpointer(t *testing.T) {
 		t.Error("nil checkpointer accessors not zero")
 	}
 }
+
+// TestFingerprintKey pins the stable string form the service's result
+// cache keys on: injective over the fingerprint fields (Equal ⇔ same Key)
+// and stable across processes — changing it would orphan cached results.
+func TestFingerprintKey(t *testing.T) {
+	base := sampleSnapshot().Fingerprint
+	want := "Basic Incognito|k=2|s=1|rows=6|table=00000000deadbeef|heights=1,1,2"
+	if got := base.Key(); got != want {
+		t.Errorf("Key() = %q, want %q", got, want)
+	}
+	for name, mutate := range map[string]func(*Fingerprint){
+		"algorithm":  func(f *Fingerprint) { f.Algorithm = "Cube Incognito" },
+		"heights":    func(f *Fingerprint) { f.Heights = []int{1, 1, 3} },
+		"k":          func(f *Fingerprint) { f.K = 3 },
+		"suppress":   func(f *Fingerprint) { f.MaxSuppress = 0 },
+		"rows":       func(f *Fingerprint) { f.Rows = 7 },
+		"table hash": func(f *Fingerprint) { f.TableHash = 1 },
+	} {
+		other := base
+		other.Heights = append([]int(nil), base.Heights...)
+		mutate(&other)
+		if other.Key() == base.Key() {
+			t.Errorf("fingerprints differing in %s share a key", name)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package service is the long-lived anonymization daemon behind
+// cmd/incognitod: an HTTP JSON job API over the library's building blocks.
+// Submissions enter a bounded worker-pool queue with per-job panic
+// isolation, timeout, and memory-budget enforcement; identical submissions
+// are deduplicated twice — concurrent ones coalesce onto the single
+// in-flight run, completed ones are answered from a fingerprint-keyed LRU
+// result cache with a byte budget — and SIGTERM drains gracefully:
+// in-flight jobs finish (checkpointing under -checkpoint-dir), queued jobs
+// are cancelled, the process exits 0.
+//
+// The API surface (all JSON):
+//
+//	POST   /v1/jobs             submit {csv, qi, policy}; 202 queued,
+//	                            200 when coalesced or served from cache
+//	GET    /v1/jobs             list every job the daemon knows
+//	GET    /v1/jobs/{id}        status, live progress, pct and ETA
+//	GET    /v1/jobs/{id}/result the solution set, chosen best, released CSV
+//	DELETE /v1/jobs/{id}        cancel (dequeue, or cancel the run context)
+//	GET    /healthz             200 serving, 503 draining
+//	GET    /metrics             Prometheus text format (plus /debug/pprof)
+//
+// A daemon-served result is bit-identical to a cmd/incognito run over the
+// same dataset, QI spec, and policy: both parse the spec through
+// internal/qispec and release through the same Solution.Apply path — CI
+// diffs the two byte for byte.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	incognito "incognito"
+	"incognito/internal/qispec"
+	"incognito/internal/resilience"
+)
+
+// SubmitRequest is the POST /v1/jobs body: the dataset as inline CSV text
+// (first record is the header), the quasi-identifier spec in the CLI's
+// 'Col=hierarchy;…' grammar, and the per-job policy.
+type SubmitRequest struct {
+	CSV    string `json:"csv"`
+	QI     string `json:"qi"`
+	Policy Policy `json:"policy"`
+}
+
+// Policy is the per-job knob set — the request-body equivalent of the
+// cmd/incognito flags. Zero values take the daemon's defaults.
+type Policy struct {
+	// Algorithm is one of basic, superroots, cube, materialized, bottomup,
+	// bottomup-rollup, or binary (default basic).
+	Algorithm string `json:"algorithm,omitempty"`
+	// K is the anonymity parameter. Required, >= 1.
+	K int `json:"k"`
+	// MaxSuppress is the tuple-suppression threshold (default 0).
+	MaxSuppress int `json:"max_suppress,omitempty"`
+	// Parallelism bounds the run's intra-process workers (0 = daemon
+	// default; the daemon's default of 0 means all cores).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Kernel is auto (adaptive dense/sparse, the default) or sparse.
+	Kernel string `json:"kernel,omitempty"`
+	// MemBudget is a per-job soft memory budget like "64Mi"; empty takes
+	// the daemon default. Over 2x the budget the job fails with a partial
+	// result rather than growing without bound.
+	MemBudget string `json:"mem_budget,omitempty"`
+	// Timeout is a Go duration like "30s"; empty takes the daemon default,
+	// "0" disables even when the daemon has a default.
+	Timeout string `json:"timeout,omitempty"`
+	// Criterion picks the released solution: height (default), precision,
+	// discernibility, or avgclass.
+	Criterion string `json:"criterion,omitempty"`
+	// MaterializeBudget is the partial-cube group budget of the
+	// materialized algorithm (ignored otherwise).
+	MaterializeBudget int `json:"materialize_budget,omitempty"`
+}
+
+// SubmitResponse answers POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// CacheHit is true when the submission was answered from the result
+	// cache without queueing a run.
+	CacheHit bool `json:"cache_hit"`
+	// Coalesced is true when the submission attached to an identical job
+	// already queued or running; ID names that job.
+	Coalesced bool `json:"coalesced"`
+}
+
+// StatusResponse answers GET /v1/jobs/{id} and is the element type of the
+// GET /v1/jobs listing.
+type StatusResponse struct {
+	ID        string          `json:"id"`
+	State     State           `json:"state"`
+	CacheHit  bool            `json:"cache_hit"`
+	Coalesced int64           `json:"coalesced_submissions,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Created   time.Time       `json:"created"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Progress  *ProgressStatus `json:"progress,omitempty"`
+}
+
+// ProgressStatus is the live view of a running job, read from the run's
+// Progress atomics at request time.
+type ProgressStatus struct {
+	Phase         string  `json:"phase"`
+	NodesVisited  int64   `json:"nodes_visited"`
+	NodesTotal    int64   `json:"nodes_total"`
+	TuplesScanned int64   `json:"tuples_scanned"`
+	TableScans    int64   `json:"table_scans"`
+	Rollups       int64   `json:"rollups"`
+	ElapsedMS     int64   `json:"elapsed_ms"`
+	Pct           float64 `json:"pct,omitempty"`
+	ETAMS         int64   `json:"eta_ms,omitempty"`
+}
+
+// ResultPayload answers GET /v1/jobs/{id}/result. It is rendered once at
+// job completion, and its marshaled bytes are what the result cache stores
+// and what every later identical submission is answered with.
+type ResultPayload struct {
+	// Solutions is every k-anonymous full-domain generalization found, in
+	// height order (a single entry for the binary-search algorithm).
+	Solutions []SolutionPayload `json:"solutions"`
+	// Complete reports whether Solutions is the full set (false only for
+	// the binary-search algorithm).
+	Complete bool `json:"complete"`
+	// Best is the solution chosen under the policy criterion.
+	Best SolutionPayload `json:"best"`
+	// ReleasedCSV is Best applied to the table — byte-identical to the CSV
+	// cmd/incognito writes for the same inputs.
+	ReleasedCSV string `json:"released_csv"`
+	// Stats are the search's work counters.
+	Stats StatsPayload `json:"stats"`
+}
+
+// SolutionPayload describes one generalization.
+type SolutionPayload struct {
+	Levels    []int    `json:"levels"`
+	Names     []string `json:"names"`
+	Height    int      `json:"height"`
+	Precision float64  `json:"precision"`
+}
+
+// StatsPayload mirrors incognito.Stats on the wire.
+type StatsPayload struct {
+	NodesChecked int `json:"nodes_checked"`
+	NodesMarked  int `json:"nodes_marked"`
+	Candidates   int `json:"candidates"`
+	TableScans   int `json:"table_scans"`
+	Rollups      int `json:"rollups"`
+}
+
+// ErrorResponse is the body of every non-2xx API answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// resolved is a Policy with every string parsed and every default applied
+// — the form the worker runs and the cache key is derived from.
+type resolved struct {
+	algorithm   incognito.Algorithm
+	k           int
+	maxSuppress int
+	parallelism int
+	sparse      bool
+	memBudget   int64
+	timeout     time.Duration
+	criterion   incognito.Criterion
+	critName    string
+	matBudget   int
+}
+
+// resolve validates p against the daemon's defaults. Errors are request
+// errors (HTTP 400): the submitter's mistake, never the daemon's.
+func (c *Config) resolve(p Policy) (resolved, error) {
+	var r resolved
+	if p.K < 1 {
+		return r, fmt.Errorf("policy.k must be >= 1, got %d", p.K)
+	}
+	if p.MaxSuppress < 0 {
+		return r, fmt.Errorf("policy.max_suppress must be >= 0, got %d", p.MaxSuppress)
+	}
+	if p.Parallelism < 0 {
+		return r, fmt.Errorf("policy.parallelism must be >= 0, got %d", p.Parallelism)
+	}
+	if p.MaterializeBudget < 0 {
+		return r, fmt.Errorf("policy.materialize_budget must be >= 0, got %d", p.MaterializeBudget)
+	}
+	r.k, r.maxSuppress, r.matBudget = p.K, p.MaxSuppress, p.MaterializeBudget
+
+	algoName := p.Algorithm
+	if algoName == "" {
+		algoName = "basic"
+	}
+	algo, err := qispec.ParseAlgorithm(algoName)
+	if err != nil {
+		return r, fmt.Errorf("policy.algorithm: unknown algorithm %q", algoName)
+	}
+	r.algorithm = algo
+
+	switch p.Kernel {
+	case "", "auto":
+	case "sparse":
+		r.sparse = true
+	default:
+		return r, fmt.Errorf("policy.kernel must be auto or sparse, got %q", p.Kernel)
+	}
+
+	r.parallelism = p.Parallelism
+	if r.parallelism == 0 {
+		r.parallelism = c.DefaultParallelism
+	}
+
+	r.memBudget = c.DefaultMemBudget
+	if p.MemBudget != "" {
+		b, err := resilience.ParseByteSize(p.MemBudget)
+		if err != nil {
+			return r, fmt.Errorf("policy.mem_budget: %v", err)
+		}
+		r.memBudget = b
+	}
+
+	r.timeout = c.DefaultTimeout
+	if p.Timeout != "" {
+		d, err := time.ParseDuration(p.Timeout)
+		if err != nil || d < 0 {
+			return r, fmt.Errorf("policy.timeout: bad duration %q", p.Timeout)
+		}
+		r.timeout = d
+	}
+
+	r.critName = p.Criterion
+	if r.critName == "" {
+		r.critName = "height"
+	}
+	crit, err := qispec.ParseCriterion(r.critName)
+	if err != nil {
+		return r, fmt.Errorf("policy.criterion: unknown criterion %q", p.Criterion)
+	}
+	r.criterion = crit
+	return r, nil
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the fingerprint-keyed result cache: rendered result payloads
+// (marshaled ResultPayload bytes) keyed by the run identity string built
+// in jobKey, evicted least-recently-used under both a byte budget and an
+// entry cap. Safe for concurrent use; Get refreshes recency.
+//
+// Values are immutable byte slices rendered once at job completion, so a
+// hit costs one map lookup and no re-marshaling, and the byte accounting
+// is exact (the stored length is the served length).
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	maxEnts  int
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	rejected atomic.Int64 // payloads larger than the whole budget
+	evicted  atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded by maxBytes of stored payloads and
+// maxEntries entries. Non-positive bounds fall back to safe minimums
+// (1 MiB, 16 entries) — a daemon cache is never unbounded.
+func NewCache(maxBytes int64, maxEntries int) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	if maxEntries <= 0 {
+		maxEntries = 16
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		maxEnts:  maxEntries,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the payload cached under key and refreshes its recency.
+// Every call counts toward the hit/miss telemetry, so call it once per
+// submission, not speculatively.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	c.hits.Add(1)
+	return e.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting least-recently-used entries until the
+// byte budget and entry cap hold again. A payload larger than the whole
+// byte budget is not cached at all (counted in Rejected); storing an
+// existing key replaces its value.
+func (c *Cache) Put(key string, val []byte) {
+	if int64(len(val)) > c.maxBytes {
+		c.rejected.Add(1)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.maxBytes || c.ll.Len() > c.maxEnts {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.val))
+		c.evicted.Add(1)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the stored payload bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Hits, Misses, Rejected and Evicted are the cache's lifetime counters.
+func (c *Cache) Hits() int64     { return c.hits.Load() }
+func (c *Cache) Misses() int64   { return c.misses.Load() }
+func (c *Cache) Rejected() int64 { return c.rejected.Load() }
+func (c *Cache) Evicted() int64  { return c.evicted.Load() }
+
+// HitRatio returns hits/(hits+misses), 0 before the first lookup.
+func (c *Cache) HitRatio() float64 {
+	h, m := float64(c.Hits()), float64(c.Misses())
+	if h+m == 0 {
+		return 0
+	}
+	return h / (h + m)
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestCacheGetPutAndHitCounters(t *testing.T) {
+	c := NewCache(1<<20, 16)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("payload-a"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "payload-a" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+	if r := c.HitRatio(); r != 0.5 {
+		t.Fatalf("HitRatio = %v, want 0.5", r)
+	}
+}
+
+func TestCacheReplaceAdjustsBytes(t *testing.T) {
+	c := NewCache(1<<20, 16)
+	c.Put("k", make([]byte, 100))
+	c.Put("k", make([]byte, 40))
+	if c.Len() != 1 || c.Bytes() != 40 {
+		t.Fatalf("len=%d bytes=%d after replace, want 1/40", c.Len(), c.Bytes())
+	}
+}
+
+func TestCacheEntryCapEvictsLRU(t *testing.T) {
+	c := NewCache(1<<20, 3)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("c", []byte("3"))
+	c.Get("a") // refresh a: b becomes least recently used
+	c.Put("d", []byte("4"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; LRU eviction should have removed it")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted, want kept", k)
+		}
+	}
+	if c.Evicted() != 1 {
+		t.Fatalf("Evicted = %d, want 1", c.Evicted())
+	}
+}
+
+func TestCacheOversizedPayloadRejected(t *testing.T) {
+	c := NewCache(64, 16)
+	c.Put("big", make([]byte, 65))
+	if c.Len() != 0 || c.Rejected() != 1 {
+		t.Fatalf("len=%d rejected=%d, want 0/1", c.Len(), c.Rejected())
+	}
+}
+
+// TestCacheByteBudgetInvariant is the eviction property test: under a
+// random workload of puts, replacements, and lookups, the cache never
+// exceeds its byte budget or entry cap, and its byte accounting always
+// equals the sum of the stored payload lengths.
+func TestCacheByteBudgetInvariant(t *testing.T) {
+	const maxBytes, maxEnts = 1000, 8
+	c := NewCache(maxBytes, maxEnts)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(20))
+		switch rng.Intn(3) {
+		case 0, 1:
+			c.Put(key, make([]byte, rng.Intn(maxBytes+100)))
+		case 2:
+			c.Get(key)
+		}
+		if c.Bytes() > maxBytes {
+			t.Fatalf("step %d: bytes %d over budget %d", i, c.Bytes(), maxBytes)
+		}
+		if c.Len() > maxEnts {
+			t.Fatalf("step %d: %d entries over cap %d", i, c.Len(), maxEnts)
+		}
+		var sum int64
+		c.mu.Lock()
+		for e := c.ll.Front(); e != nil; e = e.Next() {
+			sum += int64(len(e.Value.(*cacheEntry).val))
+		}
+		if sum != c.bytes {
+			c.mu.Unlock()
+			t.Fatalf("step %d: accounted %d bytes, stored %d", i, c.bytes, sum)
+		}
+		if c.ll.Len() != len(c.items) {
+			c.mu.Unlock()
+			t.Fatalf("step %d: list %d vs map %d", i, c.ll.Len(), len(c.items))
+		}
+		c.mu.Unlock()
+	}
+	if c.Evicted() == 0 {
+		t.Fatal("workload produced no evictions; property untested")
+	}
+}
+
+func TestCacheDefaultsOnNonPositiveBounds(t *testing.T) {
+	c := NewCache(0, 0)
+	c.Put("k", make([]byte, 1<<10))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("default-bounded cache rejected a 1KiB payload")
+	}
+}

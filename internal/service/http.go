@@ -1,0 +1,134 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"incognito/internal/telemetry"
+)
+
+// Handler builds the daemon's HTTP mux: the /v1 job API plus the standard
+// telemetry surface (/metrics, /debug/pprof) mounted on the same listener,
+// so one scrape target covers the whole process.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	telemetry.Mount(mux, s.cfg.Registry)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	// An encode failure past the header cannot be reported to the client;
+	// the body is simply truncated and the status already said what counts.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "request body: %v", err)
+		return
+	}
+	resp, serr := s.Submit(req)
+	if serr != nil {
+		writeError(w, serr.status, "%s", serr.msg)
+		return
+	}
+	// A fresh job is 202 Accepted (the work is pending); a cache hit or a
+	// coalesced duplicate answers with 200 (the work already exists).
+	status := http.StatusAccepted
+	if resp.CacheHit || resp.Coalesced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]StatusResponse, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	state, errMsg, result := j.state, j.err, j.result
+	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(result)
+	case StateFailed, StateCancelled:
+		writeError(w, http.StatusConflict, "job %s %s: %s", j.ID, state, errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; poll GET /v1/jobs/%s until done", j.ID, state, j.ID)
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, cancelled := s.Cancel(id)
+	if !found {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if !cancelled {
+		writeError(w, http.StatusConflict, "job %s already finished", id)
+		return
+	}
+	j, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "incognitod endpoints:")
+	fmt.Fprintln(w, "  POST   /v1/jobs             submit {csv, qi, policy}")
+	fmt.Fprintln(w, "  GET    /v1/jobs             list jobs")
+	fmt.Fprintln(w, "  GET    /v1/jobs/{id}        job status and live progress")
+	fmt.Fprintln(w, "  GET    /v1/jobs/{id}/result solution set and released CSV")
+	fmt.Fprintln(w, "  DELETE /v1/jobs/{id}        cancel a job")
+	fmt.Fprintln(w, "  GET    /healthz             liveness (503 while draining)")
+	fmt.Fprintln(w, "  GET    /metrics             Prometheus text format")
+	fmt.Fprintln(w, "  GET    /debug/pprof/        runtime profiles (pprof)")
+}

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"time"
+
+	incognito "incognito"
+	"incognito/internal/telemetry"
+)
+
+// State is a job's lifecycle position. Transitions only move forward:
+// queued → running → done|failed, or queued|running → cancelled.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submission's lifecycle record. The parsed table, bound QI and
+// resolved policy are carried from submission (where validation happens)
+// to the worker that runs them; the result is kept as marshaled
+// ResultPayload bytes, shared with the cache.
+type Job struct {
+	ID  string
+	key string // cache identity; see jobKey
+
+	table *incognito.Table
+	qi    []incognito.QI
+	pol   resolved
+
+	progress *telemetry.Progress
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cacheHit  bool
+	coalesced int64
+	cancel    context.CancelFunc
+	// cancelReq closes the take→setCancel window: a DELETE landing after
+	// the worker took the job but before it installed the run context is
+	// remembered here and honored by setCancel.
+	cancelReq bool
+	result    []byte
+}
+
+// take transitions queued → running; false when the job was cancelled
+// while waiting in the queue (the worker skips it).
+func (j *Job) take() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// setCancel installs the running job's context cancel so DELETE (and the
+// drain deadline) can stop it. If cancellation was requested between take
+// and here, the installed context is cancelled immediately.
+func (j *Job) setCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	requested := j.cancelReq
+	if !requested {
+		j.cancel = cancel
+	}
+	j.mu.Unlock()
+	if requested {
+		cancel()
+	}
+}
+
+// finishLocked seals a terminal state; the caller holds j.mu.
+func (j *Job) finishLocked(s State, errMsg string) {
+	j.state = s
+	j.err = errMsg
+	j.finished = time.Now()
+	j.cancel = nil
+}
+
+// complete marks the job done with its rendered result.
+func (j *Job) complete(payload []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = payload
+	j.finishLocked(StateDone, "")
+}
+
+// fail marks the job failed with the run's error.
+func (j *Job) fail(errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(StateFailed, errMsg)
+}
+
+// cancelJob requests cancellation: a queued job is finalized on the spot
+// (the worker will skip it), a running one has its context cancelled and
+// reaches StateCancelled when the run returns. acted is false when the job
+// was already terminal; finalized is true when the job was still queued
+// and is cancelled right here (the caller accounts for it — running jobs
+// are accounted for where the run returns).
+func (j *Job) cancelJob(reason string) (acted, finalized bool) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false, false
+	}
+	if j.state == StateQueued {
+		j.finishLocked(StateCancelled, reason)
+		j.mu.Unlock()
+		return true, true
+	}
+	j.cancelReq = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true, false
+}
+
+// cancelled marks a running job's terminal state after its run returned
+// with a cancellation error.
+func (j *Job) cancelled(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(StateCancelled, reason)
+}
+
+// Status renders the job for the API, sampling the live progress atomics
+// when the job is running.
+func (j *Job) Status() StatusResponse {
+	j.mu.Lock()
+	resp := StatusResponse{
+		ID:        j.ID,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
+		Error:     j.err,
+		Created:   j.created,
+	}
+	started, finished := j.started, j.finished
+	running := j.state == StateRunning
+	j.mu.Unlock()
+	if !started.IsZero() {
+		s := started
+		resp.Started = &s
+	}
+	if !finished.IsZero() {
+		f := finished
+		resp.Finished = &f
+	}
+	if running && j.progress != nil {
+		resp.Progress = progressStatus(j.progress, started)
+	}
+	return resp
+}
+
+// progressStatus converts a Progress snapshot into the wire form, with the
+// same pct/ETA extrapolation the CLI's periodic reporter uses.
+func progressStatus(p *telemetry.Progress, started time.Time) *ProgressStatus {
+	s := p.Snapshot()
+	elapsed := time.Since(started)
+	out := &ProgressStatus{
+		Phase:         s.Phase,
+		NodesVisited:  s.NodesVisited,
+		NodesTotal:    s.NodesTotal,
+		TuplesScanned: s.TuplesScanned,
+		TableScans:    s.TableScans,
+		Rollups:       s.Rollups,
+		ElapsedMS:     elapsed.Milliseconds(),
+	}
+	if s.NodesTotal > 0 && s.NodesVisited > 0 && s.NodesVisited <= s.NodesTotal {
+		frac := float64(s.NodesVisited) / float64(s.NodesTotal)
+		out.Pct = 100 * frac
+		out.ETAMS = time.Duration(float64(elapsed) * (1 - frac) / frac).Milliseconds()
+	}
+	return out
+}
+
+// renderResult builds the cacheable result payload from a finished run.
+func renderResult(res *incognito.Result, pol resolved) (ResultPayload, error) {
+	sols := res.Solutions()
+	out := ResultPayload{
+		Solutions: make([]SolutionPayload, len(sols)),
+		Complete:  res.Complete(),
+		Stats: StatsPayload{
+			NodesChecked: res.Stats().NodesChecked,
+			NodesMarked:  res.Stats().NodesMarked,
+			Candidates:   res.Stats().Candidates,
+			TableScans:   res.Stats().TableScans,
+			Rollups:      res.Stats().Rollups,
+		},
+	}
+	for i, s := range sols {
+		out.Solutions[i] = solutionPayload(s)
+	}
+	best, _ := res.Best(pol.criterion)
+	out.Best = solutionPayload(best)
+	view, err := best.Apply()
+	if err != nil {
+		return out, err
+	}
+	var csv strings.Builder
+	if err := view.WriteCSV(&csv); err != nil {
+		return out, err
+	}
+	out.ReleasedCSV = csv.String()
+	return out, nil
+}
+
+func solutionPayload(s incognito.Solution) SolutionPayload {
+	return SolutionPayload{
+		Levels:    s.Levels(),
+		Names:     s.LevelNames(),
+		Height:    s.Height(),
+		Precision: s.Precision(),
+	}
+}

@@ -1,0 +1,482 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	incognito "incognito"
+	"incognito/internal/qispec"
+	"incognito/internal/resilience"
+	"incognito/internal/telemetry"
+)
+
+// Config sizes the daemon and supplies per-job defaults.
+type Config struct {
+	// Workers is the job-level worker pool size (>= 1; each job may use
+	// further intra-run parallelism per its policy).
+	Workers int
+	// QueueDepth bounds the jobs waiting behind the running ones;
+	// submissions beyond it are rejected with 429 rather than queued
+	// without bound.
+	QueueDepth int
+	// CacheMaxBytes and CacheMaxEntries bound the result cache.
+	CacheMaxBytes   int64
+	CacheMaxEntries int
+	// AllowFileHierarchies permits taxonomy:FILE/csv:FILE hierarchy kinds
+	// in request QI specs (off by default: a request must not make the
+	// daemon read arbitrary local paths).
+	AllowFileHierarchies bool
+	// CheckpointDir, when set, gives every Incognito-variant job a
+	// checkpoint file dir/<job-id>.ckpt: a job cancelled mid-run (DELETE,
+	// timeout, drain deadline) leaves a resumable snapshot behind.
+	CheckpointDir string
+	// DefaultTimeout, DefaultMemBudget and DefaultParallelism apply to
+	// jobs whose policy leaves the knob empty.
+	DefaultTimeout     time.Duration
+	DefaultMemBudget   int64
+	DefaultParallelism int
+	// DrainTimeout bounds how long Drain waits for in-flight jobs before
+	// cancelling their contexts (0 waits forever).
+	DrainTimeout time.Duration
+	// Registry, when non-nil, receives the service gauges (queue depth,
+	// active jobs, cache occupancy and hit ratio, run counters).
+	Registry *telemetry.Registry
+	// Logger, when non-nil, receives job lifecycle events.
+	Logger *slog.Logger
+}
+
+// Service is the queue, cache, and job table behind the HTTP API.
+type Service struct {
+	cfg   Config
+	cache *Cache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing
+	inflight map[string]*Job // cache key → queued-or-running job
+	queue    chan *Job
+	draining bool
+
+	wg        sync.WaitGroup
+	active    atomic.Int64
+	runs      atomic.Int64 // underlying anonymization runs started
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	coalesce  atomic.Int64
+	seq       atomic.Int64
+
+	// testHookBeforeRun, when non-nil, runs on the worker goroutine just
+	// before a job's anonymization starts — the seam the concurrency tests
+	// use to hold a run in flight deterministically.
+	testHookBeforeRun func(*Job)
+}
+
+// New builds the service and starts its worker pool. Close it with Drain.
+func New(cfg Config) *Service {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	s := &Service{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheMaxBytes, cfg.CacheMaxEntries),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	s.registerMetrics()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// registerMetrics exposes the service's live state on the telemetry
+// registry, following the repo convention of bridging atomics as
+// GaugeFuncs (evaluated at scrape time).
+func (s *Service) registerMetrics() {
+	reg := s.cfg.Registry
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("incognitod_queue_depth", "Jobs waiting in the queue (not yet running).",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("incognitod_queue_capacity", "Bound on jobs waiting in the queue.",
+		func() float64 { return float64(cap(s.queue)) })
+	reg.GaugeFunc("incognitod_jobs_active", "Jobs currently running on the worker pool.",
+		func() float64 { return float64(s.active.Load()) })
+	reg.GaugeFunc("incognitod_jobs_completed", "Jobs finished successfully since start.",
+		func() float64 { return float64(s.completed.Load()) })
+	reg.GaugeFunc("incognitod_jobs_failed", "Jobs finished with an error since start.",
+		func() float64 { return float64(s.failed.Load()) })
+	reg.GaugeFunc("incognitod_jobs_cancelled", "Jobs cancelled before completing since start.",
+		func() float64 { return float64(s.cancelled.Load()) })
+	reg.GaugeFunc("incognitod_runs_total", "Underlying anonymization runs started (deduplicated submissions share one).",
+		func() float64 { return float64(s.runs.Load()) })
+	reg.GaugeFunc("incognitod_coalesced_total", "Submissions that attached to an identical in-flight job.",
+		func() float64 { return float64(s.coalesce.Load()) })
+	reg.GaugeFunc("incognitod_cache_entries", "Result-cache entries.",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("incognitod_cache_bytes", "Result-cache stored payload bytes.",
+		func() float64 { return float64(s.cache.Bytes()) })
+	reg.GaugeFunc("incognitod_cache_hits", "Result-cache hits since start.",
+		func() float64 { return float64(s.cache.Hits()) })
+	reg.GaugeFunc("incognitod_cache_misses", "Result-cache misses since start.",
+		func() float64 { return float64(s.cache.Misses()) })
+	reg.GaugeFunc("incognitod_cache_evictions", "Result-cache entries evicted under the byte/entry budget.",
+		func() float64 { return float64(s.cache.Evicted()) })
+	reg.GaugeFunc("incognitod_cache_hit_ratio", "hits/(hits+misses) since start, 0 before the first lookup.",
+		func() float64 { return s.cache.HitRatio() })
+}
+
+// submitError is a rejection with its HTTP status.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+func reject(status int, format string, args ...any) *submitError {
+	return &submitError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// jobKey derives the cache identity of a submission. The base is the
+// resilience fingerprint (algorithm, k, suppression, lattice heights, row
+// count, QI-column hash) — the same identity checkpoints pin — extended
+// with what a RESULT additionally depends on and the fingerprint cannot
+// see: the full dataset bytes (released views carry non-QI columns), the
+// canonical QI spec (two hierarchies of equal height may generalize
+// differently), and the minimality criterion (it picks the released
+// solution). Kernel, parallelism, memory budget and timeout are
+// deliberately absent: they are bit-identical-result knobs, so sibling
+// submissions differing only there share one cache entry.
+func jobKey(fp incognito.Fingerprint, csv, qiSpec, critName string) string {
+	data := sha256.Sum256([]byte(csv))
+	spec := sha256.Sum256([]byte(qispec.Canonical(qiSpec)))
+	return fp.Key() +
+		"|data=" + hex.EncodeToString(data[:8]) +
+		"|spec=" + hex.EncodeToString(spec[:8]) +
+		"|crit=" + critName
+}
+
+// Submit validates a request and either answers it from the cache, attaches
+// it to an identical in-flight job, or queues a new job. The returned
+// *submitError (nil on success) carries the HTTP status for rejections.
+func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
+	pol, err := s.cfg.resolve(req.Policy)
+	if err != nil {
+		return nil, reject(400, "%v", err)
+	}
+	if strings.TrimSpace(req.CSV) == "" {
+		return nil, reject(400, "csv: empty dataset")
+	}
+	table, err := incognito.ReadCSV(strings.NewReader(req.CSV))
+	if err != nil {
+		return nil, reject(400, "csv: %v", err)
+	}
+	qi, err := qispec.ParseQI(req.QI, qispec.Options{AllowFiles: s.cfg.AllowFileHierarchies})
+	if err != nil {
+		return nil, reject(400, "qi: %v", err)
+	}
+	// RunFingerprint doubles as the full request validation: it binds the
+	// QI against the table exactly like the run itself would, so bad
+	// column names or unbindable hierarchies are rejected here with 400,
+	// never queued to fail later.
+	fp, err := incognito.RunFingerprint(table, qi, incognito.Config{
+		K: pol.k, MaxSuppressed: pol.maxSuppress, Algorithm: pol.algorithm,
+	})
+	if err != nil {
+		return nil, reject(400, "%v", err)
+	}
+	key := jobKey(fp, req.CSV, req.QI, pol.critName)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, reject(503, "daemon is draining, not accepting jobs")
+	}
+	if payload, ok := s.cache.Get(key); ok {
+		j := s.newJobLocked(key, table, qi, pol)
+		j.cacheHit = true
+		j.result = payload
+		j.state = StateDone
+		j.finished = j.created
+		s.logJob(j, "served from cache")
+		return &SubmitResponse{ID: j.ID, State: StateDone, CacheHit: true}, nil
+	}
+	if prior := s.inflight[key]; prior != nil {
+		prior.mu.Lock()
+		prior.coalesced++
+		state := prior.state
+		prior.mu.Unlock()
+		s.coalesce.Add(1)
+		s.logJob(prior, "coalesced duplicate submission")
+		return &SubmitResponse{ID: prior.ID, State: state, Coalesced: true}, nil
+	}
+	j := s.newJobLocked(key, table, qi, pol)
+	j.state = StateQueued
+	j.progress = telemetry.NewProgress()
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		return nil, reject(429, "queue full (%d queued, %d running)", len(s.queue), s.active.Load())
+	}
+	s.inflight[key] = j
+	s.logJob(j, "queued")
+	return &SubmitResponse{ID: j.ID, State: StateQueued}, nil
+}
+
+// newJobLocked allocates and registers a job record; s.mu is held.
+func (s *Service) newJobLocked(key string, table *incognito.Table, qi []incognito.QI, pol resolved) *Job {
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.seq.Add(1)),
+		key:     key,
+		table:   table,
+		qi:      qi,
+		pol:     pol,
+		created: time.Now(),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+// Job returns a job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// Cancel cancels a job by ID; false when unknown or already terminal.
+func (s *Service) Cancel(id string) (found, cancelled bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return false, false
+	}
+	acted, finalized := j.cancelJob("cancelled by request")
+	if finalized {
+		s.cancelled.Add(1)
+	}
+	if acted {
+		s.logJob(j, "cancel requested")
+	}
+	return true, acted
+}
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Runs returns how many underlying anonymization runs were started — the
+// number deduplication keeps below the submission count.
+func (s *Service) Runs() int64 { return s.runs.Load() }
+
+// Cache exposes the result cache (telemetry and tests).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// worker drains the queue until it closes, skipping jobs cancelled while
+// queued. A panic inside a run is contained to the job: runJob recovers,
+// the worker keeps serving.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if j.take() {
+			s.runJob(j)
+		}
+		s.mu.Lock()
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// runJob executes one job with panic isolation, timeout and memory-budget
+// enforcement, then publishes the rendered result to the cache.
+func (s *Service) runJob(j *Job) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			// AnonymizeContext already converts worker-goroutine panics to
+			// errors; this guard catches panics on the job's own goroutine
+			// (request-shaped data hitting a library invariant), so one
+			// poisoned job cannot take the worker down.
+			s.failed.Add(1)
+			j.fail(resilience.AsPanicError("job", r).Error())
+			s.logJob(j, "panicked")
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if j.pol.timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), j.pol.timeout)
+	}
+	j.setCancel(cancel)
+	defer cancel()
+
+	if s.testHookBeforeRun != nil {
+		s.testHookBeforeRun(j)
+	}
+
+	cfg := incognito.Config{
+		K:                 j.pol.k,
+		MaxSuppressed:     j.pol.maxSuppress,
+		Algorithm:         j.pol.algorithm,
+		MaterializeBudget: j.pol.matBudget,
+		Parallelism:       j.pol.parallelism,
+		SparseKernel:      j.pol.sparse,
+		MemoryBudgetBytes: j.pol.memBudget,
+		Progress:          j.progress,
+	}
+	if s.cfg.CheckpointDir != "" {
+		switch j.pol.algorithm {
+		case incognito.BasicIncognito, incognito.SuperRootsIncognito,
+			incognito.CubeIncognito, incognito.MaterializedIncognito:
+			cfg.Checkpoint = incognito.NewCheckpointer(filepath.Join(s.cfg.CheckpointDir, j.ID+".ckpt"))
+		}
+	}
+
+	s.runs.Add(1)
+	s.logJob(j, "running")
+	res, err := incognito.AnonymizeContext(ctx, j.table, j.qi, cfg)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			s.cancelled.Add(1)
+			j.cancelled(err.Error())
+			s.logJob(j, "cancelled mid-run")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.failed.Add(1)
+			j.fail("timed out: " + err.Error())
+			s.logJob(j, "timed out")
+		default:
+			s.failed.Add(1)
+			j.fail(err.Error())
+			s.logJob(j, "failed")
+		}
+		return
+	}
+	if res.Len() == 0 {
+		s.failed.Add(1)
+		j.fail(fmt.Sprintf("no %d-anonymous full-domain generalization exists (table too small for k?)", j.pol.k))
+		s.logJob(j, "failed")
+		return
+	}
+	payload, err := renderResult(res, j.pol)
+	if err != nil {
+		s.failed.Add(1)
+		j.fail(err.Error())
+		s.logJob(j, "failed")
+		return
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		s.failed.Add(1)
+		j.fail(err.Error())
+		s.logJob(j, "failed")
+		return
+	}
+	j.complete(raw)
+	s.cache.Put(j.key, raw)
+	s.completed.Add(1)
+	s.logJob(j, "done")
+}
+
+// Drain gracefully shuts the pool down: new submissions are rejected,
+// queued jobs are cancelled (with CheckpointDir, a cancelled running job
+// leaves a resumable snapshot), in-flight jobs get up to DrainTimeout to
+// finish before their contexts are cancelled, and Drain returns when every
+// worker has exited. Idempotent; concurrent calls all block until done.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	var queued []*Job
+	if !already {
+		for _, id := range s.order {
+			if j := s.jobs[id]; j != nil {
+				j.mu.Lock()
+				isQueued := j.state == StateQueued
+				j.mu.Unlock()
+				if isQueued {
+					queued = append(queued, j)
+				}
+			}
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	for _, j := range queued {
+		if _, finalized := j.cancelJob("daemon shutting down before the job started"); finalized {
+			s.cancelled.Add(1)
+			s.logJob(j, "cancelled by drain")
+		}
+	}
+
+	if s.cfg.DrainTimeout > 0 {
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+			return
+		case <-time.After(s.cfg.DrainTimeout):
+			// Past the deadline: cancel whatever is still running. With a
+			// checkpoint dir the interrupted jobs leave resumable snapshots.
+			for _, j := range s.Jobs() {
+				if acted, _ := j.cancelJob("drain deadline exceeded"); acted {
+					s.logJob(j, "cancelled past drain deadline")
+				}
+			}
+		}
+	}
+	s.wg.Wait()
+}
+
+// Counts returns (completed, failed, cancelled) — the drain summary.
+func (s *Service) Counts() (completed, failed, cancelled int64) {
+	return s.completed.Load(), s.failed.Load(), s.cancelled.Load()
+}
+
+func (s *Service) logJob(j *Job, msg string) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	s.cfg.Logger.Info("job "+msg, slog.String("id", j.ID))
+}

@@ -38,6 +38,24 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		fmt.Fprintln(w, "  /metrics       Prometheus text format")
 		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles (pprof)")
 	})
+	Mount(mux, reg)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else has no
+		// caller to report to, and the run must not die for telemetry.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Mount registers the telemetry endpoints — /metrics in Prometheus text
+// format and the /debug/pprof family — on an existing mux, so a server
+// with routes of its own (the incognitod job API) exposes the same
+// observability surface as the opt-in listener. The registry may be nil,
+// in which case /metrics serves an empty exposition; pprof works
+// regardless.
+func Mount(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WritePrometheus(w); err != nil {
@@ -50,14 +68,6 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go func() {
-		// ErrServerClosed is the normal shutdown path; anything else has no
-		// caller to report to, and the run must not die for telemetry.
-		_ = s.srv.Serve(ln)
-	}()
-	return s, nil
 }
 
 // Addr returns the bound listen address (useful with a :0 port).
