@@ -26,6 +26,12 @@ type Tracer = trace.Tracer
 // NewTracer returns an enabled tracer to pass in Config.Tracer.
 func NewTracer() *Tracer { return trace.New() }
 
+// Span is one timed phase of a traced run. Embedders that drive several
+// runs under one tracer (the daemon's per-job traces, for example) open a
+// parent span themselves and pass it in Config.ParentSpan so each run's
+// phases nest under it. All methods no-op on a nil *Span.
+type Span = trace.Span
+
 // Progress is a live, concurrency-safe view of how far a run has got:
 // atomic counters (nodes visited, candidate total, tuples scanned, table
 // scans, rollups) bumped from the hot paths and readable at any time via
@@ -212,6 +218,11 @@ type Config struct {
 	// times and work counters). nil — the default — disables tracing with
 	// zero overhead on the hot paths.
 	Tracer *Tracer
+	// ParentSpan, when non-nil (it must then belong to Tracer), becomes
+	// the parent of every phase span this run records, instead of the
+	// tracer's top level — the hook for embedders that trace queueing or
+	// several runs around one anonymization. nil keeps phases top-level.
+	ParentSpan *Span
 	// Progress, when non-nil, receives live progress updates (current
 	// phase, nodes visited/total, tuples scanned, rollups) as the search
 	// runs. nil disables progress reporting with zero overhead.
@@ -333,6 +344,7 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		Parallelism:  cfg.Parallelism,
 		Ctx:          ctx,
 		Trace:        cfg.Tracer,
+		Span:         cfg.ParentSpan,
 		Progress:     cfg.Progress,
 		Metrics:      cfg.Metrics,
 		SparseKernel: cfg.SparseKernel,

@@ -100,7 +100,7 @@ func main() {
 	flag.StringVar(&o.dotFile, "dot", "", "write the generalization lattice as Graphviz DOT to this file")
 	flag.BoolVar(&o.demo, "demo", false, "run the paper's Patients example instead of reading input")
 	flag.BoolVar(&o.stats, "stats", false, "print search statistics")
-	flag.StringVar(&o.traceOut, "trace", "", "write a JSON execution trace (span tree + per-phase counters) to this file")
+	flag.StringVar(&o.traceOut, "trace", "", "write a JSON execution trace (span tree + per-phase counters; with -partitions, the workers' span trees are grafted in) to this file")
 	flag.StringVar(&o.chromeOut, "trace-chrome", "", "write the execution trace as Chrome trace-event JSON (open in Perfetto) to this file")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live Prometheus metrics and pprof on this address (e.g. localhost:9090); empty disables")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the final Prometheus text-format metrics snapshot to this file")
@@ -445,8 +445,11 @@ func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 	}
 	if pool != nil {
 		// Closed after the released view is written: -list metrics and the
-		// chosen solution's Apply re-scan the table through the pool.
+		// chosen solution's Apply re-scan the table through the pool. The
+		// close collects the workers' telemetry frames, grafting their span
+		// trees into the -trace output (run() exports the tracer later).
 		defer pool.Close()
+		pool.SetTraceSink(ins.tracer)
 		cfg.Partition = pool
 	}
 	res, err := incognito.AnonymizeContext(ctx, table, qi, cfg)
@@ -573,6 +576,7 @@ func runDemo(ctx context.Context, o *options, ins instruments) error {
 	}
 	if pool != nil {
 		defer pool.Close()
+		pool.SetTraceSink(ins.tracer)
 		cfg.Partition = pool
 	}
 	res, err := incognito.AnonymizeContext(ctx, table, qi, cfg)

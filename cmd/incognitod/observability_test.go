@@ -1,0 +1,225 @@
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseWorkerSpec(t *testing.T) {
+	if i, n, err := parseWorkerSpec("1/3"); err != nil || i != 1 || n != 3 {
+		t.Fatalf("1/3 = %d/%d (%v)", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "a/b", "3/3", "-1/3", "0/0", "1/"} {
+		if _, _, err := parseWorkerSpec(bad); err == nil {
+			t.Errorf("parseWorkerSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDaemonObservabilityFlagErrors(t *testing.T) {
+	// Negative observability knobs are usage errors (exit 2)...
+	for _, args := range [][]string{
+		{"-trace-jobs", "-1"},
+		{"-max-partitions", "-1"},
+	} {
+		out, err := exec.Command(binPath, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: err %v (out %q), want exit 2", args, err, out)
+		}
+	}
+	// ...while a broken hidden worker invocation is a runtime failure
+	// (exit 1): the spec never comes from an operator.
+	for _, args := range [][]string{
+		{"-partition-worker", "not-a-spec"},
+		{"-partition-worker", "0/2"}, // missing -partition-input/-partition-qi
+	} {
+		out, err := exec.Command(binPath, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Errorf("%v: err %v (out %q), want exit 1", args, err, out)
+		}
+	}
+}
+
+// TestDaemonObservabilityEndToEnd drives the whole observability surface
+// against the real binary: a partitioned job (spawning real re-exec'd
+// worker processes) with a caller request ID, the trace endpoint in both
+// formats, the debug bundle, and the access log on stderr.
+func TestDaemonObservabilityEndToEnd(t *testing.T) {
+	base, cmd, stderrRest := daemon(t, "-v", "-log-format", "json", "-max-partitions", "2")
+
+	body, err := json.Marshal(map[string]any{
+		"csv":    patientsCSV,
+		"qi":     "Birthdate=suppress;Sex=round:1;Zipcode=round:2",
+		"policy": map[string]any{"k": 2, "partitions": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "e2e-observability-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d: %v", resp.StatusCode, m)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "e2e-observability-1" {
+		t.Fatalf("echoed X-Request-Id = %q", got)
+	}
+	id := m["id"].(string)
+	waitDone(t, base, id)
+
+	// The span tree: run phases from the library, and the two re-exec'd
+	// workers' trees grafted under partition_workers.
+	resp, err = http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace = %d: %s", resp.StatusCode, traceBody)
+	}
+	var doc struct {
+		Spans []json.RawMessage `json:"spans"`
+	}
+	if err := json.Unmarshal(traceBody, &doc); err != nil || len(doc.Spans) == 0 {
+		t.Fatalf("trace has no spans (%v): %s", err, traceBody)
+	}
+	for _, span := range []string{`"queue_wait"`, `"run"`, `"partition_workers"`, `"partition_worker"`, `"worker_scan"`} {
+		if !bytes.Contains(traceBody, []byte(span)) {
+			t.Errorf("trace missing %s span:\n%s", span, traceBody)
+		}
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + id + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chromeBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(chromeBody, []byte("traceEvents")) {
+		t.Fatalf("chrome trace = %d: %s", resp.StatusCode, chromeBody)
+	}
+
+	// The debug bundle is a valid tar.gz with the expected members.
+	resp, err = http.Get(base + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		resp.Body.Close()
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	members := map[string]bool{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			resp.Body.Close()
+			t.Fatalf("bundle is not a tar: %v", err)
+		}
+		io.Copy(io.Discard, tr)
+		members[hdr.Name] = true
+	}
+	resp.Body.Close()
+	for _, want := range []string{"build.txt", "memstats.json", "metrics.prom", "jobs.json", "traces/" + id + ".json"} {
+		if !members[want] {
+			t.Errorf("bundle missing %s (has %v)", want, members)
+		}
+	}
+
+	// Worker telemetry reached the daemon metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`incognito_phase_seconds_count{phase="partition_worker"}`,
+		"incognitod_partition_worker_skew",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The access log on stderr carries the caller's request ID.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	logsCh := make(chan string, 1)
+	go func() { logsCh <- stderrRest() }()
+	var logs string
+	select {
+	case logs = <-logsCh:
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("exit after SIGTERM: %v\nstderr:\n%s", err, logs)
+	}
+	var accessLogged bool
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, `"msg":"request"`) &&
+			strings.Contains(line, `"request_id":"e2e-observability-1"`) &&
+			strings.Contains(line, `"method":"POST"`) {
+			accessLogged = true
+		}
+	}
+	if !accessLogged {
+		t.Errorf("no access-log line with the caller's request ID:\n%s", logs)
+	}
+	if !strings.Contains(logs, `"msg":"job done"`) {
+		t.Errorf("no job-lifecycle line:\n%s", logs)
+	}
+}
+
+// TestDaemonTracingDisabled: -trace-jobs 0 turns the flight recorder off;
+// the trace endpoint answers 404 while results stay intact.
+func TestDaemonTracingDisabled(t *testing.T) {
+	base, _, _ := daemon(t, "-trace-jobs", "0")
+	m := postJob(t, base, submitBody(t, 2))
+	id := m["id"].(string)
+	waitDone(t, base, id)
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !bytes.Contains(body, []byte("no trace")) {
+		t.Fatalf("trace with tracing off = %d: %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result with tracing off = %d", resp.StatusCode)
+	}
+}

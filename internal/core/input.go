@@ -257,8 +257,15 @@ func (in *Input) ScanFreq(dims, levels []int) *relation.FreqSet {
 	faultinject.Point("core.scan")
 	var f *relation.FreqSet
 	if in.ScanOverride != nil {
+		// Partitioned scans get their own span so the coordinator trace
+		// shows each round-trip to the worker pool; the workers' own view
+		// of the same scans arrives later as adopted partition_worker
+		// trees. Non-partitioned runs record no partition_scan spans.
+		sp := in.StartSpan("partition_scan")
+		sp.Add("partition_scans", 1)
 		var err error
 		f, err = in.ScanOverride(dims, levels)
+		sp.End()
 		if err != nil {
 			panic(fmt.Errorf("core: partitioned scan failed: %w", err))
 		}

@@ -17,6 +17,15 @@
 // deterministic binary frequency-set encoding (relation.EncodeFreqSet —
 // compact where volume actually is). Workers are the same executable
 // re-exec'd with a hidden flag; they serve requests until stdin closes.
+//
+// When stdin closes, each worker appends one trailing telemetry frame —
+// a header with "telemetry":true followed by a JSON WorkerReport carrying
+// the worker's span tree, scan/row counters, busy time, and peak RSS.
+// The coordinator consumes these frames in Close, so a pool that shuts
+// down gracefully knows exactly what every worker did; with a trace sink
+// installed (SetTraceSink) the worker trees are grafted into the
+// coordinator's trace. Timings and counts only — no cell values cross
+// the boundary, matching the disclosure posture of the rest of the repo.
 package partition
 
 import (
@@ -27,10 +36,12 @@ import (
 	"os"
 	"os/exec"
 	"sync"
+	"time"
 
 	"incognito/internal/core"
 	"incognito/internal/relation"
 	"incognito/internal/resilience"
+	"incognito/internal/trace"
 )
 
 // request asks a worker for its share of one frequency set. Sparse
@@ -45,9 +56,34 @@ type request struct {
 
 // response precedes each reply payload: Len bytes of encoded frequency
 // set follow, unless Err reports why the worker could not count.
+// Telemetry marks the one trailing frame whose payload is a WorkerReport
+// rather than a frequency set.
 type response struct {
-	Len int    `json:"len,omitempty"`
-	Err string `json:"err,omitempty"`
+	Len       int    `json:"len,omitempty"`
+	Err       string `json:"err,omitempty"`
+	Telemetry bool   `json:"telemetry,omitempty"`
+}
+
+// WorkerReport is the trailing telemetry frame a worker ships back when
+// its stdin closes: identity, work counters, busy time, peak RSS, and the
+// worker-local span tree, ready for trace.Span.Adopt on the coordinator.
+type WorkerReport struct {
+	Index        int             `json:"index"`
+	Workers      int             `json:"workers"`
+	RowLo        int             `json:"row_lo"`
+	RowHi        int             `json:"row_hi"`
+	Scans        int64           `json:"scans"`
+	Errors       int64           `json:"errors,omitempty"`
+	BusyUS       int64           `json:"busy_us"`
+	PeakRSSBytes int64           `json:"peak_rss_bytes,omitempty"`
+	Trace        *trace.Document `json:"trace,omitempty"`
+}
+
+// TraceSink is anything that can open a span to hang worker telemetry
+// under. Both *trace.Tracer and *trace.Span satisfy it; a nil *trace.Tracer
+// stored in the interface is safe — its Start returns a nil (no-op) span.
+type TraceSink interface {
+	Start(name string) *trace.Span
 }
 
 // Peer is one connected worker from the coordinator's side: requests are
@@ -80,7 +116,9 @@ type Pool struct {
 	// broken is set when a reply stream desynchronized (transport or
 	// decode failure): later scans refuse to run and Close kills the
 	// workers instead of waiting for their EOF handshake.
-	broken bool
+	broken  bool
+	sink    TraceSink
+	reports []WorkerReport
 }
 
 // NewPool wires a coordinator over pre-connected peers. rows is the full
@@ -101,6 +139,48 @@ func (p *Pool) Rows() int { return p.rows }
 
 // Workers returns the number of partition workers.
 func (p *Pool) Workers() int { return len(p.peers) }
+
+// SetTraceSink installs the destination for worker telemetry: when the
+// pool closes gracefully, each worker's span tree is adopted under one
+// "partition_workers" span opened on the sink. Passing a nil *trace.Tracer
+// (or *trace.Span) is fine — the grafting degrades to a no-op.
+func (p *Pool) SetTraceSink(sink TraceSink) {
+	p.mu.Lock()
+	p.sink = sink
+	p.mu.Unlock()
+}
+
+// Reports returns the telemetry frames collected from the workers. It is
+// populated by Close — before the pool shuts down, or after a broken
+// (killed) shutdown, it is empty.
+func (p *Pool) Reports() []WorkerReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]WorkerReport(nil), p.reports...)
+}
+
+// WorkerSkew summarizes load balance from the collected reports as
+// max/mean busy time: 1.0 is a perfectly balanced pool, larger means one
+// worker dominated the wall clock. Returns 0 before Close has collected
+// any reports (or when the workers did no timed work).
+func (p *Pool) WorkerSkew() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.reports) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, r := range p.reports {
+		sum += r.BusyUS
+		if r.BusyUS > max {
+			max = r.BusyUS
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(p.reports)) / float64(sum)
+}
 
 // SpawnSelf launches n copies of the current executable as partition
 // workers, one per row range. workerArgs composes the command line that
@@ -238,18 +318,34 @@ func (p *Pool) readReply(i int, r *bufio.Reader) (*relation.FreqSet, error) {
 }
 
 // Close shuts the pool down: every worker's write side is closed (the EOF
-// is their exit signal), then their transports are reaped. A broken pool
-// kills its workers first — they may be blocked mid-write and would never
-// reach the EOF. The first graceful-path error wins but every peer is
-// still closed.
+// is their exit signal), the trailing telemetry frames are collected and
+// grafted into the trace sink, then the transports are reaped. A broken
+// pool kills its workers first — they may be blocked mid-write and would
+// never reach the EOF — and skips telemetry (the stream position is
+// lost). The first graceful-path error wins but every peer is still
+// closed.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.peers == nil {
+		return nil // already closed; reports stay as collected
+	}
 	var first error
 	for _, pe := range p.peers {
 		if err := pe.W.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if !p.broken {
+		// All write sides are closed, so every worker is concurrently
+		// finalizing its frame; reading in index order cannot deadlock.
+		for i, r := range p.rs {
+			if rep, ok := readTelemetry(r); ok {
+				rep.Index = i // trust our ordering, not the wire
+				p.reports = append(p.reports, rep)
+			}
+		}
+		p.graftReports()
 	}
 	for _, pe := range p.peers {
 		if p.broken && pe.Kill != nil {
@@ -265,12 +361,60 @@ func (p *Pool) Close() error {
 	return first
 }
 
+// readTelemetry consumes one worker's trailing telemetry frame.
+// Best-effort by design: a worker that died before writing its frame, or
+// an older binary that never sends one, just yields no report — shutdown
+// must not fail because diagnostics are missing.
+func readTelemetry(r *bufio.Reader) (WorkerReport, bool) {
+	var rep WorkerReport
+	hdr, err := r.ReadBytes('\n')
+	if err != nil {
+		return rep, false
+	}
+	var resp response
+	if err := json.Unmarshal(hdr, &resp); err != nil ||
+		!resp.Telemetry || resp.Err != "" || resp.Len <= 0 {
+		return rep, false
+	}
+	body := make([]byte, resp.Len)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return rep, false
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return rep, false
+	}
+	return rep, true
+}
+
+// graftReports hangs every collected worker span tree under one
+// "partition_workers" span on the sink. Called with p.mu held.
+func (p *Pool) graftReports() {
+	if p.sink == nil || len(p.reports) == 0 {
+		return
+	}
+	sp := p.sink.Start("partition_workers")
+	sp.SetAttr("workers", len(p.reports))
+	for _, rep := range p.reports {
+		if rep.Trace == nil {
+			continue
+		}
+		for _, root := range rep.Trace.Spans {
+			sp.Adopt(root)
+		}
+	}
+	sp.End()
+}
+
 // Serve runs one worker's request loop: count rows [index·n/total,
 // (index+1)·n/total) of in's table for each request on r, stream the
 // encoded partials to w, return when r reaches EOF. A failure to count
 // one request — including a panic, recovered into a
 // *resilience.PanicError — is reported in that reply's header and the
 // loop continues; only transport errors end the loop early.
+//
+// On clean EOF the worker writes one trailing telemetry frame (a
+// WorkerReport) before returning, so the coordinator's Close can account
+// for this worker's scans, busy time, and span tree.
 func Serve(in *core.Input, index, total int, r io.Reader, w io.Writer) error {
 	if total < 1 || index < 0 || index >= total {
 		return fmt.Errorf("partition: worker index %d of %d out of range", index, total)
@@ -280,15 +424,35 @@ func Serve(in *core.Input, index, total int, r io.Reader, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	tr := trace.New()
+	root := tr.Start("partition_worker")
+	root.SetAttr("worker", index)
+	root.SetAttr("workers", total)
+	root.SetAttr("row_lo", lo)
+	root.SetAttr("row_hi", hi)
+	rep := WorkerReport{Index: index, Workers: total, RowLo: lo, RowHi: hi}
 	var buf []byte
 	for sc.Scan() {
 		var req request
 		var payload []byte
 		err := json.Unmarshal(sc.Bytes(), &req)
+		sp := root.Start("worker_scan")
+		t0 := time.Now()
 		if err == nil {
 			payload, err = countRequest(in, req, lo, hi, buf[:0])
 			buf = payload
 		}
+		rep.BusyUS += time.Since(t0).Microseconds()
+		if err == nil {
+			sp.Add("worker_scans", 1)
+			sp.Add("worker_rows", int64(hi-lo))
+			rep.Scans++
+		} else {
+			sp.Add("worker_errors", 1)
+			sp.SetAttr("err", err.Error())
+			rep.Errors++
+		}
+		sp.End()
 		hdr := response{Len: len(payload)}
 		if err != nil {
 			hdr = response{Err: err.Error()}
@@ -309,7 +473,33 @@ func Serve(in *core.Input, index, total int, r io.Reader, w io.Writer) error {
 			return werr
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	rep.PeakRSSBytes = peakRSS()
+	root.SetAttr("peak_rss_bytes", rep.PeakRSSBytes)
+	root.End()
+	rep.Trace = tr.Export()
+	return writeTelemetry(bw, rep)
+}
+
+// writeTelemetry frames one WorkerReport onto the reply stream.
+func writeTelemetry(bw *bufio.Writer, rep WorkerReport) error {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(response{Len: len(body), Telemetry: true})
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(append(hdr, '\n')); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // countRequest validates and executes one scan request under a recover

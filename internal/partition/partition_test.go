@@ -1,0 +1,156 @@
+package partition
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"incognito/internal/trace"
+)
+
+// TestTelemetryFrameRoundTrip pins the trailing-frame encoding: what
+// writeTelemetry puts on the wire, readTelemetry must recover intact.
+func TestTelemetryFrameRoundTrip(t *testing.T) {
+	tr := trace.New()
+	root := tr.Start("partition_worker")
+	root.Add("worker_scans", 3)
+	root.End()
+	in := WorkerReport{
+		Index: 1, Workers: 4, RowLo: 25, RowHi: 50,
+		Scans: 3, Errors: 1, BusyUS: 1234, PeakRSSBytes: 1 << 20,
+		Trace: tr.Export(),
+	}
+
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeTelemetry(bw, in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := readTelemetry(bufio.NewReader(&buf))
+	if !ok {
+		t.Fatal("readTelemetry rejected its own frame")
+	}
+	if out.Index != 1 || out.Workers != 4 || out.RowLo != 25 || out.RowHi != 50 ||
+		out.Scans != 3 || out.Errors != 1 || out.BusyUS != 1234 || out.PeakRSSBytes != 1<<20 {
+		t.Fatalf("round trip lost fields: %+v", out)
+	}
+	if out.Trace == nil || out.Trace.SumCounter("worker_scans") != 3 {
+		t.Fatalf("round trip lost the span tree: %+v", out.Trace)
+	}
+}
+
+// TestReadTelemetryBestEffort: a worker that died before its frame, or an
+// older binary that never sends one, must yield "no report", never an
+// error that would fail the pool's shutdown.
+func TestReadTelemetryBestEffort(t *testing.T) {
+	cases := map[string]string{
+		"eof before any frame":   "",
+		"garbage header":         "not json\n",
+		"non-telemetry header":   `{"len":4}` + "\nabcd",
+		"error header":           `{"err":"boom","telemetry":true}` + "\n",
+		"zero-length frame":      `{"len":0,"telemetry":true}` + "\n",
+		"truncated payload":      `{"len":100,"telemetry":true}` + "\n{}",
+		"payload is not a frame": `{"len":3,"telemetry":true}` + "\n[1]",
+	}
+	for name, wire := range cases {
+		if _, ok := readTelemetry(bufio.NewReader(strings.NewReader(wire))); ok {
+			t.Errorf("%s: readTelemetry accepted %q", name, wire)
+		}
+	}
+}
+
+func TestWorkerSkew(t *testing.T) {
+	mk := func(busy ...int64) *Pool {
+		p := &Pool{}
+		for i, b := range busy {
+			p.reports = append(p.reports, WorkerReport{Index: i, BusyUS: b})
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		pool *Pool
+		want float64
+	}{
+		{"no reports", mk(), 0},
+		{"all idle", mk(0, 0), 0},
+		{"balanced", mk(100, 100), 1},
+		{"one dominates", mk(300, 100), 1.5},
+		{"single worker", mk(42), 1},
+	}
+	for _, tc := range cases {
+		if got := tc.pool.WorkerSkew(); got != tc.want {
+			t.Errorf("%s: skew = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestGraftReports: collected worker trees hang under one
+// "partition_workers" span on the sink, and their counters join the
+// coordinator trace's sums.
+func TestGraftReports(t *testing.T) {
+	worker := func(idx int) *trace.Document {
+		wt := trace.New()
+		root := wt.Start("partition_worker")
+		root.SetAttr("worker", idx)
+		root.Add("worker_scans", 2)
+		root.End()
+		return wt.Export()
+	}
+	sink := trace.New()
+	p := &Pool{sink: sink, reports: []WorkerReport{
+		{Index: 0, Trace: worker(0)},
+		{Index: 1, Trace: nil}, // frame without a tree: skipped, not fatal
+		{Index: 2, Trace: worker(2)},
+	}}
+	p.graftReports()
+
+	doc := sink.Export()
+	containers := doc.Find("partition_workers")
+	if len(containers) != 1 {
+		t.Fatalf("partition_workers spans = %d, want 1", len(containers))
+	}
+	if got := len(doc.Find("partition_worker")); got != 2 {
+		t.Fatalf("grafted worker trees = %d, want 2", got)
+	}
+	if got := doc.SumCounter("worker_scans"); got != 4 {
+		t.Fatalf("worker_scans sum = %d, want 4", got)
+	}
+}
+
+// TestGraftReportsNilSinkAndNilTracer: no sink, and a typed-nil tracer in
+// the sink interface, must both degrade to no-ops.
+func TestGraftReportsNilSinkAndNilTracer(t *testing.T) {
+	p := &Pool{reports: []WorkerReport{{Index: 0}}}
+	p.graftReports() // no sink
+
+	var nilTracer *trace.Tracer
+	p.sink = nilTracer // non-nil interface, nil receiver: Start returns a nil span
+	p.graftReports()
+}
+
+// TestCloseIdempotent: a second Close (the explicit-close-then-cleanup
+// pattern) must not re-read streams or graft the reports twice.
+func TestCloseIdempotent(t *testing.T) {
+	sink := trace.New()
+	p := NewPool(0, []Peer{})
+	p.SetTraceSink(sink)
+	p.reports = []WorkerReport{{Index: 0, Trace: func() *trace.Document {
+		wt := trace.New()
+		wt.Start("partition_worker").End()
+		return wt.Export()
+	}()}}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Export().Find("partition_workers")); got != 1 {
+		t.Fatalf("partition_workers spans after double Close = %d, want 1", got)
+	}
+	if len(p.Reports()) != 1 {
+		t.Fatal("Reports lost after Close")
+	}
+}

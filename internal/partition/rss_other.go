@@ -1,0 +1,7 @@
+//go:build !unix
+
+package partition
+
+// peakRSS is unavailable off unix; the telemetry frame reports 0, which
+// consumers render as "unknown".
+func peakRSS() int64 { return 0 }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package partition
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// peakRSS returns the process's peak resident set size in bytes via
+// getrusage, or 0 when the syscall fails. ru_maxrss is reported in
+// kilobytes on Linux and in bytes on macOS.
+func peakRSS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := int64(ru.Maxrss)
+	if runtime.GOOS != "darwin" {
+		rss *= 1024
+	}
+	return rss
+}

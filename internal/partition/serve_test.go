@@ -1,0 +1,209 @@
+package partition
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"incognito/internal/core"
+	"incognito/internal/dataset"
+	"incognito/internal/relation"
+)
+
+// servePool wires total in-process workers (goroutines running Serve over
+// io.Pipe transports) into a Pool — the same shape the daemon builds with
+// processes, without the re-exec.
+func servePool(t *testing.T, in *core.Input, total int) (*Pool, *sync.WaitGroup) {
+	t.Helper()
+	peers := make([]Peer, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		reqR, reqW := io.Pipe()
+		respR, respW := io.Pipe()
+		wg.Add(1)
+		go func(i int, r *io.PipeReader, w *io.PipeWriter) {
+			defer wg.Done()
+			w.CloseWithError(Serve(in, i, total, r, w))
+		}(i, reqR, respW)
+		peers[i] = Peer{R: respR, W: reqW}
+	}
+	return NewPool(in.Table.NumRows(), peers), &wg
+}
+
+func patientsInput(t *testing.T) *core.Input {
+	t.Helper()
+	d := dataset.Patients()
+	in := core.NewInput(d.Table, d.QICols, d.Hierarchies, 2, 0)
+	return &in
+}
+
+// TestServeScanMergesToLocal: the fan-out/merge must reproduce a local
+// scan exactly, tuple for tuple, across kernels and worker counts.
+func TestServeScanMergesToLocal(t *testing.T) {
+	in := patientsInput(t)
+	for _, total := range []int{1, 2, 3} {
+		for _, sparse := range []bool{false, true} {
+			pool, wg := servePool(t, in, total)
+			if pool.Rows() != in.Table.NumRows() {
+				t.Fatalf("Rows() = %d, want %d", pool.Rows(), in.Table.NumRows())
+			}
+			if pool.Workers() != total {
+				t.Fatalf("Workers() = %d, want %d", pool.Workers(), total)
+			}
+			dims, levels := []int{0, 1, 2}, []int{0, 0, 1}
+			got, err := pool.Scan(dims, levels, sparse)
+			if err != nil {
+				t.Fatalf("total=%d sparse=%v: %v", total, sparse, err)
+			}
+			want := in.ScanFreq(dims, levels)
+			if got.Total() != want.Total() || got.Len() != want.Len() {
+				t.Fatalf("total=%d sparse=%v: merged %d/%d tuples, want %d/%d",
+					total, sparse, got.Total(), got.Len(), want.Total(), want.Len())
+			}
+			want.Each(func(codes []int32, count int64) {
+				if got.Count(codes) != count {
+					t.Errorf("total=%d sparse=%v: count(%v) = %d, want %d",
+						total, sparse, codes, got.Count(codes), count)
+				}
+			})
+			if err := pool.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			wg.Wait()
+			// The workers' frames arrived: each served exactly one scan.
+			reports := pool.Reports()
+			if len(reports) != total {
+				t.Fatalf("reports = %d, want %d", len(reports), total)
+			}
+			for i, rep := range reports {
+				if rep.Index != i || rep.Workers != total || rep.Scans != 1 || rep.Errors != 0 {
+					t.Errorf("report[%d] = %+v", i, rep)
+				}
+			}
+		}
+	}
+}
+
+// TestServeWorkerErrorKeepsPoolUsable: a malformed request is a per-scan
+// error reported by every worker; the streams stay framed and the next
+// scan succeeds.
+func TestServeWorkerErrorKeepsPoolUsable(t *testing.T) {
+	in := patientsInput(t)
+	pool, wg := servePool(t, in, 2)
+	defer wg.Wait()
+	defer pool.Close()
+
+	if _, err := pool.Scan([]int{99}, []int{0}, false); err == nil {
+		t.Fatal("out-of-range dim accepted")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := pool.Scan([]int{0, 1}, []int{0}, false); err == nil {
+		t.Fatal("mismatched dims/levels accepted")
+	}
+	if _, err := pool.Scan([]int{2}, []int{99}, false); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+	// The pool is not broken: a well-formed scan still works.
+	got, err := pool.Scan([]int{2}, []int{1}, false)
+	if err != nil {
+		t.Fatalf("scan after worker errors: %v", err)
+	}
+	if want := in.ScanFreq([]int{2}, []int{1}); got.Total() != want.Total() {
+		t.Fatalf("total = %d, want %d", got.Total(), want.Total())
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Errors were counted in the telemetry frames alongside the one
+	// successful scan.
+	for i, rep := range pool.Reports() {
+		if rep.Scans != 1 || rep.Errors != 3 {
+			t.Errorf("report[%d]: scans=%d errors=%d, want 1/3", i, rep.Scans, rep.Errors)
+		}
+	}
+}
+
+// TestPoolBrokenTransport: garbage on the reply stream loses the frame
+// position; the scan fails, later scans refuse to run, and Close skips
+// the telemetry handshake.
+func TestPoolBrokenTransport(t *testing.T) {
+	reqR, reqW := io.Pipe()
+	respR, respW := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(io.Discard, reqR)
+	}()
+	go func() {
+		respW.Write([]byte("this is not a JSON header\n"))
+		respW.Close()
+	}()
+	killed := false
+	pool := NewPool(6, []Peer{{R: respR, W: reqW, Kill: func() error { killed = true; return nil }}})
+	if _, err := pool.Scan([]int{0}, []int{0}, false); err == nil {
+		t.Fatal("scan over a garbage stream succeeded")
+	}
+	if _, err := pool.Scan([]int{0}, []int{0}, false); err == nil ||
+		!strings.Contains(err.Error(), "broken") {
+		t.Fatalf("scan on a broken pool: %v", err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if !killed {
+		t.Error("broken pool did not kill its worker")
+	}
+	if len(pool.Reports()) != 0 {
+		t.Error("broken pool collected telemetry")
+	}
+	<-done
+}
+
+// TestPoolScanClosedAndEmpty: scans on a closed or empty pool fail
+// loudly instead of hanging.
+func TestPoolScanClosedAndEmpty(t *testing.T) {
+	pool := NewPool(0, nil)
+	if _, err := pool.Scan([]int{0}, []int{0}, false); err == nil {
+		t.Fatal("scan on an empty pool succeeded")
+	}
+}
+
+// TestServeIndexOutOfRange: Serve validates its row-range identity before
+// touching the transport.
+func TestServeIndexOutOfRange(t *testing.T) {
+	in := patientsInput(t)
+	for _, c := range []struct{ index, total int }{{-1, 2}, {2, 2}, {0, 0}} {
+		if err := Serve(in, c.index, c.total, strings.NewReader(""), io.Discard); err == nil {
+			t.Errorf("Serve(%d/%d) accepted", c.index, c.total)
+		}
+	}
+}
+
+// TestServeSparseKernelMatches: the Sparse flag flips the worker's
+// representation without changing counts (the kernel-equivalence
+// guarantee holds across the wire).
+func TestServeSparseKernelMatches(t *testing.T) {
+	in := patientsInput(t)
+	count := func(sparse bool) *relation.FreqSet {
+		pool, wg := servePool(t, in, 2)
+		got, err := pool.Scan([]int{0, 2}, []int{1, 1}, sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Close()
+		wg.Wait()
+		return got
+	}
+	dense, sparse := count(false), count(true)
+	if dense.Total() != sparse.Total() || dense.Len() != sparse.Len() {
+		t.Fatalf("dense %d/%d != sparse %d/%d",
+			dense.Total(), dense.Len(), sparse.Total(), sparse.Len())
+	}
+	dense.Each(func(codes []int32, n int64) {
+		if sparse.Count(codes) != n {
+			t.Errorf("count(%v): dense %d, sparse %d", codes, n, sparse.Count(codes))
+		}
+	})
+}

@@ -15,9 +15,18 @@
 //	GET    /v1/jobs             list every job the daemon knows
 //	GET    /v1/jobs/{id}        status, live progress, pct and ETA
 //	GET    /v1/jobs/{id}/result the solution set, chosen best, released CSV
+//	GET    /v1/jobs/{id}/trace  the job's span tree (?format=chrome for
+//	                            a Perfetto/chrome://tracing file)
 //	DELETE /v1/jobs/{id}        cancel (dequeue, or cancel the run context)
 //	GET    /healthz             200 serving, 503 draining
+//	GET    /debug/bundle        tar.gz diagnostic bundle (metrics, job
+//	                            statuses, span trees, build/runtime info)
 //	GET    /metrics             Prometheus text format (plus /debug/pprof)
+//
+// Every response carries an X-Request-Id header — generated, or echoed
+// from the request's own X-Request-Id — and the same ID appears in the
+// structured access log and on the job it submitted, tying a client retry
+// story together across the three.
 //
 // A daemon-served result is bit-identical to a cmd/incognito run over the
 // same dataset, QI spec, and policy: both parse the spec through
@@ -41,6 +50,10 @@ type SubmitRequest struct {
 	CSV    string `json:"csv"`
 	QI     string `json:"qi"`
 	Policy Policy `json:"policy"`
+	// RequestID is not part of the JSON body (the decoder rejects unknown
+	// fields); the HTTP layer fills it from the X-Request-Id plumbing so
+	// the job record remembers which request created it.
+	RequestID string `json:"-"`
 }
 
 // Policy is the per-job knob set — the request-body equivalent of the
@@ -71,6 +84,12 @@ type Policy struct {
 	// MaterializeBudget is the partial-cube group budget of the
 	// materialized algorithm (ignored otherwise).
 	MaterializeBudget int `json:"materialize_budget,omitempty"`
+	// Partitions, when > 1, runs the job's base-table scans across that
+	// many partition worker processes. Results are bit-identical to an
+	// in-process run (counts merge additively), so like parallelism and
+	// kernel this knob is absent from the cache identity. Requires the
+	// daemon to enable partitioning (-max-partitions); rejected otherwise.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // SubmitResponse answers POST /v1/jobs.
@@ -89,6 +108,7 @@ type SubmitResponse struct {
 // GET /v1/jobs listing.
 type StatusResponse struct {
 	ID        string          `json:"id"`
+	RequestID string          `json:"request_id,omitempty"`
 	State     State           `json:"state"`
 	CacheHit  bool            `json:"cache_hit"`
 	Coalesced int64           `json:"coalesced_submissions,omitempty"`
@@ -167,6 +187,7 @@ type resolved struct {
 	criterion   incognito.Criterion
 	critName    string
 	matBudget   int
+	partitions  int
 }
 
 // resolve validates p against the daemon's defaults. Errors are request
@@ -237,5 +258,18 @@ func (c *Config) resolve(p Policy) (resolved, error) {
 		return r, fmt.Errorf("policy.criterion: unknown criterion %q", p.Criterion)
 	}
 	r.criterion = crit
+
+	if p.Partitions < 0 {
+		return r, fmt.Errorf("policy.partitions must be >= 0, got %d", p.Partitions)
+	}
+	if p.Partitions > 1 {
+		if c.Partitioner == nil || c.MaxPartitions < 2 {
+			return r, fmt.Errorf("policy.partitions: partitioned jobs are disabled on this daemon (start it with -max-partitions)")
+		}
+		if p.Partitions > c.MaxPartitions {
+			return r, fmt.Errorf("policy.partitions must be <= %d, got %d", c.MaxPartitions, p.Partitions)
+		}
+		r.partitions = p.Partitions
+	}
 	return r, nil
 }

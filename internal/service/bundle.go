@@ -1,0 +1,117 @@
+package service
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"incognito/internal/version"
+)
+
+// WriteDebugBundle streams a tar.gz diagnostic snapshot of the daemon:
+//
+//	build.txt        version banner, Go runtime, GOMAXPROCS, uptime-free
+//	                 process facts an operator pastes into a bug report
+//	memstats.json    runtime.MemStats at capture time
+//	metrics.prom     the registry in Prometheus text format
+//	jobs.json        every job's StatusResponse, submission order
+//	traces/<id>.json the span trees still in the flight recorder
+//
+// The bundle carries timings, counters, and job metadata only — released
+// cell values appear nowhere in it, so it is safe to attach to a ticket.
+func (s *Service) WriteDebugBundle(w http.ResponseWriter) error {
+	now := time.Now()
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	add := func(name string, data []byte) error {
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: now,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+
+	var build bytes.Buffer
+	fmt.Fprintln(&build, version.String("incognitod"))
+	fmt.Fprintf(&build, "go: %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	fmt.Fprintf(&build, "gomaxprocs: %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&build, "numcpu: %d\n", runtime.NumCPU())
+	fmt.Fprintf(&build, "goroutines: %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(&build, "captured: %s\n", now.UTC().Format(time.RFC3339))
+	if err := add("build.txt", build.Bytes()); err != nil {
+		return err
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	msJSON, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := add("memstats.json", msJSON); err != nil {
+		return err
+	}
+
+	var metrics bytes.Buffer
+	if err := s.cfg.Registry.WritePrometheus(&metrics); err != nil {
+		return err
+	}
+	if err := add("metrics.prom", metrics.Bytes()); err != nil {
+		return err
+	}
+
+	jobs := s.Jobs()
+	statuses := make([]StatusResponse, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	jobsJSON, err := json.MarshalIndent(statuses, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := add("jobs.json", jobsJSON); err != nil {
+		return err
+	}
+
+	for _, j := range jobs {
+		doc := j.TraceDocument()
+		if doc == nil {
+			continue
+		}
+		traceJSON, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := add("traces/"+j.ID+".json", traceJSON); err != nil {
+			return err
+		}
+	}
+
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+func (s *Service) handleBundle(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", "incognitod-debug-bundle.tar.gz"))
+	if err := s.WriteDebugBundle(w); err != nil {
+		// Headers are long gone; all that is left is to log the failure.
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Error("debug bundle failed", "err", err)
+		}
+	}
+}

@@ -1,27 +1,163 @@
 package service
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strings"
+	"time"
 
 	"incognito/internal/telemetry"
 )
 
+// route pairs one mux registration with its index description, so the
+// GET / endpoint table is generated from what is actually mounted and
+// cannot drift from the handler set.
+type route struct {
+	pattern string // method + path, e.g. "POST /v1/jobs"
+	desc    string
+	h       http.HandlerFunc
+}
+
+func (s *Service) routes() []route {
+	return []route{
+		{"POST /v1/jobs", "submit {csv, qi, policy}", s.handleSubmit},
+		{"GET /v1/jobs", "list jobs", s.handleList},
+		{"GET /v1/jobs/{id}", "job status and live progress", s.handleStatus},
+		{"GET /v1/jobs/{id}/result", "solution set and released CSV", s.handleResult},
+		{"GET /v1/jobs/{id}/trace", "span tree; ?format=chrome for Perfetto", s.handleTrace},
+		{"DELETE /v1/jobs/{id}", "cancel a job", s.handleCancel},
+		{"GET /healthz", "liveness (503 while draining)", s.handleHealth},
+		{"GET /debug/bundle", "tar.gz diagnostic bundle", s.handleBundle},
+	}
+}
+
+// mountDesc annotates the telemetry endpoints in the index; patterns
+// without an entry get a generic pprof description.
+var mountDesc = map[string]string{
+	"/metrics":      "Prometheus text format",
+	"/debug/pprof/": "runtime profiles (pprof index)",
+}
+
 // Handler builds the daemon's HTTP mux: the /v1 job API plus the standard
 // telemetry surface (/metrics, /debug/pprof) mounted on the same listener,
-// so one scrape target covers the whole process.
+// so one scrape target covers the whole process. Every request passes
+// through the observability middleware: an X-Request-Id is honored or
+// generated and echoed, and (with a Logger configured) each request is
+// logged with method, path, status, bytes, and duration.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	telemetry.Mount(mux, s.cfg.Registry)
-	return mux
+	rts := s.routes()
+	for _, rt := range rts {
+		mux.HandleFunc(rt.pattern, rt.h)
+	}
+	for _, pattern := range telemetry.Mount(mux, s.cfg.Registry) {
+		desc, ok := mountDesc[pattern]
+		if !ok {
+			desc = "runtime profiles (pprof)"
+		}
+		rts = append(rts, route{pattern: "GET " + pattern, desc: desc})
+	}
+	mux.HandleFunc("GET /{$}", indexHandler(rts))
+	return s.withObservability(mux)
+}
+
+// indexHandler renders the endpoint table from the registered routes.
+func indexHandler(rts []route) http.HandlerFunc {
+	var b strings.Builder
+	b.WriteString("incognitod endpoints:\n")
+	width := 0
+	for _, rt := range rts {
+		if len(rt.pattern) > width {
+			width = len(rt.pattern)
+		}
+	}
+	for _, rt := range rts {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		fmt.Fprintf(&b, "  %-6s %-*s %s\n", method, width-len(method), path, rt.desc)
+	}
+	index := b.String()
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, index)
+	}
+}
+
+// requestIDKey carries the request ID through the request context.
+type requestIDKey struct{}
+
+// newRequestID returns a fresh 16-hex-char request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unidentified" // crypto/rand failing is a dead process anyway
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestIDFrom returns the middleware-assigned request ID, or "".
+func requestIDFrom(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status and body size for the
+// access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// withObservability is the access-log + request-ID middleware: an
+// X-Request-Id from the client is honored (so a caller can stitch the
+// daemon's log into its own), otherwise one is generated; either way it
+// is echoed on the response and stored in the request context for the
+// submit path to attach to the job.
+func (s *Service) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sr, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid)))
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("request",
+				slog.String("request_id", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sr.status),
+				slog.Int64("bytes", sr.bytes),
+				slog.Duration("duration", time.Since(start)),
+			)
+		}
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -44,6 +180,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request body: %v", err)
 		return
 	}
+	req.RequestID = requestIDFrom(r)
 	resp, serr := s.Submit(req)
 	if serr != nil {
 		writeError(w, serr.status, "%s", serr.msg)
@@ -97,6 +234,37 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves a job's span tree: indented Document JSON by
+// default, or a chrome://tracing / Perfetto file with ?format=chrome. A
+// queued or running job gets a live snapshot (open spans run to "now");
+// a finished job gets the sealed trace while the flight recorder holds it.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	doc := j.TraceDocument()
+	if doc == nil {
+		writeError(w, http.StatusNotFound,
+			"no trace for job %s (tracing disabled, a cache-hit job, or evicted from the flight recorder)", j.ID)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.ID+"-trace.json"))
+		_ = telemetry.WriteChromeTrace(doc, w)
+	default:
+		writeError(w, http.StatusBadRequest, "format must be json or chrome, got %q", r.URL.Query().Get("format"))
+	}
+}
+
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	found, cancelled := s.Cancel(id)
@@ -118,17 +286,4 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-func (s *Service) handleIndex(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "incognitod endpoints:")
-	fmt.Fprintln(w, "  POST   /v1/jobs             submit {csv, qi, policy}")
-	fmt.Fprintln(w, "  GET    /v1/jobs             list jobs")
-	fmt.Fprintln(w, "  GET    /v1/jobs/{id}        job status and live progress")
-	fmt.Fprintln(w, "  GET    /v1/jobs/{id}/result solution set and released CSV")
-	fmt.Fprintln(w, "  DELETE /v1/jobs/{id}        cancel a job")
-	fmt.Fprintln(w, "  GET    /healthz             liveness (503 while draining)")
-	fmt.Fprintln(w, "  GET    /metrics             Prometheus text format")
-	fmt.Fprintln(w, "  GET    /debug/pprof/        runtime profiles (pprof)")
 }

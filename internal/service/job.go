@@ -8,6 +8,7 @@ import (
 
 	incognito "incognito"
 	"incognito/internal/telemetry"
+	"incognito/internal/trace"
 )
 
 // State is a job's lifecycle position. Transitions only move forward:
@@ -32,16 +33,24 @@ func (s State) Terminal() bool {
 // to the worker that runs them; the result is kept as marshaled
 // ResultPayload bytes, shared with the cache.
 type Job struct {
-	ID  string
-	key string // cache identity; see jobKey
+	ID        string
+	key       string // cache identity; see jobKey
+	requestID string // X-Request-Id of the submission that created the job
 
 	table *incognito.Table
 	qi    []incognito.QI
 	pol   resolved
+	// csv and qiSpec are retained only for partitioned jobs — the
+	// Partitioner needs the raw submission to stand up worker processes.
+	csv    string
+	qiSpec string
 
 	progress *telemetry.Progress
 
 	mu        sync.Mutex
+	tracer    *trace.Tracer   // live while the job is queued or running
+	queueSpan *trace.Span     // open from submission until the worker takes the job
+	traceDoc  *trace.Document // sealed trace, while retained by the flight recorder
 	state     State
 	err       string
 	created   time.Time
@@ -58,7 +67,8 @@ type Job struct {
 }
 
 // take transitions queued → running; false when the job was cancelled
-// while waiting in the queue (the worker skips it).
+// while waiting in the queue (the worker skips it). Taking the job closes
+// its queue-wait span.
 func (j *Job) take() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -67,7 +77,38 @@ func (j *Job) take() bool {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.queueSpan.End()
+	j.queueSpan = nil
 	return true
+}
+
+// jobTracer returns the job's live tracer (nil when tracing is disabled
+// or the trace is already sealed — both fully functional no-ops).
+func (j *Job) jobTracer() *trace.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
+}
+
+// startRunSpan opens the span covering the whole anonymization run; the
+// library's phase spans nest under it via Config.ParentSpan. Nil (a
+// no-op span) when tracing is disabled.
+func (j *Job) startRunSpan() *trace.Span {
+	return j.jobTracer().Start("run")
+}
+
+// TraceDocument returns the job's span tree: the sealed document for a
+// finished job still in the flight recorder, or a live export (unended
+// spans run to "now") while the job is queued or running. Nil when
+// tracing is disabled or the trace has been evicted.
+func (j *Job) TraceDocument() *trace.Document {
+	j.mu.Lock()
+	doc, tr := j.traceDoc, j.tracer
+	j.mu.Unlock()
+	if doc != nil {
+		return doc
+	}
+	return tr.Export()
 }
 
 // setCancel installs the running job's context cancel so DELETE (and the
@@ -148,6 +189,7 @@ func (j *Job) Status() StatusResponse {
 	j.mu.Lock()
 	resp := StatusResponse{
 		ID:        j.ID,
+		RequestID: j.requestID,
 		State:     j.state,
 		CacheHit:  j.cacheHit,
 		Coalesced: j.coalesced,

@@ -1,0 +1,619 @@
+package service
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	incognito "incognito"
+	"incognito/internal/partition"
+	"incognito/internal/qispec"
+	"incognito/internal/telemetry"
+	"incognito/internal/trace"
+)
+
+// inProcessPartitioner builds pools whose workers are goroutines serving
+// over pipes — the spawned-worker code path (ServePartitionWorker, wire
+// codec, telemetry frames) minus the exec, so service tests stay hermetic.
+// The returned cleanup joins the worker goroutines, mirroring the
+// process-reaping cleanup of the daemon's re-exec partitioner.
+func inProcessPartitioner(t *testing.T) Partitioner {
+	t.Helper()
+	return func(table *incognito.Table, csv, qiSpec string, partitions int) (*incognito.PartitionPool, func(), error) {
+		qi, err := qispec.ParseQI(qiSpec, qispec.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		peers := make([]partition.Peer, partitions)
+		var wg sync.WaitGroup
+		for i := 0; i < partitions; i++ {
+			reqR, reqW := io.Pipe()
+			respR, respW := io.Pipe()
+			wg.Add(1)
+			go func(i int, r *io.PipeReader, w *io.PipeWriter) {
+				defer wg.Done()
+				w.CloseWithError(incognito.ServePartitionWorker(table, qi, i, partitions, r, w))
+			}(i, reqR, respW)
+			peers[i] = partition.Peer{R: respR, W: reqW}
+		}
+		return partition.NewPool(table.NumRows(), peers), wg.Wait, nil
+	}
+}
+
+// sumSpan totals one counter over a SpanDoc subtree.
+func sumSpan(s *trace.SpanDoc, counter string) int64 {
+	n := s.Counters[counter]
+	for _, c := range s.Children {
+		n += sumSpan(c, counter)
+	}
+	return n
+}
+
+// TestPartitionedJobTrace is the tentpole acceptance test: a partitioned
+// job's trace is one tree — queue wait, run, the library's phases, the
+// coordinator's partition_scan spans, and under partition_workers the
+// adopted per-worker trees — with counters that agree across the process
+// boundary and with the run's own Stats.
+func TestPartitionedJobTrace(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newTestService(t, Config{
+		Workers:       1,
+		Registry:      reg,
+		Partitioner:   inProcessPartitioner(t),
+		MaxPartitions: 3,
+	})
+	req := validRequest()
+	req.Policy.Partitions = 2
+	resp, serr := s.Submit(req)
+	if serr != nil {
+		t.Fatalf("Submit: %v", serr)
+	}
+	if st := waitTerminal(t, s, resp.ID); st.State != StateDone {
+		t.Fatalf("state %s (err %q), want done", st.State, st.Error)
+	}
+	j, _ := s.Job(resp.ID)
+	var payload ResultPayload
+	if err := json.Unmarshal(j.result, &payload); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := j.TraceDocument()
+	if doc == nil {
+		t.Fatal("finished job has no trace")
+	}
+	for _, name := range []string{"queue_wait", "run", "partition_workers"} {
+		if got := len(doc.Find(name)); got != 1 {
+			t.Fatalf("%s spans = %d, want 1", name, got)
+		}
+	}
+	workers := doc.Find("partition_worker")
+	if len(workers) != 2 {
+		t.Fatalf("adopted worker trees = %d, want 2", len(workers))
+	}
+
+	// Cross-boundary consistency: every coordinator partition_scan hit
+	// both workers, each worker saw its own row share of every scan, and
+	// the scans cover at least the search's table scans (solution metrics
+	// re-scan through the pool on top of them).
+	coordScans := doc.SumCounter("partition_scans")
+	if coordScans < int64(payload.Stats.TableScans) {
+		t.Errorf("partition_scans = %d < search TableScans %d", coordScans, payload.Stats.TableScans)
+	}
+	var workerScans, workerRows int64
+	for i, w := range workers {
+		scans := sumSpan(w, "worker_scans")
+		if scans != coordScans {
+			t.Errorf("worker %d served %d scans, coordinator made %d", i, scans, coordScans)
+		}
+		workerScans += scans
+		workerRows += sumSpan(w, "worker_rows")
+	}
+	if workerScans != 2*coordScans {
+		t.Errorf("worker_scans total = %d, want 2×%d", workerScans, coordScans)
+	}
+	if wantRows := coordScans * int64(j.table.NumRows()); workerRows != wantRows {
+		t.Errorf("worker_rows total = %d, want scans×rows = %d", workerRows, wantRows)
+	}
+	if doc.SumCounter("worker_errors") != 0 {
+		t.Error("worker_errors in a clean run")
+	}
+
+	// RecordTrace folded the whole tree — including the adopted worker
+	// phases — into the shared registry, plus the pool telemetry gauges.
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`incognito_phase_seconds_count{phase="run"}`,
+		`incognito_phase_seconds_count{phase="partition_worker"}`,
+		"incognito_worker_scans_total",
+		"incognitod_partition_worker_skew",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// syncBuffer guards a log buffer the service's worker goroutines write
+// concurrently with the test's reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServicePathTransparency extends the library's telemetry-transparency
+// guarantee to the daemon: full observability (tracing, logging, metrics,
+// partitioned scanning) must leave the result bytes identical to a bare
+// service's.
+func TestServicePathTransparency(t *testing.T) {
+	logBuf := &syncBuffer{}
+	logger, err := telemetry.NewLogger(logBuf, "json", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := newTestService(t, Config{
+		Workers:       1,
+		Registry:      telemetry.NewRegistry(),
+		Logger:        logger,
+		Partitioner:   inProcessPartitioner(t),
+		MaxPartitions: 2,
+	})
+	bare := newTestService(t, Config{Workers: 1, TraceJobs: -1})
+
+	req := validRequest()
+	req.Policy.Partitions = 2
+	r1, serr := observed.Submit(req)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	r2, serr := bare.Submit(validRequest())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	waitTerminal(t, observed, r1.ID)
+	waitTerminal(t, bare, r2.ID)
+	j1, _ := observed.Job(r1.ID)
+	j2, _ := bare.Job(r2.ID)
+	if !bytes.Equal(j1.result, j2.result) {
+		t.Errorf("observability changed the result bytes:\n%s\n--- bare ---\n%s", j1.result, j2.result)
+	}
+	if j2.TraceDocument() != nil {
+		t.Error("TraceJobs<0 still produced a trace")
+	}
+	if logBuf.Len() == 0 {
+		t.Error("observed service logged nothing")
+	}
+}
+
+// TestPartitionedSubmitValidation: partitioned submissions are rejected
+// with 400 unless the daemon opted in, and bounded by MaxPartitions.
+func TestPartitionedSubmitValidation(t *testing.T) {
+	plain := newTestService(t, Config{Workers: 1})
+	req := validRequest()
+	req.Policy.Partitions = 2
+	if _, serr := plain.Submit(req); serr == nil || serr.status != http.StatusBadRequest ||
+		!strings.Contains(serr.msg, "disabled") {
+		t.Fatalf("partitions on a plain daemon = %v, want 400 mentioning disabled", serr)
+	}
+
+	s := newTestService(t, Config{Workers: 1, Partitioner: inProcessPartitioner(t), MaxPartitions: 2})
+	req.Policy.Partitions = 3
+	if _, serr := s.Submit(req); serr == nil || serr.status != http.StatusBadRequest {
+		t.Fatalf("partitions above the cap = %v, want 400", serr)
+	}
+	req.Policy.Partitions = -1
+	if _, serr := s.Submit(req); serr == nil || serr.status != http.StatusBadRequest {
+		t.Fatalf("negative partitions = %v, want 400", serr)
+	}
+	// partitions=1 is the non-partitioned path: no partitioner involvement.
+	req.Policy.Partitions = 1
+	resp, serr := s.Submit(req)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if st := waitTerminal(t, s, resp.ID); st.State != StateDone {
+		t.Fatalf("partitions=1 job: %s (%s)", st.State, st.Error)
+	}
+}
+
+// TestPartitionsAreResultTransparent: partitions is a result-transparent
+// knob, so a partitioned and a plain submission of the same work share one
+// cache entry.
+func TestPartitionsAreResultTransparent(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, Partitioner: inProcessPartitioner(t), MaxPartitions: 2})
+	first, serr := s.Submit(validRequest())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	waitTerminal(t, s, first.ID)
+	req := validRequest()
+	req.Policy.Partitions = 2
+	again, serr := s.Submit(req)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if !again.CacheHit {
+		t.Fatal("partitioned duplicate missed the cache; partitions leaked into the job key")
+	}
+}
+
+// TestPartitionerFailureFailsJob: a Partitioner that cannot stand its
+// workers up fails the job cleanly instead of wedging the worker.
+func TestPartitionerFailureFailsJob(t *testing.T) {
+	s := newTestService(t, Config{
+		Workers: 1,
+		Partitioner: func(*incognito.Table, string, string, int) (*incognito.PartitionPool, func(), error) {
+			return nil, nil, io.ErrUnexpectedEOF
+		},
+		MaxPartitions: 2,
+	})
+	req := validRequest()
+	req.Policy.Partitions = 2
+	resp, serr := s.Submit(req)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	st := waitTerminal(t, s, resp.ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "partition workers") {
+		t.Fatalf("state %s err %q, want failed mentioning partition workers", st.State, st.Error)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, serr := s.Submit(validRequest())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	waitTerminal(t, s, resp.ID)
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r, b
+	}
+
+	r, body := get("/v1/jobs/" + resp.ID + "/trace")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("trace = %d: %s", r.StatusCode, body)
+	}
+	var doc trace.Document
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace is not a Document: %v", err)
+	}
+	for _, name := range []string{"queue_wait", "run"} {
+		if len(doc.Find(name)) != 1 {
+			t.Errorf("served trace missing %q span:\n%s", name, body)
+		}
+	}
+
+	r, body = get("/v1/jobs/" + resp.ID + "/trace?format=chrome")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("chrome trace = %d: %s", r.StatusCode, body)
+	}
+	if cd := r.Header.Get("Content-Disposition"); !strings.Contains(cd, resp.ID) {
+		t.Errorf("chrome trace Content-Disposition %q lacks the job id", cd)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil || len(chrome.TraceEvents) == 0 {
+		t.Fatalf("chrome trace has no traceEvents: %v %s", err, body)
+	}
+
+	if r, _ = get("/v1/jobs/" + resp.ID + "/trace?format=svg"); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad format = %d, want 400", r.StatusCode)
+	}
+	if r, _ = get("/v1/jobs/job-999999/trace"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", r.StatusCode)
+	}
+
+	// A cache-hit job never ran, so it has no trace of its own.
+	dup, serr := s.Submit(validRequest())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if !dup.CacheHit {
+		t.Fatal("resubmission missed the cache")
+	}
+	r, body = get("/v1/jobs/" + dup.ID + "/trace")
+	if r.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "no trace") {
+		t.Errorf("cache-hit trace = %d %s, want 404", r.StatusCode, body)
+	}
+}
+
+// TestLiveTraceWhileRunning: a running job serves a live snapshot instead
+// of 404ing until completion.
+func TestLiveTraceWhileRunning(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.testHookBeforeRun = func(*Job) {
+		close(entered)
+		<-release
+	}
+	resp, serr := s.Submit(validRequest())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	<-entered
+	j, _ := s.Job(resp.ID)
+	doc := j.TraceDocument()
+	if doc == nil || len(doc.Find("queue_wait")) != 1 {
+		t.Errorf("live trace = %+v, want a snapshot with queue_wait", doc)
+	}
+	close(release)
+	waitTerminal(t, s, resp.ID)
+}
+
+func TestTraceFlightRecorderEviction(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, TraceJobs: 1})
+	submitK := func(k int) string {
+		req := validRequest()
+		req.Policy.K = k
+		resp, serr := s.Submit(req)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		waitTerminal(t, s, resp.ID)
+		return resp.ID
+	}
+	first := submitK(2)
+	second := submitK(3)
+	jFirst, _ := s.Job(first)
+	jSecond, _ := s.Job(second)
+	if jFirst.TraceDocument() != nil {
+		t.Error("oldest trace survived past the flight-recorder cap")
+	}
+	if jSecond.TraceDocument() == nil {
+		t.Error("newest trace was evicted")
+	}
+}
+
+// TestCancelledQueuedJobSealsTrace: a job cancelled while queued never
+// reaches a worker, so Cancel itself must seal its queue-wait trace.
+func TestCancelledQueuedJobSealsTrace(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookBeforeRun = func(*Job) {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	defer close(release)
+	if _, serr := s.Submit(validRequest()); serr != nil {
+		t.Fatal(serr)
+	}
+	<-entered
+	req := validRequest()
+	req.Policy.K = 3
+	queued, serr := s.Submit(req)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	s.Cancel(queued.ID)
+	j, _ := s.Job(queued.ID)
+	doc := j.TraceDocument()
+	if doc == nil || len(doc.Find("queue_wait")) != 1 {
+		t.Errorf("cancelled queued job trace = %+v, want sealed queue_wait", doc)
+	}
+	if len(doc.Find("run")) != 0 {
+		t.Error("cancelled queued job has a run span")
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	logBuf := &syncBuffer{}
+	logger, err := telemetry.NewLogger(logBuf, "json", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestService(t, Config{Workers: 1, Logger: logger})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A client-supplied X-Request-Id is honored end to end: echoed on the
+	// response, attached to the job, visible in the access log.
+	body, _ := json.Marshal(validRequest())
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("X-Request-Id", "caller-trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-trace-42" {
+		t.Errorf("echoed X-Request-Id = %q", got)
+	}
+	id := m["id"].(string)
+	waitTerminal(t, s, id)
+
+	st, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBody, _ := io.ReadAll(st.Body)
+	st.Body.Close()
+	if !bytes.Contains(stBody, []byte(`"request_id":"caller-trace-42"`)) {
+		t.Errorf("status lacks the request id: %s", stBody)
+	}
+
+	logs := logBuf.String()
+	var accessLogged bool
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, `"msg":"request"`) &&
+			strings.Contains(line, `"request_id":"caller-trace-42"`) &&
+			strings.Contains(line, `"path":"/v1/jobs"`) &&
+			strings.Contains(line, `"method":"POST"`) &&
+			strings.Contains(line, `"status":202`) {
+			accessLogged = true
+		}
+	}
+	if !accessLogged {
+		t.Errorf("no access-log line for the submission:\n%s", logs)
+	}
+	if !strings.Contains(logs, `"msg":"job queued"`) {
+		t.Errorf("no job-lifecycle line:\n%s", logs)
+	}
+
+	// Without a client header, the middleware generates one.
+	r2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if rid := r2.Header.Get("X-Request-Id"); len(rid) != 16 {
+		t.Errorf("generated X-Request-Id = %q, want 16 hex chars", rid)
+	}
+}
+
+func TestIndexListsMountedEndpoints(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"/v1/jobs", "/v1/jobs/{id}/trace", "/v1/jobs/{id}/result",
+		"/healthz", "/metrics", "/debug/pprof/", "/debug/bundle",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("index missing %s:\n%s", want, body)
+		}
+	}
+	// Unknown paths must not fall through to the index.
+	r2, err := http.Get(ts.URL + "/no-such-endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", r2.StatusCode)
+	}
+}
+
+func TestDebugBundle(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, Registry: telemetry.NewRegistry()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, serr := s.Submit(validRequest())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	waitTerminal(t, s, resp.ID)
+
+	r, err := http.Get(ts.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK || r.Header.Get("Content-Type") != "application/gzip" {
+		t.Fatalf("bundle = %d %s", r.StatusCode, r.Header.Get("Content-Type"))
+	}
+	gz, err := gzip.NewReader(r.Body)
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	members := map[string][]byte{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("bundle is not a tar: %v", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[hdr.Name] = data
+	}
+	for _, want := range []string{"build.txt", "memstats.json", "metrics.prom", "jobs.json"} {
+		if _, ok := members[want]; !ok {
+			t.Errorf("bundle missing %s (has %v)", want, keys(members))
+		}
+	}
+	if !bytes.Contains(members["build.txt"], []byte("gomaxprocs:")) {
+		t.Errorf("build.txt lacks gomaxprocs:\n%s", members["build.txt"])
+	}
+	var ms map[string]any
+	if err := json.Unmarshal(members["memstats.json"], &ms); err != nil {
+		t.Errorf("memstats.json: %v", err)
+	}
+	if !bytes.Contains(members["metrics.prom"], []byte("incognitod_runs_total")) {
+		t.Errorf("metrics.prom lacks the service gauges:\n%s", members["metrics.prom"])
+	}
+	var statuses []StatusResponse
+	if err := json.Unmarshal(members["jobs.json"], &statuses); err != nil || len(statuses) != 1 {
+		t.Errorf("jobs.json = %v entries (%v)", len(statuses), err)
+	}
+	traceName := "traces/" + resp.ID + ".json"
+	var doc trace.Document
+	if err := json.Unmarshal(members[traceName], &doc); err != nil || len(doc.Find("run")) != 1 {
+		t.Errorf("%s missing or malformed (%v)", traceName, err)
+	}
+	// Disclosure posture: no released cell values in the bundle.
+	for name, data := range members {
+		if bytes.Contains(data, []byte("Hepatitis")) {
+			t.Errorf("%s leaks table cell values", name)
+		}
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"incognito/internal/qispec"
 	"incognito/internal/resilience"
 	"incognito/internal/telemetry"
+	"incognito/internal/trace"
 )
 
 // Config sizes the daemon and supplies per-job defaults.
@@ -49,23 +50,49 @@ type Config struct {
 	// cancelling their contexts (0 waits forever).
 	DrainTimeout time.Duration
 	// Registry, when non-nil, receives the service gauges (queue depth,
-	// active jobs, cache occupancy and hit ratio, run counters).
+	// active jobs, cache occupancy and hit ratio, run counters), plus the
+	// per-job phase histograms RecordTrace folds in at job completion.
 	Registry *telemetry.Registry
-	// Logger, when non-nil, receives job lifecycle events.
+	// Logger, when non-nil, receives job lifecycle events and the HTTP
+	// access log.
 	Logger *slog.Logger
+	// TraceJobs sizes the per-job trace flight recorder: every queued job
+	// gets a span tree (queue wait → run → phases, plus adopted partition
+	// worker trees) served on GET /v1/jobs/{id}/trace, and the finished
+	// trees of the most recent TraceJobs jobs are retained. 0 means the
+	// default (64); negative disables per-job tracing entirely. Tracing is
+	// result-transparent: Solutions, Stats, and the released CSV are
+	// byte-identical with it on or off.
+	TraceJobs int
+	// Partitioner, when non-nil, builds the worker pool for jobs whose
+	// policy asks for partitions: it receives the parsed table plus the
+	// raw CSV/QI spec (re-exec'd workers need the bytes, in-process test
+	// pools the parse) and returns the pool and a cleanup to run after the
+	// pool closes. nil rejects partitioned submissions.
+	Partitioner Partitioner
+	// MaxPartitions caps policy.partitions; < 2 rejects partitioned
+	// submissions even with a Partitioner installed.
+	MaxPartitions int
 }
+
+// Partitioner builds a partition worker pool for one job. The returned
+// cleanup (which may be nil) runs after the pool has closed — the hook
+// for removing spilled temp files or joining worker goroutines.
+type Partitioner func(table *incognito.Table, csv, qiSpec string, partitions int) (*incognito.PartitionPool, func(), error)
 
 // Service is the queue, cache, and job table behind the HTTP API.
 type Service struct {
-	cfg   Config
-	cache *Cache
+	cfg      Config
+	cache    *Cache
+	traceCap int // normalized Config.TraceJobs; 0 disables tracing
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string        // submission order, for listing
-	inflight map[string]*Job // cache key → queued-or-running job
-	queue    chan *Job
-	draining bool
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string        // submission order, for listing
+	inflight   map[string]*Job // cache key → queued-or-running job
+	queue      chan *Job
+	draining   bool
+	traceOrder []string // jobs with a retained trace, oldest first
 
 	wg        sync.WaitGroup
 	active    atomic.Int64
@@ -90,9 +117,17 @@ func New(cfg Config) *Service {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 64
 	}
+	traceCap := cfg.TraceJobs
+	switch {
+	case traceCap == 0:
+		traceCap = 64
+	case traceCap < 0:
+		traceCap = 0
+	}
 	s := &Service{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheMaxBytes, cfg.CacheMaxEntries),
+		traceCap: traceCap,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		queue:    make(chan *Job, cfg.QueueDepth),
@@ -211,7 +246,7 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 		return nil, reject(503, "daemon is draining, not accepting jobs")
 	}
 	if payload, ok := s.cache.Get(key); ok {
-		j := s.newJobLocked(key, table, qi, pol)
+		j := s.newJobLocked(key, req.RequestID, table, qi, pol)
 		j.cacheHit = true
 		j.result = payload
 		j.state = StateDone
@@ -228,9 +263,21 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 		s.logJob(prior, "coalesced duplicate submission")
 		return &SubmitResponse{ID: prior.ID, State: state, Coalesced: true}, nil
 	}
-	j := s.newJobLocked(key, table, qi, pol)
+	j := s.newJobLocked(key, req.RequestID, table, qi, pol)
 	j.state = StateQueued
 	j.progress = telemetry.NewProgress()
+	if s.traceCap > 0 {
+		j.tracer = trace.New()
+		j.tracer.SetAttr("job", j.ID)
+		if req.RequestID != "" {
+			j.tracer.SetAttr("request_id", req.RequestID)
+		}
+		j.queueSpan = j.tracer.Start("queue_wait")
+	}
+	if pol.partitions > 1 {
+		// The partitioner needs the raw submission back when the job runs.
+		j.csv, j.qiSpec = req.CSV, req.QI
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -244,14 +291,15 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 }
 
 // newJobLocked allocates and registers a job record; s.mu is held.
-func (s *Service) newJobLocked(key string, table *incognito.Table, qi []incognito.QI, pol resolved) *Job {
+func (s *Service) newJobLocked(key, requestID string, table *incognito.Table, qi []incognito.QI, pol resolved) *Job {
 	j := &Job{
-		ID:      fmt.Sprintf("job-%06d", s.seq.Add(1)),
-		key:     key,
-		table:   table,
-		qi:      qi,
-		pol:     pol,
-		created: time.Now(),
+		ID:        fmt.Sprintf("job-%06d", s.seq.Add(1)),
+		key:       key,
+		requestID: requestID,
+		table:     table,
+		qi:        qi,
+		pol:       pol,
+		created:   time.Now(),
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
@@ -286,6 +334,9 @@ func (s *Service) Cancel(id string) (found, cancelled bool) {
 	acted, finalized := j.cancelJob("cancelled by request")
 	if finalized {
 		s.cancelled.Add(1)
+		// The job never reached a worker; its queue-wait trace is all
+		// there will ever be, so seal it here.
+		s.finishJobTrace(j)
 	}
 	if acted {
 		s.logJob(j, "cancel requested")
@@ -325,7 +376,12 @@ func (s *Service) worker() {
 }
 
 // runJob executes one job with panic isolation, timeout and memory-budget
-// enforcement, then publishes the rendered result to the cache.
+// enforcement, then publishes the rendered result to the cache. The job's
+// trace — queue wait, run phases, adopted partition worker trees — is
+// finalized into the flight recorder on every exit path, including
+// panics, and always *before* the terminal job state is published: a
+// client that polls until done and immediately fetches the trace must
+// see the sealed document, never a partial live snapshot.
 func (s *Service) runJob(j *Job) {
 	s.active.Add(1)
 	defer s.active.Add(-1)
@@ -334,12 +390,15 @@ func (s *Service) runJob(j *Job) {
 			// AnonymizeContext already converts worker-goroutine panics to
 			// errors; this guard catches panics on the job's own goroutine
 			// (request-shaped data hitting a library invariant), so one
-			// poisoned job cannot take the worker down.
+			// poisoned job cannot take the worker down. The trace was
+			// sealed on the way here — finishJobTrace was deferred later,
+			// so it ran first.
 			s.failed.Add(1)
 			j.fail(resilience.AsPanicError("job", r).Error())
 			s.logJob(j, "panicked")
 		}
 	}()
+	defer s.finishJobTrace(j)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	if j.pol.timeout > 0 {
@@ -352,6 +411,20 @@ func (s *Service) runJob(j *Job) {
 		s.testHookBeforeRun(j)
 	}
 
+	// The traced section runs in a closure so its defers — pool close
+	// (which collects and grafts the worker telemetry), run-span end —
+	// complete before the terminal transition it returns is applied.
+	publish := s.execute(ctx, j)
+	s.finishJobTrace(j)
+	publish()
+}
+
+// execute runs the engine for one job inside its run span and returns the
+// terminal transition to apply once the trace is sealed.
+func (s *Service) execute(ctx context.Context, j *Job) (publish func()) {
+	runSpan := j.startRunSpan()
+	defer runSpan.End()
+
 	cfg := incognito.Config{
 		K:                 j.pol.k,
 		MaxSuppressed:     j.pol.maxSuppress,
@@ -361,6 +434,8 @@ func (s *Service) runJob(j *Job) {
 		SparseKernel:      j.pol.sparse,
 		MemoryBudgetBytes: j.pol.memBudget,
 		Progress:          j.progress,
+		Tracer:            j.jobTracer(),
+		ParentSpan:        runSpan,
 	}
 	if s.cfg.CheckpointDir != "" {
 		switch j.pol.algorithm {
@@ -369,6 +444,31 @@ func (s *Service) runJob(j *Job) {
 			cfg.Checkpoint = incognito.NewCheckpointer(filepath.Join(s.cfg.CheckpointDir, j.ID+".ckpt"))
 		}
 	}
+	fail := func(msg, event string) func() {
+		return func() {
+			s.failed.Add(1)
+			j.fail(msg)
+			s.logJob(j, event)
+		}
+	}
+	if j.pol.partitions > 1 {
+		pool, cleanup, err := s.cfg.Partitioner(j.table, j.csv, j.qiSpec, j.pol.partitions)
+		if err != nil {
+			return fail(fmt.Sprintf("starting %d partition workers: %v", j.pol.partitions, err), "failed")
+		}
+		// Workers' telemetry frames arrive when the pool closes — still
+		// inside the run span, so the adopted trees land under it. The
+		// deferreds run close-before-End in LIFO order.
+		pool.SetTraceSink(runSpan)
+		cfg.Partition = pool
+		defer func() {
+			_ = pool.Close()
+			s.observePool(pool)
+			if cleanup != nil {
+				cleanup()
+			}
+		}()
+	}
 
 	s.runs.Add(1)
 	s.logJob(j, "running")
@@ -376,44 +476,90 @@ func (s *Service) runJob(j *Job) {
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
-			s.cancelled.Add(1)
-			j.cancelled(err.Error())
-			s.logJob(j, "cancelled mid-run")
+			return func() {
+				s.cancelled.Add(1)
+				j.cancelled(err.Error())
+				s.logJob(j, "cancelled mid-run")
+			}
 		case errors.Is(err, context.DeadlineExceeded):
-			s.failed.Add(1)
-			j.fail("timed out: " + err.Error())
-			s.logJob(j, "timed out")
+			return fail("timed out: "+err.Error(), "timed out")
 		default:
-			s.failed.Add(1)
-			j.fail(err.Error())
-			s.logJob(j, "failed")
+			return fail(err.Error(), "failed")
 		}
-		return
 	}
 	if res.Len() == 0 {
-		s.failed.Add(1)
-		j.fail(fmt.Sprintf("no %d-anonymous full-domain generalization exists (table too small for k?)", j.pol.k))
-		s.logJob(j, "failed")
-		return
+		return fail(fmt.Sprintf("no %d-anonymous full-domain generalization exists (table too small for k?)", j.pol.k), "failed")
 	}
 	payload, err := renderResult(res, j.pol)
 	if err != nil {
-		s.failed.Add(1)
-		j.fail(err.Error())
-		s.logJob(j, "failed")
-		return
+		return fail(err.Error(), "failed")
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {
-		s.failed.Add(1)
-		j.fail(err.Error())
-		s.logJob(j, "failed")
+		return fail(err.Error(), "failed")
+	}
+	return func() {
+		j.complete(raw)
+		s.cache.Put(j.key, raw)
+		s.completed.Add(1)
+		s.logJob(j, "done")
+	}
+}
+
+// observePool publishes a closed partition pool's worker telemetry as
+// service gauges: load skew (max/mean busy time) and the largest worker
+// peak RSS. Settable gauges, not GaugeFuncs — the pool is gone after the
+// job, so the last job's values stand until the next partitioned job.
+func (s *Service) observePool(pool *incognito.PartitionPool) {
+	reg := s.cfg.Registry
+	if reg == nil {
 		return
 	}
-	j.complete(raw)
-	s.cache.Put(j.key, raw)
-	s.completed.Add(1)
-	s.logJob(j, "done")
+	if skew := pool.WorkerSkew(); skew > 0 {
+		reg.Gauge("incognitod_partition_worker_skew",
+			"Max/mean worker busy time of the most recent partitioned job (1.0 = perfectly balanced).").Set(skew)
+	}
+	var peak int64
+	for _, rep := range pool.Reports() {
+		if rep.PeakRSSBytes > peak {
+			peak = rep.PeakRSSBytes
+		}
+	}
+	if peak > 0 {
+		reg.Gauge("incognitod_partition_worker_peak_rss_bytes",
+			"Largest worker peak RSS of the most recent partitioned job.").Set(float64(peak))
+	}
+}
+
+// finishJobTrace seals a job's trace: the span tree is exported once, its
+// phase durations and counters are folded into the registry, and the
+// document enters the bounded flight recorder (evicting the oldest
+// retained trace past Config.TraceJobs). Safe to call on jobs that were
+// never traced, and idempotent — the tracer handle is consumed.
+func (s *Service) finishJobTrace(j *Job) {
+	j.mu.Lock()
+	tr := j.tracer
+	j.tracer = nil
+	j.mu.Unlock()
+	if tr == nil {
+		return
+	}
+	doc := tr.Export()
+	telemetry.RecordTrace(s.cfg.Registry, doc)
+	s.mu.Lock()
+	j.mu.Lock()
+	j.traceDoc = doc
+	j.mu.Unlock()
+	s.traceOrder = append(s.traceOrder, j.ID)
+	for len(s.traceOrder) > s.traceCap {
+		if old := s.jobs[s.traceOrder[0]]; old != nil {
+			old.mu.Lock()
+			old.traceDoc = nil
+			old.mu.Unlock()
+		}
+		s.traceOrder = s.traceOrder[1:]
+	}
+	s.mu.Unlock()
 }
 
 // Drain gracefully shuts the pool down: new submissions are rejected,
@@ -443,6 +589,7 @@ func (s *Service) Drain() {
 	for _, j := range queued {
 		if _, finalized := j.cancelJob("daemon shutting down before the job started"); finalized {
 			s.cancelled.Add(1)
+			s.finishJobTrace(j)
 			s.logJob(j, "cancelled by drain")
 		}
 	}
@@ -478,5 +625,9 @@ func (s *Service) logJob(j *Job, msg string) {
 	if s.cfg.Logger == nil {
 		return
 	}
-	s.cfg.Logger.Info("job "+msg, slog.String("id", j.ID))
+	attrs := []any{slog.String("id", j.ID)}
+	if j.requestID != "" {
+		attrs = append(attrs, slog.String("request_id", j.requestID))
+	}
+	s.cfg.Logger.Info("job "+msg, attrs...)
 }

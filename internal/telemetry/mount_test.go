@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMountOnFreshMux: Mount must make a bare mux serve the whole
+// telemetry surface and report exactly what it registered — the contract
+// the incognitod endpoint index is generated from.
+func TestMountOnFreshMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("incognito_mount_test_total", "Mount test counter.").Add(7)
+	mux := http.NewServeMux()
+	patterns := Mount(mux, reg)
+
+	want := []string{
+		"/metrics", "/debug/pprof/", "/debug/pprof/cmdline",
+		"/debug/pprof/profile", "/debug/pprof/symbol", "/debug/pprof/trace",
+	}
+	if len(patterns) != len(want) {
+		t.Fatalf("Mount returned %v, want %v", patterns, want)
+	}
+	for i, p := range want {
+		if patterns[i] != p {
+			t.Errorf("pattern[%d] = %q, want %q", i, patterns[i], p)
+		}
+	}
+
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "incognito_mount_test_total 7") {
+		t.Errorf("metrics = %d:\n%s", code, body)
+	}
+	// The cheap pprof endpoints must answer; profile/trace block for their
+	// sampling window, so registration coverage comes from the index page.
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d:\n%s", code, body)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", code)
+	}
+	if code, _ = get("/debug/pprof/symbol"); code != http.StatusOK {
+		t.Errorf("pprof symbol = %d", code)
+	}
+}
+
+// TestMountNilRegistry: /metrics on a nil registry serves an empty
+// exposition rather than panicking.
+func TestMountNilRegistry(t *testing.T) {
+	mux := http.NewServeMux()
+	Mount(mux, nil)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics with nil registry = %d", resp.StatusCode)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (other tests' servers may be winding down concurrently, so a
+// strict equality would flake; at-most-baseline is the leak check).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines = %d after stop, baseline %d — sampler/reporter leaked", runtime.NumGoroutine(), baseline)
+}
+
+func TestSamplerStopReleasesGoroutine(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	stop := StartSampler(NewRegistry(), time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let it tick at least once
+	stop()
+	stop() // idempotent
+	waitGoroutines(t, baseline)
+}
+
+func TestReporterStopReleasesGoroutine(t *testing.T) {
+	logger, err := NewLogger(io.Discard, "text", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	stop := StartReporter(logger, NewProgress(), time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	waitGoroutines(t, baseline)
+}

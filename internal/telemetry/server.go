@@ -54,20 +54,33 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // with routes of its own (the incognitod job API) exposes the same
 // observability surface as the opt-in listener. The registry may be nil,
 // in which case /metrics serves an empty exposition; pprof works
-// regardless.
-func Mount(mux *http.ServeMux, reg *Registry) {
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+// regardless. The registered patterns are returned so embedders can build
+// an endpoint index that cannot drift from what is actually mounted.
+func Mount(mux *http.ServeMux, reg *Registry) []string {
+	metrics := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WritePrometheus(w); err != nil {
 			// The connection is gone; there is nobody left to tell.
 			return
 		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	handlers := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"/metrics", metrics},
+		{"/debug/pprof/", pprof.Index},
+		{"/debug/pprof/cmdline", pprof.Cmdline},
+		{"/debug/pprof/profile", pprof.Profile},
+		{"/debug/pprof/symbol", pprof.Symbol},
+		{"/debug/pprof/trace", pprof.Trace},
+	}
+	patterns := make([]string, 0, len(handlers))
+	for _, e := range handlers {
+		mux.HandleFunc(e.pattern, e.h)
+		patterns = append(patterns, e.pattern)
+	}
+	return patterns
 }
 
 // Addr returns the bound listen address (useful with a :0 port).

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// workerDoc builds a small "remote" trace the way a partition worker
+// does: its own tracer, its own epoch, exported to a Document that then
+// crosses a process boundary as bytes.
+func workerDoc(t *testing.T) *Document {
+	t.Helper()
+	wt := New()
+	root := wt.Start("partition_worker")
+	root.SetAttr("worker", 0)
+	time.Sleep(time.Millisecond) // give the child a non-zero offset
+	scan := root.Start("worker_scan")
+	scan.Add("worker_scans", 1)
+	scan.Add("worker_rows", 10)
+	scan.End()
+	root.End()
+	doc := wt.Export()
+	if len(doc.Spans) != 1 || len(doc.Spans[0].Children) != 1 {
+		t.Fatalf("worker doc shape: %+v", doc.Spans)
+	}
+	return doc
+}
+
+func TestAdoptGraftsUnderSpan(t *testing.T) {
+	remote := workerDoc(t)
+
+	ct := New()
+	run := ct.Start("run")
+	container := run.Start("partition_workers")
+	container.Adopt(remote.Spans[0])
+	container.End()
+	run.End()
+	doc := ct.Export()
+
+	grafted := doc.Find("partition_worker")
+	if len(grafted) != 1 {
+		t.Fatalf("adopted root appears %d times, want 1", len(grafted))
+	}
+	if len(grafted[0].Children) != 1 || grafted[0].Children[0].Name != "worker_scan" {
+		t.Fatalf("adopted subtree lost its children: %+v", grafted[0])
+	}
+	containers := doc.Find("partition_workers")
+	if len(containers) != 1 || len(containers[0].Children) != 1 {
+		t.Fatalf("graft did not land under the adopting span")
+	}
+}
+
+func TestAdoptRebasesForeignOffsets(t *testing.T) {
+	remote := workerDoc(t)
+	remoteRoot := remote.Spans[0]
+	remoteChild := remoteRoot.Children[0]
+	childOffset := remoteChild.StartUS - remoteRoot.StartUS
+	origStart := remoteRoot.StartUS
+
+	ct := New()
+	time.Sleep(time.Millisecond) // the adopting span starts past the epoch
+	run := ct.Start("run")
+	run.Adopt(remoteRoot)
+	run.End()
+	doc := ct.Export()
+
+	runDoc := doc.Find("run")[0]
+	adopted := doc.Find("partition_worker")[0]
+	// The adopted root is rebased to start exactly where the adopting span
+	// starts; relative structure and remote durations survive the shift.
+	if adopted.StartUS != runDoc.StartUS {
+		t.Errorf("adopted root start %dus, want the adopting span's %dus", adopted.StartUS, runDoc.StartUS)
+	}
+	if got := adopted.Children[0].StartUS - adopted.StartUS; got != childOffset {
+		t.Errorf("child offset %dus after rebase, want %dus", got, childOffset)
+	}
+	if adopted.DurUS != remoteRoot.DurUS {
+		t.Errorf("adopted duration %dus, want the remote's %dus", adopted.DurUS, remoteRoot.DurUS)
+	}
+	// The source document is cloned at export, never mutated.
+	if remoteRoot.StartUS != origStart {
+		t.Errorf("Adopt mutated the source document (start %dus → %dus)", origStart, remoteRoot.StartUS)
+	}
+	// A second export rebases again from the pristine source.
+	doc2 := ct.Export()
+	if got := doc2.Find("partition_worker")[0].StartUS; got != adopted.StartUS {
+		t.Errorf("re-export moved the adopted root: %dus vs %dus", got, adopted.StartUS)
+	}
+}
+
+func TestAdoptedCountersSum(t *testing.T) {
+	remote := workerDoc(t)
+
+	ct := New()
+	run := ct.Start("run")
+	run.Add("partition_scans", 1)
+	run.Adopt(remote.Spans[0])
+	run.End()
+
+	// Tracer.Counters must see through the graft...
+	got := ct.Counters()
+	if got["worker_scans"] != 1 || got["worker_rows"] != 10 || got["partition_scans"] != 1 {
+		t.Fatalf("Counters() = %v, want adopted worker counters included", got)
+	}
+	// ...and so must the exported document's aggregate and SumCounter,
+	// keeping the two views of the same trace consistent.
+	doc := ct.Export()
+	if doc.Counters["worker_rows"] != 10 {
+		t.Errorf("Document.Counters[worker_rows] = %d, want 10", doc.Counters["worker_rows"])
+	}
+	if got := doc.SumCounter("worker_scans"); got != 1 {
+		t.Errorf("SumCounter(worker_scans) = %d, want 1", got)
+	}
+}
+
+func TestAdoptNilSafe(t *testing.T) {
+	var sp *Span
+	sp.Adopt(workerDoc(t).Spans[0]) // nil span: no-op
+	live := New().Start("x")
+	live.Adopt(nil) // nil document: no-op
+	live.End()
+}

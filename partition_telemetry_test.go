@@ -1,0 +1,163 @@
+package incognito_test
+
+import (
+	"io"
+	"testing"
+
+	incognito "incognito"
+	"incognito/internal/partition"
+	"incognito/internal/trace"
+)
+
+// TestPartitionWorkerReports: after a graceful Close, the pool holds one
+// telemetry frame per worker, with counters consistent across the pool —
+// every worker serves every coordinator scan, so the per-worker scan
+// counts are identical and at least the search's TableScans (solution
+// metrics re-scan through the pool on top of the search's scans).
+func TestPartitionWorkerReports(t *testing.T) {
+	tab, qi := partitionTable(t, 300)
+	pool := inProcessPool(t, tab, qi, 3)
+	res, err := incognito.Anonymize(tab, qi, incognito.Config{K: 4, Partition: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := res.Stats()
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reports := pool.Reports()
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3", len(reports))
+	}
+	var prevHi int
+	for i, rep := range reports {
+		if rep.Index != i || rep.Workers != 3 {
+			t.Errorf("report %d identifies as %d/%d", i, rep.Index, rep.Workers)
+		}
+		if rep.RowLo != prevHi || rep.RowHi <= rep.RowLo {
+			t.Errorf("report %d covers [%d,%d), want contiguous from %d", i, rep.RowLo, rep.RowHi, prevHi)
+		}
+		prevHi = rep.RowHi
+		if rep.Errors != 0 {
+			t.Errorf("report %d: %d worker errors", i, rep.Errors)
+		}
+		if rep.Scans != reports[0].Scans {
+			t.Errorf("report %d served %d scans, worker 0 served %d — a scan missed a worker",
+				i, rep.Scans, reports[0].Scans)
+		}
+		if rep.Trace == nil {
+			t.Fatalf("report %d has no span tree", i)
+		}
+		roots := rep.Trace.Find("partition_worker")
+		if len(roots) != 1 {
+			t.Fatalf("report %d trace roots = %d, want 1", i, len(roots))
+		}
+		// The span-tree counters must agree with the frame's own counters.
+		if got := rep.Trace.SumCounter("worker_scans"); got != rep.Scans {
+			t.Errorf("report %d: trace counts %d scans, frame says %d", i, got, rep.Scans)
+		}
+		if got := rep.Trace.SumCounter("worker_rows"); got != rep.Scans*int64(rep.RowHi-rep.RowLo) {
+			t.Errorf("report %d: worker_rows = %d, want scans×range = %d",
+				i, got, rep.Scans*int64(rep.RowHi-rep.RowLo))
+		}
+	}
+	if prevHi != tab.NumRows() {
+		t.Errorf("worker ranges end at %d, want %d", prevHi, tab.NumRows())
+	}
+	if reports[0].Scans < int64(stats.TableScans) {
+		t.Errorf("workers served %d scans, search alone made %d", reports[0].Scans, stats.TableScans)
+	}
+	// Busy-time skew is 0 (sub-microsecond scans) or >= 1 by construction.
+	if skew := pool.WorkerSkew(); skew != 0 && skew < 1 {
+		t.Errorf("WorkerSkew = %v, want 0 or >= 1", skew)
+	}
+}
+
+// TestPartitionTraceSinkGraft: with a sink installed, Close hangs the
+// worker span trees under one partition_workers span, and the
+// coordinator's partition_scan spans agree with the adopted worker view
+// of the same scans.
+func TestPartitionTraceSinkGraft(t *testing.T) {
+	tab, qi := partitionTable(t, 200)
+	pool := inProcessPool(t, tab, qi, 2)
+	tr := trace.New()
+	pool.SetTraceSink(tr)
+	if _, err := incognito.Anonymize(tab, qi, incognito.Config{K: 3, Partition: pool}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := tr.Export()
+	containers := doc.Find("partition_workers")
+	if len(containers) != 1 {
+		t.Fatalf("partition_workers spans = %d, want 1", len(containers))
+	}
+	workers := doc.Find("partition_worker")
+	if len(workers) != 2 {
+		t.Fatalf("grafted worker trees = %d, want 2", len(workers))
+	}
+	perWorker := workers[0].Counters["worker_scans"] + sumChildren(workers[0], "worker_scans")
+	if perWorker == 0 {
+		t.Fatal("worker 0's grafted tree carries no worker_scans")
+	}
+	if got := doc.SumCounter("worker_scans"); got != 2*perWorker {
+		t.Errorf("worker_scans sum = %d, want both workers' %d", got, 2*perWorker)
+	}
+}
+
+func sumChildren(s *trace.SpanDoc, counter string) int64 {
+	var n int64
+	for _, c := range s.Children {
+		n += c.Counters[counter] + sumChildren(c, counter)
+	}
+	return n
+}
+
+// TestPartitionCloseWithoutFrameTolerated: a peer that exits on EOF
+// without sending a telemetry frame (an older worker binary, or one that
+// died) must not fail Close — the other workers' reports still arrive.
+func TestPartitionCloseWithoutFrameTolerated(t *testing.T) {
+	tab, qi := partitionTable(t, 100)
+
+	// Peer 0 speaks the full protocol; peer 1 just drains its stdin and
+	// closes its reply stream without the trailing frame.
+	reqR0, reqW0 := io.Pipe()
+	respR0, respW0 := io.Pipe()
+	served := make(chan error, 1)
+	go func() {
+		err := incognito.ServePartitionWorker(tab, qi, 0, 2, reqR0, respW0)
+		respW0.CloseWithError(err)
+		served <- err
+	}()
+	reqR1, reqW1 := io.Pipe()
+	respR1, respW1 := io.Pipe()
+	silent := make(chan struct{})
+	go func() {
+		defer close(silent)
+		_, _ = io.Copy(io.Discard, reqR1)
+		respW1.Close()
+	}()
+
+	pool := partition.NewPool(tab.NumRows(), []partition.Peer{
+		{R: respR0, W: reqW0},
+		{R: respR1, W: reqW1},
+	})
+	if err := pool.Close(); err != nil {
+		t.Fatalf("Close with a frameless peer: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("worker 0: %v", err)
+	}
+	<-silent
+
+	reports := pool.Reports()
+	if len(reports) != 1 || reports[0].Index != 0 {
+		t.Fatalf("reports = %+v, want worker 0's frame only", reports)
+	}
+	if reports[0].Scans != 0 {
+		t.Errorf("idle worker reports %d scans", reports[0].Scans)
+	}
+}
