@@ -260,6 +260,16 @@ type Config struct {
 	// Budget optionally supplies the accountant directly (e.g. one shared
 	// with a telemetry registry). When set it wins over MemoryBudgetBytes.
 	Budget *MemoryAccountant
+	// RetainState, when true, makes the run capture a RunState — the
+	// base-domain frequency groups plus one compact per-node record — that
+	// AnonymizeDelta can later replay against an edited table. Only
+	// BasicIncognito supports it. Solutions and Stats are bit-identical
+	// with capture on or off; the cost is one extra pass over each checked
+	// node's frequency set. Retrieve the state with Result.State and
+	// persist it with SaveRunState. A resumed run (Config.Resume) retains
+	// a state missing records for the nodes validated before the kill; a
+	// later delta run simply revalidates those nodes.
+	RetainState bool
 	// Partition, when non-nil, distributes every base-table scan across the
 	// pool's worker processes: each worker counts its contiguous row range
 	// and the coordinator merges the partial frequency sets additively, so
@@ -289,7 +299,14 @@ type Result struct {
 	solutions [][]int
 	stats     Stats
 	complete  bool
+	state     *RunState
 }
+
+// State returns the captured run state, or nil unless the run was made
+// with Config.RetainState (or by AnonymizeDelta, which always retains the
+// follow-on state). Persist it with SaveRunState and feed it to
+// AnonymizeDelta to re-anonymize after an edit.
+func (r *Result) State() *RunState { return r.state }
 
 // Anonymize searches for k-anonymous full-domain generalizations of t with
 // respect to the given quasi-identifier. With any algorithm other than
@@ -329,6 +346,13 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 			return nil, fmt.Errorf("incognito: checkpoint/resume is only supported by the Incognito variants, not %s", cfg.Algorithm)
 		}
 	}
+	var capture *core.StateCapture
+	if cfg.RetainState {
+		if cfg.Algorithm != BasicIncognito {
+			return nil, fmt.Errorf("incognito: RetainState is only supported by %s, not %s", BasicIncognito, cfg.Algorithm)
+		}
+		capture = &core.StateCapture{}
+	}
 	budget := cfg.Budget
 	if budget == nil {
 		budget = NewMemoryBudget(cfg.MemoryBudgetBytes)
@@ -351,6 +375,7 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		Check:        cfg.Checkpoint,
 		Resume:       cfg.Resume,
 		Budget:       budget,
+		Capture:      capture,
 	}
 	if pool := cfg.Partition; pool != nil {
 		if pool.Rows() != t.rel.NumRows() {
@@ -398,6 +423,9 @@ func AnonymizeContext(ctx context.Context, t *Table, qi []QI, cfg Config) (*Resu
 		}
 		res.solutions = r.Solutions
 		res.stats = wrapStats(r.Stats)
+		if capture != nil {
+			res.state = runStateOf(&in, capture, cfg.Algorithm.String())
+		}
 	case BottomUp, BottomUpRollup:
 		r, err := baseline.BottomUp(in, cfg.Algorithm == BottomUpRollup)
 		if err != nil {

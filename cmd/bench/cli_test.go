@@ -162,6 +162,52 @@ func TestBenchParallelJSONAndTrace(t *testing.T) {
 	}
 }
 
+// TestBenchIncrementalExperiment runs the delta-driven re-anonymization
+// experiment end to end: every (kernel × parallelism) cell on both
+// workloads must be bit-identical to its cold reference while re-scanning
+// and revalidating at most 10% of the cold run's work.
+func TestBenchIncrementalExperiment(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"-experiment", "incremental", "-rows", "400", "-landsend-rows", "600",
+		"-seed", "1", "-quiet", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, stderr)
+	}
+	var report struct {
+		DeltaEvery int `json:"delta_every"`
+		Cells      []struct {
+			Dataset               string  `json:"dataset"`
+			Kernel                string  `json:"kernel"`
+			Parallelism           int     `json:"parallelism"`
+			AddedRows             int     `json:"added_rows"`
+			RowRescanRatio        float64 `json:"row_rescan_ratio"`
+			NodeRevalidationRatio float64 `json:"node_revalidation_ratio"`
+			Identical             bool    `json:"identical"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, stdout)
+	}
+	// Two workloads × two kernels × two worker counts.
+	if len(report.Cells) != 8 || report.DeltaEvery == 0 {
+		t.Fatalf("unexpected report shape: delta_every=%d cells=%d\n%s",
+			report.DeltaEvery, len(report.Cells), stdout)
+	}
+	for _, c := range report.Cells {
+		key := c.Dataset + "/" + c.Kernel
+		if !c.Identical {
+			t.Errorf("cell %s p=%d: delta run not identical to cold run", key, c.Parallelism)
+		}
+		if c.AddedRows == 0 {
+			t.Errorf("cell %s p=%d: empty delta", key, c.Parallelism)
+		}
+		if c.RowRescanRatio > 0.10 || c.NodeRevalidationRatio > 0.10 {
+			t.Errorf("cell %s p=%d: savings ratios %.4f/%.4f above the 0.10 bound",
+				key, c.Parallelism, c.RowRescanRatio, c.NodeRevalidationRatio)
+		}
+	}
+}
+
 // TestBenchPartitionExperiment exercises the full multi-process path: the
 // coordinator re-execs this very binary as scan workers, and every cell
 // must come back bit-identical to its single-process reference.

@@ -52,7 +52,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, parallel, kernel, partition, or all")
+		experiment = flag.String("experiment", "all", "which experiment to run: fig9, fig10-adults, fig10-landsend, fig11-adults, fig11-landsend, fig12, nodes-table, parallel, kernel, partition, incremental, or all")
 		adultsRows = flag.Int("rows", dataset.AdultsDefaultRows, "row count for the Adults dataset")
 		leRows     = flag.Int("landsend-rows", 200000, "row count for the Lands End dataset (the original had 4,591,581)")
 		seed       = flag.Int64("seed", 1, "generator seed")
@@ -371,6 +371,8 @@ func (r *runner) dispatch(experiment string) error {
 		return r.kernel()
 	case "partition":
 		return r.partition()
+	case "incremental":
+		return r.incremental()
 	case "all":
 		for _, f := range []func() error{
 			r.fig9,
@@ -570,6 +572,33 @@ func (r *runner) kernel() error {
 			return err
 		}
 		report.Micro = append(report.Micro, micro...)
+	}
+	if r.jsonOut {
+		return report.WriteJSON(os.Stdout)
+	}
+	return report.WriteTable(os.Stdout)
+}
+
+// incremental measures delta-driven re-anonymization: after a ~1% row
+// edit of each headline workload, a delta run screening against the
+// retained state must reproduce a cold recomputation's solutions and
+// Stats bit for bit while re-scanning a small fraction of the rows and
+// revalidating a small fraction of the nodes, across kernels and worker
+// counts. With -json the report is machine-readable (BENCH_incremental.json).
+func (r *runner) incremental() error {
+	report := bench.NewIncrementalReport()
+	for _, w := range []struct {
+		d  *dataset.Dataset
+		qi int
+	}{
+		{r.adults(), len(r.adults().QICols)},
+		{r.landsEnd(), 6},
+	} {
+		cells, err := bench.Incremental(r.ctx, r.obs, w.d, w.qi, 2, r.progress)
+		if err != nil {
+			return err
+		}
+		report.Cells = append(report.Cells, cells...)
 	}
 	if r.jsonOut {
 		return report.WriteJSON(os.Stdout)

@@ -18,6 +18,11 @@
 //   - partition: the multi-process partitioned-counting experiment; every
 //     cell's counters and the single-vs-partitioned identical flag are
 //     pinned.
+//   - incremental: the delta-driven re-anonymization experiment; every
+//     cell's counters and the delta-vs-cold identical flag are pinned, and
+//     two absolute gates hold regardless of the golden file: the delta run
+//     must re-scan at most 10% of the cold run's rows and revalidate at
+//     most 10% of its nodes.
 //
 // For -kind parallel, -min-speedup additionally gates measured speedups on
 // multi-core runners: a comma-separated list of per-algorithm floors
@@ -41,6 +46,11 @@
 //	benchcheck -kind partition -golden results/partition-regression-golden.json \
 //	  -got partition-got.json
 //
+//	bench -experiment incremental -rows 800 -landsend-rows 2000 -seed 1 \
+//	  -quiet -json > incremental-got.json
+//	benchcheck -kind incremental -golden results/incremental-regression-golden.json \
+//	  -got incremental-got.json
+//
 //	bench -experiment parallel -parallelism 4 -quiet -json > multicore.json
 //	benchcheck -got multicore.json -min-speedup 'basic=1.5,superroots=1.5,cube=1.0'
 //
@@ -62,7 +72,7 @@ import (
 // validKinds lists every report kind benchcheck understands, in the order
 // they are documented. The -kind flag help and the unknown-kind error both
 // render from it, so adding a kind cannot leave either message stale.
-var validKinds = []string{"parallel", "kernel", "partition"}
+var validKinds = []string{"parallel", "kernel", "partition", "incremental"}
 
 // kindList renders the valid kinds for usage and error text: "parallel,
 // kernel, or partition".
@@ -132,6 +142,16 @@ func main() {
 			fatal(err)
 		}
 		diffs, cells = compareKernel(want, have), len(want.Cells)+len(want.Micro)
+	case "incremental":
+		want, err := loadIncremental(*golden)
+		if err != nil {
+			fatal(err)
+		}
+		have, err := loadIncremental(*got)
+		if err != nil {
+			fatal(err)
+		}
+		diffs, cells = compareIncremental(want, have), len(want.Cells)
 	default:
 		fmt.Fprintf(os.Stderr, "benchcheck: unknown -kind %q (want %s)\n", *kind, kindList())
 		os.Exit(2)
@@ -397,6 +417,83 @@ func compareKernel(want, got *bench.KernelReport) []string {
 		// per-tuple hot path must never allocate.
 		if g.DenseAddAllocsPerOp != 0 {
 			diffs = append(diffs, fmt.Sprintf("%s: dense_add_allocs_per_op = %v, want 0", key, g.DenseAddAllocsPerOp))
+		}
+	}
+	return diffs
+}
+
+func loadIncremental(path string) (*bench.IncrementalReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.IncrementalReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Cells) == 0 {
+		return nil, fmt.Errorf("%s: report has no cells", path)
+	}
+	return &r, nil
+}
+
+// maxRescanRatio / maxRevalidationRatio are the absolute savings gates of
+// -kind incremental: a ~1% delta must re-scan at most this fraction of the
+// cold run's rows and revalidate at most this fraction of its nodes, no
+// matter what the golden file says.
+const (
+	maxRescanRatio       = 0.10
+	maxRevalidationRatio = 0.10
+)
+
+// compareIncremental is compare for the delta-driven re-anonymization
+// experiment: every deterministic counter is pinned against the golden
+// file, and two gates are absolute — the delta run must have reproduced
+// the cold run exactly (identical) and its savings ratios must stay under
+// the 10% bounds. Timings and speedups are never compared.
+func compareIncremental(want, got *bench.IncrementalReport) []string {
+	var diffs []string
+	if len(want.Cells) != len(got.Cells) {
+		return []string{fmt.Sprintf("cell count: got %d, want %d", len(got.Cells), len(want.Cells))}
+	}
+	for i := range want.Cells {
+		w, g := want.Cells[i], got.Cells[i]
+		key := fmt.Sprintf("incremental cell %d (%s rows=%d qi=%d k=%d %s p=%d)", i, w.Dataset, w.Rows, w.QISize, w.K, w.Kernel, w.Parallelism)
+		diffs = fieldDiffs(diffs, key, []struct {
+			name       string
+			want, have any
+		}{
+			{"dataset", w.Dataset, g.Dataset},
+			{"rows", w.Rows, g.Rows},
+			{"qi_size", w.QISize, g.QISize},
+			{"k", w.K, g.K},
+			{"kernel", w.Kernel, g.Kernel},
+			{"parallelism", w.Parallelism, g.Parallelism},
+			{"added_rows", w.AddedRows, g.AddedRows},
+			{"removed_rows", w.RemovedRows, g.RemovedRows},
+			{"solutions", w.Solutions, g.Solutions},
+			{"min_height", w.MinHeight, g.MinHeight},
+			{"nodes_checked", w.NodesChecked, g.NodesChecked},
+			{"nodes_marked", w.NodesMarked, g.NodesMarked},
+			{"candidates", w.Candidates, g.Candidates},
+			{"table_scans", w.TableScans, g.TableScans},
+			{"rollups", w.Rollups, g.Rollups},
+			{"cold_rows_scanned", w.ColdRowsScanned, g.ColdRowsScanned},
+			{"rows_rescanned", w.RowsRescanned, g.RowsRescanned},
+			{"nodes_screened", w.NodesScreened, g.NodesScreened},
+			{"nodes_revalidated", w.NodesRevalidated, g.NodesRevalidated},
+			{"identical", w.Identical, g.Identical},
+		})
+		if !g.Identical {
+			diffs = append(diffs, key+": delta run was not identical to the cold run")
+		}
+		if g.RowRescanRatio > maxRescanRatio {
+			diffs = append(diffs, fmt.Sprintf("%s: row_rescan_ratio %.4f above the %.2f bound (%d of %d rows)",
+				key, g.RowRescanRatio, maxRescanRatio, g.RowsRescanned, g.ColdRowsScanned))
+		}
+		if g.NodeRevalidationRatio > maxRevalidationRatio {
+			diffs = append(diffs, fmt.Sprintf("%s: node_revalidation_ratio %.4f above the %.2f bound (%d of %d nodes)",
+				key, g.NodeRevalidationRatio, maxRevalidationRatio, g.NodesRevalidated, g.NodesChecked))
 		}
 	}
 	return diffs

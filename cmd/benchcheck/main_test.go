@@ -257,6 +257,80 @@ func TestCompareKernelFlagsRowCountMismatch(t *testing.T) {
 
 // TestLoaders exercises all three report loaders against real files: a
 // valid report, a missing file, malformed JSON, and an empty cell list.
+func goldenIncrementalReport() *bench.IncrementalReport {
+	return &bench.IncrementalReport{
+		GOMAXPROCS: 1,
+		DeltaEvery: 200,
+		Cells: []bench.IncrementalCell{
+			{
+				Dataset: "Adults", Rows: 800, QISize: 9, K: 2, Kernel: "auto", Parallelism: 1,
+				AddedRows: 4, RemovedRows: 4,
+				ColdMS: 80.0, DeltaMS: 40.0, Speedup: 2.0,
+				Solutions: 116, MinHeight: 7,
+				NodesChecked: 1500, NodesMarked: 300, Candidates: 2000,
+				TableScans: 120, Rollups: 1380,
+				ColdRowsScanned: 96000, RowsRescanned: 8,
+				NodesScreened: 1500, NodesRevalidated: 0,
+				RowRescanRatio: 0.0001, NodeRevalidationRatio: 0,
+				Identical: true,
+			},
+		},
+	}
+}
+
+func TestCompareIncrementalIgnoresTimings(t *testing.T) {
+	got := goldenIncrementalReport()
+	got.Cells[0].ColdMS = 999
+	got.Cells[0].DeltaMS = 0.1
+	got.Cells[0].Speedup = 42
+	if diffs := compareIncremental(goldenIncrementalReport(), got); len(diffs) != 0 {
+		t.Fatalf("timing-only changes flagged: %v", diffs)
+	}
+}
+
+func TestCompareIncrementalFlagsDrift(t *testing.T) {
+	got := goldenIncrementalReport()
+	got.Cells[0].Identical = false
+	got.Cells[0].RowsRescanned += 7
+	got.Cells[0].NodesRevalidated++
+	diffs := compareIncremental(goldenIncrementalReport(), got)
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"identical", "rows_rescanned", "nodes_revalidated", "not identical to the cold run"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs missing %q:\n%s", want, joined)
+		}
+	}
+
+	got = goldenIncrementalReport()
+	got.Cells = got.Cells[:0]
+	if diffs := compareIncremental(goldenIncrementalReport(), got); len(diffs) != 1 ||
+		!strings.Contains(diffs[0], "cell count") {
+		t.Fatalf("cell count mismatch not flagged: %v", diffs)
+	}
+}
+
+// TestCompareIncrementalGatesRatios pins the absolute savings bounds: a
+// cell whose ratios drift above 10% fails even when it matches the golden
+// file exactly.
+func TestCompareIncrementalGatesRatios(t *testing.T) {
+	want := goldenIncrementalReport()
+	want.Cells[0].RowRescanRatio = 0.25
+	want.Cells[0].NodeRevalidationRatio = 0.30
+	got := goldenIncrementalReport()
+	got.Cells[0].RowRescanRatio = 0.25
+	got.Cells[0].NodeRevalidationRatio = 0.30
+	diffs := compareIncremental(want, got)
+	joined := strings.Join(diffs, "\n")
+	for _, s := range []string{"row_rescan_ratio 0.2500 above the 0.10 bound", "node_revalidation_ratio 0.3000 above the 0.10 bound"} {
+		if !strings.Contains(joined, s) {
+			t.Errorf("diffs missing %q:\n%s", s, joined)
+		}
+	}
+	if len(diffs) != 2 {
+		t.Fatalf("got %d diffs, want 2: %v", len(diffs), diffs)
+	}
+}
+
 func TestLoaders(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, content string) string {
@@ -279,6 +353,10 @@ func TestLoaders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	incrementalJSON, err := json.Marshal(goldenIncrementalReport())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if r, err := loadParallel(write("p.json", string(parallelJSON))); err != nil || len(r.Cells) != 1 {
 		t.Fatalf("loadParallel: %v", err)
@@ -288,6 +366,9 @@ func TestLoaders(t *testing.T) {
 	}
 	if r, err := loadKernel(write("k.json", string(kernelJSON))); err != nil || len(r.Cells) != 1 {
 		t.Fatalf("loadKernel: %v", err)
+	}
+	if r, err := loadIncremental(write("i.json", string(incrementalJSON))); err != nil || len(r.Cells) != 1 {
+		t.Fatalf("loadIncremental: %v", err)
 	}
 
 	missing := filepath.Join(dir, "no-such-file.json")
@@ -311,6 +392,12 @@ func TestLoaders(t *testing.T) {
 	if _, err := loadKernel(empty); err == nil {
 		t.Error("loadKernel accepted a cell-less report")
 	}
+	if _, err := loadIncremental(garbage); err == nil {
+		t.Error("loadIncremental accepted malformed JSON")
+	}
+	if _, err := loadIncremental(empty); err == nil {
+		t.Error("loadIncremental accepted a cell-less report")
+	}
 }
 
 // TestKindUsageListsEveryKind pins the single source of truth for report
@@ -323,7 +410,7 @@ func TestKindUsageListsEveryKind(t *testing.T) {
 			t.Errorf("kindList() = %q omits %q", list, k)
 		}
 	}
-	if want := "parallel, kernel, or partition"; list != want {
+	if want := "parallel, kernel, partition, or incremental"; list != want {
 		t.Errorf("kindList() = %q, want %q", list, want)
 	}
 }

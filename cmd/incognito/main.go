@@ -80,6 +80,8 @@ type options struct {
 	checkpoint, resume     string
 	memBudget              string
 	timeout                time.Duration
+	stateIn, stateOut      string
+	deltaAdd, deltaDel     string
 }
 
 func main() {
@@ -113,6 +115,10 @@ func main() {
 	flag.StringVar(&o.resume, "resume", "", "resume the search from a snapshot file written by -checkpoint")
 	flag.StringVar(&o.memBudget, "mem-budget", "", "soft memory budget for frequency sets, e.g. 64Mi or 1Gi (empty disables); past 2x the run stops with the solutions proven so far (exit 3)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the run after this duration, flushing telemetry and exiting 124 (0 disables)")
+	flag.StringVar(&o.stateOut, "state-out", "", "save the run state (for later -state-in delta runs) to this file; basic algorithm only")
+	flag.StringVar(&o.stateIn, "state-in", "", "re-anonymize incrementally from a state file written by -state-out, applying -delta-add/-delta-del to the input; results are bit-identical to a cold run on the edited table")
+	flag.StringVar(&o.deltaAdd, "delta-add", "", "CSV file (same header as the input) of rows to append; requires -state-in")
+	flag.StringVar(&o.deltaDel, "delta-del", "", "CSV file (same header as the input) of rows to delete; requires -state-in")
 	flag.Parse()
 
 	if o.showVersion {
@@ -181,6 +187,25 @@ func (o *options) validate() error {
 		case "basic", "superroots", "cube", "materialized":
 		default:
 			return fmt.Errorf("-checkpoint/-resume require an Incognito variant (basic, superroots, cube, or materialized), not %q", o.algoName)
+		}
+	}
+	if (o.deltaAdd != "" || o.deltaDel != "") && o.stateIn == "" {
+		return fmt.Errorf("-delta-add/-delta-del require -state-in (a state file from a previous -state-out run)")
+	}
+	if o.stateIn != "" || o.stateOut != "" {
+		if o.algoName != "basic" {
+			return fmt.Errorf("-state-in/-state-out support only the basic algorithm, not %q", o.algoName)
+		}
+		if o.demo {
+			return fmt.Errorf("-state-in/-state-out cannot be combined with -demo")
+		}
+	}
+	if o.stateIn != "" {
+		if o.partitions > 1 {
+			return fmt.Errorf("-state-in (delta runs) cannot be combined with -partitions")
+		}
+		if o.memBudget != "" {
+			return fmt.Errorf("-state-in (delta runs) cannot be combined with -mem-budget")
 		}
 	}
 	if !o.demo && (o.input == "" || o.qiSpec == "") {
@@ -439,22 +464,55 @@ func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 		Resume:            ins.resume,
 		Budget:            ins.budget,
 	}
-	pool, err := o.spawnPool(table)
-	if err != nil {
-		return err
+	var res *incognito.Result
+	if o.stateIn != "" {
+		state, serr := incognito.LoadRunState(o.stateIn)
+		if serr != nil {
+			return serr
+		}
+		add, aerr := loadDeltaRows(o.deltaAdd, table)
+		if aerr != nil {
+			return aerr
+		}
+		del, derr := loadDeltaRows(o.deltaDel, table)
+		if derr != nil {
+			return derr
+		}
+		dres, derr2 := incognito.AnonymizeDelta(ctx, table, qi, cfg, state, add, del)
+		if derr2 != nil {
+			return derr2
+		}
+		res = dres.Result
+		if o.stats {
+			c := dres.Counters
+			fmt.Fprintf(os.Stderr, "delta: %d rows rescanned, %d nodes screened, %d revalidated\n",
+				c.RowsRescanned, c.NodesScreened, c.NodesRevalidated)
+		}
+	} else {
+		cfg.RetainState = o.stateOut != ""
+		pool, perr := o.spawnPool(table)
+		if perr != nil {
+			return perr
+		}
+		if pool != nil {
+			// Closed after the released view is written: -list metrics and the
+			// chosen solution's Apply re-scan the table through the pool. The
+			// close collects the workers' telemetry frames, grafting their span
+			// trees into the -trace output (run() exports the tracer later).
+			defer pool.Close()
+			pool.SetTraceSink(ins.tracer)
+			cfg.Partition = pool
+		}
+		res, err = incognito.AnonymizeContext(ctx, table, qi, cfg)
+		if err != nil {
+			return err
+		}
 	}
-	if pool != nil {
-		// Closed after the released view is written: -list metrics and the
-		// chosen solution's Apply re-scan the table through the pool. The
-		// close collects the workers' telemetry frames, grafting their span
-		// trees into the -trace output (run() exports the tracer later).
-		defer pool.Close()
-		pool.SetTraceSink(ins.tracer)
-		cfg.Partition = pool
-	}
-	res, err := incognito.AnonymizeContext(ctx, table, qi, cfg)
-	if err != nil {
-		return err
+	if o.stateOut != "" {
+		if serr := incognito.SaveRunState(o.stateOut, res.State()); serr != nil {
+			return serr
+		}
+		fmt.Fprintf(os.Stderr, "wrote run state to %s\n", o.stateOut)
 	}
 
 	if res.Len() == 0 {
@@ -504,6 +562,28 @@ func anonymizeFile(ctx context.Context, o *options, ins instruments) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", view.NumRows(), o.output)
 	return nil
+}
+
+// loadDeltaRows reads a delta CSV (same header as the input table, in the
+// same order) into full-schema rows; an empty path is an empty delta.
+func loadDeltaRows(path string, table *incognito.Table) ([][]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	d, err := incognito.LoadCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	want, got := table.Columns(), d.Columns()
+	if len(got) != len(want) {
+		return nil, fmt.Errorf("incognito: delta file %s has %d columns, the input has %d", path, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return nil, fmt.Errorf("incognito: delta file %s column %d is %q, the input has %q", path, i, got[i], want[i])
+		}
+	}
+	return d.Rows(), nil
 }
 
 // The spec grammar lives in internal/qispec, shared verbatim with the

@@ -1,0 +1,284 @@
+package incognito
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"incognito/internal/core"
+	"incognito/internal/relation"
+	"incognito/internal/resilience"
+)
+
+// RunState is the persistent residue of a completed run that makes
+// incremental re-anonymization possible: the base-domain frequency groups
+// (F0), plus one compact record per lattice node the search validated
+// explicitly — a tally of the tuples below k, a band of the group counts
+// near k, and a floor under everything outside the band. All values are
+// stored as strings, not dictionary codes, so a state survives the
+// dictionary-code permutation a rebuilt table induces. Produce one with
+// Config.RetainState (or from AnonymizeDelta, which always returns the
+// follow-on state), persist it with SaveRunState, and feed it to
+// AnonymizeDelta.
+type RunState = resilience.RunState
+
+// DeltaCounters reports how much work a delta run actually did, next to
+// the bit-identical Stats it shares with a cold run: rows re-scanned
+// (the delta rows themselves plus any forced whole-table-equivalent root
+// materializations) and the split of checked nodes into screened (verdict
+// proven from the saved record, no frequency set built) versus revalidated
+// (full recount).
+type DeltaCounters = core.DeltaCounters
+
+// SaveRunState writes a run state to path with the same versioned,
+// checksummed, atomic-replace framing checkpoints use.
+func SaveRunState(path string, s *RunState) error { return resilience.SaveRunState(path, s) }
+
+// LoadRunState reads, verifies and decodes a state written by SaveRunState.
+func LoadRunState(path string) (*RunState, error) { return resilience.LoadRunState(path) }
+
+// DeltaResult is the outcome of AnonymizeDelta: a full Result over the
+// edited table — Solutions and Stats bit-identical to a cold run — plus
+// the edited table itself, the work counters proving how little was
+// redone, and (via State) the follow-on state for chaining further deltas.
+type DeltaResult struct {
+	*Result
+	// Table is the edited table the result describes: the input table with
+	// the removed rows deleted and the added rows appended. Solutions apply
+	// to it.
+	Table *Table
+	// Counters quantifies the delta run's savings.
+	Counters DeltaCounters
+}
+
+// ApplyRowDelta builds the edited table a delta describes: each row of del
+// deletes one matching tuple (full-row string equality; duplicates are
+// deleted once per del entry), each row of add appends one tuple. It is
+// the canonical edit AnonymizeDelta performs internally — exposed so
+// callers can produce the same bytes for a cold-run comparison. Deleting a
+// row the table does not contain (or contains fewer times than del asks)
+// is an error.
+func ApplyRowDelta(t *Table, add, del [][]string) (*Table, error) {
+	if t == nil {
+		return nil, fmt.Errorf("incognito: nil table")
+	}
+	cols := t.rel.Columns()
+	for _, r := range append(append([][]string{}, add...), del...) {
+		if len(r) != len(cols) {
+			return nil, fmt.Errorf("incognito: delta row has %d values, table has %d columns", len(r), len(cols))
+		}
+	}
+	pending := make(map[string]int, len(del))
+	for _, r := range del {
+		pending[packRow(r)]++
+	}
+	out := relation.MustNewTable(cols...)
+	for i := 0; i < t.rel.NumRows(); i++ {
+		row := t.rel.Row(i)
+		if key := packRow(row); pending[key] > 0 {
+			pending[key]--
+			continue
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range del {
+		if pending[packRow(r)] > 0 {
+			return nil, fmt.Errorf("incognito: delta deletes row %v more times than the table contains it", r)
+		}
+	}
+	for _, r := range add {
+		if err := out.AppendRow(r); err != nil {
+			return nil, err
+		}
+	}
+	return &Table{rel: out}, nil
+}
+
+// AnonymizeDelta re-anonymizes after a small edit without redoing the
+// lattice work the edit cannot have invalidated. t is the table the state
+// was captured from; add and del are full-schema rows to append and
+// delete (see ApplyRowDelta). The run replays the Basic Incognito search
+// over the edited table, but each node whose saved record proves the edit
+// could not move it across the k-anonymity boundary is screened — its
+// verdict reused, no frequency set built — and only nodes the record
+// cannot decide are recounted. Solutions and Stats are bit-identical to a
+// cold Anonymize of the edited table; Counters reports the savings.
+//
+// Only BasicIncognito supports delta runs (the Config default). The run
+// honors Parallelism, SparseKernel, Tracer/Progress/Metrics and
+// Checkpoint/Resume; partitioned scans and memory budgets are rejected.
+// The returned DeltaResult carries the follow-on state (State) so deltas
+// chain without ever recomputing from scratch.
+func AnonymizeDelta(ctx context.Context, t *Table, qi []QI, cfg Config, state *RunState, add, del [][]string) (*DeltaResult, error) {
+	if state == nil {
+		return nil, fmt.Errorf("incognito: delta run without a saved state")
+	}
+	if cfg.Algorithm != BasicIncognito {
+		return nil, fmt.Errorf("incognito: delta runs support only %s, not %s", BasicIncognito, cfg.Algorithm)
+	}
+	if cfg.Partition != nil {
+		return nil, fmt.Errorf("incognito: delta runs do not support partitioned scans")
+	}
+	if cfg.Budget != nil || cfg.MemoryBudgetBytes != 0 {
+		return nil, fmt.Errorf("incognito: delta runs do not support memory budgets")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("incognito: nil table")
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("incognito: empty quasi-identifier")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("incognito: K must be at least 1, got %d", cfg.K)
+	}
+	if cfg.MaxSuppressed < 0 {
+		return nil, fmt.Errorf("incognito: negative MaxSuppressed %d", cfg.MaxSuppressed)
+	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("incognito: negative Parallelism %d (0 = all cores, 1 = sequential)", cfg.Parallelism)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	edited, err := ApplyRowDelta(t, add, del)
+	if err != nil {
+		return nil, err
+	}
+	attrs, names, err := bindQI(edited, qi)
+	if err != nil {
+		return nil, err
+	}
+	added, err := deltaRowsFor(edited, qi, add)
+	if err != nil {
+		return nil, err
+	}
+	removed, err := deltaRowsFor(edited, qi, del)
+	if err != nil {
+		return nil, err
+	}
+
+	capture := &core.StateCapture{}
+	run := &core.DeltaRun{State: state, Added: added, Removed: removed}
+	in := core.Input{
+		Table:        edited.rel,
+		QI:           attrs,
+		K:            int64(cfg.K),
+		MaxSuppress:  int64(cfg.MaxSuppressed),
+		Parallelism:  cfg.Parallelism,
+		Ctx:          ctx,
+		Trace:        cfg.Tracer,
+		Span:         cfg.ParentSpan,
+		Progress:     cfg.Progress,
+		Metrics:      cfg.Metrics,
+		SparseKernel: cfg.SparseKernel,
+		Check:        cfg.Checkpoint,
+		Resume:       cfg.Resume,
+		Capture:      capture,
+		Delta:        run,
+	}
+	cfg.Tracer.SetAttr("algorithm", cfg.Algorithm.String())
+	cfg.Tracer.SetAttr("k", cfg.K)
+	cfg.Tracer.SetAttr("delta_added", len(add))
+	cfg.Tracer.SetAttr("delta_removed", len(del))
+
+	r, err := core.Run(in, core.Basic)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{in: in, qiNames: names, heights: in.Heights(), complete: true}
+	res.solutions = r.Solutions
+	res.stats = wrapStats(r.Stats)
+	res.state = &resilience.RunState{
+		Fingerprint: in.Fingerprint(cfg.Algorithm.String()),
+		Cols:        append([]string(nil), state.Cols...),
+		K:           in.K,
+		MaxSuppress: in.MaxSuppress,
+		Rows:        edited.rel.NumRows(),
+		Base:        run.BaseGroups(),
+		Records:     append(capture.Records(), run.UntouchedRecords(&in)...),
+	}
+	out := &DeltaResult{Result: res, Table: edited}
+	if r.Delta != nil {
+		out.Counters = *r.Delta
+	}
+	return out, nil
+}
+
+// runStateOf assembles the persistent state of a completed cold run: F0
+// rendered as strings, plus every record the capture observed.
+func runStateOf(in *core.Input, capture *core.StateCapture, alg string) *RunState {
+	cols := make([]string, len(in.QI))
+	for i, q := range in.QI {
+		cols[i] = q.H.Attr()
+	}
+	return &resilience.RunState{
+		Fingerprint: in.Fingerprint(alg),
+		Cols:        cols,
+		K:           in.K,
+		MaxSuppress: in.MaxSuppress,
+		Rows:        in.Table.NumRows(),
+		Base:        core.CaptureBase(in),
+		Records:     capture.Records(),
+	}
+}
+
+// deltaRowsFor pre-generalizes full-schema delta rows through hierarchies
+// bound to a scratch dictionary holding exactly the delta rows' values.
+// The scratch binding is what lets a DELETED value generalize even when it
+// no longer occurs in the edited table (and so is absent from its
+// dictionaries): the level functions are pure functions of the base
+// string, so any binding yields the same generalized values.
+func deltaRowsFor(edited *Table, qi []QI, rows [][]string) ([]core.DeltaRow, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make([]core.DeltaRow, len(rows))
+	for r := range out {
+		out[r].Gen = make([][]string, len(qi))
+	}
+	for d, q := range qi {
+		col := edited.rel.ColumnIndex(q.Column)
+		if col < 0 {
+			return nil, fmt.Errorf("incognito: table has no column %q", q.Column)
+		}
+		dict := relation.NewDict()
+		for _, row := range rows {
+			dict.Encode(row[col])
+		}
+		h, err := q.Hierarchy.build(q.Column).Bind(dict)
+		if err != nil {
+			return nil, fmt.Errorf("incognito: attribute %q: %w", q.Column, err)
+		}
+		for r, row := range rows {
+			gen := make([]string, h.Height()+1)
+			for l := 0; l <= h.Height(); l++ {
+				g, err := h.GeneralizeValue(l, row[col])
+				if err != nil {
+					return nil, fmt.Errorf("incognito: attribute %q: %w", q.Column, err)
+				}
+				gen[l] = g
+			}
+			out[r].Gen[d] = gen
+		}
+	}
+	return out, nil
+}
+
+// packRow encodes a row as a single collision-free string key
+// (length-prefixed values), for multiset matching in ApplyRowDelta.
+func packRow(vals []string) string {
+	n := 0
+	for _, v := range vals {
+		n += 4 + len(v)
+	}
+	b := make([]byte, 0, n)
+	var pre [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(pre[:], uint32(len(v)))
+		b = append(b, pre[:]...)
+		b = append(b, v...)
+	}
+	return string(b)
+}

@@ -1,0 +1,287 @@
+package incognito_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	incognito "incognito"
+)
+
+// censusTable builds a deterministic pseudo-random table through the
+// public API, large enough that a small delta leaves most lattice nodes
+// screenable.
+func censusTable(t *testing.T, rows int, seed int64) *incognito.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([][]string, rows)
+	for i := range recs {
+		recs[i] = censusRow(rng)
+	}
+	tab, err := incognito.NewTable([]string{"Birthdate", "Sex", "Zipcode", "Disease"}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func censusRow(rng *rand.Rand) []string {
+	dates := []string{"1/21/76", "4/13/86", "2/28/76", "7/4/90", "12/1/82"}
+	zips := []string{"53715", "53703", "53706", "53702", "53711", "02139"}
+	diseases := []string{"Flu", "Cold", "Hepatitis", "Hang Nail"}
+	sex := "Male"
+	if rng.Intn(2) == 1 {
+		sex = "Female"
+	}
+	return []string{
+		dates[rng.Intn(len(dates))], sex,
+		zips[rng.Intn(len(zips))], diseases[rng.Intn(len(diseases))],
+	}
+}
+
+func solutionLevels(res *incognito.Result) [][]int {
+	out := make([][]int, 0, res.Len())
+	for _, s := range res.Solutions() {
+		out = append(out, s.Levels())
+	}
+	return out
+}
+
+// TestAnonymizeDeltaBitIdenticalPublicAPI is the public-surface contract:
+// RetainState → edit → AnonymizeDelta matches a cold Anonymize of the
+// edited table in Solutions and Stats, across kernels and parallelism.
+func TestAnonymizeDeltaBitIdenticalPublicAPI(t *testing.T) {
+	tab := censusTable(t, 200, 11)
+	rng := rand.New(rand.NewSource(12))
+	cold, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 3, MaxSuppressed: 1, RetainState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.State() == nil {
+		t.Fatal("RetainState run returned no state")
+	}
+
+	var del [][]string
+	for i := 0; i < tab.NumRows(); i += 97 {
+		del = append(del, tab.Row(i))
+	}
+	var add [][]string
+	for i := 0; i < 3; i++ {
+		add = append(add, censusRow(rng))
+	}
+	edited, err := incognito.ApplyRowDelta(tab, add, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited.NumRows() != tab.NumRows()+len(add)-len(del) {
+		t.Fatalf("edited table has %d rows", edited.NumRows())
+	}
+
+	for _, p := range []int{1, 2, 0} {
+		for _, sparse := range []bool{false, true} {
+			cfg := incognito.Config{K: 3, MaxSuppressed: 1, Parallelism: p, SparseKernel: sparse}
+			want, err := incognito.Anonymize(edited, patientsQI(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := incognito.AnonymizeDelta(context.Background(), tab, patientsQI(), cfg, cold.State(), add, del)
+			if err != nil {
+				t.Fatalf("p=%d sparse=%v: %v", p, sparse, err)
+			}
+			if !reflect.DeepEqual(solutionLevels(got.Result), solutionLevels(want)) {
+				t.Fatalf("p=%d sparse=%v: delta solutions %v, cold %v",
+					p, sparse, solutionLevels(got.Result), solutionLevels(want))
+			}
+			if got.Stats() != want.Stats() {
+				t.Fatalf("p=%d sparse=%v: delta stats %+v, cold %+v", p, sparse, got.Stats(), want.Stats())
+			}
+			c := got.Counters
+			if c.NodesScreened+c.NodesRevalidated != int64(got.Stats().NodesChecked) {
+				t.Fatalf("screened %d + revalidated %d != checked %d",
+					c.NodesScreened, c.NodesRevalidated, got.Stats().NodesChecked)
+			}
+			if c.RowsRescanned < int64(len(add)+len(del)) {
+				t.Fatalf("RowsRescanned %d below the delta size %d", c.RowsRescanned, len(add)+len(del))
+			}
+			if got.Table.NumRows() != edited.NumRows() {
+				t.Fatalf("delta result table has %d rows, want %d", got.Table.NumRows(), edited.NumRows())
+			}
+			if got.State() == nil {
+				t.Fatal("delta result carries no follow-on state")
+			}
+		}
+	}
+}
+
+// TestAnonymizeDeltaSavesWork pins the perf claim at public-API scale: a
+// ~1.5% edit screens the overwhelming majority of nodes and re-scans far
+// fewer rows than a cold run.
+func TestAnonymizeDeltaSavesWork(t *testing.T) {
+	tab := censusTable(t, 400, 21)
+	cold, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 4, RetainState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del [][]string
+	for i := 0; i < tab.NumRows(); i += 150 {
+		del = append(del, tab.Row(i))
+	}
+	add := [][]string{{"7/4/90", "Male", "53711", "Flu"}}
+	got, err := incognito.AnonymizeDelta(context.Background(), tab, patientsQI(),
+		incognito.Config{K: 4}, cold.State(), add, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRows := int64(tab.NumRows()) * int64(cold.Stats().TableScans)
+	if got.Counters.RowsRescanned*10 > coldRows {
+		t.Fatalf("delta re-scanned %d row-equivalents, more than 10%% of the cold run's %d",
+			got.Counters.RowsRescanned, coldRows)
+	}
+	if got.Counters.NodesRevalidated*10 > int64(cold.Stats().NodesChecked) {
+		t.Fatalf("delta revalidated %d nodes, more than 10%% of the cold run's %d",
+			got.Counters.NodesRevalidated, cold.Stats().NodesChecked)
+	}
+}
+
+// TestRunStatePersistsAcrossProcessBoundary round-trips the state through
+// SaveRunState/LoadRunState and chains a second delta from the first
+// delta's follow-on state.
+func TestRunStatePersistsAcrossProcessBoundary(t *testing.T) {
+	tab := censusTable(t, 150, 31)
+	rng := rand.New(rand.NewSource(32))
+	cold, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2, RetainState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.state")
+	if err := incognito.SaveRunState(path, cold.State()); err != nil {
+		t.Fatal(err)
+	}
+	state, err := incognito.LoadRunState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur := tab
+	for hop := 0; hop < 2; hop++ {
+		del := [][]string{cur.Row(hop * 7), cur.Row(hop*7 + 1)}
+		add := [][]string{censusRow(rng)}
+		got, err := incognito.AnonymizeDelta(context.Background(), cur, patientsQI(),
+			incognito.Config{K: 2}, state, add, del)
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		edited, err := incognito.ApplyRowDelta(cur, add, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := incognito.Anonymize(edited, patientsQI(), incognito.Config{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(solutionLevels(got.Result), solutionLevels(want)) || got.Stats() != want.Stats() {
+			t.Fatalf("hop %d: chained delta diverged from cold run", hop)
+		}
+		cur, state = got.Table, got.State()
+	}
+}
+
+func TestApplyRowDeltaValidation(t *testing.T) {
+	tab := patientsTable(t)
+	if _, err := incognito.ApplyRowDelta(tab, [][]string{{"too", "short"}}, nil); err == nil {
+		t.Fatal("short add row accepted")
+	}
+	missing := []string{"1/1/11", "Male", "99999", "None"}
+	if _, err := incognito.ApplyRowDelta(tab, nil, [][]string{missing}); err == nil ||
+		!strings.Contains(err.Error(), "delete") {
+		t.Fatalf("deleting an absent row gave %v", err)
+	}
+	// Deleting a duplicated row twice works; three times does not.
+	dup := tab.Row(0)
+	twice, err := incognito.ApplyRowDelta(tab, [][]string{dup, dup}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incognito.ApplyRowDelta(twice, nil, [][]string{dup, dup, dup}); err != nil {
+		t.Fatalf("deleting a thrice-present row three times: %v", err)
+	}
+	if _, err := incognito.ApplyRowDelta(tab, nil, [][]string{dup, dup}); err == nil {
+		t.Fatal("over-deleting a once-present row accepted")
+	}
+}
+
+func TestAnonymizeDeltaValidation(t *testing.T) {
+	tab := patientsTable(t)
+	cold, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2, RetainState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := cold.State()
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"nil state", func() error {
+			_, err := incognito.AnonymizeDelta(ctx, tab, patientsQI(), incognito.Config{K: 2}, nil, nil, nil)
+			return err
+		}},
+		{"non-basic algorithm", func() error {
+			_, err := incognito.AnonymizeDelta(ctx, tab, patientsQI(),
+				incognito.Config{K: 2, Algorithm: incognito.CubeIncognito}, state, nil, nil)
+			return err
+		}},
+		{"memory budget", func() error {
+			_, err := incognito.AnonymizeDelta(ctx, tab, patientsQI(),
+				incognito.Config{K: 2, MemoryBudgetBytes: 1 << 20}, state, nil, nil)
+			return err
+		}},
+		{"mismatched k", func() error {
+			_, err := incognito.AnonymizeDelta(ctx, tab, patientsQI(), incognito.Config{K: 3}, state, nil, nil)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err == nil {
+			t.Fatalf("%s: delta run succeeded", tc.name)
+		}
+	}
+	if _, err := incognito.Anonymize(tab, patientsQI(),
+		incognito.Config{K: 2, RetainState: true, Algorithm: incognito.SuperRootsIncognito}); err == nil {
+		t.Fatal("RetainState accepted for a non-basic algorithm")
+	}
+}
+
+// TestAnonymizeDeltaWithCheckpoint exercises the checkpoint path of a
+// delta run end to end (save at every boundary, no kill) and pins that
+// the checkpointed run still matches the cold run.
+func TestAnonymizeDeltaWithCheckpoint(t *testing.T) {
+	tab := censusTable(t, 120, 51)
+	cold, err := incognito.Anonymize(tab, patientsQI(), incognito.Config{K: 2, RetainState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := [][]string{tab.Row(3)}
+	add := [][]string{{"12/1/82", "Female", "53702", "Cold"}}
+	edited, err := incognito.ApplyRowDelta(tab, add, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := incognito.Anonymize(edited, patientsQI(), incognito.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), fmt.Sprintf("delta-%d.ckpt", 1))
+	got, err := incognito.AnonymizeDelta(context.Background(), tab, patientsQI(),
+		incognito.Config{K: 2, Checkpoint: incognito.NewCheckpointer(path)}, cold.State(), add, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solutionLevels(got.Result), solutionLevels(want)) || got.Stats() != want.Stats() {
+		t.Fatal("checkpointed delta run diverged from cold run")
+	}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestIncrementalCellsIdenticalAndBounded is the tentpole's acceptance
+// contract at bench scale: on a small Adults sample, every delta cell
+// (kernel × parallelism) reproduces the cold run's solutions and Stats
+// bit for bit while re-scanning at most 10% of the cold run's rows and
+// revalidating at most 10% of its nodes.
+func TestIncrementalCellsIdenticalAndBounded(t *testing.T) {
+	d := small()
+	cells, err := Incremental(context.Background(), Obs{}, d, 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (kernel {auto,sparse} × parallelism {1,2})", len(cells))
+	}
+	for _, c := range cells {
+		name := c.Kernel + "/p=" + string(rune('0'+c.Parallelism))
+		if !c.Identical {
+			t.Errorf("%s: delta run diverged from the cold run", name)
+		}
+		if c.Solutions <= 0 {
+			t.Errorf("%s: no solutions recorded", name)
+		}
+		if c.AddedRows == 0 || c.RemovedRows == 0 {
+			t.Errorf("%s: empty delta (added=%d removed=%d)", name, c.AddedRows, c.RemovedRows)
+		}
+		if c.RowRescanRatio <= 0 || c.RowRescanRatio > 0.10 {
+			t.Errorf("%s: row rescan ratio %.4f outside (0, 0.10]", name, c.RowRescanRatio)
+		}
+		if c.NodeRevalidationRatio < 0 || c.NodeRevalidationRatio > 0.10 {
+			t.Errorf("%s: node revalidation ratio %.4f outside [0, 0.10]", name, c.NodeRevalidationRatio)
+		}
+		if c.NodesScreened+c.NodesRevalidated != int64(c.NodesChecked) {
+			t.Errorf("%s: screened %d + revalidated %d != nodes checked %d",
+				name, c.NodesScreened, c.NodesRevalidated, c.NodesChecked)
+		}
+	}
+	// The deterministic counters must not depend on the kernel or the
+	// worker count — only the timings may differ across cells.
+	for _, c := range cells[1:] {
+		a, b := cells[0], c
+		a.Kernel, a.Parallelism, a.ColdMS, a.DeltaMS, a.Speedup = b.Kernel, b.Parallelism, b.ColdMS, b.DeltaMS, b.Speedup
+		if a != b {
+			t.Errorf("counters differ between cells:\n  %+v\n  %+v", cells[0], c)
+		}
+	}
+}
+
+// TestIncrementalReportRenders smoke-tests both output formats.
+func TestIncrementalReportRenders(t *testing.T) {
+	d := small()
+	r := NewIncrementalReport()
+	cells, err := Incremental(context.Background(), Obs{}, d, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Cells = cells
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\"delta_every\"", "\"rows_rescanned\"", "\"row_rescan_ratio\"", "\"identical\""} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON output missing %s", want)
+		}
+	}
+	buf.Reset()
+	if err := r.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "identical=true") {
+		t.Errorf("table output missing identical=true:\n%s", buf.String())
+	}
+}

@@ -47,6 +47,10 @@ func (v Variant) String() string {
 type Result struct {
 	Solutions [][]int
 	Stats     Stats
+	// Delta reports the work a delta run actually did (nil on cold runs).
+	// Stats above are bit-identical to a cold run by construction; these
+	// counters are where the savings show.
+	Delta *DeltaCounters
 }
 
 // MinHeight returns the smallest solution height, or -1 if there are no
@@ -91,6 +95,20 @@ func Run(in Input, v Variant) (res *Result, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	if in.Delta != nil {
+		if v != Basic {
+			return nil, fmt.Errorf("core: delta runs support only %s, not %s", Basic, v)
+		}
+		if in.ScanOverride != nil {
+			return nil, fmt.Errorf("core: delta runs do not support partitioned scans")
+		}
+		if in.Budget != nil {
+			return nil, fmt.Errorf("core: delta runs do not support memory budgets")
+		}
+		if err := in.Delta.prepare(&in); err != nil {
+			return nil, err
+		}
+	}
 	in.installAbort()
 	defer func() {
 		if r := recover(); r != nil {
@@ -122,6 +140,10 @@ func Run(in Input, v Variant) (res *Result, err error) {
 	}
 	stats.Add(res.Stats)
 	res.Stats = stats
+	if in.Delta != nil {
+		c := in.Delta.Counters()
+		res.Delta = &c
+	}
 	return res, nil
 }
 
@@ -134,6 +156,9 @@ func RunWithCube(in Input, cube *CubeIndex) (res *Result, err error) {
 	}
 	if cube == nil {
 		return nil, fmt.Errorf("core: RunWithCube needs a cube; call BuildCube first")
+	}
+	if in.Delta != nil {
+		return nil, fmt.Errorf("core: delta runs support only %s, not %s", Basic, Cube)
 	}
 	// A cube built for this quasi-identifier contains every non-empty
 	// subset; probing the full set catches cubes built for a different
@@ -496,16 +521,42 @@ func searchComponent(in *Input, g *lattice.Graph, nodes, roots []*lattice.Node, 
 			release()
 			continue
 		}
+		// A delta run tries the record screen first: an exact verdict skips
+		// materializing the frequency set but replays the very counters the
+		// cold run would have spent at this node, so Stats stay identical.
 		var f *relation.FreqSet
-		if pid, ok := parentOf[node.ID]; ok {
+		var pass, screened bool
+		if in.Delta != nil {
+			pass, screened = in.Delta.st.screen(in, node)
+		}
+		if screened {
+			if _, ok := parentOf[node.ID]; ok {
+				stats.Rollups++
+			} else {
+				stats.TableScans++ // delta runs are Basic-only: roots scan
+			}
+		} else if pid, ok := parentOf[node.ID]; ok {
 			parent := g.Node(pid)
-			f = in.RollupTo(freqs[pid], node.Dims, parent.Levels, node.Levels)
+			pf := freqs[pid]
+			if pf == nil && in.Delta != nil {
+				// The parent failed by screen alone; materialize its set now
+				// that a child genuinely needs it.
+				pf = in.Delta.st.force(in, g, parentOf, freqs, parent)
+			}
+			f = in.RollupTo(pf, node.Dims, parent.Levels, node.Levels)
 			stats.Rollups++
 		} else {
 			f = rootFreq(node)
 		}
 		stats.NodesChecked++
-		if in.CheckFreq(f) {
+		if !screened {
+			pass = in.CheckFreq(f)
+			if in.Delta != nil {
+				in.Delta.st.noteRevalidated(node)
+			}
+			in.Capture.Observe(in, node, f)
+		}
+		if pass {
 			// Mark all direct generalizations: they are k-anonymous by the
 			// generalization property and need not be checked.
 			for _, up := range g.Up(node.ID) {
@@ -547,6 +598,11 @@ func variantRootFreqMaker(in *Input, v Variant, cube *CubeIndex) rootFreqMaker {
 		return func(_ []*lattice.Node, stats *Stats) func(*lattice.Node) *relation.FreqSet {
 			return func(n *lattice.Node) *relation.FreqSet {
 				stats.TableScans++
+				if in.Delta != nil {
+					// A delta run replays the scan counter but builds the
+					// set from the patched base state (rollup property).
+					return in.Delta.st.rootFromF0(in, n)
+				}
 				return in.ScanFreq(n.Dims, n.Levels)
 			}
 		}

@@ -100,6 +100,19 @@ type Input struct {
 	// override panics into the run's phase guards, surfacing as a
 	// *resilience.PanicError like any other worker failure.
 	ScanOverride func(dims, levels []int) (*relation.FreqSet, error)
+	// Capture, when non-nil, collects a NodeRecord for every node whose
+	// frequency set is checked, plus the delta screen's updated records —
+	// the per-node half of a persistable RunState (see delta.go). Purely
+	// observational: Solutions and Stats are bit-identical with capture on
+	// or off.
+	Capture *StateCapture
+	// Delta, when non-nil, turns the run into an incremental
+	// re-anonymization: checks are answered from the prior RunState's
+	// records where the delta provably cannot flip them, and revalidated
+	// otherwise. Only the Basic variant supports delta runs; ScanOverride
+	// and Budget must be nil (Run validates this). Solutions and Stats are
+	// bit-identical to a cold run over the same (edited) table.
+	Delta *DeltaRun
 
 	// abort is set by the first worker panic of a parallel phase so sibling
 	// workers drain promptly through the same Err checks cancellation uses.

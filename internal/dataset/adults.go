@@ -185,8 +185,8 @@ func Adults(rows int, seed int64) *Dataset {
 		// "Suppression (1)".
 		"Salary Class": hierarchy.SuppressionSpec("Salary"),
 	}
-	cols, hs := bind(t, specs, order)
-	d := &Dataset{Name: "Adults", Table: t, QICols: cols, Hierarchies: hs}
+	cols, hs, sp := bind(t, specs, order)
+	d := &Dataset{Name: "Adults", Table: t, QICols: cols, Hierarchies: hs, Specs: sp}
 	d.Info = []AttrInfo{
 		{"Age", 74, "5-, 10-, 20-year ranges", 4},
 		{"Gender", 2, "Suppression", 1},

@@ -22,6 +22,11 @@ type Dataset struct {
 	Table       *relation.Table
 	QICols      []int
 	Hierarchies []*hierarchy.Hierarchy
+	// Specs holds the unbound hierarchy specs, parallel to Hierarchies.
+	// The incremental-reanonymization experiment needs them: after editing
+	// the table it must rebind each hierarchy to the edited dictionaries
+	// (and to scratch dictionaries for deleted values).
+	Specs []*hierarchy.Spec
 	// Info describes the quasi-identifier the way Fig. 9 does (full-domain
 	// distinct values, generalization kind, hierarchy height); nil for toy
 	// datasets.
@@ -39,10 +44,12 @@ func (d *Dataset) QISubset(n int) (cols []int, hs []*hierarchy.Hierarchy, err er
 }
 
 // bind binds each spec to its table column and fails loudly: these are
-// statically known hierarchies, so an error is a programming bug.
-func bind(t *relation.Table, specs map[string]*hierarchy.Spec, order []string) ([]int, []*hierarchy.Hierarchy) {
+// statically known hierarchies, so an error is a programming bug. The
+// specs come back in column order so the Dataset can retain them.
+func bind(t *relation.Table, specs map[string]*hierarchy.Spec, order []string) ([]int, []*hierarchy.Hierarchy, []*hierarchy.Spec) {
 	cols := make([]int, len(order))
 	hs := make([]*hierarchy.Hierarchy, len(order))
+	sp := make([]*hierarchy.Spec, len(order))
 	for i, name := range order {
 		col := t.ColumnIndex(name)
 		if col < 0 {
@@ -54,6 +61,7 @@ func bind(t *relation.Table, specs map[string]*hierarchy.Spec, order []string) (
 		}
 		cols[i] = col
 		hs[i] = h
+		sp[i] = specs[name]
 	}
-	return cols, hs
+	return cols, hs, sp
 }

@@ -113,8 +113,8 @@ func LandsEnd(rows int, seed int64) *Dataset {
 		// "Suppression (1)".
 		"Shipment": hierarchy.SuppressionSpec("Ship"),
 	}
-	cols, hs := bind(t, specs, order)
-	d := &Dataset{Name: "Lands End", Table: t, QICols: cols, Hierarchies: hs}
+	cols, hs, sp := bind(t, specs, order)
+	d := &Dataset{Name: "Lands End", Table: t, QICols: cols, Hierarchies: hs, Specs: sp}
 	d.Info = []AttrInfo{
 		{"Zipcode", landsEndZipcodes, "Round each digit", 5},
 		{"Order Date", landsEndDates, "Taxonomy tree", 3},

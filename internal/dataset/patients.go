@@ -31,8 +31,8 @@ func Patients() *Dataset {
 		// Fig. 2(a,b): Z0 = zip5, Z1 = zip4*, Z2 = zip3**.
 		"Zipcode": hierarchy.RoundDigitsSpec("Z", 2),
 	}
-	cols, hs := bind(t, specs, []string{"Birthdate", "Sex", "Zipcode"})
-	return &Dataset{Name: "Patients", Table: t, QICols: cols, Hierarchies: hs}
+	cols, hs, sp := bind(t, specs, []string{"Birthdate", "Sex", "Zipcode"})
+	return &Dataset{Name: "Patients", Table: t, QICols: cols, Hierarchies: hs, Specs: sp}
 }
 
 // Voters builds the Voter Registration Data table of Fig. 1, used by

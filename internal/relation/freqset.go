@@ -12,9 +12,14 @@ import (
 
 // FreqSet is the frequency set of a table with respect to a set of columns
 // (§1.1): a mapping from each distinct value group to the number of tuples
-// carrying it. Counts are assumed non-negative; a group whose count is zero
-// does not exist (it is never reported by Each, Len, or Count's callers'
-// iteration).
+// carrying it. Counts are signed: a FreqSet built by a scan holds only
+// positive counts, but Add, AddFrom, and Sub accept negative contributions,
+// so a FreqSet can also carry a delta (the signed difference between two
+// tables' frequency sets) for incremental maintenance. What is invariant is
+// zero-pruning, not non-negativity: a group whose count reaches zero does
+// not exist — bump, bumpDense, AddFrom, and Sub all remove (or never
+// create) zero-count groups, so Each, Len, and EachSorted never report one
+// and both representations always agree on which groups exist.
 //
 // Two representations back a FreqSet, chosen adaptively:
 //
@@ -534,6 +539,51 @@ func (f *FreqSet) Merge(parts ...*FreqSet) {
 		f.AddFrom(p)
 	}
 }
+
+// Sub subtracts every group count of other from f — the removal half of a
+// delta merge. Both sets must range over the same columns. Like AddFrom it
+// prunes groups whose count reaches zero, so subtracting a set from an
+// equal set leaves an empty one; counts may go negative when other holds
+// groups f does not, which is the signed-delta contract documented on
+// FreqSet.
+func (f *FreqSet) Sub(other *FreqSet) {
+	if len(f.Cols) != len(other.Cols) {
+		panic(fmt.Sprintf("relation: Sub over mismatched columns %v and %v", f.Cols, other.Cols))
+	}
+	for i, c := range f.Cols {
+		if other.Cols[i] != c {
+			panic(fmt.Sprintf("relation: Sub over mismatched columns %v and %v", f.Cols, other.Cols))
+		}
+	}
+	if f.dense != nil && other.dense != nil && sameCard(f.card, other.card) {
+		for i, c := range other.dense {
+			if c != 0 {
+				f.bumpDense(int64(i), -c)
+			}
+		}
+		return
+	}
+	if f.groups != nil && other.groups != nil {
+		for key, c := range other.groups {
+			if p, ok := f.groups[key]; ok {
+				*p -= *c
+				if *p == 0 {
+					delete(f.groups, key)
+				}
+			} else if *c != 0 {
+				n := -*c
+				f.groups[key] = &n
+			}
+		}
+		return
+	}
+	other.Each(func(codes []int32, count int64) { f.Add(codes, -count) })
+}
+
+// ApplyDelta folds a signed delta set into f: identical to AddFrom, named
+// for the call sites where other is a delta rather than a shard, so the
+// intent reads at the call site.
+func (f *FreqSet) ApplyDelta(delta *FreqSet) { f.AddFrom(delta) }
 
 // InferCard derives the per-column cardinality bounds of a GroupCount over
 // t: a recoded column is bounded by its recode table's largest target code,

@@ -1,0 +1,141 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mkSet builds a frequency set in the requested representation over one
+// column, pre-loaded with the given code→count pairs.
+func mkSet(t *testing.T, dense bool, counts map[int32]int64) *FreqSet {
+	t.Helper()
+	var f *FreqSet
+	if dense {
+		f = NewFreqSetWithCard([]int{0}, []int{16})
+		if !f.Dense() {
+			t.Fatal("expected a dense set")
+		}
+	} else {
+		f = NewFreqSet([]int{0})
+	}
+	for c, n := range counts {
+		f.Add([]int32{c}, n)
+	}
+	return f
+}
+
+func TestSubAcrossRepresentations(t *testing.T) {
+	base := map[int32]int64{0: 5, 1: 2, 2: 7}
+	delta := map[int32]int64{1: 2, 2: 3, 3: 4}
+	want := map[int32]int64{0: 5, 2: 4, 3: -4} // group 1 pruned at zero
+	for _, fd := range []bool{false, true} {
+		for _, od := range []bool{false, true} {
+			f := mkSet(t, fd, base)
+			f.Sub(mkSet(t, od, delta))
+			got := make(map[int32]int64)
+			f.Each(func(codes []int32, count int64) { got[codes[0]] = count })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("dense=%v/%v: Sub = %v, want %v", fd, od, got, want)
+			}
+			// Zero-pruning: group 1 must not exist in either representation.
+			if f.Count([]int32{1}) != 0 {
+				t.Fatalf("dense=%v/%v: zeroed group still counted", fd, od)
+			}
+			if f.Len() != len(want) {
+				t.Fatalf("dense=%v/%v: Len = %d, want %d", fd, od, f.Len(), len(want))
+			}
+		}
+	}
+}
+
+func TestSubOfSelfEmpties(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		f := mkSet(t, dense, map[int32]int64{0: 3, 5: 9})
+		g := mkSet(t, dense, map[int32]int64{0: 3, 5: 9})
+		f.Sub(g)
+		if f.Len() != 0 || f.Total() != 0 {
+			t.Fatalf("dense=%v: f - f should be empty, got Len=%d Total=%d", dense, f.Len(), f.Total())
+		}
+	}
+}
+
+func TestSubMismatchedColumnsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub over mismatched columns did not panic")
+		}
+	}()
+	NewFreqSet([]int{0}).Sub(NewFreqSet([]int{1}))
+}
+
+// TestDeltaMatchesRebuild is the core signed-delta law: a base frequency
+// set patched with ApplyDelta(added) and Sub(removed) equals a scan of the
+// edited table, across every representation pairing.
+func TestDeltaMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		dom := 3 + rng.Intn(4)
+		card := []int{dom, dom}
+		nrows := 20 + rng.Intn(40)
+		rows := make([][]int32, nrows)
+		for i := range rows {
+			rows[i] = []int32{int32(rng.Intn(dom)), int32(rng.Intn(dom))}
+		}
+		// Remove a random ~10% prefix of positions, add a few fresh rows.
+		var kept, removed [][]int32
+		for _, r := range rows {
+			if rng.Intn(10) == 0 {
+				removed = append(removed, r)
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		var added [][]int32
+		for i := 0; i < rng.Intn(5); i++ {
+			added = append(added, []int32{int32(rng.Intn(dom)), int32(rng.Intn(dom))})
+		}
+		fill := func(f *FreqSet, rs [][]int32) *FreqSet {
+			for _, r := range rs {
+				f.Add(r, 1)
+			}
+			return f
+		}
+		for _, baseDense := range []bool{false, true} {
+			for _, deltaDense := range []bool{false, true} {
+				mk := func(dense bool) *FreqSet {
+					if dense {
+						return NewFreqSetWithCard([]int{0, 1}, card)
+					}
+					return NewFreqSet([]int{0, 1})
+				}
+				base := fill(mk(baseDense), rows)
+				base.Sub(fill(mk(deltaDense), removed))
+				base.ApplyDelta(fill(mk(deltaDense), added))
+				want := fill(mk(baseDense), append(append([][]int32{}, kept...), added...))
+				if !reflect.DeepEqual(freqAsMap(base), freqAsMap(want)) {
+					t.Fatalf("trial %d dense=%v/%v: delta-patched set diverges from rebuild\ngot  %v\nwant %v",
+						trial, baseDense, deltaDense, freqAsMap(base), freqAsMap(want))
+				}
+			}
+		}
+	}
+}
+
+// TestSignedDeltaSetRoundTrip exercises a FreqSet used as a pure signed
+// delta: negative counts survive merging and cancel against the base.
+func TestSignedDeltaSetRoundTrip(t *testing.T) {
+	delta := NewFreqSet([]int{0})
+	delta.Add([]int32{0}, -2) // two rows removed from group 0
+	delta.Add([]int32{1}, 3)  // three rows added to group 1
+	if delta.Total() != 1 {
+		t.Fatalf("signed Total = %d, want 1", delta.Total())
+	}
+	base := mkSet(t, true, map[int32]int64{0: 2, 2: 4})
+	base.ApplyDelta(delta)
+	got := freqAsMap(base)
+	want := freqAsMap(mkSet(t, false, map[int32]int64{1: 3, 2: 4}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ApplyDelta = %v, want %v", got, want)
+	}
+}

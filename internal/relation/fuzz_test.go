@@ -125,6 +125,66 @@ func FuzzKernelEquivalence(f *testing.F) {
 		for pos := 0; pos < ncols && ncols > 1; pos++ {
 			requireSameFreqSet(t, dense.DropColumn(pos), sparse.DropColumn(pos))
 		}
+
+		// Delta apply/subtract: a random base patched with Sub(removed) and
+		// ApplyDelta(added) must equal a rebuild-from-scratch of the edited
+		// table, across every dense/sparse pairing of base and delta sets.
+		// Removals are a random subset of the table's rows; additions are
+		// fresh random rows over the same base domains.
+		var removedRows, addedRows [][]int32
+		edited := MustNewTable(names...)
+		for i := 0; i < ncols; i++ {
+			for v := 0; v < sizes[i][0]; v++ {
+				edited.Dict(i).Encode(string(rune('a' + v)))
+			}
+		}
+		for r := 0; r < rows; r++ {
+			row := make([]int32, ncols)
+			for i := range row {
+				row[i] = tab.Code(r, i)
+			}
+			if rng.Intn(8) == 0 {
+				removedRows = append(removedRows, row)
+			} else if err := edited.AppendCoded(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for n := rng.Intn(6); n > 0; n-- {
+			row := make([]int32, ncols)
+			for i := range row {
+				row[i] = int32(rng.Intn(sizes[i][0]))
+			}
+			addedRows = append(addedRows, row)
+			if err := edited.AppendCoded(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deltaSet := func(dense bool, rows [][]int32) *FreqSet {
+			var d *FreqSet
+			if dense {
+				d = NewFreqSetWithCard(cols, cardAt(zero))
+			} else {
+				d = NewFreqSet(cols)
+			}
+			for _, row := range rows {
+				d.Add(row, 1)
+			}
+			return d
+		}
+		for _, baseDense := range []bool{false, true} {
+			for _, dDense := range []bool{false, true} {
+				var patched *FreqSet
+				if baseDense {
+					patched = GroupCountWithCard(tab, cols, nil, cardAt(zero))
+				} else {
+					patched = GroupCountWithCard(tab, cols, nil, nil)
+				}
+				patched.Sub(deltaSet(dDense, removedRows))
+				patched.ApplyDelta(deltaSet(dDense, addedRows))
+				rebuilt := GroupCountWithCard(edited, cols, nil, nil)
+				requireSameFreqSet(t, patched, rebuilt)
+			}
+		}
 	})
 }
 

@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// RunStateVersion is the persisted run-state format version; LoadRunState
+// rejects files written by an incompatible format.
+const RunStateVersion = 1
+
+// BaseGroup is one group of the retained base-level frequency set, keyed by
+// value strings (one per quasi-identifier column, at the base level of each
+// hierarchy) rather than dictionary codes. Value strings survive any table
+// rebuild: deleting or appending rows permutes dictionary codes, but the
+// values they decode to are stable, so a state file written against table T
+// is directly applicable to any edit of T.
+type BaseGroup struct {
+	V []string `json:"v"`
+	N int64    `json:"n"`
+}
+
+// BandEntry is one exactly-known group of a node's capture band, keyed by
+// the node's generalized value strings.
+type BandEntry struct {
+	V []string `json:"v"`
+	N int64    `json:"n"`
+}
+
+// NodeRecord summarizes what a completed run learned about one lattice
+// node's frequency set, in just enough detail for a later delta run to
+// re-derive the node's k-anonymity verdict without rescanning — unless the
+// delta genuinely puts the verdict in doubt.
+//
+//   - TallyLo/TallyHi bound TuplesBelow(k), the suppression tally the
+//     verdict compares against MaxSuppress. They are equal when the tally
+//     is exactly known.
+//   - Band holds exact counts for every group whose count was below Thr at
+//     capture time (plus any group a delta has since touched), keyed by
+//     generalized value strings.
+//   - Floor is a lower bound on the count of every group that exists but is
+//     not in the band (MaxInt64 when the band holds every group).
+//
+// A small band suffices: only groups near k can flip the verdict, and after
+// generalization most groups sit far above k.
+type NodeRecord struct {
+	Dims    []int       `json:"dims"`
+	Levels  []int       `json:"levels"`
+	TallyLo int64       `json:"tally_lo"`
+	TallyHi int64       `json:"tally_hi"`
+	Thr     int64       `json:"thr"`
+	Floor   int64       `json:"floor"`
+	Band    []BandEntry `json:"band,omitempty"`
+}
+
+// RunState is the persistent mergeable state a completed (or checkpointed)
+// run retains for incremental re-anonymization: the identity of the
+// instance it describes, the base-level frequency set as value-string
+// groups, and one NodeRecord per lattice node the search examined. It is a
+// sibling of Snapshot — Snapshot captures where a search is, RunState
+// captures what a search measured — and both share the same envelope
+// framing (version, checksum, atomic replace).
+type RunState struct {
+	Fingerprint Fingerprint  `json:"fingerprint"`
+	Cols        []string     `json:"cols"` // QI column names, in dims order
+	K           int64        `json:"k"`
+	MaxSuppress int64        `json:"max_suppress"`
+	Rows        int          `json:"rows"`
+	Base        []BaseGroup  `json:"base"`
+	Records     []NodeRecord `json:"records"`
+}
+
+// SaveRunState atomically writes state to path with the shared envelope
+// framing: a crash mid-save leaves any previous state file intact.
+func SaveRunState(path string, state *RunState) error {
+	payload, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("resilience: encoding run state: %w", err)
+	}
+	env, err := json.Marshal(envelope{Version: RunStateVersion, Checksum: checksum(payload), Payload: payload})
+	if err != nil {
+		return fmt.Errorf("resilience: encoding run state: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".state-*")
+	if err != nil {
+		return fmt.Errorf("resilience: writing run state: %w", err)
+	}
+	if _, err := tmp.Write(env); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: writing run state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: writing run state: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: writing run state: %w", err)
+	}
+	return nil
+}
+
+// LoadRunState reads, verifies (version and checksum) and decodes a run
+// state file.
+func LoadRunState(path string) (*RunState, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: reading run state: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("resilience: corrupt run state %s: %w", path, err)
+	}
+	if env.Version != RunStateVersion {
+		return nil, fmt.Errorf("resilience: run state %s has format version %d, this build reads %d", path, env.Version, RunStateVersion)
+	}
+	if got := checksum(env.Payload); got != env.Checksum {
+		return nil, fmt.Errorf("resilience: run state %s failed checksum verification (have %s, recorded %s)", path, got, env.Checksum)
+	}
+	var s RunState
+	if err := json.Unmarshal(env.Payload, &s); err != nil {
+		return nil, fmt.Errorf("resilience: corrupt run state %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// MarshalRunState encodes state with the envelope framing, for callers
+// (like the anonymization service) that persist state in memory rather
+// than on disk.
+func MarshalRunState(state *RunState) ([]byte, error) {
+	payload, err := json.Marshal(state)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: encoding run state: %w", err)
+	}
+	return json.Marshal(envelope{Version: RunStateVersion, Checksum: checksum(payload), Payload: payload})
+}
+
+// UnmarshalRunState decodes and verifies an envelope-framed run state
+// produced by MarshalRunState or SaveRunState.
+func UnmarshalRunState(raw []byte) (*RunState, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("resilience: corrupt run state: %w", err)
+	}
+	if env.Version != RunStateVersion {
+		return nil, fmt.Errorf("resilience: run state has format version %d, this build reads %d", env.Version, RunStateVersion)
+	}
+	if got := checksum(env.Payload); got != env.Checksum {
+		return nil, fmt.Errorf("resilience: run state failed checksum verification (have %s, recorded %s)", got, env.Checksum)
+	}
+	var s RunState
+	if err := json.Unmarshal(env.Payload, &s); err != nil {
+		return nil, fmt.Errorf("resilience: corrupt run state: %w", err)
+	}
+	return &s, nil
+}

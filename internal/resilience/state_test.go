@@ -1,0 +1,129 @@
+package resilience
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleRunState() *RunState {
+	return &RunState{
+		Fingerprint: Fingerprint{Algorithm: "incognito", Heights: []int{2, 1}, K: 2, MaxSuppress: 0, Rows: 6, TableHash: 0xabc},
+		Cols:        []string{"Sex", "Zipcode"},
+		K:           2,
+		Rows:        6,
+		Base: []BaseGroup{
+			{V: []string{"M", "53715"}, N: 2},
+			{V: []string{"F", "53706"}, N: 1},
+		},
+		Records: []NodeRecord{
+			{Dims: []int{0, 1}, Levels: []int{0, 1}, TallyLo: 1, TallyHi: 1, Thr: 66, Floor: math.MaxInt64,
+				Band: []BandEntry{{V: []string{"M", "537*"}, N: 2}, {V: []string{"F", "537*"}, N: 1}}},
+			{Dims: []int{0, 1}, Levels: []int{1, 1}, TallyLo: 0, TallyHi: 0, Thr: 66, Floor: 3},
+		},
+	}
+}
+
+func TestRunStateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.state")
+	want := sampleRunState()
+	if err := SaveRunState(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRunState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed state\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRunStateMarshalRoundTrip(t *testing.T) {
+	want := sampleRunState()
+	raw, err := MarshalRunState(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRunState(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("marshal round trip changed state\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRunStateChecksumDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.state")
+	if err := SaveRunState(path, sampleRunState()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte without breaking the JSON framing: the sample
+	// contains the value "53715"; change one digit.
+	tampered := strings.Replace(string(raw), "53715", "53716", 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper target not found in encoded state")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRunState(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered state loaded without checksum error: %v", err)
+	}
+}
+
+func TestRunStateRejectsWrongVersion(t *testing.T) {
+	payload, _ := json.Marshal(sampleRunState())
+	env, _ := json.Marshal(envelope{Version: RunStateVersion + 1, Checksum: checksum(payload), Payload: payload})
+	path := filepath.Join(t.TempDir(), "run.state")
+	if err := os.WriteFile(path, env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRunState(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong-version state loaded without version error: %v", err)
+	}
+	if _, err := UnmarshalRunState(env); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong-version bytes decoded without version error: %v", err)
+	}
+}
+
+func TestRunStateSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.state")
+	if err := SaveRunState(path, sampleRunState()); err != nil {
+		t.Fatal(err)
+	}
+	// A second save replaces the file; no temp droppings remain either way.
+	st := sampleRunState()
+	st.Rows = 7
+	if err := SaveRunState(path, st); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.state" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only run.state", names)
+	}
+	got, err := LoadRunState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 7 {
+		t.Fatalf("second save not visible: Rows = %d, want 7", got.Rows)
+	}
+}

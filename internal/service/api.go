@@ -17,6 +17,9 @@
 //	GET    /v1/jobs/{id}/result the solution set, chosen best, released CSV
 //	GET    /v1/jobs/{id}/trace  the job's span tree (?format=chrome for
 //	                            a Perfetto/chrome://tracing file)
+//	POST   /v1/jobs/{id}/delta  re-anonymize after an edit {add_csv, del_csv},
+//	                            reusing the parent job's retained state; the
+//	                            parent's cache entry is invalidated
 //	DELETE /v1/jobs/{id}        cancel (dequeue, or cancel the run context)
 //	GET    /healthz             200 serving, 503 draining
 //	GET    /debug/bundle        tar.gz diagnostic bundle (metrics, job
@@ -90,6 +93,29 @@ type Policy struct {
 	// kernel this knob is absent from the cache identity. Requires the
 	// daemon to enable partitioning (-max-partitions); rejected otherwise.
 	Partitions int `json:"partitions,omitempty"`
+	// RetainState keeps the run's incremental-reanonymization state on the
+	// finished job, making it a valid parent for POST /v1/jobs/{id}/delta.
+	// Only the basic algorithm supports it, and a retain-state job is never
+	// answered from the cache or coalesced onto another job (both would
+	// skip the run that captures the state); its result still lands in the
+	// cache for later plain submissions. Incompatible with partitions and
+	// with a memory budget (a budget-degraded run cannot capture a complete
+	// state — the daemon's default budget is ignored for these jobs).
+	RetainState bool `json:"retain_state,omitempty"`
+}
+
+// DeltaRequest is the POST /v1/jobs/{id}/delta body: the rows to append
+// and delete, each as CSV text whose header must equal the parent
+// dataset's header. Deletions match whole rows by content (the first
+// matching occurrence each); deleting a row the table does not contain is
+// a 400. The delta job inherits the parent's policy and always retains
+// state, so delta jobs chain.
+type DeltaRequest struct {
+	AddCSV string `json:"add_csv,omitempty"`
+	DelCSV string `json:"del_csv,omitempty"`
+	// RequestID is filled by the HTTP layer from X-Request-Id, like
+	// SubmitRequest's.
+	RequestID string `json:"-"`
 }
 
 // SubmitResponse answers POST /v1/jobs.
@@ -117,6 +143,8 @@ type StatusResponse struct {
 	Started   *time.Time      `json:"started,omitempty"`
 	Finished  *time.Time      `json:"finished,omitempty"`
 	Progress  *ProgressStatus `json:"progress,omitempty"`
+	// DeltaOf names the parent job a delta job was submitted against.
+	DeltaOf string `json:"delta_of,omitempty"`
 }
 
 // ProgressStatus is the live view of a running job, read from the run's
@@ -150,6 +178,25 @@ type ResultPayload struct {
 	ReleasedCSV string `json:"released_csv"`
 	// Stats are the search's work counters.
 	Stats StatsPayload `json:"stats"`
+	// Delta reports a delta job's work savings; absent on cold jobs. The
+	// solutions, stats, and released CSV above are bit-identical to what a
+	// cold job over the edited dataset would produce.
+	Delta *DeltaStatsPayload `json:"delta,omitempty"`
+}
+
+// DeltaStatsPayload quantifies how much work a delta run skipped.
+type DeltaStatsPayload struct {
+	// Parent is the job whose retained state the delta ran against.
+	Parent string `json:"parent"`
+	// RowsRescanned counts rows the run actually re-touched: the delta rows
+	// themselves plus whole-table re-scans forced by nodes the saved state
+	// could not screen.
+	RowsRescanned int64 `json:"rows_rescanned"`
+	// NodesScreened counts lattice nodes whose verdict was proven from the
+	// saved per-node record without rebuilding a frequency set.
+	NodesScreened int64 `json:"nodes_screened"`
+	// NodesRevalidated counts nodes that needed a full recount.
+	NodesRevalidated int64 `json:"nodes_revalidated"`
 }
 
 // SolutionPayload describes one generalization.
@@ -188,6 +235,7 @@ type resolved struct {
 	critName    string
 	matBudget   int
 	partitions  int
+	retainState bool
 }
 
 // resolve validates p against the daemon's defaults. Errors are request
@@ -270,6 +318,22 @@ func (c *Config) resolve(p Policy) (resolved, error) {
 			return r, fmt.Errorf("policy.partitions must be <= %d, got %d", c.MaxPartitions, p.Partitions)
 		}
 		r.partitions = p.Partitions
+	}
+
+	if p.RetainState {
+		if r.algorithm != incognito.BasicIncognito {
+			return r, fmt.Errorf("policy.retain_state: only the basic algorithm retains delta state, not %s", r.algorithm)
+		}
+		if r.partitions > 1 {
+			return r, fmt.Errorf("policy.retain_state: incompatible with partitioned jobs")
+		}
+		if p.MemBudget != "" {
+			return r, fmt.Errorf("policy.retain_state: incompatible with a memory budget (a degraded run cannot capture a complete state)")
+		}
+		// The daemon default budget is also dropped: state capture needs the
+		// run to finish exactly, never salvage a partial result.
+		r.memBudget = 0
+		r.retainState = true
 	}
 	return r, nil
 }

@@ -22,10 +22,11 @@ type Cache struct {
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 
-	hits     atomic.Int64
-	misses   atomic.Int64
-	rejected atomic.Int64 // payloads larger than the whole budget
-	evicted  atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	rejected    atomic.Int64 // payloads larger than the whole budget
+	evicted     atomic.Int64
+	invalidated atomic.Int64 // entries removed explicitly, not under pressure
 }
 
 type cacheEntry struct {
@@ -100,6 +101,25 @@ func (c *Cache) Put(key string, val []byte) {
 	}
 }
 
+// Remove deletes the entry under key, reporting whether one existed.
+// This is explicit invalidation, not eviction: a delta job calls it on
+// its parent's key because the parent's cached result describes a table
+// that no longer exists after the edit.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	ent := e.Value.(*cacheEntry)
+	c.ll.Remove(e)
+	delete(c.items, ent.key)
+	c.bytes -= int64(len(ent.val))
+	c.invalidated.Add(1)
+	return true
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -114,11 +134,13 @@ func (c *Cache) Bytes() int64 {
 	return c.bytes
 }
 
-// Hits, Misses, Rejected and Evicted are the cache's lifetime counters.
-func (c *Cache) Hits() int64     { return c.hits.Load() }
-func (c *Cache) Misses() int64   { return c.misses.Load() }
-func (c *Cache) Rejected() int64 { return c.rejected.Load() }
-func (c *Cache) Evicted() int64  { return c.evicted.Load() }
+// Hits, Misses, Rejected, Evicted and Invalidated are the cache's
+// lifetime counters.
+func (c *Cache) Hits() int64        { return c.hits.Load() }
+func (c *Cache) Misses() int64      { return c.misses.Load() }
+func (c *Cache) Rejected() int64    { return c.rejected.Load() }
+func (c *Cache) Evicted() int64     { return c.evicted.Load() }
+func (c *Cache) Invalidated() int64 { return c.invalidated.Load() }
 
 // HitRatio returns hits/(hits+misses), 0 before the first lookup.
 func (c *Cache) HitRatio() float64 {

@@ -30,6 +30,7 @@ func (s *Service) routes() []route {
 		{"GET /v1/jobs/{id}", "job status and live progress", s.handleStatus},
 		{"GET /v1/jobs/{id}/result", "solution set and released CSV", s.handleResult},
 		{"GET /v1/jobs/{id}/trace", "span tree; ?format=chrome for Perfetto", s.handleTrace},
+		{"POST /v1/jobs/{id}/delta", "re-anonymize after an edit {add_csv, del_csv}", s.handleDelta},
 		{"DELETE /v1/jobs/{id}", "cancel a job", s.handleCancel},
 		{"GET /healthz", "liveness (503 while draining)", s.handleHealth},
 		{"GET /debug/bundle", "tar.gz diagnostic bundle", s.handleBundle},
@@ -193,6 +194,26 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, resp)
+}
+
+// handleDelta submits an incremental re-anonymization against a finished
+// retain-state job. Always 202 on success: delta jobs are never answered
+// from the cache (the parent's entry was just invalidated) or coalesced.
+func (s *Service) handleDelta(w http.ResponseWriter, r *http.Request) {
+	var req DeltaRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "request body: %v", err)
+		return
+	}
+	req.RequestID = requestIDFrom(r)
+	resp, serr := s.SubmitDelta(r.PathValue("id"), req)
+	if serr != nil {
+		writeError(w, serr.status, "%s", serr.msg)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {

@@ -45,6 +45,14 @@ type Job struct {
 	csv    string
 	qiSpec string
 
+	// Delta-job inputs: the parent job's ID, the state snapshot the run
+	// screens against, and the rows to append/delete. deltaState is non-nil
+	// exactly on delta jobs.
+	deltaParent string
+	deltaState  *incognito.RunState
+	deltaAdd    [][]string
+	deltaDel    [][]string
+
 	progress *telemetry.Progress
 
 	mu        sync.Mutex
@@ -64,6 +72,11 @@ type Job struct {
 	// remembered here and honored by setCancel.
 	cancelReq bool
 	result    []byte
+	// runState is the retained incremental state of a finished
+	// retain-state or delta job — what a later POST /v1/jobs/{id}/delta
+	// runs against. For delta jobs, table is rewritten to the edited table
+	// at completion so further deltas chain off the right base.
+	runState *incognito.RunState
 }
 
 // take transitions queued → running; false when the job was cancelled
@@ -142,6 +155,28 @@ func (j *Job) complete(payload []byte) {
 	j.finishLocked(StateDone, "")
 }
 
+// completeWithState marks the job done and retains its incremental state;
+// a non-nil table replaces the job's table (a delta job's further deltas
+// must chain from the edited table, not the one it was submitted with).
+func (j *Job) completeWithState(payload []byte, table *incognito.Table, st *incognito.RunState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if table != nil {
+		j.table = table
+	}
+	j.runState = st
+	j.result = payload
+	j.finishLocked(StateDone, "")
+}
+
+// deltaBase snapshots what a delta submission needs from its parent: the
+// table the edit applies to, the retained state, and the lifecycle state.
+func (j *Job) deltaBase() (*incognito.Table, *incognito.RunState, State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.table, j.runState, j.state
+}
+
 // fail marks the job failed with the run's error.
 func (j *Job) fail(errMsg string) {
 	j.mu.Lock()
@@ -195,6 +230,7 @@ func (j *Job) Status() StatusResponse {
 		Coalesced: j.coalesced,
 		Error:     j.err,
 		Created:   j.created,
+		DeltaOf:   j.deltaParent,
 	}
 	started, finished := j.started, j.finished
 	running := j.state == StateRunning

@@ -103,6 +103,13 @@ type Service struct {
 	coalesce  atomic.Int64
 	seq       atomic.Int64
 
+	// Delta-job telemetry: completed delta jobs and their cumulative
+	// savings counters.
+	deltaJobs        atomic.Int64
+	deltaRescanned   atomic.Int64
+	deltaScreened    atomic.Int64
+	deltaRevalidated atomic.Int64
+
 	// testHookBeforeRun, when non-nil, runs on the worker goroutine just
 	// before a job's anonymization starts — the seam the concurrency tests
 	// use to hold a run in flight deterministically.
@@ -176,6 +183,16 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.cache.Evicted()) })
 	reg.GaugeFunc("incognitod_cache_hit_ratio", "hits/(hits+misses) since start, 0 before the first lookup.",
 		func() float64 { return s.cache.HitRatio() })
+	reg.GaugeFunc("incognito_delta_jobs_total", "Delta jobs completed since start.",
+		func() float64 { return float64(s.deltaJobs.Load()) })
+	reg.GaugeFunc("incognito_delta_rows_rescanned_total", "Rows re-scanned by delta runs (delta rows plus forced full re-scans).",
+		func() float64 { return float64(s.deltaRescanned.Load()) })
+	reg.GaugeFunc("incognito_delta_nodes_screened_total", "Lattice nodes delta runs decided from saved records without recounting.",
+		func() float64 { return float64(s.deltaScreened.Load()) })
+	reg.GaugeFunc("incognito_delta_nodes_revalidated_total", "Lattice nodes delta runs had to recount in full.",
+		func() float64 { return float64(s.deltaRevalidated.Load()) })
+	reg.GaugeFunc("incognito_delta_cache_invalidations_total", "Parent cache entries invalidated by delta submissions.",
+		func() float64 { return float64(s.cache.Invalidated()) })
 }
 
 // submitError is a rejection with its HTTP status.
@@ -245,23 +262,28 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 	if s.draining {
 		return nil, reject(503, "daemon is draining, not accepting jobs")
 	}
-	if payload, ok := s.cache.Get(key); ok {
-		j := s.newJobLocked(key, req.RequestID, table, qi, pol)
-		j.cacheHit = true
-		j.result = payload
-		j.state = StateDone
-		j.finished = j.created
-		s.logJob(j, "served from cache")
-		return &SubmitResponse{ID: j.ID, State: StateDone, CacheHit: true}, nil
-	}
-	if prior := s.inflight[key]; prior != nil {
-		prior.mu.Lock()
-		prior.coalesced++
-		state := prior.state
-		prior.mu.Unlock()
-		s.coalesce.Add(1)
-		s.logJob(prior, "coalesced duplicate submission")
-		return &SubmitResponse{ID: prior.ID, State: state, Coalesced: true}, nil
+	// A retain-state submission must run for real — a cached payload or an
+	// in-flight sibling has no state to hand it — so it skips both
+	// deduplication layers. Its result still lands in the cache.
+	if !pol.retainState {
+		if payload, ok := s.cache.Get(key); ok {
+			j := s.newJobLocked(key, req.RequestID, table, qi, pol)
+			j.cacheHit = true
+			j.result = payload
+			j.state = StateDone
+			j.finished = j.created
+			s.logJob(j, "served from cache")
+			return &SubmitResponse{ID: j.ID, State: StateDone, CacheHit: true}, nil
+		}
+		if prior := s.inflight[key]; prior != nil {
+			prior.mu.Lock()
+			prior.coalesced++
+			state := prior.state
+			prior.mu.Unlock()
+			s.coalesce.Add(1)
+			s.logJob(prior, "coalesced duplicate submission")
+			return &SubmitResponse{ID: prior.ID, State: state, Coalesced: true}, nil
+		}
 	}
 	j := s.newJobLocked(key, req.RequestID, table, qi, pol)
 	j.state = StateQueued
@@ -288,6 +310,104 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 	s.inflight[key] = j
 	s.logJob(j, "queued")
 	return &SubmitResponse{ID: j.ID, State: StateQueued}, nil
+}
+
+// SubmitDelta validates a delta request against its parent job and queues
+// the incremental re-run. The parent must be done and have retained state
+// (policy.retain_state, or itself a delta job). The parent's result-cache
+// entry is invalidated — it describes a dataset that no longer exists
+// after the edit — and the delta job gets its own cache identity derived
+// from the parent's key plus the delta bytes. Delta submissions skip the
+// cache and coalescing lookups: each one runs (cheaply — that is the
+// point) against the parent's current state.
+func (s *Service) SubmitDelta(parentID string, req DeltaRequest) (*SubmitResponse, *submitError) {
+	parent, ok := s.Job(parentID)
+	if !ok {
+		return nil, reject(404, "no job %q", parentID)
+	}
+	table, state, pstate := parent.deltaBase()
+	if pstate != StateDone {
+		return nil, reject(409, "job %s is %s; deltas apply to done jobs", parentID, pstate)
+	}
+	if state == nil {
+		return nil, reject(409, "job %s did not retain state (submit it with policy.retain_state, or chain from a delta job)", parentID)
+	}
+	add, serr := parseDeltaCSV("add_csv", req.AddCSV, table)
+	if serr != nil {
+		return nil, serr
+	}
+	del, serr := parseDeltaCSV("del_csv", req.DelCSV, table)
+	if serr != nil {
+		return nil, serr
+	}
+	if len(add)+len(del) == 0 {
+		return nil, reject(400, "empty delta: add_csv and del_csv contain no rows")
+	}
+	// Validate the edit applies (every deletion matches a live row) here at
+	// submission, rather than queueing a job doomed to fail.
+	if _, err := incognito.ApplyRowDelta(table, add, del); err != nil {
+		return nil, reject(400, "%v", err)
+	}
+	sum := sha256.Sum256([]byte(req.AddCSV + "\x00" + req.DelCSV))
+	key := parent.key + "|delta=" + hex.EncodeToString(sum[:8])
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, reject(503, "daemon is draining, not accepting jobs")
+	}
+	j := s.newJobLocked(key, req.RequestID, table, parent.qi, parent.pol)
+	j.deltaParent = parent.ID
+	j.deltaState = state
+	j.deltaAdd, j.deltaDel = add, del
+	j.state = StateQueued
+	j.progress = telemetry.NewProgress()
+	if s.traceCap > 0 {
+		j.tracer = trace.New()
+		j.tracer.SetAttr("job", j.ID)
+		j.tracer.SetAttr("delta_of", parent.ID)
+		if req.RequestID != "" {
+			j.tracer.SetAttr("request_id", req.RequestID)
+		}
+		j.queueSpan = j.tracer.Start("queue_wait")
+	}
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		return nil, reject(429, "queue full (%d queued, %d running)", len(s.queue), s.active.Load())
+	}
+	s.inflight[key] = j
+	// The parent's cached result describes the pre-edit dataset; a client
+	// re-submitting the original request must re-run, not read stale bytes.
+	if s.cache.Remove(parent.key) {
+		s.logJob(parent, "cache entry invalidated by delta")
+	}
+	s.logJob(j, "queued delta of "+parent.ID)
+	return &SubmitResponse{ID: j.ID, State: StateQueued}, nil
+}
+
+// parseDeltaCSV parses one delta CSV (empty → no rows) and checks its
+// header equals the parent dataset's columns, by position.
+func parseDeltaCSV(field, csv string, table *incognito.Table) ([][]string, *submitError) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	t, err := incognito.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		return nil, reject(400, "%s: %v", field, err)
+	}
+	want, got := table.Columns(), t.Columns()
+	if len(got) != len(want) {
+		return nil, reject(400, "%s: header has %d columns, dataset has %d", field, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return nil, reject(400, "%s: header column %d is %q, dataset has %q", field, i, got[i], want[i])
+		}
+	}
+	return t.Rows(), nil
 }
 
 // newJobLocked allocates and registers a job record; s.mu is held.
@@ -433,6 +553,7 @@ func (s *Service) execute(ctx context.Context, j *Job) (publish func()) {
 		Parallelism:       j.pol.parallelism,
 		SparseKernel:      j.pol.sparse,
 		MemoryBudgetBytes: j.pol.memBudget,
+		RetainState:       j.pol.retainState,
 		Progress:          j.progress,
 		Tracer:            j.jobTracer(),
 		ParentSpan:        runSpan,
@@ -450,6 +571,9 @@ func (s *Service) execute(ctx context.Context, j *Job) (publish func()) {
 			j.fail(msg)
 			s.logJob(j, event)
 		}
+	}
+	if j.deltaState != nil {
+		return s.executeDelta(ctx, j, cfg, fail)
 	}
 	if j.pol.partitions > 1 {
 		pool, cleanup, err := s.cfg.Partitioner(j.table, j.csv, j.qiSpec, j.pol.partitions)
@@ -499,9 +623,69 @@ func (s *Service) execute(ctx context.Context, j *Job) (publish func()) {
 		return fail(err.Error(), "failed")
 	}
 	return func() {
-		j.complete(raw)
+		if j.pol.retainState {
+			j.completeWithState(raw, nil, res.State())
+		} else {
+			j.complete(raw)
+		}
 		s.cache.Put(j.key, raw)
 		s.completed.Add(1)
+		s.logJob(j, "done")
+	}
+}
+
+// executeDelta runs a delta job — incognito.AnonymizeDelta against the
+// parent's retained state — with the same error taxonomy as a cold run.
+// The rendered payload carries the savings counters, and the job retains
+// its follow-on state and edited table so further deltas chain off it.
+func (s *Service) executeDelta(ctx context.Context, j *Job, cfg incognito.Config, fail func(msg, event string) func()) func() {
+	// Delta runs reject budgets and always produce a follow-on state;
+	// resolve kept budgets and partitions off for every state-retaining
+	// lineage, so only the flags themselves need scrubbing here.
+	cfg.RetainState = false
+	cfg.MemoryBudgetBytes = 0
+	s.runs.Add(1)
+	s.logJob(j, "running delta of "+j.deltaParent)
+	dres, err := incognito.AnonymizeDelta(ctx, j.table, j.qi, cfg, j.deltaState, j.deltaAdd, j.deltaDel)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			return func() {
+				s.cancelled.Add(1)
+				j.cancelled(err.Error())
+				s.logJob(j, "cancelled mid-run")
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			return fail("timed out: "+err.Error(), "timed out")
+		default:
+			return fail(err.Error(), "failed")
+		}
+	}
+	if dres.Len() == 0 {
+		return fail(fmt.Sprintf("no %d-anonymous full-domain generalization exists after the delta", j.pol.k), "failed")
+	}
+	payload, err := renderResult(dres.Result, j.pol)
+	if err != nil {
+		return fail(err.Error(), "failed")
+	}
+	payload.Delta = &DeltaStatsPayload{
+		Parent:           j.deltaParent,
+		RowsRescanned:    dres.Counters.RowsRescanned,
+		NodesScreened:    dres.Counters.NodesScreened,
+		NodesRevalidated: dres.Counters.NodesRevalidated,
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fail(err.Error(), "failed")
+	}
+	return func() {
+		j.completeWithState(raw, dres.Table, dres.State())
+		s.cache.Put(j.key, raw)
+		s.completed.Add(1)
+		s.deltaJobs.Add(1)
+		s.deltaRescanned.Add(dres.Counters.RowsRescanned)
+		s.deltaScreened.Add(dres.Counters.NodesScreened)
+		s.deltaRevalidated.Add(dres.Counters.NodesRevalidated)
 		s.logJob(j, "done")
 	}
 }
