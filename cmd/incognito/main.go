@@ -67,6 +67,8 @@ type options struct {
 	budget, parallel       int
 	partitions             int
 	partitionWorker        string
+	workerRetries          int
+	workerTimeout          time.Duration
 	criteria               string
 	list, demo, stats      bool
 	dotFile                string
@@ -96,6 +98,8 @@ func main() {
 	flag.IntVar(&o.parallel, "parallelism", 0, "intra-run worker bound: 0 = all cores, 1 = sequential, n = at most n workers")
 	flag.IntVar(&o.partitions, "partitions", 0, "split base-table scans across this many worker processes (re-exec'd copies of this binary); 0 or 1 = single process, results are bit-identical either way")
 	flag.StringVar(&o.partitionWorker, "partition-worker", "", "internal: serve as partition-scan worker I/N over stdio (spawned by -partitions)")
+	flag.IntVar(&o.workerRetries, "worker-retries", 0, "respawn a crashed or wedged partition worker up to this many times per scan with capped backoff; 0 = a worker failure fails the run")
+	flag.DurationVar(&o.workerTimeout, "worker-timeout", 0, "treat a partition worker as wedged when one reply takes longer than this (e.g. 30s); 0 = wait forever")
 	flag.StringVar(&o.kernel, "kernel", "auto", "frequency-set kernel: auto (adaptive dense/sparse) or sparse (reference maps); results are identical either way")
 	flag.StringVar(&o.criteria, "criterion", "height", "minimality criterion: height, precision, discernibility, or avgclass")
 	flag.BoolVar(&o.list, "list", false, "print every k-anonymous generalization, not just the chosen one")
@@ -166,6 +170,9 @@ func (o *options) validate() error {
 	}
 	if o.partitionWorker != "" && o.partitions > 1 {
 		return fmt.Errorf("-partition-worker and -partitions are mutually exclusive (a worker never spawns workers)")
+	}
+	if o.workerRetries < 0 {
+		return fmt.Errorf("-worker-retries must be >= 0, got %d", o.workerRetries)
 	}
 	if o.budget < 1 {
 		return fmt.Errorf("-budget must be >= 1, got %d", o.budget)
@@ -274,12 +281,18 @@ func (o *options) spawnPool(table *incognito.Table) (*incognito.PartitionPool, e
 	if o.partitions <= 1 {
 		return nil, nil
 	}
-	return incognito.SpawnPartitionWorkers(table, o.partitions, func(index, total int) []string {
+	return incognito.SpawnSupervisedPartitionWorkers(table, o.partitions, func(index, total int) []string {
 		args := []string{"-partition-worker", fmt.Sprintf("%d/%d", index, total)}
 		if o.demo {
 			return append(args, "-demo")
 		}
 		return append(args, "-input", o.input, "-qi", o.qiSpec)
+	}, incognito.PartitionOptions{
+		Retries: o.workerRetries,
+		Timeout: o.workerTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	})
 }
 

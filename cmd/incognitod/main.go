@@ -27,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -56,6 +57,9 @@ type options struct {
 	parallelism     int
 	allowFiles      bool
 	checkpointDir   string
+	journalDir      string
+	workerRetries   int
+	workerTimeout   time.Duration
 	drainTimeout    time.Duration
 	logFormat       string
 	verbose         bool
@@ -86,6 +90,9 @@ func run(args []string) int {
 	fs.IntVar(&o.parallelism, "parallelism", 0, "default intra-run worker bound: 0 = all cores; policy.parallelism overrides")
 	fs.BoolVar(&o.allowFiles, "allow-file-hierarchies", false, "permit taxonomy:FILE and csv:FILE hierarchy kinds in request QI specs (reads daemon-local paths)")
 	fs.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for per-job checkpoint files (empty disables); interrupted jobs leave resumable snapshots")
+	fs.StringVar(&o.journalDir, "journal-dir", "", "directory for the crash-safe job journal (empty disables); on restart the daemon replays it and re-enqueues interrupted jobs")
+	fs.IntVar(&o.workerRetries, "worker-retries", 2, "respawn attempts per crashed or wedged partition worker before the job fails (0 = one failure fails the job)")
+	fs.DurationVar(&o.workerTimeout, "worker-timeout", 0, "per-request partition-worker reply deadline; a worker past it is killed and retried (0 = wait forever)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM drain waits for in-flight jobs before cancelling them (0 = forever)")
 	fs.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
 	fs.BoolVar(&o.verbose, "v", false, "log job lifecycle events and HTTP requests (with request IDs) to stderr")
@@ -124,8 +131,9 @@ func run(args []string) int {
 	}
 	if o.workers < 1 || o.queueDepth < 1 || o.parallelism < 0 ||
 		o.cacheMaxEntries < 1 || o.jobTimeout < 0 || o.drainTimeout < 0 ||
-		o.traceJobs < 0 || o.maxPartitions < 0 {
-		fmt.Fprintln(os.Stderr, "incognitod: -workers, -queue-depth and -cache-max-entries must be >= 1; -parallelism, -job-timeout, -drain-timeout, -trace-jobs and -max-partitions must be >= 0")
+		o.traceJobs < 0 || o.maxPartitions < 0 ||
+		o.workerRetries < 0 || o.workerTimeout < 0 {
+		fmt.Fprintln(os.Stderr, "incognitod: -workers, -queue-depth and -cache-max-entries must be >= 1; -parallelism, -job-timeout, -drain-timeout, -trace-jobs, -max-partitions, -worker-retries and -worker-timeout must be >= 0")
 		return 2
 	}
 	logger, err := telemetry.NewLogger(os.Stderr, o.logFormat, o.verbose)
@@ -140,18 +148,28 @@ func run(args []string) int {
 		}
 	}
 
+	// With journaling on, partition spills live under the journal dir so a
+	// restart's orphan sweep can find what a crashed run left behind; without
+	// it they go to throwaway temp dirs as before.
+	spillDir := ""
+	if o.journalDir != "" {
+		spillDir = filepath.Join(o.journalDir, "spills")
+	}
+
 	traceJobs := o.traceJobs
 	if traceJobs == 0 {
 		traceJobs = -1 // flag 0 = off; the Config encodes off as negative
 	}
 	reg := telemetry.NewRegistry()
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Workers:              o.workers,
 		QueueDepth:           o.queueDepth,
 		CacheMaxBytes:        cacheBytes,
 		CacheMaxEntries:      o.cacheMaxEntries,
 		AllowFileHierarchies: o.allowFiles,
 		CheckpointDir:        o.checkpointDir,
+		JournalDir:           o.journalDir,
+		SpillDir:             spillDir,
 		DefaultTimeout:       o.jobTimeout,
 		DefaultMemBudget:     memBytes,
 		DefaultParallelism:   o.parallelism,
@@ -160,8 +178,12 @@ func run(args []string) int {
 		Logger:               logger,
 		TraceJobs:            traceJobs,
 		MaxPartitions:        o.maxPartitions,
-		Partitioner:          spawnPartitioner(o.maxPartitions),
+		Partitioner:          spawnPartitioner(&o, spillDir, logger),
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "incognitod: %v\n", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -184,7 +206,7 @@ func run(args []string) int {
 		return 1
 	}
 
-	// Drain first so /healthz reports 503 and in-flight jobs can finish
+	// Drain first so /readyz reports 503 and in-flight jobs can finish
 	// while the listener still answers status polls; then shut HTTP down.
 	svc.Drain()
 	completed, failed, cancelled := svc.Counts()
@@ -201,16 +223,26 @@ func run(args []string) int {
 }
 
 // spawnPartitioner builds the service's partition hook: the job's CSV is
-// spilled to a private temp file and this binary is re-exec'd once per
-// worker with the hidden -partition-worker flags. The cleanup removes the
-// spill after the pool has closed. nil (partitioned jobs rejected) when
-// the operator did not raise -max-partitions.
-func spawnPartitioner(maxPartitions int) service.Partitioner {
-	if maxPartitions < 2 {
+// spilled to a private directory (under the journal's spill dir when
+// journaling is on, so a crash's leftovers are swept at the next startup;
+// a throwaway temp dir otherwise) and this binary is re-exec'd once per
+// worker with the hidden -partition-worker flags. Workers run supervised:
+// a crashed or wedged one is killed and respawned with backoff, up to
+// -worker-retries times per request. The cleanup removes the spill after
+// the pool has closed. nil (partitioned jobs rejected) when the operator
+// did not raise -max-partitions.
+func spawnPartitioner(o *options, spillDir string, logger *slog.Logger) service.Partitioner {
+	if o.maxPartitions < 2 {
 		return nil
 	}
+	retries, timeout := o.workerRetries, o.workerTimeout
 	return func(table *incognito.Table, csv, qiSpec string, partitions int) (*incognito.PartitionPool, func(), error) {
 		dir, err := os.MkdirTemp("", "incognitod-partition-")
+		if spillDir != "" {
+			if err = os.MkdirAll(spillDir, 0o755); err == nil {
+				dir, err = os.MkdirTemp(spillDir, "job-")
+			}
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -219,12 +251,20 @@ func spawnPartitioner(maxPartitions int) service.Partitioner {
 			os.RemoveAll(dir)
 			return nil, nil, err
 		}
-		pool, err := incognito.SpawnPartitionWorkers(table, partitions, func(index, total int) []string {
+		pool, err := incognito.SpawnSupervisedPartitionWorkers(table, partitions, func(index, total int) []string {
 			return []string{
 				"-partition-worker", fmt.Sprintf("%d/%d", index, total),
 				"-partition-input", path,
 				"-partition-qi", qiSpec,
 			}
+		}, incognito.PartitionOptions{
+			Retries: retries,
+			Timeout: timeout,
+			Logf: func(format string, args ...any) {
+				if logger != nil {
+					logger.Warn("partition: " + fmt.Sprintf(format, args...))
+				}
+			},
 		})
 		if err != nil {
 			os.RemoveAll(dir)

@@ -30,6 +30,7 @@ const (
 	KindPanic  = "panic"  // Point panics with a recognizable value
 	KindCancel = "cancel" // Point invokes the function registered via OnCancel
 	KindAlloc  = "alloc"  // FailAlloc reports a simulated allocation failure
+	KindFail   = "fail"   // Fail reports a simulated operation failure (I/O, exec)
 )
 
 type arm struct {
@@ -72,7 +73,7 @@ func ArmSpec(spec string) error {
 			return fmt.Errorf("faultinject: bad INCOGNITO_FAULTS entry %q (want kind:site:after)", part)
 		}
 		kind := fields[0]
-		if kind != KindPanic && kind != KindCancel && kind != KindAlloc {
+		if kind != KindPanic && kind != KindCancel && kind != KindAlloc && kind != KindFail {
 			return fmt.Errorf("faultinject: unknown fault kind %q in %q", kind, part)
 		}
 		after, err := strconv.Atoi(fields[2])
@@ -135,5 +136,13 @@ func Point(site string) {
 // named site; the caller then takes its allocation-failed fallback path.
 func FailAlloc(site string) bool {
 	ok, _ := fire(site, KindAlloc)
+	return ok
+}
+
+// Fail reports whether an armed operation-failure fault fires at the named
+// site; the caller then takes its error path as if the operation (a journal
+// write, a worker exec) had failed for real.
+func Fail(site string) bool {
+	ok, _ := fire(site, KindFail)
 	return ok
 }

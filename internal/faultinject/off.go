@@ -27,10 +27,14 @@ func Point(site string) {}
 // FailAlloc never fails without the faultinject build tag.
 func FailAlloc(site string) bool { return false }
 
+// Fail never fails without the faultinject build tag.
+func Fail(site string) bool { return false }
+
 // Fault kinds (shared with the faultinject build so test helpers compile
 // either way).
 const (
 	KindPanic  = "panic"
 	KindCancel = "cancel"
 	KindAlloc  = "alloc"
+	KindFail   = "fail"
 )

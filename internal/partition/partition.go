@@ -18,6 +18,21 @@
 // compact where volume actually is). Workers are the same executable
 // re-exec'd with a hidden flag; they serve requests until stdin closes.
 //
+// # Supervision
+//
+// A pool built with a Spawner (SpawnSelf and friends) survives its
+// workers: when a worker crashes, wedges past Options.Timeout, or
+// desynchronizes its reply stream, the coordinator kills it, waits out a
+// capped exponential backoff with jitter, re-execs a replacement for the
+// same row range, and re-issues the in-flight request. Every request
+// carries an attempt-generation tag that the worker echoes on its reply
+// header; a partial set is merged only when the echoed generation matches
+// the generation the coordinator issued to the live process, so a stale
+// or replayed frame can never be double-counted — each worker's share
+// enters the merge exactly once per scan. The last bytes of a dead
+// worker's stderr are retained and grafted into the coordinator's trace
+// alongside the respawn record.
+//
 // When stdin closes, each worker appends one trailing telemetry frame —
 // a header with "telemetry":true followed by a JSON WorkerReport carrying
 // the worker's span tree, scan/row counters, busy time, and peak RSS.
@@ -31,14 +46,18 @@ package partition
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/exec"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incognito/internal/core"
+	"incognito/internal/faultinject"
 	"incognito/internal/relation"
 	"incognito/internal/resilience"
 	"incognito/internal/trace"
@@ -47,21 +66,26 @@ import (
 // request asks a worker for its share of one frequency set. Sparse
 // mirrors the coordinator's kernel choice at request time (the knob, or a
 // memory budget past its soft limit), so the worker's representation
-// decision matches the one a local scan would have made.
+// decision matches the one a local scan would have made. Gen is the
+// coordinator's attempt-generation tag; the worker echoes it on the reply
+// header so a frame can be matched to the exact process attempt that
+// produced it.
 type request struct {
 	Dims   []int `json:"dims"`
 	Levels []int `json:"levels"`
 	Sparse bool  `json:"sparse,omitempty"`
+	Gen    int64 `json:"gen,omitempty"`
 }
 
 // response precedes each reply payload: Len bytes of encoded frequency
 // set follow, unless Err reports why the worker could not count.
 // Telemetry marks the one trailing frame whose payload is a WorkerReport
-// rather than a frequency set.
+// rather than a frequency set. Gen echoes the request's generation tag.
 type response struct {
 	Len       int    `json:"len,omitempty"`
 	Err       string `json:"err,omitempty"`
 	Telemetry bool   `json:"telemetry,omitempty"`
+	Gen       int64  `json:"gen,omitempty"`
 }
 
 // WorkerReport is the trailing telemetry frame a worker ships back when
@@ -77,6 +101,18 @@ type WorkerReport struct {
 	BusyUS       int64           `json:"busy_us"`
 	PeakRSSBytes int64           `json:"peak_rss_bytes,omitempty"`
 	Trace        *trace.Document `json:"trace,omitempty"`
+}
+
+// Attempt records one supervised recovery action: which worker slot was
+// respawned, the generation that was replaced, why, what the dead process
+// last wrote to stderr, and how long the coordinator backed off before
+// re-execing.
+type Attempt struct {
+	Worker  int
+	Gen     int64
+	Cause   string
+	Stderr  string
+	Backoff time.Duration
 }
 
 // TraceSink is anything that can open a span to hang worker telemetry
@@ -95,10 +131,71 @@ type Peer struct {
 	// Close, when non-nil, reaps the transport after W is closed — for
 	// spawned workers it waits for process exit.
 	Close func() error
-	// Kill, when non-nil, tears the worker down forcibly. It is only used
-	// when the reply stream desynchronized (a transport error mid-scan), so
-	// the worker may be blocked mid-write and would never see the EOF.
+	// Kill, when non-nil, tears the worker down forcibly: when the reply
+	// stream desynchronized or timed out, the worker may be blocked
+	// mid-write and would never see the EOF.
 	Kill func() error
+	// StderrTail, when non-nil, returns the last bytes the worker process
+	// wrote to stderr — the post-mortem a supervised respawn preserves.
+	StderrTail func() []byte
+}
+
+// Spawner creates (or re-creates) the worker process for one row-range
+// slot. The supervised pool calls it at construction and again after each
+// worker failure.
+type Spawner func(index, total int) (Peer, error)
+
+// Options tunes pool supervision. The zero value disables it: no retries,
+// no reply deadline — a worker failure fails the scan, exactly like an
+// unsupervised pool.
+type Options struct {
+	// Retries is how many times one worker slot may be respawned per scan
+	// before the scan (and the run) fails.
+	Retries int
+	// Timeout bounds how long the coordinator waits for one worker's reply
+	// to one request; past it the worker counts as wedged and is killed and
+	// respawned. 0 waits forever.
+	Timeout time.Duration
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between respawns of the same slot: attempt n sleeps
+	// min(BackoffBase·2^(n-1), BackoffMax), jittered to [d/2, d]. Defaults
+	// 50ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Logf, when non-nil, receives one line per supervision event (worker
+	// death, backoff, respawn) — the daemon routes it into the job log.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) backoff(attempt int) time.Duration {
+	base, max := o.BackoffBase, o.BackoffMax
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter to [d/2, d] so respawn storms from simultaneous failures
+	// de-synchronize. Randomness only affects timing, never counts.
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// slot is one row-range's worker seat: the live transport, its attempt
+// generation, and the respawn accounting.
+type slot struct {
+	index int
+	peer  Peer
+	r     *bufio.Reader
+	w     *bufio.Writer
+	gen   int64
 }
 
 // Pool is the coordinator's handle on a set of partition workers. Its
@@ -108,27 +205,45 @@ type Peer struct {
 // its scans — the search requests them one at a time anyway.
 type Pool struct {
 	mu    sync.Mutex
-	peers []Peer
-	rs    []*bufio.Reader
-	ws    []*bufio.Writer
+	slots []*slot
 	rows  int
-	buf   []byte // reusable payload buffer
-	// broken is set when a reply stream desynchronized (transport or
-	// decode failure): later scans refuse to run and Close kills the
-	// workers instead of waiting for their EOF handshake.
-	broken  bool
-	sink    TraceSink
-	reports []WorkerReport
+	opts  Options
+	// spawn, when non-nil, makes the pool supervised: failed workers are
+	// respawned for the same row range instead of failing the run.
+	spawn   Spawner
+	nextGen int64
+	// broken is set when a worker failure could not be recovered (no
+	// spawner, or retries exhausted): later scans refuse to run and Close
+	// kills the workers instead of waiting for their EOF handshake.
+	broken   bool
+	sink     TraceSink
+	reports  []WorkerReport
+	attempts []Attempt
+	retries  atomic.Int64
 }
 
-// NewPool wires a coordinator over pre-connected peers. rows is the full
-// table's row count — the workload the decoded partials size their
-// representation for, matching a local scan of that table.
+// NewPool wires a coordinator over pre-connected peers, unsupervised: a
+// worker failure fails the scan. rows is the full table's row count — the
+// workload the decoded partials size their representation for, matching a
+// local scan of that table.
 func NewPool(rows int, peers []Peer) *Pool {
-	p := &Pool{peers: peers, rows: rows}
-	for _, pe := range peers {
-		p.rs = append(p.rs, bufio.NewReader(pe.R))
-		p.ws = append(p.ws, bufio.NewWriter(pe.W))
+	return NewSupervisedPool(rows, peers, nil, Options{})
+}
+
+// NewSupervisedPool wires a coordinator over pre-connected peers with a
+// respawn factory: when a worker crashes, wedges past opts.Timeout, or
+// desynchronizes, the coordinator kills it and respawns its row range via
+// spawn, up to opts.Retries times per scan. A nil spawn disables
+// supervision.
+func NewSupervisedPool(rows int, peers []Peer, spawn Spawner, opts Options) *Pool {
+	p := &Pool{rows: rows, spawn: spawn, opts: opts, slots: make([]*slot, 0, len(peers))}
+	for i, pe := range peers {
+		p.slots = append(p.slots, &slot{
+			index: i,
+			peer:  pe,
+			r:     bufio.NewReader(pe.R),
+			w:     bufio.NewWriter(pe.W),
+		})
 	}
 	return p
 }
@@ -138,12 +253,26 @@ func NewPool(rows int, peers []Peer) *Pool {
 func (p *Pool) Rows() int { return p.rows }
 
 // Workers returns the number of partition workers.
-func (p *Pool) Workers() int { return len(p.peers) }
+func (p *Pool) Workers() int { return len(p.slots) }
+
+// Retries returns how many worker respawns the supervisor performed over
+// the pool's lifetime.
+func (p *Pool) Retries() int64 { return p.retries.Load() }
+
+// Attempts returns the supervision log: one record per respawn, with the
+// failure cause and the dead worker's stderr tail.
+func (p *Pool) Attempts() []Attempt {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Attempt(nil), p.attempts...)
+}
 
 // SetTraceSink installs the destination for worker telemetry: when the
 // pool closes gracefully, each worker's span tree is adopted under one
-// "partition_workers" span opened on the sink. Passing a nil *trace.Tracer
-// (or *trace.Span) is fine — the grafting degrades to a no-op.
+// "partition_workers" span opened on the sink, and any supervision
+// attempts land under a "worker_supervision" span. Passing a nil
+// *trace.Tracer (or *trace.Span) is fine — the grafting degrades to a
+// no-op.
 func (p *Pool) SetTraceSink(sink TraceSink) {
 	p.mu.Lock()
 	p.sink = sink
@@ -182,39 +311,121 @@ func (p *Pool) WorkerSkew() float64 {
 	return float64(max) * float64(len(p.reports)) / float64(sum)
 }
 
+// tailBuffer retains the last cap bytes written to it — the stderr
+// post-mortem of a worker process. Concurrency-safe: exec's stderr copier
+// goroutine writes while the supervisor reads.
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+	cap int
+}
+
+func newTailBuffer(cap int) *tailBuffer { return &tailBuffer{cap: cap} }
+
+func (t *tailBuffer) Write(b []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, b...)
+	if len(t.buf) > t.cap {
+		t.buf = append(t.buf[:0], t.buf[len(t.buf)-t.cap:]...)
+	}
+	return len(b), nil
+}
+
+func (t *tailBuffer) Tail() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]byte(nil), t.buf...)
+}
+
+// stderrTailCap bounds how much of each worker's stderr the coordinator
+// retains for post-mortems.
+const stderrTailCap = 4 << 10
+
 // SpawnSelf launches n copies of the current executable as partition
-// workers, one per row range. workerArgs composes the command line that
-// makes the copy load the same table and call Serve for range index/total
-// — the hidden worker flag of the CLIs. The workers' stderr is inherited
-// so their failures surface on the coordinator's stderr.
+// workers, one per row range, unsupervised (a worker crash fails the
+// run). workerArgs composes the command line that makes the copy load the
+// same table and call Serve for range index/total — the hidden worker
+// flag of the CLIs.
 func SpawnSelf(rows, n int, workerArgs func(index, total int) []string) (*Pool, error) {
+	return SpawnSelfSupervised(rows, n, workerArgs, Options{})
+}
+
+// SpawnSelfSupervised launches n copies of the current executable as
+// supervised partition workers: a worker that crashes, wedges past
+// opts.Timeout, or desynchronizes is killed and re-exec'd for the same
+// row range with capped backoff, up to opts.Retries times per scan. The
+// workers' stderr is both passed through to the coordinator's stderr and
+// retained (last 4KiB per process) for the supervision log.
+func SpawnSelfSupervised(rows, n int, workerArgs func(index, total int) []string, opts Options) (*Pool, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("partition: resolving own executable: %w", err)
 	}
-	peers := make([]Peer, 0, n)
-	fail := func(err error) (*Pool, error) {
-		NewPool(rows, peers).Close()
-		return nil, err
-	}
-	for i := 0; i < n; i++ {
-		cmd := exec.Command(exe, workerArgs(i, n)...)
-		cmd.Stderr = os.Stderr
+	spawn := func(index, total int) (Peer, error) {
+		if faultinject.Fail("partition.worker_exec") {
+			return Peer{}, fmt.Errorf("partition: injected exec failure for worker %d", index)
+		}
+		tail := newTailBuffer(stderrTailCap)
+		cmd := exec.Command(exe, workerArgs(index, total)...)
+		cmd.Stderr = io.MultiWriter(os.Stderr, tail)
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
-			return fail(fmt.Errorf("partition: worker %d stdin: %w", i, err))
+			return Peer{}, fmt.Errorf("partition: worker %d stdin: %w", index, err)
 		}
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
-			return fail(fmt.Errorf("partition: worker %d stdout: %w", i, err))
+			return Peer{}, fmt.Errorf("partition: worker %d stdout: %w", index, err)
 		}
 		if err := cmd.Start(); err != nil {
-			return fail(fmt.Errorf("partition: starting worker %d: %w", i, err))
+			return Peer{}, fmt.Errorf("partition: starting worker %d: %w", index, err)
 		}
-		peers = append(peers, Peer{R: stdout, W: stdin, Close: cmd.Wait, Kill: cmd.Process.Kill})
+		return Peer{R: stdout, W: stdin, Close: cmd.Wait, Kill: cmd.Process.Kill, StderrTail: tail.Tail}, nil
 	}
-	return NewPool(rows, peers), nil
+	peers := make([]Peer, 0, n)
+	for i := 0; i < n; i++ {
+		pe, err := spawnRetry(spawn, i, n, opts)
+		if err != nil {
+			NewPool(rows, peers).Close()
+			return nil, err
+		}
+		peers = append(peers, pe)
+	}
+	p := NewSupervisedPool(rows, peers, spawn, opts)
+	return p, nil
 }
+
+// spawnRetry calls spawn under the supervised retry/backoff policy — the
+// initial seating of each worker goes through the same loop a mid-scan
+// respawn does.
+func spawnRetry(spawn Spawner, index, total int, opts Options) (Peer, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			d := opts.backoff(attempt)
+			if opts.Logf != nil {
+				opts.Logf("partition: worker %d spawn failed (%v), retrying in %s (attempt %d/%d)",
+					index, lastErr, d, attempt, opts.Retries)
+			}
+			time.Sleep(d)
+		}
+		pe, err := spawn(index, total)
+		if err == nil {
+			return pe, nil
+		}
+		lastErr = err
+		if attempt >= opts.Retries {
+			return Peer{}, fmt.Errorf("partition: worker %d failed to start after %d attempts: %w", index, attempt+1, err)
+		}
+	}
+}
+
+// protocolError is a worker-reported, in-band failure (a refused request,
+// a recovered panic): the stream stays framed and the worker healthy, so
+// the supervisor must not respawn for it.
+type protocolError struct{ msg string }
+
+func (e *protocolError) Error() string { return e.msg }
 
 // Scan counts one frequency set across every worker and merges the
 // partials. The request is written to all workers before any reply is
@@ -222,40 +433,37 @@ func SpawnSelf(rows, n int, workerArgs func(index, total int) []string) (*Pool, 
 // merged in worker-index order, which fixes the merge order — counts are
 // additive, so the merged set equals the single-process scan exactly.
 //
-// Every worker's reply is consumed even after a failure, as long as the
-// streams stay framed: a worker-reported error (a refused request, a
-// recovered panic) leaves the pool usable for further scans. Only a
-// transport or decode failure — where the stream position is lost —
-// marks the pool broken; Close then tears the workers down instead of
-// handshaking.
+// On a supervised pool a worker that crashes, wedges past the reply
+// deadline, or desynchronizes is killed, respawned with backoff, and its
+// request re-issued under a fresh generation tag; only the reply whose
+// tag matches is merged, exactly once. A worker-reported error (a refused
+// request, a recovered panic) is not a worker failure: it fails the scan
+// but leaves the pool usable, as before.
 func (p *Pool) Scan(dims, levels []int, sparse bool) (*relation.FreqSet, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.peers) == 0 {
+	if len(p.slots) == 0 {
 		return nil, fmt.Errorf("partition: scan on a closed or empty pool")
 	}
 	if p.broken {
-		return nil, fmt.Errorf("partition: pool broken by an earlier transport failure")
+		return nil, fmt.Errorf("partition: pool broken by an earlier worker failure")
 	}
-	line, err := json.Marshal(request{Dims: dims, Levels: levels, Sparse: sparse})
-	if err != nil {
-		return nil, err
-	}
-	line = append(line, '\n')
-	for i, w := range p.ws {
-		if _, err := w.Write(line); err != nil {
+	req := request{Dims: dims, Levels: levels, Sparse: sparse}
+	// Phase 1: fan the request out so the workers count concurrently. A
+	// send failure is a worker failure: respawn and re-send to that slot.
+	for _, s := range p.slots {
+		if err := p.sendSupervised(s, req); err != nil {
 			p.broken = true
-			return nil, fmt.Errorf("partition: sending to worker %d: %w", i, err)
-		}
-		if err := w.Flush(); err != nil {
-			p.broken = true
-			return nil, fmt.Errorf("partition: sending to worker %d: %w", i, err)
+			return nil, err
 		}
 	}
+	// Phase 2: read and merge in worker-index order. A failed reply
+	// triggers respawn + re-send + re-read for that slot only; its partial
+	// enters the merge exactly once, whichever attempt produced it.
 	var out *relation.FreqSet
 	var firstErr error
-	for i, r := range p.rs {
-		part, err := p.readReply(i, r)
+	for _, s := range p.slots {
+		part, err := p.receiveSupervised(s, req)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -280,41 +488,183 @@ func (p *Pool) Scan(dims, levels []int, sparse bool) (*relation.FreqSet, error) 
 	return out, nil
 }
 
-// readReply consumes one worker's framed reply: header line, then the
-// payload. A worker-reported error keeps the stream in sync; a transport
-// or decode failure marks the pool broken.
-func (p *Pool) readReply(i int, r *bufio.Reader) (*relation.FreqSet, error) {
+// sendSupervised writes one request to a slot, reseating the worker on a
+// transport failure (up to the retry budget).
+func (p *Pool) sendSupervised(s *slot, req request) error {
+	err := send(s, req)
+	if err == nil {
+		return nil
+	}
+	for attempt := 1; ; attempt++ {
+		if p.spawn == nil || attempt > p.opts.Retries {
+			p.broken = true
+			return err
+		}
+		if rerr := p.reseat(s, attempt, err); rerr != nil {
+			err = rerr
+			continue
+		}
+		if err = send(s, req); err == nil {
+			return nil
+		}
+	}
+}
+
+// receiveSupervised reads one slot's reply, killing and reseating the
+// worker on EOF, a reply deadline, a malformed frame, or a generation
+// mismatch — then re-sends the request to the fresh process and reads
+// again. Worker-reported in-band errors are returned without respawning:
+// the stream is still framed and the worker healthy. A spawn or re-send
+// failure on a fresh seat consumes the same retry budget.
+func (p *Pool) receiveSupervised(s *slot, req request) (*relation.FreqSet, error) {
+	part, err := p.receive(s)
+	if err == nil {
+		return part, nil
+	}
+	for attempt := 1; ; attempt++ {
+		var perr *protocolError
+		if errors.As(err, &perr) {
+			return nil, fmt.Errorf("partition: worker %d: %s", s.index, perr.msg)
+		}
+		if p.spawn == nil || attempt > p.opts.Retries {
+			p.broken = true
+			return nil, err
+		}
+		if rerr := p.reseat(s, attempt, err); rerr != nil {
+			err = rerr
+			continue
+		}
+		if serr := send(s, req); serr != nil {
+			err = serr
+			continue
+		}
+		if part, err = p.receive(s); err == nil {
+			return part, nil
+		}
+	}
+}
+
+// send writes one generation-tagged request to a slot.
+func send(s *slot, req request) error {
+	req.Gen = s.gen
+	line, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := s.w.Write(line); err != nil {
+		return fmt.Errorf("partition: sending to worker %d: %w", s.index, err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("partition: sending to worker %d: %w", s.index, err)
+	}
+	return nil
+}
+
+// receive reads one slot's framed reply, applying the reply deadline.
+// Called with p.mu held; the deadline path kills the worker to unblock
+// the reader goroutine, which then never touches the slot again.
+func (p *Pool) receive(s *slot) (*relation.FreqSet, error) {
+	if p.opts.Timeout <= 0 {
+		return readReply(s.r, s.index, s.gen, p.rows)
+	}
+	type result struct {
+		part *relation.FreqSet
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func(r *bufio.Reader, index int, gen int64, rows int) {
+		part, err := readReply(r, index, gen, rows)
+		ch <- result{part, err}
+	}(s.r, s.index, s.gen, p.rows)
+	select {
+	case res := <-ch:
+		return res.part, res.err
+	case <-time.After(p.opts.Timeout):
+		if s.peer.Kill != nil {
+			_ = s.peer.Kill() // unblocks the reader; its late result is discarded
+		}
+		return nil, fmt.Errorf("partition: worker %d wedged: no reply within %s", s.index, p.opts.Timeout)
+	}
+}
+
+// readReply consumes one framed reply: header line, then the payload. It
+// owns no pool state — the deadline path may leave a late reader
+// goroutine running, and that goroutine must not race the respawned
+// slot's fresh reader.
+func readReply(r *bufio.Reader, index int, gen int64, rows int) (*relation.FreqSet, error) {
 	hdr, err := r.ReadBytes('\n')
 	if err != nil {
-		p.broken = true
-		return nil, fmt.Errorf("partition: reading worker %d header: %w", i, err)
+		return nil, fmt.Errorf("partition: reading worker %d header: %w", index, err)
 	}
 	var resp response
 	if err := json.Unmarshal(hdr, &resp); err != nil {
-		p.broken = true
-		return nil, fmt.Errorf("partition: worker %d sent a malformed header: %w", i, err)
+		return nil, fmt.Errorf("partition: worker %d sent a malformed header: %w", index, err)
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("partition: worker %d: %s", i, resp.Err)
+		return nil, &protocolError{msg: resp.Err}
+	}
+	if resp.Gen != gen {
+		return nil, fmt.Errorf("partition: worker %d answered generation %d, expected %d (stale frame discarded)", index, resp.Gen, gen)
 	}
 	if resp.Len < 0 {
-		p.broken = true
-		return nil, fmt.Errorf("partition: worker %d claims a negative payload", i)
+		return nil, fmt.Errorf("partition: worker %d claims a negative payload", index)
 	}
-	if cap(p.buf) < resp.Len {
-		p.buf = make([]byte, resp.Len)
-	}
-	payload := p.buf[:resp.Len]
+	payload := make([]byte, resp.Len)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		p.broken = true
-		return nil, fmt.Errorf("partition: reading worker %d payload: %w", i, err)
+		return nil, fmt.Errorf("partition: reading worker %d payload: %w", index, err)
 	}
-	part, err := relation.DecodeFreqSet(payload, p.rows)
+	part, err := relation.DecodeFreqSet(payload, rows)
 	if err != nil {
-		p.broken = true
-		return nil, fmt.Errorf("partition: worker %d payload: %w", i, err)
+		return nil, fmt.Errorf("partition: worker %d payload: %w", index, err)
 	}
 	return part, nil
+}
+
+// reseat replaces a failed worker: records the attempt (with the dead
+// process's stderr tail), backs off, kills and reaps the old process, and
+// seats a fresh one under a new generation. attempt is 1-based within the
+// current scan phase; the caller enforces the retry budget. On a spawn
+// failure the slot is left empty and the error returned — the caller
+// counts it against the same budget and calls reseat again.
+func (p *Pool) reseat(s *slot, attempt int, cause error) error {
+	var tail string
+	if s.peer.StderrTail != nil {
+		tail = string(s.peer.StderrTail())
+	}
+	d := p.opts.backoff(attempt)
+	p.attempts = append(p.attempts, Attempt{
+		Worker: s.index, Gen: s.gen, Cause: cause.Error(), Stderr: tail, Backoff: d,
+	})
+	p.retries.Add(1)
+	if p.opts.Logf != nil {
+		p.opts.Logf("partition: worker %d failed (%v), respawning in %s (attempt %d/%d)",
+			s.index, cause, d, attempt, p.opts.Retries)
+	}
+	time.Sleep(d)
+	// Kill before reap: the dead-or-wedged process may be blocked mid-write
+	// and would never exit on its own. After a failed spawn the slot is
+	// empty (nil transport) and there is nothing to tear down.
+	if s.peer.Kill != nil {
+		_ = s.peer.Kill()
+	}
+	if s.peer.W != nil {
+		_ = s.peer.W.Close()
+	}
+	if s.peer.Close != nil {
+		_ = s.peer.Close()
+	}
+	s.peer = Peer{}
+	pe, err := p.spawn(s.index, len(p.slots))
+	if err != nil {
+		return fmt.Errorf("partition: respawning worker %d: %w", s.index, err)
+	}
+	p.nextGen++
+	s.peer = pe
+	s.r = bufio.NewReader(pe.R)
+	s.w = bufio.NewWriter(pe.W)
+	s.gen = p.nextGen
+	return nil
 }
 
 // Close shuts the pool down: every worker's write side is closed (the EOF
@@ -327,37 +677,37 @@ func (p *Pool) readReply(i int, r *bufio.Reader) (*relation.FreqSet, error) {
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.peers == nil {
+	if p.slots == nil {
 		return nil // already closed; reports stay as collected
 	}
 	var first error
-	for _, pe := range p.peers {
-		if err := pe.W.Close(); err != nil && first == nil {
+	for _, s := range p.slots {
+		if err := s.peer.W.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	if !p.broken {
 		// All write sides are closed, so every worker is concurrently
 		// finalizing its frame; reading in index order cannot deadlock.
-		for i, r := range p.rs {
-			if rep, ok := readTelemetry(r); ok {
-				rep.Index = i // trust our ordering, not the wire
+		for _, s := range p.slots {
+			if rep, ok := readTelemetry(s.r); ok {
+				rep.Index = s.index // trust our ordering, not the wire
 				p.reports = append(p.reports, rep)
 			}
 		}
-		p.graftReports()
 	}
-	for _, pe := range p.peers {
-		if p.broken && pe.Kill != nil {
-			pe.Kill() // unblock a worker stuck mid-write; Wait errors follow
+	p.graftReports()
+	for _, s := range p.slots {
+		if p.broken && s.peer.Kill != nil {
+			s.peer.Kill() // unblock a worker stuck mid-write; Wait errors follow
 		}
-		if pe.Close != nil {
-			if err := pe.Close(); err != nil && first == nil && !p.broken {
+		if s.peer.Close != nil {
+			if err := s.peer.Close(); err != nil && first == nil && !p.broken {
 				first = err
 			}
 		}
 	}
-	p.peers, p.rs, p.ws = nil, nil, nil
+	p.slots = nil
 	return first
 }
 
@@ -387,22 +737,42 @@ func readTelemetry(r *bufio.Reader) (WorkerReport, bool) {
 }
 
 // graftReports hangs every collected worker span tree under one
-// "partition_workers" span on the sink. Called with p.mu held.
+// "partition_workers" span on the sink, and the supervision log (respawn
+// causes, backoffs, stderr tails) under one "worker_supervision" span.
+// Called with p.mu held.
 func (p *Pool) graftReports() {
-	if p.sink == nil || len(p.reports) == 0 {
+	if p.sink == nil {
 		return
 	}
-	sp := p.sink.Start("partition_workers")
-	sp.SetAttr("workers", len(p.reports))
-	for _, rep := range p.reports {
-		if rep.Trace == nil {
-			continue
+	if len(p.reports) > 0 {
+		sp := p.sink.Start("partition_workers")
+		sp.SetAttr("workers", len(p.reports))
+		for _, rep := range p.reports {
+			if rep.Trace == nil {
+				continue
+			}
+			for _, root := range rep.Trace.Spans {
+				sp.Adopt(root)
+			}
 		}
-		for _, root := range rep.Trace.Spans {
-			sp.Adopt(root)
-		}
+		sp.End()
 	}
-	sp.End()
+	if len(p.attempts) > 0 {
+		sup := p.sink.Start("worker_supervision")
+		sup.SetAttr("respawns", len(p.attempts))
+		for _, a := range p.attempts {
+			sp := sup.Start("worker_respawn")
+			sp.SetAttr("worker", a.Worker)
+			sp.SetAttr("gen", a.Gen)
+			sp.SetAttr("cause", a.Cause)
+			sp.SetAttr("backoff_ms", a.Backoff.Milliseconds())
+			if a.Stderr != "" {
+				sp.SetAttr("stderr_tail", a.Stderr)
+			}
+			sp.End()
+		}
+		sup.End()
+	}
 }
 
 // Serve runs one worker's request loop: count rows [index·n/total,
@@ -410,7 +780,9 @@ func (p *Pool) graftReports() {
 // encoded partials to w, return when r reaches EOF. A failure to count
 // one request — including a panic, recovered into a
 // *resilience.PanicError — is reported in that reply's header and the
-// loop continues; only transport errors end the loop early.
+// loop continues; only transport errors end the loop early. Each reply
+// echoes the request's generation tag, so a supervising coordinator can
+// match it to the process attempt it belongs to.
 //
 // On clean EOF the worker writes one trailing telemetry frame (a
 // WorkerReport) before returning, so the coordinator's Close can account
@@ -453,9 +825,9 @@ func Serve(in *core.Input, index, total int, r io.Reader, w io.Writer) error {
 			rep.Errors++
 		}
 		sp.End()
-		hdr := response{Len: len(payload)}
+		hdr := response{Len: len(payload), Gen: req.Gen}
 		if err != nil {
-			hdr = response{Err: err.Error()}
+			hdr = response{Err: err.Error(), Gen: req.Gen}
 		}
 		line, merr := json.Marshal(hdr)
 		if merr != nil {
@@ -465,6 +837,13 @@ func Serve(in *core.Input, index, total int, r io.Reader, w io.Writer) error {
 			return werr
 		}
 		if err == nil {
+			if faultinject.Enabled() {
+				// Make the header visible before the injected mid-frame death
+				// so the coordinator observes a desynchronized stream, exactly
+				// like a worker killed between header and payload.
+				_ = bw.Flush()
+			}
+			faultinject.Point("partition.worker_mid_frame")
 			if _, werr := bw.Write(payload); werr != nil {
 				return werr
 			}

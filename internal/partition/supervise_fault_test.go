@@ -1,0 +1,69 @@
+//go:build faultinject
+
+package partition
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"incognito/internal/faultinject"
+)
+
+// TestFaultMidFrameDeathRetriedBitIdentical is the acceptance pin for the
+// exactly-once merge: a worker killed between writing a reply header and
+// its payload (the worst possible moment — the coordinator has read a
+// valid header and is blocked on the payload) is detected, respawned with
+// backoff, and the merged counts stay bit-identical to a local scan.
+func TestFaultMidFrameDeathRetriedBitIdentical(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm("partition.worker_mid_frame", faultinject.KindPanic, 1)
+
+	f := newFleet(t, 2, func(index, spawn int) string { return "ok" })
+	p := supervisedPool(t, f, Options{Retries: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	assertScanMatchesLocal(t, p, f.in)
+	if got := p.Retries(); got != 1 {
+		t.Fatalf("Retries() = %d, want 1", got)
+	}
+	attempts := p.Attempts()
+	if len(attempts) != 1 {
+		t.Fatalf("attempts = %+v", attempts)
+	}
+	// The fault disarmed after firing once: the next scan runs clean.
+	assertScanMatchesLocal(t, p, f.in)
+	if got := p.Retries(); got != 1 {
+		t.Fatalf("Retries() after clean scan = %d, want 1", got)
+	}
+	p.Close()
+	f.wg.Wait()
+}
+
+// TestFaultWorkerExecRetried: a respawn whose exec itself fails consumes
+// the same retry budget and the next respawn attempt still rescues the
+// scan.
+func TestFaultWorkerExecRetried(t *testing.T) {
+	f := newFleet(t, 2, func(index, spawn int) string {
+		if index == 0 && spawn == 1 {
+			return "dead"
+		}
+		return "ok"
+	})
+	p := supervisedPool(t, f, Options{Retries: 3, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	// Arm after the pool is seated so the initial spawns are unaffected:
+	// the first respawn's exec fails, the second succeeds.
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm("partition.worker_exec", faultinject.KindFail, 1)
+
+	assertScanMatchesLocal(t, p, f.in)
+	if got := p.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2 (dead worker + failed exec)", got)
+	}
+	attempts := p.Attempts()
+	if len(attempts) != 2 || !strings.Contains(attempts[1].Cause, "exec") {
+		t.Fatalf("attempts = %+v", attempts)
+	}
+	p.Close()
+	f.wg.Wait()
+}

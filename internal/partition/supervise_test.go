@@ -1,0 +1,306 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"incognito/internal/core"
+	"incognito/internal/faultinject"
+	"incognito/internal/trace"
+)
+
+// fleet builds in-process supervised workers over io.Pipe transports. Each
+// (slot, spawn-number) pair gets a behavior from mode, so tests can script
+// "first process for slot 0 dies, its replacement is healthy".
+type fleet struct {
+	t     *testing.T
+	in    *core.Input
+	total int
+
+	mu     sync.Mutex
+	spawns map[int]int
+	wg     sync.WaitGroup
+	killed int
+
+	// mode maps (slot index, 1-based spawn number) to a behavior:
+	// "ok" serves requests, "dead" EOFs the reply stream immediately,
+	// "wedge" consumes requests and never replies, "stale" answers with a
+	// wrong generation tag.
+	mode func(index, spawn int) string
+}
+
+func (f *fleet) spawn(index, total int) (Peer, error) {
+	// Mirror the real SpawnSelfSupervised exec site so faultinject builds
+	// can fail in-process spawns too (no-op without the build tag).
+	if faultinject.Fail("partition.worker_exec") {
+		return Peer{}, fmt.Errorf("partition: injected exec failure for worker %d", index)
+	}
+	f.mu.Lock()
+	f.spawns[index]++
+	n := f.spawns[index]
+	f.mu.Unlock()
+	behavior := f.mode(index, n)
+
+	reqR, reqW := io.Pipe()
+	respR, respW := io.Pipe()
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		switch behavior {
+		case "ok":
+			func() {
+				// An injected mid-frame panic stands in for the worker
+				// process dying between header and payload: recover it and
+				// slam the reply stream shut, exactly what the coordinator
+				// would observe from a real SIGKILL'd worker.
+				defer func() {
+					if r := recover(); r != nil {
+						respW.CloseWithError(fmt.Errorf("worker died: %v", r))
+						reqR.CloseWithError(io.ErrClosedPipe)
+					}
+				}()
+				respW.CloseWithError(Serve(f.in, index, total, reqR, respW))
+			}()
+		case "dead":
+			respW.Close() // EOF before any reply: the process crashed at birth
+			io.Copy(io.Discard, reqR)
+		case "wedge":
+			io.Copy(io.Discard, reqR) // swallow requests, never answer
+			respW.Close()
+		case "stale":
+			// A valid-looking frame under the wrong generation tag: must be
+			// discarded, never merged.
+			dec := json.NewDecoder(reqR)
+			var req request
+			if err := dec.Decode(&req); err == nil {
+				hdr, _ := json.Marshal(response{Len: 4, Gen: req.Gen + 7})
+				respW.Write(append(hdr, '\n'))
+				respW.Write([]byte("junk"))
+			}
+			io.Copy(io.Discard, reqR)
+			respW.Close()
+		default:
+			f.t.Errorf("unknown behavior %q", behavior)
+		}
+	}()
+	kill := func() error {
+		f.mu.Lock()
+		f.killed++
+		f.mu.Unlock()
+		reqR.CloseWithError(io.ErrClosedPipe)
+		respW.CloseWithError(io.ErrClosedPipe)
+		return nil
+	}
+	tail := func() []byte { return []byte(fmt.Sprintf("worker %d spawn %d: simulated stderr", index, n)) }
+	return Peer{R: respR, W: reqW, Kill: kill, StderrTail: tail}, nil
+}
+
+// supervisedPool seats total workers from the fleet's spawner under the
+// given options.
+func supervisedPool(t *testing.T, f *fleet, opts Options) *Pool {
+	t.Helper()
+	peers := make([]Peer, f.total)
+	for i := range peers {
+		pe, err := f.spawn(i, f.total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = pe
+	}
+	return NewSupervisedPool(f.in.Table.NumRows(), peers, f.spawn, opts)
+}
+
+func newFleet(t *testing.T, total int, mode func(index, spawn int) string) *fleet {
+	return &fleet{t: t, in: patientsInput(t), total: total, spawns: map[int]int{}, mode: mode}
+}
+
+// assertScanMatchesLocal runs one supervised scan and pins the merged
+// counts tuple-for-tuple against a local scan — the bit-identical
+// guarantee must hold no matter how many respawns happened underneath.
+func assertScanMatchesLocal(t *testing.T, p *Pool, in *core.Input) {
+	t.Helper()
+	dims, levels := []int{0, 1, 2}, []int{0, 0, 1}
+	got, err := p.Scan(dims, levels, false)
+	if err != nil {
+		t.Fatalf("supervised scan: %v", err)
+	}
+	want := in.ScanFreq(dims, levels)
+	if got.Total() != want.Total() || got.Len() != want.Len() {
+		t.Fatalf("merged %d/%d tuples, want %d/%d", got.Total(), got.Len(), want.Total(), want.Len())
+	}
+	want.Each(func(codes []int32, count int64) {
+		if got.Count(codes) != count {
+			t.Errorf("count(%v) = %d, want %d", codes, got.Count(codes), count)
+		}
+	})
+}
+
+// TestSupervisedRespawnAfterCrash: a worker that dies before replying is
+// respawned and the scan completes with counts bit-identical to a local
+// scan; the supervision log carries the cause and the stderr tail.
+func TestSupervisedRespawnAfterCrash(t *testing.T) {
+	f := newFleet(t, 2, func(index, spawn int) string {
+		if index == 0 && spawn == 1 {
+			return "dead"
+		}
+		return "ok"
+	})
+	p := supervisedPool(t, f, Options{Retries: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	sink := trace.New()
+	p.SetTraceSink(sink)
+
+	assertScanMatchesLocal(t, p, f.in)
+	if got := p.Retries(); got != 1 {
+		t.Fatalf("Retries() = %d, want 1", got)
+	}
+	attempts := p.Attempts()
+	if len(attempts) != 1 || attempts[0].Worker != 0 {
+		t.Fatalf("attempts = %+v", attempts)
+	}
+	if !strings.Contains(attempts[0].Stderr, "worker 0 spawn 1") {
+		t.Fatalf("stderr tail not preserved: %q", attempts[0].Stderr)
+	}
+	if attempts[0].Backoff <= 0 {
+		t.Fatalf("attempt recorded no backoff: %+v", attempts[0])
+	}
+
+	// A second scan works on the already-respawned fleet with no new
+	// respawns, and Close grafts the supervision log into the trace.
+	assertScanMatchesLocal(t, p, f.in)
+	if got := p.Retries(); got != 1 {
+		t.Fatalf("Retries() after second scan = %d, want 1", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	f.wg.Wait()
+	doc := sink.Export()
+	if n := len(doc.Find("worker_supervision")); n != 1 {
+		t.Fatalf("worker_supervision spans = %d, want 1", n)
+	}
+	spans := doc.Find("worker_respawn")
+	if len(spans) != 1 {
+		t.Fatalf("worker_respawn spans = %d, want 1", len(spans))
+	}
+	if tail, _ := spans[0].Attrs["stderr_tail"].(string); !strings.Contains(tail, "simulated stderr") {
+		t.Fatalf("respawn span lost the stderr tail: %v", spans[0].Attrs)
+	}
+}
+
+// TestSupervisedStaleGenerationDiscarded: a reply carrying the wrong
+// attempt-generation tag is discarded — never merged — and the respawned
+// worker's partial enters exactly once, keeping counts bit-identical.
+func TestSupervisedStaleGenerationDiscarded(t *testing.T) {
+	f := newFleet(t, 2, func(index, spawn int) string {
+		if index == 1 && spawn == 1 {
+			return "stale"
+		}
+		return "ok"
+	})
+	p := supervisedPool(t, f, Options{Retries: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	assertScanMatchesLocal(t, p, f.in)
+	if got := p.Retries(); got != 1 {
+		t.Fatalf("Retries() = %d, want 1", got)
+	}
+	attempts := p.Attempts()
+	if len(attempts) != 1 || !strings.Contains(attempts[0].Cause, "generation") {
+		t.Fatalf("attempts = %+v", attempts)
+	}
+	p.Close()
+	f.wg.Wait()
+}
+
+// TestSupervisedTimeoutKillsWedgedWorker: a worker that accepts requests
+// but never answers trips the reply deadline, is killed, and its
+// replacement completes the scan.
+func TestSupervisedTimeoutKillsWedgedWorker(t *testing.T) {
+	f := newFleet(t, 2, func(index, spawn int) string {
+		if index == 0 && spawn == 1 {
+			return "wedge"
+		}
+		return "ok"
+	})
+	p := supervisedPool(t, f, Options{
+		Retries: 2, Timeout: 50 * time.Millisecond,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	})
+	assertScanMatchesLocal(t, p, f.in)
+	attempts := p.Attempts()
+	if len(attempts) != 1 || !strings.Contains(attempts[0].Cause, "wedged") {
+		t.Fatalf("attempts = %+v", attempts)
+	}
+	f.mu.Lock()
+	killed := f.killed
+	f.mu.Unlock()
+	if killed == 0 {
+		t.Fatal("wedged worker was not killed")
+	}
+	p.Close()
+	f.wg.Wait()
+}
+
+// TestSupervisedRetriesExhausted: when every respawn for a slot dies too,
+// the retry budget runs out, the scan fails, and the pool is broken for
+// good — later scans refuse to run.
+func TestSupervisedRetriesExhausted(t *testing.T) {
+	f := newFleet(t, 2, func(index, spawn int) string {
+		if index == 0 {
+			return "dead"
+		}
+		return "ok"
+	})
+	p := supervisedPool(t, f, Options{Retries: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	if _, err := p.Scan([]int{0}, []int{0}, false); err == nil {
+		t.Fatal("scan succeeded with a permanently dead worker")
+	}
+	if got := p.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+	if _, err := p.Scan([]int{0}, []int{0}, false); err == nil ||
+		!strings.Contains(err.Error(), "broken") {
+		t.Fatalf("scan on exhausted pool: %v", err)
+	}
+	p.Close()
+	f.wg.Wait()
+}
+
+// TestSupervisedWorkerErrorDoesNotRespawn: an in-band worker-reported
+// error (malformed request) fails the scan but is not a process failure —
+// no respawn, pool stays usable.
+func TestSupervisedWorkerErrorDoesNotRespawn(t *testing.T) {
+	f := newFleet(t, 2, func(index, spawn int) string { return "ok" })
+	p := supervisedPool(t, f, Options{Retries: 2, BackoffBase: time.Millisecond})
+	if _, err := p.Scan([]int{99}, []int{0}, false); err == nil {
+		t.Fatal("out-of-range dim accepted")
+	}
+	if got := p.Retries(); got != 0 {
+		t.Fatalf("worker-reported error triggered %d respawns", got)
+	}
+	assertScanMatchesLocal(t, p, f.in)
+	p.Close()
+	f.wg.Wait()
+}
+
+// TestBackoffCappedAndJittered: the schedule doubles from base, never
+// exceeds max, and jitters within [d/2, d].
+func TestBackoffCappedAndJittered(t *testing.T) {
+	o := Options{BackoffBase: 10 * time.Millisecond, BackoffMax: 40 * time.Millisecond}
+	for attempt, want := range map[int]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 20 * time.Millisecond,
+		3: 40 * time.Millisecond,
+		9: 40 * time.Millisecond, // capped
+	} {
+		for i := 0; i < 20; i++ {
+			d := o.backoff(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("backoff(%d) = %s, want within [%s, %s]", attempt, d, want/2, want)
+			}
+		}
+	}
+}

@@ -8,6 +8,15 @@
 // in-flight jobs finish (checkpointing under -checkpoint-dir), queued jobs
 // are cancelled, the process exits 0.
 //
+// With -journal-dir the daemon is durable: every accepted job and state
+// transition is appended to a checksummed, fsync'd write-ahead journal
+// before it is acknowledged, and a restart replays the journal —
+// re-enqueueing interrupted jobs (in-flight ones resume from their
+// -checkpoint-dir snapshot, byte-identical to an uninterrupted run),
+// tombstoning finished ones (their results answer 410 Gone), compacting
+// the file, and sweeping orphaned checkpoints and partition spills.
+// Submissions are refused with 503 + Retry-After until the replay ends.
+//
 // The API surface (all JSON):
 //
 //	POST   /v1/jobs             submit {csv, qi, policy}; 202 queued,
@@ -21,7 +30,9 @@
 //	                            reusing the parent job's retained state; the
 //	                            parent's cache entry is invalidated
 //	DELETE /v1/jobs/{id}        cancel (dequeue, or cancel the run context)
-//	GET    /healthz             200 serving, 503 draining
+//	GET    /healthz             liveness: 200 while the process serves
+//	GET    /readyz              readiness: 503 during journal replay and
+//	                            drain, 200 in between
 //	GET    /debug/bundle        tar.gz diagnostic bundle (metrics, job
 //	                            statuses, span trees, build/runtime info)
 //	GET    /metrics             Prometheus text format (plus /debug/pprof)
@@ -145,6 +156,9 @@ type StatusResponse struct {
 	Progress  *ProgressStatus `json:"progress,omitempty"`
 	// DeltaOf names the parent job a delta job was submitted against.
 	DeltaOf string `json:"delta_of,omitempty"`
+	// Recovered marks a job re-enqueued by startup journal replay after a
+	// crash or restart.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // ProgressStatus is the live view of a running job, read from the run's
@@ -216,9 +230,13 @@ type StatsPayload struct {
 	Rollups      int `json:"rollups"`
 }
 
-// ErrorResponse is the body of every non-2xx API answer.
+// ErrorResponse is the body of every non-2xx API answer. RetryAfterMS,
+// present on 429 and on 503s that will pass (queue full, journal replay,
+// drain), is a jittered backoff hint — clients that sleep exactly this
+// long will not reconverge on the same retry instant.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // resolved is a Policy with every string parsed and every default applied

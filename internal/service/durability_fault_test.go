@@ -1,0 +1,84 @@
+//go:build faultinject
+
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"incognito/internal/faultinject"
+)
+
+// The write-ahead contract under injected disk failure: an accepted record
+// that cannot reach the journal refuses the submission (503 + retry hint,
+// no job registered), and the very next submission — disk recovered —
+// goes through normally.
+func TestFaultJournalWriteRefusesSubmission(t *testing.T) {
+	defer faultinject.Reset()
+	s := newTestService(t, Config{Workers: 1, JournalDir: t.TempDir()})
+	s.WaitRecovered()
+
+	faultinject.Arm("service.journal_write", faultinject.KindFail, 1)
+	_, serr := s.Submit(validRequest())
+	if serr == nil || serr.status != http.StatusServiceUnavailable {
+		t.Fatalf("submission over a failing journal: %+v, want 503", serr)
+	}
+	if !strings.Contains(serr.msg, "journal") {
+		t.Errorf("rejection does not name the journal: %q", serr.msg)
+	}
+	if serr.retryAfter <= 0 {
+		t.Error("journal-failure rejection carries no retry hint")
+	}
+	if jobs := s.Jobs(); len(jobs) != 0 {
+		t.Fatalf("%d jobs registered despite the refused submission", len(jobs))
+	}
+	if s.journal.Errs() != 1 {
+		t.Errorf("journal append-error counter = %d, want 1", s.journal.Errs())
+	}
+
+	// The fault disarmed after one hit: the retry succeeds and runs.
+	resp, serr := s.Submit(validRequest())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if st := waitTerminal(t, s, resp.ID); st.State != StateDone {
+		t.Fatalf("post-recovery submission finished %s (%s)", st.State, st.Error)
+	}
+}
+
+// State-transition appends failing mid-run degrade durability but never
+// the job: it completes, the error counter says what happened.
+func TestFaultJournalWriteDegradesStateAppends(t *testing.T) {
+	defer faultinject.Reset()
+	s := newTestService(t, Config{Workers: 1, JournalDir: t.TempDir()})
+	s.WaitRecovered()
+
+	resp, serr := s.Submit(validRequest())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	// Every append from here on fails — the running and done transitions
+	// both hit the degraded path.
+	faultinject.Arm("service.journal_write", faultinject.KindFail, 0)
+	if st := waitTerminal(t, s, resp.ID); st.State != StateDone {
+		t.Fatalf("job under failing state appends finished %s (%s)", st.State, st.Error)
+	}
+	if s.journal.Errs() == 0 {
+		t.Error("no append errors counted despite the armed fault")
+	}
+}
+
+// The recovery-replay site is live: the CI crash matrix arms a fault there
+// to kill the daemon mid-replay, so the site must actually fire at the top
+// of ReplayJournal.
+func TestFaultRecoveryReplaySiteFires(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm("service.recovery_replay", faultinject.KindPanic, 1)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("ReplayJournal did not pass the recovery_replay fault site")
+		}
+	}()
+	_, _, _ = ReplayJournal(t.TempDir())
+}

@@ -32,7 +32,8 @@ func (s *Service) routes() []route {
 		{"GET /v1/jobs/{id}/trace", "span tree; ?format=chrome for Perfetto", s.handleTrace},
 		{"POST /v1/jobs/{id}/delta", "re-anonymize after an edit {add_csv, del_csv}", s.handleDelta},
 		{"DELETE /v1/jobs/{id}", "cancel a job", s.handleCancel},
-		{"GET /healthz", "liveness (503 while draining)", s.handleHealth},
+		{"GET /healthz", "liveness (200 while the process serves)", s.handleHealth},
+		{"GET /readyz", "readiness (503 during journal replay and drain)", s.handleReady},
 		{"GET /debug/bundle", "tar.gz diagnostic bundle", s.handleBundle},
 	}
 }
@@ -173,6 +174,20 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeSubmitError renders a submission rejection. Rejections that will
+// pass (queue full, journal replay, drain) carry a jittered backoff hint:
+// a Retry-After header in whole seconds (rounded up — retrying early is
+// the one wrong move) and the precise retry_after_ms in the body.
+func writeSubmitError(w http.ResponseWriter, serr *submitError) {
+	if serr.retryAfter > 0 {
+		secs := (serr.retryAfter + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, serr.status, ErrorResponse{Error: serr.msg, RetryAfterMS: serr.retryAfter.Milliseconds()})
+		return
+	}
+	writeError(w, serr.status, "%s", serr.msg)
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	dec := json.NewDecoder(r.Body)
@@ -184,7 +199,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req.RequestID = requestIDFrom(r)
 	resp, serr := s.Submit(req)
 	if serr != nil {
-		writeError(w, serr.status, "%s", serr.msg)
+		writeSubmitError(w, serr)
 		return
 	}
 	// A fresh job is 202 Accepted (the work is pending); a cache hit or a
@@ -210,7 +225,7 @@ func (s *Service) handleDelta(w http.ResponseWriter, r *http.Request) {
 	req.RequestID = requestIDFrom(r)
 	resp, serr := s.SubmitDelta(r.PathValue("id"), req)
 	if serr != nil {
-		writeError(w, serr.status, "%s", serr.msg)
+		writeSubmitError(w, serr)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, resp)
@@ -241,10 +256,15 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
-	state, errMsg, result := j.state, j.err, j.result
+	state, errMsg, result, gone := j.state, j.err, j.result, j.resultGone
 	j.mu.Unlock()
 	switch state {
 	case StateDone:
+		if gone {
+			writeError(w, http.StatusGone,
+				"job %s finished before a daemon restart; the result was not retained — resubmit the job", j.ID)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(result)
@@ -301,10 +321,22 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// handleHealth is pure liveness: the process is up and serving. Restart
+// decisions belong to /readyz — a daemon replaying its journal is alive.
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is readiness: 503 while startup recovery is replaying the
+// journal and once a drain has begun, 200 in between. Load balancers key
+// on this; kubelet-style liveness keys on /healthz.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.Recovering():
+		writeError(w, http.StatusServiceUnavailable, "recovering: replaying the job journal")
+	case s.Draining():
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }

@@ -55,6 +55,15 @@ type Job struct {
 
 	progress *telemetry.Progress
 
+	// deadline, when non-zero, is the job's absolute completion deadline —
+	// pinned at submission, so queue wait spends it too.
+	deadline time.Time
+	// recovered marks a job re-enqueued by startup journal replay; resume,
+	// when non-nil, is the checkpoint snapshot its previous life left
+	// behind.
+	recovered bool
+	resume    *incognito.Snapshot
+
 	mu        sync.Mutex
 	tracer    *trace.Tracer   // live while the job is queued or running
 	queueSpan *trace.Span     // open from submission until the worker takes the job
@@ -72,6 +81,10 @@ type Job struct {
 	// remembered here and honored by setCancel.
 	cancelReq bool
 	result    []byte
+	// resultGone marks a done job replayed from the journal: the state
+	// survived the restart but the rendered payload did not (results live
+	// in the in-memory cache), so GET /result answers 410 Gone.
+	resultGone bool
 	// runState is the retained incremental state of a finished
 	// retain-state or delta job — what a later POST /v1/jobs/{id}/delta
 	// runs against. For delta jobs, table is rewritten to the edited table
@@ -231,6 +244,7 @@ func (j *Job) Status() StatusResponse {
 		Error:     j.err,
 		Created:   j.created,
 		DeltaOf:   j.deltaParent,
+		Recovered: j.recovered,
 	}
 	started, finished := j.started, j.finished
 	running := j.state == StateRunning

@@ -1,0 +1,344 @@
+package service
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incognito/internal/faultinject"
+)
+
+// The job journal is the daemon's write-ahead log: every accepted job and
+// every state transition is appended — checksummed and fsync'd — before
+// the daemon acts on it, so a crash at any instant loses nothing that was
+// acknowledged. On restart the journal is replayed: interrupted jobs are
+// re-enqueued (in-flight ones resume from their per-job checkpoint),
+// finished jobs reappear as tombstones, and the file is compacted down to
+// live state.
+//
+// Format: one record per line, `<sha256-hex-16> <json>\n`. The checksum
+// covers the JSON bytes exactly. Appends hit the disk before returning
+// (fsync), so only the final line can ever be torn; replay verifies every
+// line and truncates the file at the first damaged one, keeping the
+// verified prefix. Datasets appear in accepted records (a queued job must
+// be re-runnable from the journal alone), but frequency sets, snapshots,
+// and results never do — checkpoints stay in CheckpointDir under the
+// resilience envelope, results are recomputed or declared gone.
+
+// journalName is the journal file's name under Config.JournalDir.
+const journalName = "jobs.journal"
+
+// journalRecord is one journal line. Type "accepted" carries everything
+// needed to re-run the job after a restart; type "state" is a lifecycle
+// transition.
+type journalRecord struct {
+	Seq  int64     `json:"seq"`
+	Time time.Time `json:"time"`
+	Type string    `json:"type"` // "accepted" or "state"
+	Job  string    `json:"job"`
+
+	// accepted fields.
+	CSV       string  `json:"csv,omitempty"`
+	QI        string  `json:"qi,omitempty"`
+	Policy    *Policy `json:"policy,omitempty"`
+	RequestID string  `json:"request_id,omitempty"`
+	// DeltaOf, AddCSV and DelCSV record a delta job's parentage. Delta jobs
+	// are journaled for the record but are not recoverable: the parent's
+	// retained state lives only in memory, so replay marks them failed.
+	DeltaOf string `json:"delta_of,omitempty"`
+	AddCSV  string `json:"add_csv,omitempty"`
+	DelCSV  string `json:"del_csv,omitempty"`
+	// CacheHit marks a job that was born done from the result cache; replay
+	// never re-runs it.
+	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// state fields.
+	State State  `json:"state,omitempty"`
+	Err   string `json:"error,omitempty"`
+}
+
+// Journal is the append side: one file handle, one mutex, fsync per
+// append. All methods are safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	seq     int64
+	records atomic.Int64
+	bytes   atomic.Int64
+	errs    atomic.Int64
+}
+
+// OpenJournal opens (creating if needed) the journal under dir and seats
+// the append cursor at its end. The caller replays the file first —
+// ReplayJournal — and usually compacts it before appending.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	j.bytes.Store(st.Size())
+	return j, nil
+}
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// SeatSeq positions the append cursor's sequence counter — after a
+// compaction, at the compacted record count so appended records continue
+// the numbering.
+func (j *Journal) SeatSeq(seq int64) {
+	j.mu.Lock()
+	j.seq = seq
+	j.mu.Unlock()
+}
+
+// Reopen swaps the append handle onto the file currently at the journal
+// path. Compaction replaces the file by rename, which detaches an already
+// open handle — appends would land on the old, unlinked inode and vanish
+// at the next restart — so recovery must call this right after compacting.
+func (j *Journal) Reopen() error {
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopen: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("journal: reopen: %w", err)
+	}
+	j.mu.Lock()
+	old := j.f
+	j.f = f
+	j.bytes.Store(st.Size())
+	j.mu.Unlock()
+	return old.Close()
+}
+
+// Records returns how many records this process has appended.
+func (j *Journal) Records() int64 { return j.records.Load() }
+
+// Bytes returns the journal file's size as of the last append.
+func (j *Journal) Bytes() int64 { return j.bytes.Load() }
+
+// Errs returns how many appends failed (disk trouble — the daemon keeps
+// running but durability is degraded and the telemetry says so).
+func (j *Journal) Errs() int64 { return j.errs.Load() }
+
+// Append writes one record — checksummed, newline-framed, fsync'd — and
+// returns only once it is on disk. The record's Seq and Time are filled
+// here.
+func (j *Journal) Append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	rec.Seq = j.seq
+	rec.Time = time.Now().UTC()
+	line, err := encodeRecord(rec)
+	if err == nil && faultinject.Fail("service.journal_write") {
+		err = fmt.Errorf("journal: injected write failure")
+	}
+	if err == nil {
+		_, err = j.f.Write(line)
+	}
+	if err == nil {
+		err = j.f.Sync()
+	}
+	if err != nil {
+		j.errs.Add(1)
+		return err
+	}
+	j.records.Add(1)
+	j.bytes.Add(int64(len(line)))
+	return nil
+}
+
+// Close releases the file handle. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// encodeRecord frames one record as `<sha256-hex-16> <json>\n`.
+func encodeRecord(rec journalRecord) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(body)
+	line := make([]byte, 0, 18+len(body))
+	line = append(line, hex.EncodeToString(sum[:8])...)
+	line = append(line, ' ')
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeRecord parses and verifies one journal line (without the trailing
+// newline).
+func decodeRecord(line []byte) (journalRecord, error) {
+	var rec journalRecord
+	if len(line) < 18 || line[16] != ' ' {
+		return rec, errors.New("short or unframed line")
+	}
+	body := line[17:]
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:8]) != string(line[:16]) {
+		return rec, errors.New("checksum mismatch")
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, fmt.Errorf("corrupt record body: %w", err)
+	}
+	return rec, nil
+}
+
+// ReplayJournal reads dir's journal and returns every verified record in
+// order, plus the highest sequence number seen. A damaged line — a torn
+// tail from a crash mid-append, or bit rot — ends the replay there: the
+// file is truncated to the verified prefix (appends must not land after
+// garbage) and the records before it are returned. A missing journal
+// file replays as empty.
+func ReplayJournal(dir string) (recs []journalRecord, maxSeq int64, err error) {
+	faultinject.Point("service.recovery_replay")
+	path := filepath.Join(dir, journalName)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	var offset int64 // end of the verified prefix
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if len(line) > 0 && rerr == nil {
+			rec, derr := decodeRecord(line[:len(line)-1])
+			if derr != nil {
+				break // damaged: keep the prefix, drop the rest
+			}
+			offset += int64(len(line))
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+			recs = append(recs, rec)
+			continue
+		}
+		// EOF (rerr == io.EOF): a partial final line (len > 0) is a torn
+		// append — dropped with the truncate below.
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return nil, 0, fmt.Errorf("journal: %w", rerr)
+		}
+		break
+	}
+	if st, serr := f.Stat(); serr == nil && st.Size() > offset {
+		if terr := os.Truncate(path, offset); terr != nil {
+			return nil, 0, fmt.Errorf("journal: truncating damaged tail: %w", terr)
+		}
+	}
+	return recs, maxSeq, nil
+}
+
+// replayedJob is one job's journal history folded down: its accepted
+// record and the last state it reached.
+type replayedJob struct {
+	accepted journalRecord
+	state    State
+	errMsg   string
+}
+
+// foldReplay groups raw records by job, resolving each to its final
+// journaled state. Jobs whose accepted record was lost (compaction bug,
+// manual edit) are dropped. Order follows first appearance.
+func foldReplay(recs []journalRecord) (order []string, jobs map[string]*replayedJob) {
+	jobs = make(map[string]*replayedJob)
+	for _, rec := range recs {
+		switch rec.Type {
+		case "accepted":
+			if _, ok := jobs[rec.Job]; ok {
+				continue // duplicate accept: first one wins
+			}
+			st := StateQueued
+			if rec.State != "" {
+				st = rec.State // compacted accepted records carry the folded state
+			}
+			jobs[rec.Job] = &replayedJob{accepted: rec, state: st, errMsg: rec.Err}
+			order = append(order, rec.Job)
+		case "state":
+			if rj, ok := jobs[rec.Job]; ok {
+				rj.state = rec.State
+				rj.errMsg = rec.Err
+			}
+		}
+	}
+	return order, jobs
+}
+
+// CompactJournal rewrites dir's journal to one record per job: terminal
+// jobs shrink to dataset-free tombstones (they will never re-run — the
+// bytes only cost replay time), live jobs keep their full accepted record
+// with the folded state. The rewrite is atomic (temp file + rename) and
+// the result is fsync'd. Returns the new journal's record count.
+func CompactJournal(dir string, order []string, jobs map[string]*replayedJob) (int, error) {
+	path := filepath.Join(dir, journalName)
+	tmp, err := os.CreateTemp(dir, journalName+".compact-*")
+	if err != nil {
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	n := 0
+	var seq int64
+	for _, id := range order {
+		rj := jobs[id]
+		rec := rj.accepted
+		rec.State = rj.state
+		rec.Err = rj.errMsg
+		if rj.state.Terminal() {
+			rec.CSV, rec.QI, rec.AddCSV, rec.DelCSV = "", "", "", ""
+		}
+		seq++
+		rec.Seq = seq
+		line, err := encodeRecord(rec)
+		if err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("journal: compact: %w", err)
+		}
+		if _, err := tmp.Write(line); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("journal: compact: %w", err)
+		}
+		n++
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	return n, nil
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -39,8 +40,22 @@ type Config struct {
 	AllowFileHierarchies bool
 	// CheckpointDir, when set, gives every Incognito-variant job a
 	// checkpoint file dir/<job-id>.ckpt: a job cancelled mid-run (DELETE,
-	// timeout, drain deadline) leaves a resumable snapshot behind.
+	// timeout, drain deadline) leaves a resumable snapshot behind, and a
+	// job interrupted by a crash resumes from it at the next startup.
 	CheckpointDir string
+	// JournalDir, when set, makes the daemon durable: every accepted job
+	// and state transition is appended to a checksummed, fsync'd journal
+	// there before it is acknowledged, and startup replays the journal —
+	// re-enqueueing interrupted jobs (resuming from CheckpointDir
+	// snapshots), tombstoning finished ones, compacting the file, and
+	// sweeping orphaned checkpoints and spills. Empty runs the daemon
+	// in-memory only, exactly as before.
+	JournalDir string
+	// SpillDir, when set, is where the Partitioner spills datasets for
+	// re-exec'd workers; startup recovery deletes everything under it (no
+	// partition pool survives a restart). Conventionally
+	// JournalDir/spills.
+	SpillDir string
 	// DefaultTimeout, DefaultMemBudget and DefaultParallelism apply to
 	// jobs whose policy leaves the knob empty.
 	DefaultTimeout     time.Duration
@@ -86,13 +101,27 @@ type Service struct {
 	cache    *Cache
 	traceCap int // normalized Config.TraceJobs; 0 disables tracing
 
-	mu         sync.Mutex
-	jobs       map[string]*Job
-	order      []string        // submission order, for listing
-	inflight   map[string]*Job // cache key → queued-or-running job
-	queue      chan *Job
-	draining   bool
-	traceOrder []string // jobs with a retained trace, oldest first
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing
+	inflight map[string]*Job // cache key → queued-or-running job
+	queue    chan *Job
+	draining bool
+	// drainClosed marks that Drain already cancelled the queued jobs and
+	// closed the queue; draining alone only means submissions are refused
+	// (set first, so a drain arriving mid-recovery stops the re-enqueues).
+	drainClosed bool
+	traceOrder  []string // jobs with a retained trace, oldest first
+
+	// journal is the write-ahead log behind Config.JournalDir; nil when
+	// journaling is off. recovering gates submissions while the startup
+	// replay runs; recoveryDone closes when it finishes (immediately when
+	// journaling is off).
+	journal       *Journal
+	recovering    atomic.Bool
+	recoveryDone  chan struct{}
+	recovered     atomic.Int64
+	workerRetries atomic.Int64
 
 	wg        sync.WaitGroup
 	active    atomic.Int64
@@ -116,8 +145,13 @@ type Service struct {
 	testHookBeforeRun func(*Job)
 }
 
-// New builds the service and starts its worker pool. Close it with Drain.
-func New(cfg Config) *Service {
+// New builds the service and starts its worker pool. With JournalDir set
+// it also opens the write-ahead journal (an unopenable journal is a
+// startup error — running non-durable when durability was asked for is
+// worse than not starting) and begins replaying it on a goroutine: the
+// service is immediately usable for reads but rejects submissions with
+// 503 until recovery finishes. Close it with Drain.
+func New(cfg Config) (*Service, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
@@ -132,19 +166,33 @@ func New(cfg Config) *Service {
 		traceCap = 0
 	}
 	s := &Service{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheMaxBytes, cfg.CacheMaxEntries),
-		traceCap: traceCap,
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueDepth),
+		cfg:          cfg,
+		cache:        NewCache(cfg.CacheMaxBytes, cfg.CacheMaxEntries),
+		traceCap:     traceCap,
+		jobs:         make(map[string]*Job),
+		inflight:     make(map[string]*Job),
+		queue:        make(chan *Job, cfg.QueueDepth),
+		recoveryDone: make(chan struct{}),
+	}
+	if cfg.JournalDir != "" {
+		j, err := OpenJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.recovering.Store(true)
 	}
 	s.registerMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	if s.journal != nil {
+		go s.recoverFromJournal()
+	} else {
+		close(s.recoveryDone)
+	}
+	return s, nil
 }
 
 // registerMetrics exposes the service's live state on the telemetry
@@ -193,18 +241,83 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.deltaRevalidated.Load()) })
 	reg.GaugeFunc("incognito_delta_cache_invalidations_total", "Parent cache entries invalidated by delta submissions.",
 		func() float64 { return float64(s.cache.Invalidated()) })
+	reg.GaugeFunc("incognitod_recovered_jobs_total", "Interrupted jobs re-enqueued by startup journal recovery.",
+		func() float64 { return float64(s.recovered.Load()) })
+	reg.GaugeFunc("incognitod_worker_retries_total", "Partition worker respawns performed by pool supervision.",
+		func() float64 { return float64(s.workerRetries.Load()) })
+	if s.journal != nil {
+		reg.GaugeFunc("incognitod_journal_records", "Journal records appended by this process.",
+			func() float64 { return float64(s.journal.Records()) })
+		reg.GaugeFunc("incognitod_journal_bytes", "Journal file size in bytes.",
+			func() float64 { return float64(s.journal.Bytes()) })
+		reg.GaugeFunc("incognitod_journal_append_errors_total", "Journal appends that failed (durability degraded).",
+			func() float64 { return float64(s.journal.Errs()) })
+		reg.GaugeFunc("incognitod_recovering", "1 while startup journal replay is in progress, else 0.",
+			func() float64 {
+				if s.recovering.Load() {
+					return 1
+				}
+				return 0
+			})
+	}
 }
 
-// submitError is a rejection with its HTTP status.
+// journalAccepted appends a job's accepted record; an append failure is
+// returned so Submit can refuse the job (acknowledging unjournaled work
+// would break the recovery contract).
+func (s *Service) journalAccepted(rec journalRecord) error {
+	if s.journal == nil {
+		return nil
+	}
+	rec.Type = "accepted"
+	if err := s.journal.Append(rec); err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Error("journal append failed", slog.String("job", rec.Job), slog.String("error", err.Error()))
+		}
+		return err
+	}
+	return nil
+}
+
+// journalState appends a lifecycle transition. Unlike accepts, a failed
+// state append does not fail the job — the work is already underway or
+// finished — it degrades durability and says so in the log and the
+// append-errors counter.
+func (s *Service) journalState(jobID string, st State, errMsg string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(journalRecord{Type: "state", Job: jobID, State: st, Err: errMsg}); err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Error("journal append failed", slog.String("job", jobID), slog.String("error", err.Error()))
+		}
+	}
+}
+
+// submitError is a rejection with its HTTP status; retryAfter, when
+// positive, tells the client when trying again is worthwhile (it becomes
+// the Retry-After header and the retry_after_ms body hint).
 type submitError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *submitError) Error() string { return e.msg }
 
 func reject(status int, format string, args ...any) *submitError {
 	return &submitError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// rejectRetry is reject plus a jittered retry hint in [base, 2·base):
+// every rejected client backing off the same fixed amount would reconverge
+// on the same instant; the jitter spreads the retry wave.
+func rejectRetry(status int, base time.Duration, format string, args ...any) *submitError {
+	e := reject(status, format, args...)
+	if base > 0 {
+		e.retryAfter = base + time.Duration(rand.Int63n(int64(base)))
+	}
+	return e
 }
 
 // jobKey derives the cache identity of a submission. The base is the
@@ -260,7 +373,10 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, reject(503, "daemon is draining, not accepting jobs")
+		return nil, rejectRetry(503, 5*time.Second, "daemon is draining, not accepting jobs")
+	}
+	if s.recovering.Load() {
+		return nil, rejectRetry(503, time.Second, "daemon is replaying its job journal, not yet accepting jobs")
 	}
 	// A retain-state submission must run for real — a cached payload or an
 	// in-flight sibling has no state to hand it — so it skips both
@@ -272,6 +388,13 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 			j.result = payload
 			j.state = StateDone
 			j.finished = j.created
+			// Born done: one dataset-free accepted record keeps the job in
+			// the restart listing. Nothing to recover, so an append failure
+			// degrades durability but not this response.
+			_ = s.journalAccepted(journalRecord{
+				Job: j.ID, RequestID: req.RequestID, CacheHit: true, State: StateDone,
+				Policy: &req.Policy,
+			})
 			s.logJob(j, "served from cache")
 			return &SubmitResponse{ID: j.ID, State: StateDone, CacheHit: true}, nil
 		}
@@ -285,9 +408,21 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 			return &SubmitResponse{ID: prior.ID, State: state, Coalesced: true}, nil
 		}
 	}
+	// Capacity check before the journal write: workers only ever drain the
+	// queue, so under s.mu a free slot now is a free slot at the send below
+	// — the send cannot block, and a rejected submission was never
+	// journaled.
+	if len(s.queue) == cap(s.queue) {
+		return nil, rejectRetry(429, time.Second, "queue full (%d queued, %d running)", len(s.queue), s.active.Load())
+	}
 	j := s.newJobLocked(key, req.RequestID, table, qi, pol)
 	j.state = StateQueued
 	j.progress = telemetry.NewProgress()
+	if pol.timeout > 0 {
+		// The deadline covers queue wait AND run: a client's timeout is
+		// about when it stops caring, not about when a worker got free.
+		j.deadline = j.created.Add(pol.timeout)
+	}
 	if s.traceCap > 0 {
 		j.tracer = trace.New()
 		j.tracer.SetAttr("job", j.ID)
@@ -300,13 +435,17 @@ func (s *Service) Submit(req SubmitRequest) (*SubmitResponse, *submitError) {
 		// The partitioner needs the raw submission back when the job runs.
 		j.csv, j.qiSpec = req.CSV, req.QI
 	}
-	select {
-	case s.queue <- j:
-	default:
+	// Write-ahead: the accepted record hits the disk before the job is
+	// queued or acknowledged. If the journal cannot take it, the job does
+	// not exist.
+	if err := s.journalAccepted(journalRecord{
+		Job: j.ID, CSV: req.CSV, QI: req.QI, Policy: &req.Policy, RequestID: req.RequestID,
+	}); err != nil {
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
-		return nil, reject(429, "queue full (%d queued, %d running)", len(s.queue), s.active.Load())
+		return nil, rejectRetry(503, time.Second, "journal write failed: %v", err)
 	}
+	s.queue <- j
 	s.inflight[key] = j
 	s.logJob(j, "queued")
 	return &SubmitResponse{ID: j.ID, State: StateQueued}, nil
@@ -354,7 +493,13 @@ func (s *Service) SubmitDelta(parentID string, req DeltaRequest) (*SubmitRespons
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, reject(503, "daemon is draining, not accepting jobs")
+		return nil, rejectRetry(503, 5*time.Second, "daemon is draining, not accepting jobs")
+	}
+	if s.recovering.Load() {
+		return nil, rejectRetry(503, time.Second, "daemon is replaying its job journal, not yet accepting jobs")
+	}
+	if len(s.queue) == cap(s.queue) {
+		return nil, rejectRetry(429, time.Second, "queue full (%d queued, %d running)", len(s.queue), s.active.Load())
 	}
 	j := s.newJobLocked(key, req.RequestID, table, parent.qi, parent.pol)
 	j.deltaParent = parent.ID
@@ -362,6 +507,9 @@ func (s *Service) SubmitDelta(parentID string, req DeltaRequest) (*SubmitRespons
 	j.deltaAdd, j.deltaDel = add, del
 	j.state = StateQueued
 	j.progress = telemetry.NewProgress()
+	if parent.pol.timeout > 0 {
+		j.deadline = j.created.Add(parent.pol.timeout)
+	}
 	if s.traceCap > 0 {
 		j.tracer = trace.New()
 		j.tracer.SetAttr("job", j.ID)
@@ -371,13 +519,19 @@ func (s *Service) SubmitDelta(parentID string, req DeltaRequest) (*SubmitRespons
 		}
 		j.queueSpan = j.tracer.Start("queue_wait")
 	}
-	select {
-	case s.queue <- j:
-	default:
+	// Delta jobs are journaled for the record — status and parentage
+	// survive a restart — but they are not recoverable (the parent's
+	// retained state lives only in memory), so replay marks an interrupted
+	// one failed rather than re-running it.
+	if err := s.journalAccepted(journalRecord{
+		Job: j.ID, RequestID: req.RequestID, DeltaOf: parent.ID,
+		AddCSV: req.AddCSV, DelCSV: req.DelCSV,
+	}); err != nil {
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
-		return nil, reject(429, "queue full (%d queued, %d running)", len(s.queue), s.active.Load())
+		return nil, rejectRetry(503, time.Second, "journal write failed: %v", err)
 	}
+	s.queue <- j
 	s.inflight[key] = j
 	// The parent's cached result describes the pre-edit dataset; a client
 	// re-submitting the original request must re-run, not read stale bytes.
@@ -454,6 +608,7 @@ func (s *Service) Cancel(id string) (found, cancelled bool) {
 	acted, finalized := j.cancelJob("cancelled by request")
 	if finalized {
 		s.cancelled.Add(1)
+		s.journalState(j.ID, StateCancelled, "cancelled by request")
 		// The job never reached a worker; its queue-wait trace is all
 		// there will ever be, so seal it here.
 		s.finishJobTrace(j)
@@ -485,6 +640,7 @@ func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		if j.take() {
+			s.journalState(j.ID, StateRunning, "")
 			s.runJob(j)
 		}
 		s.mu.Lock()
@@ -514,15 +670,30 @@ func (s *Service) runJob(j *Job) {
 			// sealed on the way here — finishJobTrace was deferred later,
 			// so it ran first.
 			s.failed.Add(1)
-			j.fail(resilience.AsPanicError("job", r).Error())
+			msg := resilience.AsPanicError("job", r).Error()
+			j.fail(msg)
+			s.journalState(j.ID, StateFailed, msg)
 			s.logJob(j, "panicked")
 		}
 	}()
 	defer s.finishJobTrace(j)
 
 	ctx, cancel := context.WithCancel(context.Background())
-	if j.pol.timeout > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), j.pol.timeout)
+	if !j.deadline.IsZero() {
+		// The deadline was pinned at submission, so queue wait spends it:
+		// a job whose budget ran out while waiting fails here without
+		// burning a worker on a run the client has given up on.
+		if !time.Now().Before(j.deadline) {
+			cancel()
+			s.failed.Add(1)
+			msg := fmt.Sprintf("timed out: deadline passed after %s in queue",
+				time.Since(j.created).Round(time.Millisecond))
+			j.fail(msg)
+			s.journalState(j.ID, StateFailed, msg)
+			s.logJob(j, "timed out in queue")
+			return
+		}
+		ctx, cancel = context.WithDeadline(context.Background(), j.deadline)
 	}
 	j.setCancel(cancel)
 	defer cancel()
@@ -565,10 +736,17 @@ func (s *Service) execute(ctx context.Context, j *Job) (publish func()) {
 			cfg.Checkpoint = incognito.NewCheckpointer(filepath.Join(s.cfg.CheckpointDir, j.ID+".ckpt"))
 		}
 	}
+	// A recovered in-flight job resumes from the snapshot its previous life
+	// left behind; the engine re-verifies the snapshot's fingerprint, and
+	// the completed result is byte-identical to an uninterrupted run.
+	if j.resume != nil {
+		cfg.Resume = j.resume
+	}
 	fail := func(msg, event string) func() {
 		return func() {
 			s.failed.Add(1)
 			j.fail(msg)
+			s.journalState(j.ID, StateFailed, msg)
 			s.logJob(j, event)
 		}
 	}
@@ -603,6 +781,7 @@ func (s *Service) execute(ctx context.Context, j *Job) (publish func()) {
 			return func() {
 				s.cancelled.Add(1)
 				j.cancelled(err.Error())
+				s.journalState(j.ID, StateCancelled, err.Error())
 				s.logJob(j, "cancelled mid-run")
 			}
 		case errors.Is(err, context.DeadlineExceeded):
@@ -630,6 +809,7 @@ func (s *Service) execute(ctx context.Context, j *Job) (publish func()) {
 		}
 		s.cache.Put(j.key, raw)
 		s.completed.Add(1)
+		s.journalState(j.ID, StateDone, "")
 		s.logJob(j, "done")
 	}
 }
@@ -653,6 +833,7 @@ func (s *Service) executeDelta(ctx context.Context, j *Job, cfg incognito.Config
 			return func() {
 				s.cancelled.Add(1)
 				j.cancelled(err.Error())
+				s.journalState(j.ID, StateCancelled, err.Error())
 				s.logJob(j, "cancelled mid-run")
 			}
 		case errors.Is(err, context.DeadlineExceeded):
@@ -682,6 +863,7 @@ func (s *Service) executeDelta(ctx context.Context, j *Job, cfg incognito.Config
 		j.completeWithState(raw, dres.Table, dres.State())
 		s.cache.Put(j.key, raw)
 		s.completed.Add(1)
+		s.journalState(j.ID, StateDone, "")
 		s.deltaJobs.Add(1)
 		s.deltaRescanned.Add(dres.Counters.RowsRescanned)
 		s.deltaScreened.Add(dres.Counters.NodesScreened)
@@ -695,6 +877,7 @@ func (s *Service) executeDelta(ctx context.Context, j *Job, cfg incognito.Config
 // peak RSS. Settable gauges, not GaugeFuncs — the pool is gone after the
 // job, so the last job's values stand until the next partitioned job.
 func (s *Service) observePool(pool *incognito.PartitionPool) {
+	s.workerRetries.Add(pool.Retries())
 	reg := s.cfg.Registry
 	if reg == nil {
 		return
@@ -750,11 +933,22 @@ func (s *Service) finishJobTrace(j *Job) {
 // queued jobs are cancelled (with CheckpointDir, a cancelled running job
 // leaves a resumable snapshot), in-flight jobs get up to DrainTimeout to
 // finish before their contexts are cancelled, and Drain returns when every
-// worker has exited. Idempotent; concurrent calls all block until done.
+// worker has exited. A drain that lands mid-recovery first sets the
+// draining flag (so recovery stops re-enqueueing and journals the
+// remainder cancelled), then waits for the replay to finish — the journal
+// stays consistent either way. Idempotent; concurrent calls all block
+// until done.
 func (s *Service) Drain() {
 	s.mu.Lock()
-	already := s.draining
 	s.draining = true
+	s.mu.Unlock()
+	// Recovery checks the draining flag under s.mu before each enqueue;
+	// once it finishes, the queue's content is final and closing it is safe.
+	<-s.recoveryDone
+
+	s.mu.Lock()
+	already := s.drainClosed
+	s.drainClosed = true
 	var queued []*Job
 	if !already {
 		for _, id := range s.order {
@@ -773,6 +967,7 @@ func (s *Service) Drain() {
 	for _, j := range queued {
 		if _, finalized := j.cancelJob("daemon shutting down before the job started"); finalized {
 			s.cancelled.Add(1)
+			s.journalState(j.ID, StateCancelled, "daemon shutting down before the job started")
 			s.finishJobTrace(j)
 			s.logJob(j, "cancelled by drain")
 		}

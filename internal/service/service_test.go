@@ -35,7 +35,10 @@ func validRequest() SubmitRequest {
 
 func newTestService(t *testing.T, cfg Config) *Service {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Drain)
 	return s
 }
@@ -321,7 +324,7 @@ func TestJobTimeoutFails(t *testing.T) {
 }
 
 func TestDrainFinishesInFlightCancelsQueued(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, _ := New(Config{Workers: 1})
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -550,18 +553,28 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
-func TestHealthzDuringDrain(t *testing.T) {
-	s := New(Config{Workers: 1})
+func TestHealthAndReadyDuringDrain(t *testing.T) {
+	s, _ := New(Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	s.Drain()
+	// Liveness stays 200 — the process is up and answering status polls;
+	// readiness flips to 503 so load balancers stop routing new work here.
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
 	}
 }
 

@@ -3,6 +3,7 @@ package incognito
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"incognito/internal/core"
 	"incognito/internal/partition"
@@ -25,13 +26,44 @@ type PartitionPool = partition.Pool
 // AND its Result (Solution metrics such as Discernibility re-scan the
 // table through the pool).
 func SpawnPartitionWorkers(t *Table, n int, workerArgs func(index, total int) []string) (*PartitionPool, error) {
+	return SpawnSupervisedPartitionWorkers(t, n, workerArgs, PartitionOptions{})
+}
+
+// PartitionOptions tunes worker supervision for a spawned pool. The zero
+// value disables supervision: any worker failure fails the run, exactly
+// as SpawnPartitionWorkers behaves.
+type PartitionOptions struct {
+	// Retries is how many times one worker's row range may be respawned
+	// per scan before the run fails.
+	Retries int
+	// Timeout bounds how long the coordinator waits for one worker's reply
+	// before treating the worker as wedged, killing it, and respawning.
+	// 0 waits forever.
+	Timeout time.Duration
+	// Logf, when non-nil, receives one line per supervision event.
+	Logf func(format string, args ...any)
+}
+
+// SpawnSupervisedPartitionWorkers launches n copies of the current
+// executable as supervised partition workers for table t: a worker that
+// crashes, wedges past opts.Timeout, or corrupts its reply stream is
+// killed and re-exec'd for the same row range with capped exponential
+// backoff, up to opts.Retries times per scan. Attempt-generation tags on
+// the wire guarantee each row range is merged exactly once per scan, so
+// results remain bit-identical to an unsupervised (and single-process)
+// run regardless of how many respawns occurred.
+func SpawnSupervisedPartitionWorkers(t *Table, n int, workerArgs func(index, total int) []string, opts PartitionOptions) (*PartitionPool, error) {
 	if t == nil {
 		return nil, fmt.Errorf("incognito: nil table")
 	}
 	if n < 1 {
 		return nil, fmt.Errorf("incognito: partition worker count must be >= 1, got %d", n)
 	}
-	return partition.SpawnSelf(t.rel.NumRows(), n, workerArgs)
+	return partition.SpawnSelfSupervised(t.rel.NumRows(), n, workerArgs, partition.Options{
+		Retries: opts.Retries,
+		Timeout: opts.Timeout,
+		Logf:    opts.Logf,
+	})
 }
 
 // ServePartitionWorker runs a partition worker's request loop: it binds
